@@ -1,0 +1,308 @@
+(* fq — command-line front end to the Finite Queries library.
+
+   Subcommands:
+     fq decide   — decide a pure domain sentence
+     fq safety   — syntactic safe-range check of a query
+     fq relsafe  — relative safety of a query in a state
+     fq eval     — answer a query in a state (Section 1.1 algorithm)
+     fq tm       — run a Turing machine / list the zoo / show traces
+     fq diag     — the Theorem 3.1 diagonalization demo
+     fq halting  — the Theorem 3.3 reduction on an instance *)
+
+open Finite_queries
+open Cmdliner
+
+(* ------------------------- shared arguments ------------------------ *)
+
+let domains : (string * Domain.t) list =
+  [ ("equality", (module Eq_domain)); ("nat_order", (module Nat_order));
+    ("nat_succ", (module Nat_succ)); ("presburger", (module Presburger));
+    ("arithmetic", (module Arithmetic)); ("traces", (module Traces)) ]
+
+let domain_conv =
+  let parse s =
+    match List.assoc_opt s domains with
+    | Some d -> Ok d
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown domain %S (try: %s)" s
+                     (String.concat ", " (List.map fst domains))))
+  in
+  let print fmt (d : Domain.t) =
+    let (module D : Domain.S) = d in
+    Format.pp_print_string fmt D.name
+  in
+  Arg.conv (parse, print)
+
+let domain_arg =
+  let doc = "Domain to interpret the formula over (equality, nat_order, nat_succ, presburger, arithmetic, traces)." in
+  Arg.(value & opt domain_conv (module Presburger : Domain.S) & info [ "d"; "domain" ] ~doc)
+
+let formula_arg =
+  let doc = "The formula, in the library's concrete syntax." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+
+let parse_formula s =
+  match Parser.formula s with
+  | Ok f -> Ok f
+  | Error e -> Error (Printf.sprintf "parse error: %s" e)
+
+(* state description: --relation "F/2=a,b;b,c" (strings) or numbers;
+   --constant "c=w" *)
+let relation_arg =
+  let doc = "A relation of the state: NAME/ARITY=v1,v2;v1,v2;... Values that parse as nonnegative integers become numbers; everything else is a string." in
+  Arg.(value & opt_all string [] & info [ "r"; "relation" ] ~doc)
+
+let constant_arg =
+  let doc = "A scheme constant of the state: NAME=VALUE." in
+  Arg.(value & opt_all string [] & info [ "c"; "constant" ] ~doc)
+
+let parse_state rel_specs const_specs =
+  Codec.parse_state ~relations:rel_specs ~constants:const_specs
+
+let report = function
+  | Ok () -> 0
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+(* ------------------------------ decide ----------------------------- *)
+
+let decide_cmd =
+  let run domain formula =
+    report
+      (Result.bind (parse_formula formula) (fun f ->
+           let (module D : Domain.S) = domain in
+           Result.map
+             (fun b -> Format.printf "%b@." b)
+             (D.decide f)))
+  in
+  let doc = "Decide a pure domain sentence (the domain's decision procedure)." in
+  Cmd.v (Cmd.info "decide" ~doc) Term.(const run $ domain_arg $ formula_arg)
+
+(* ------------------------------ safety ----------------------------- *)
+
+let schema_arg =
+  let doc = "Database relations of the scheme, as NAME/ARITY (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "s"; "schema" ] ~doc)
+
+let parse_schema_assoc specs =
+  try
+    Ok
+      (List.map
+         (fun spec ->
+           match String.index_opt spec '/' with
+           | None -> failwith (Printf.sprintf "bad schema entry %S (want NAME/ARITY)" spec)
+           | Some i ->
+             ( String.sub spec 0 i,
+               int_of_string (String.sub spec (i + 1) (String.length spec - i - 1)) ))
+         specs)
+  with Failure msg -> Error msg
+
+let safety_cmd =
+  let run schema formula =
+    report
+      (Result.bind (parse_schema_assoc schema) (fun schema ->
+           Result.map
+             (fun f ->
+               match Safe_range.check ~schema f with
+               | Safe_range.Safe_range ->
+                 Format.printf "safe-range: the query is finite in every state@."
+               | Safe_range.Not_safe_range why -> Format.printf "not safe-range: %s@." why)
+             (parse_formula formula)))
+  in
+  let doc = "Check the syntactic safe-range (range-restriction) discipline." in
+  Cmd.v (Cmd.info "safety" ~doc) Term.(const run $ schema_arg $ formula_arg)
+
+(* ------------------------------ relsafe ---------------------------- *)
+
+let relsafe_cmd =
+  let run domain rels consts formula =
+    report
+      (Result.bind (parse_formula formula) (fun f ->
+           Result.bind (parse_state rels consts) (fun state ->
+               Result.map
+                 (fun b ->
+                   Format.printf "%s@." (if b then "finite in this state" else "INFINITE in this state"))
+                 (Relative_safety.decide_for ~domain ~state f))))
+  in
+  let doc = "Decide relative safety: is the query's answer finite in the given state? (Undecidable over traces — Theorem 3.3.)" in
+  Cmd.v (Cmd.info "relsafe" ~doc)
+    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ formula_arg)
+
+(* ------------------------------- eval ------------------------------ *)
+
+let fuel_arg =
+  let doc = "Candidate budget for the enumeration algorithm." in
+  Arg.(value & opt int 10_000 & info [ "fuel" ] ~doc)
+
+let eval_cmd =
+  let run domain rels consts fuel formula =
+    report
+      (Result.bind (parse_formula formula) (fun f ->
+           Result.bind (parse_state rels consts) (fun state ->
+               Result.map
+                 (function
+                   | Enumerate.Finite r ->
+                     Format.printf "finite answer (%d tuples): %a@." (Relation.cardinal r)
+                       Relation.pp r
+                   | Enumerate.Out_of_fuel r ->
+                     Format.printf
+                       "fuel exhausted; partial answer (%d tuples): %a@.(the answer may be \
+                        infinite — relative safety is the hard part)@."
+                       (Relation.cardinal r) Relation.pp r)
+                 (Enumerate.run ~fuel ~domain ~state f))))
+  in
+  let doc = "Answer a query in a state with the Section 1.1 enumerate-and-decide algorithm." in
+  Cmd.v (Cmd.info "eval" ~doc)
+    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg $ formula_arg)
+
+(* ------------------------------ report ----------------------------- *)
+
+let report_cmd =
+  let run domain rels consts fuel formula =
+    report
+      (Result.bind (parse_formula formula) (fun f ->
+           Result.map
+             (fun state ->
+               Format.printf "%a@." Report.pp (Report.analyze ~fuel ~domain ~state f))
+             (parse_state rels consts)))
+  in
+  let doc = "Full analysis of a query: syntactic safety, relative safety, and the answer by the best applicable evaluator." in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg $ formula_arg)
+
+(* -------------------------------- tm ------------------------------- *)
+
+let machine_of_string s =
+  match List.find_opt (fun e -> e.Zoo.name = s) Zoo.all with
+  | Some e -> Ok (Encode.encode e.Zoo.machine)
+  | None ->
+    if Word.is_machine_shaped s then Ok s
+    else Error (Printf.sprintf "%S is neither a zoo machine nor a machine-shaped word" s)
+
+let tm_cmd =
+  let run machine input fuel show_traces explain list_zoo =
+    if list_zoo then begin
+      Format.printf "%-12s %-9s %s@." "name" "totality" "description";
+      List.iter
+        (fun e ->
+          Format.printf "%-12s %-9s %s@.             encoding: %S@." e.Zoo.name
+            (match e.Zoo.totality with
+            | Zoo.Total -> "total"
+            | Zoo.Non_total -> "non-total"
+            | Zoo.Unknown -> "unknown")
+            e.Zoo.description
+            (Encode.encode e.Zoo.machine))
+        Zoo.all;
+      0
+    end
+    else
+      report
+        (Result.bind (machine_of_string machine) (fun m ->
+             if not (Word.is_input input) then
+               Error (Printf.sprintf "%S is not an input word over {1,-}" input)
+             else begin
+               (match Run.run ~fuel (Encode.decode m) input with
+               | Run.Halted { steps; result } ->
+                 Format.printf "halts after %d steps; result %S@." steps result
+               | Run.Out_of_fuel -> Format.printf "still running after %d steps@." fuel);
+               if show_traces then begin
+                 Format.printf "traces:@.";
+                 Trace.traces ~machine:m ~input |> Seq.take 10
+                 |> Seq.iter (fun t -> Format.printf "  %S@." t)
+               end;
+               if explain then begin
+                 match
+                   Trace.trace_word ~machine:m ~input
+                     ~k:(Run.config_count_upto ~bound:12 (Encode.decode m) input)
+                 with
+                 | Some t -> (
+                   match Explain.trace t with
+                   | Ok text -> Format.printf "%s" text
+                   | Error e -> Format.printf "explain: %s@." e)
+                 | None -> ()
+               end;
+               Ok ()
+             end))
+  in
+  let machine =
+    Arg.(value & opt string "scan_right" & info [ "m"; "machine" ] ~doc:"Zoo name or machine word.")
+  in
+  let input = Arg.(value & opt string "" & info [ "w"; "input" ] ~doc:"Input word over {1,-}.") in
+  let fuel = Arg.(value & opt int 10_000 & info [ "fuel" ] ~doc:"Step budget.") in
+  let traces = Arg.(value & flag & info [ "traces" ] ~doc:"Print the first traces.") in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Render the computation snapshot by snapshot.")
+  in
+  let zoo = Arg.(value & flag & info [ "zoo" ] ~doc:"List the machine zoo and exit.") in
+  let doc = "Run a Turing machine of the trace domain; inspect the zoo and traces." in
+  Cmd.v (Cmd.info "tm" ~doc) Term.(const run $ machine $ input $ fuel $ traces $ explain $ zoo)
+
+(* ------------------------------- diag ------------------------------ *)
+
+let diag_cmd =
+  let run budget =
+    let scan = Encode.encode Zoo.scan_right in
+    let syntax =
+      { Syntax_class.name = "demo";
+        description = "the totality query of scan_right";
+        accepts = (fun f -> Formula.equal f (Diagonal.totality_query scan));
+        enumerate = (fun () -> Seq.return (Diagonal.totality_query scan)) }
+    in
+    report
+      (Result.map
+         (function
+           | Diagonal.Missed_finite_query { machine; query; candidates_checked } ->
+             Format.printf
+               "the candidate syntax misses a finite query (Theorem 3.1):@.  total machine \
+                %S@.  finite query %a@.  not equivalent to any of %d candidates@."
+               machine Formula.pp query candidates_checked
+           | Diagonal.Admits_unsafe { formula; witness_machine; witness_input } ->
+             Format.printf
+               "the candidate syntax admits an unsafe formula:@.  %a@.  (the machine %S \
+                diverges on %S)@."
+               Formula.pp formula witness_machine witness_input)
+         (Diagonal.defeat ~syntax ~budget))
+  in
+  let budget = Arg.(value & opt int 4 & info [ "budget" ] ~doc:"Search budget.") in
+  let doc = "Run the Theorem 3.1 diagonalization against a demo candidate syntax." in
+  Cmd.v (Cmd.info "diag" ~doc) Term.(const run $ budget)
+
+(* ------------------------------ halting ---------------------------- *)
+
+let halting_cmd =
+  let run machine input fuel =
+    report
+      (Result.bind (machine_of_string machine) (fun m ->
+           Result.map
+             (function
+               | Halting_reduction.Halts { steps; answer } ->
+                 Format.printf
+                   "the machine halts after %d steps: the query P(M, @@c, x) is finite in \
+                    the state c = %S, with %d certified answer tuples@."
+                   steps input (Relation.cardinal answer)
+               | Halting_reduction.Diverges_beyond { trace_count } ->
+                 Format.printf
+                   "no halt within %d steps: at least %d answer tuples so far (if the \
+                    machine diverges, the answer is infinite — and Theorem 3.3 says no \
+                    procedure can always tell)@."
+                   fuel trace_count)
+             (Halting_reduction.check ~fuel ~machine:m ~input ())))
+  in
+  let machine =
+    Arg.(value & opt string "loop" & info [ "m"; "machine" ] ~doc:"Zoo name or machine word.")
+  in
+  let input = Arg.(value & opt string "" & info [ "w"; "input" ] ~doc:"Input word.") in
+  let fuel = Arg.(value & opt int 1_000 & info [ "fuel" ] ~doc:"Simulation budget.") in
+  let doc = "The Theorem 3.3 reduction: halting of (M, w) as relative safety over T." in
+  Cmd.v (Cmd.info "halting" ~doc) Term.(const run $ machine $ input $ fuel)
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let doc = "finite queries of the relational calculus — Stolboushkin & Taitslin, reproduced" in
+  let info = Cmd.info "fq" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; report_cmd; tm_cmd; diag_cmd; halting_cmd ]))

@@ -1,0 +1,1 @@
+examples/computation_db.ml: Domain Encode Enumerate Finite_queries Format Halting_reduction List Parser Printf Relation Relative_safety Schema State Traces Value Zoo

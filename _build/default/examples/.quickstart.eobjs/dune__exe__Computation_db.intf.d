@@ -1,0 +1,1 @@
+examples/computation_db.mli:

@@ -1,0 +1,1 @@
+examples/constraint_db.ml: Crel Finite_queries Format List Rat String

@@ -1,0 +1,1 @@
+examples/effective_syntax.ml: Diagonal Encode Finite_queries Format Formula List Run Seq Syntax_class Word Zoo

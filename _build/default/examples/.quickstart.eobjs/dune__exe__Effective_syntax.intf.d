@@ -1,0 +1,1 @@
+examples/effective_syntax.mli:

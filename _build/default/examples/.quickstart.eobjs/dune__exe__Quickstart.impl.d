@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra_translate Domain Enumerate Eq_domain Finite_queries Format Formula List Parser Relalg Relation Relative_safety Safe_range Schema State String Value

@@ -1,0 +1,77 @@
+(* Section 1.2's "way out": accept infinite relations, but keep them
+   finitely representable — constraint databases over the dense order
+   (KKR90). Unlike the trace domain, here the relative safety question
+   ("is this relation actually finite?") is decidable.
+
+   Run with: dune exec examples/constraint_db.exe *)
+
+open Finite_queries
+open Crel
+
+let q = Rat.of_int
+let qq = Rat.of_ints
+
+let () =
+  (* An infinite relation: the open square (0,10) x (0,10). *)
+  let square =
+    make ~columns:[ "x"; "y" ]
+      [ [ { lhs = C (q 0); op = Lt; rhs = V "x" }; { lhs = V "x"; op = Lt; rhs = C (q 10) };
+          { lhs = C (q 0); op = Lt; rhs = V "y" }; { lhs = V "y"; op = Lt; rhs = C (q 10) } ] ]
+  in
+  (* Another: the half-plane below the diagonal. *)
+  let below = make ~columns:[ "x"; "y" ] [ [ { lhs = V "y"; op = Lt; rhs = V "x" } ] ] in
+  Format.printf "square =@.%a@." pp square;
+  Format.printf "below  =@.%a@." pp below;
+
+  (* "the database remains capable of answering questions of whether a
+     certain tuple belongs to a relation" *)
+  let triangle = inter square below in
+  Format.printf "@.triangle = square ∩ below:@.%a@." pp triangle;
+  List.iter
+    (fun (x, y) ->
+      Format.printf "  (%a, %a) ∈ triangle?  %b@." Rat.pp x Rat.pp y (mem triangle [ x; y ]))
+    [ (q 5, q 3); (q 3, q 5); (qq 1 2, qq 1 4); (q 11, q 1) ];
+
+  (* projection by dense-order quantifier elimination *)
+  let shadow = project ~keep:[ "x" ] triangle in
+  Format.printf "@.∃y triangle (projection onto x):@.%a@." pp shadow;
+  Format.printf "  1/1000 ∈ shadow?  %b  (density: some y fits below any positive x)@."
+    (mem shadow [ qq 1 1000 ]);
+
+  (* complement stays representable *)
+  Format.printf "@.complement of the square has %d cells; (11, 5) ∈ it?  %b@."
+    (List.length (cells (complement square)))
+    (mem (complement square) [ q 11; q 5 ]);
+
+  (* finiteness — the relative-safety question — is decidable here *)
+  Format.printf "@.Finiteness (decidable over the dense order, unlike over T):@.";
+  let finite_example =
+    make ~columns:[ "x"; "y" ]
+      [ [ { lhs = V "x"; op = Eq; rhs = C (q 3) }; { lhs = V "y"; op = Eq; rhs = V "x" } ];
+        [ { lhs = V "x"; op = Eq; rhs = C (q 7) }; { lhs = V "y"; op = Eq; rhs = C (q 0) } ] ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Format.printf "  %-22s finite: %b" name (is_finite r);
+      (match enumerate_if_finite r with
+      | Some tuples ->
+        Format.printf "  = {";
+        List.iter
+          (fun t ->
+            Format.printf " (%s)" (String.concat ", " (List.map Rat.to_string t)))
+          tuples;
+        Format.printf " }"
+      | None -> ());
+      Format.printf "@.")
+    [ ("square", square); ("triangle", triangle); ("two points", finite_example);
+      ("empty", empty ~columns:[ "x"; "y" ]) ];
+
+  (* witnesses of nonempty relations *)
+  Format.printf "@.Witnesses:@.";
+  List.iter
+    (fun (name, r) ->
+      match witness r with
+      | Some t ->
+        Format.printf "  %-22s ∋ (%s)@." name (String.concat ", " (List.map Rat.to_string t))
+      | None -> Format.printf "  %-22s is empty@." name)
+    [ ("triangle", triangle); ("square - square", diff square square) ]

@@ -1,0 +1,108 @@
+(* Theorem 3.1, run as a program: finite queries over the trace domain T
+   do not have an effective syntax.
+
+   We hand the diagonalization harness two candidate "recursive syntaxes"
+   and watch it defeat both, exactly along the proof's dichotomy:
+
+   - a syntax that only contains finite queries (sound) is INCOMPLETE: the
+     harness manufactures a total machine — using the Lemma A.2 builder —
+     whose finite totality query P(M, @c, x) is equivalent to none of the
+     candidates (equivalence is decidable by Corollary A.4, which is what
+     makes the whole argument bite);
+   - a syntax that covers that query by including an arbitrary formula is
+     UNSOUND: the harness exhibits a candidate equivalent to the totality
+     query of a machine that diverges on a known input.
+
+   Run with: dune exec examples/effective_syntax.exe *)
+
+open Finite_queries
+
+let () =
+  let scan = Encode.encode Zoo.scan_right in
+  let halter = Encode.encode Zoo.halt in
+  let looper = Encode.encode Zoo.loop in
+
+  Format.printf "The totality query of a machine M: %a@." Formula.pp
+    (Diagonal.totality_query scan);
+  Format.printf
+    "It is a finite query iff M is total (halts on every input).@.@.";
+
+  (* the decidable equivalence test underlying everything *)
+  Format.printf "Equivalence of one-variable queries is decidable over T:@.";
+  let pairs =
+    [ ("scan vs scan", scan, scan); ("scan vs halt", scan, halter);
+      ("halt vs loop", halter, looper) ]
+  in
+  List.iter
+    (fun (label, m1, m2) ->
+      match
+        Diagonal.equivalent_queries (Diagonal.totality_query m1) (Diagonal.totality_query m2)
+      with
+      | Ok b -> Format.printf "  %-15s %b@." label b
+      | Error e -> Format.printf "  %-15s error (%s)@." label e)
+    pairs;
+
+  let manual name formulas =
+    { Syntax_class.name;
+      description = name;
+      accepts = (fun f -> List.exists (Formula.equal f) formulas);
+      enumerate = (fun () -> List.to_seq formulas) }
+  in
+
+  (* Candidate 1: sound but (necessarily) incomplete *)
+  let sound = manual "sound-candidate" [ Diagonal.totality_query scan ] in
+  Format.printf "@.Candidate syntax #1: { totality query of scan_right } (all finite)@.";
+  (match Diagonal.defeat ~syntax:sound ~budget:4 with
+  | Ok (Diagonal.Missed_finite_query { machine; query; candidates_checked }) ->
+    Format.printf "  DEFEATED — it misses a finite query.@.";
+    Format.printf "  fresh total machine: %S@." machine;
+    Format.printf "  its finite query: %a@." Formula.pp query;
+    Format.printf "  equivalent to none of the %d candidates checked@." candidates_checked;
+    (* demonstrate totality on a few inputs *)
+    Format.printf "  (the fresh machine halts on every input — sampled:";
+    Word.enumerate_over "1-" () |> Seq.take 8
+    |> Seq.iter (fun w ->
+           match Run.halts_within ~fuel:10_000 (Encode.decode machine) w with
+           | Some steps -> Format.printf " %S:%d" w steps
+           | None -> Format.printf " %S:?" w);
+    Format.printf ")@."
+  | Ok (Diagonal.Admits_unsafe _) -> Format.printf "  unexpectedly unsound?!@."
+  | Error e -> Format.printf "  error: %s@." e);
+
+  (* Candidate 2: complete enough to cover the loop machine — unsound *)
+  let unsound =
+    manual "unsound-candidate"
+      [ Diagonal.totality_query scan; Diagonal.totality_query looper ]
+  in
+  Format.printf
+    "@.Candidate syntax #2: adds the totality query of the looper (an unsafe formula)@.";
+  (match Diagonal.defeat ~syntax:unsound ~budget:4 with
+  | Ok (Diagonal.Admits_unsafe { formula; witness_machine; witness_input }) ->
+    Format.printf "  DEFEATED — it admits an unsafe formula.@.";
+    Format.printf "  the formula: %a@." Formula.pp formula;
+    Format.printf "  equivalent to the totality query of %S,@." witness_machine;
+    Format.printf "  which diverges on %S: its answer there is infinite.@." witness_input
+  | Ok (Diagonal.Missed_finite_query _) -> Format.printf "  unexpectedly incomplete first@."
+  | Error e -> Format.printf "  error: %s@." e);
+
+  (* the reduction run forward: a sound+complete syntax would enumerate
+     the total machines *)
+  Format.printf
+    "@.The reduction (were a sound+complete syntax to exist, this would@.enumerate \
+     exactly the total machines — impossible by diagonalization):@.";
+  let covering =
+    manual "covering" [ Diagonal.totality_query halter; Diagonal.totality_query scan ]
+  in
+  (match
+     Diagonal.enumerate_total_machines_via ~syntax:covering ~formula_budget:2
+       ~machine_budget:40
+   with
+  | Ok machines ->
+    Format.printf
+      "  machines covered by {halt, scan_right} among the first 40 machine words:@.";
+    List.iter (fun m -> Format.printf "    %S (certified total by soundness)@." m) machines
+  | Error e -> Format.printf "  error: %s@." e);
+
+  Format.printf
+    "@.Conclusion (Theorem 3.1): every recursive syntax either misses a finite@.query \
+     or admits an unsafe formula — over T there is no effective syntax.@."

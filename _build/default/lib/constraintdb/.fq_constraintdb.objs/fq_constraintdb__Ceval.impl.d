@@ -1,0 +1,1 @@
+lib/constraintdb/ceval.ml: Crel Fq_logic List Printf Rat Result

@@ -1,0 +1,1 @@
+lib/constraintdb/ceval.mli: Crel Fq_logic Rat

@@ -1,0 +1,1 @@
+lib/constraintdb/crel.ml: Array Format Fun List Map Option Printf Rat String

@@ -1,0 +1,1 @@
+lib/constraintdb/crel.mli: Format Rat

@@ -1,0 +1,1 @@
+lib/constraintdb/rat.ml: Format Fq_numeric Printf String

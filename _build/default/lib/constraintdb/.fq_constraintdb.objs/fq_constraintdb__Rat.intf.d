@@ -1,0 +1,1 @@
+lib/constraintdb/rat.mli: Format Fq_numeric

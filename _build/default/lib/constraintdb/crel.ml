@@ -1,0 +1,533 @@
+type term =
+  | V of string
+  | C of Rat.t
+
+type op = Lt | Le | Eq | Ne
+
+type atom = { lhs : term; op : op; rhs : term }
+
+type cell = atom list
+
+type t = { columns : string list; cells : cell list }
+
+let columns r = r.columns
+let cells r = r.cells
+
+let atom_vars a =
+  List.filter_map (function V x -> Some x | C _ -> None) [ a.lhs; a.rhs ]
+
+let make ~columns cells =
+  if List.length columns <> List.length (List.sort_uniq compare columns) then
+    invalid_arg "Crel.make: duplicate columns";
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun x ->
+              if not (List.mem x columns) then
+                invalid_arg (Printf.sprintf "Crel.make: variable %s is not a column" x))
+            (atom_vars a))
+        cell)
+    cells;
+  { columns; cells }
+
+let full ~columns = { columns; cells = [ [] ] }
+let empty ~columns = { columns; cells = [] }
+
+let of_points ~columns points =
+  let cell_of point =
+    if List.length point <> List.length columns then
+      invalid_arg "Crel.of_points: tuple arity mismatch";
+    List.map2 (fun x v -> { lhs = V x; op = Eq; rhs = C v }) columns point
+  in
+  make ~columns (List.map cell_of points)
+
+(* ------------------------------------------------------------------ *)
+(* Cell analysis: union-find on terms, order closure with strictness.  *)
+(* ------------------------------------------------------------------ *)
+
+module Tmap = Map.Make (struct
+  type t = term
+
+  let compare = compare
+end)
+
+type reach = No | Through_le | Through_lt
+
+type analysis = {
+  sat : bool;
+  reps : term array;  (** representative terms of the classes *)
+  value : Rat.t option array;  (** constant value of a class, if pinned to one *)
+  reach : reach array array;  (** order closure between classes *)
+  cls : term -> int;  (** class index of a term of the cell *)
+  nes : (int * int) list;  (** disequality constraints between classes *)
+}
+
+let analyze (cell : cell) : analysis =
+  let terms =
+    List.concat_map (fun a -> [ a.lhs; a.rhs ]) cell |> List.sort_uniq compare
+  in
+  (* union-find on term indices *)
+  let index = List.mapi (fun i t -> (t, i)) terms |> List.to_seq |> Tmap.of_seq in
+  let n = List.length terms in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let root = find parent.(i) in
+      parent.(i) <- root;
+      root
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let idx t = Tmap.find t index in
+  List.iter (fun a -> if a.op = Eq then union (idx a.lhs) (idx a.rhs)) cell;
+  (* classes *)
+  let roots = List.sort_uniq compare (List.init n find) in
+  let class_of = Array.make n 0 in
+  List.iteri (fun ci root -> List.iteri (fun i _ -> if find i = root then class_of.(i) <- ci) terms) roots;
+  let k = List.length roots in
+  let reps = Array.make (max k 1) (C Rat.zero) in
+  List.iteri (fun i t -> reps.(class_of.(i)) <- t) terms;
+  let value = Array.make (max k 1) None in
+  let ok = ref true in
+  List.iteri
+    (fun i t ->
+      match t with
+      | C v -> (
+        let c = class_of.(i) in
+        match value.(c) with
+        | None -> value.(c) <- Some v
+        | Some v' -> if not (Rat.equal v v') then ok := false)
+      | V _ -> ())
+    terms;
+  (* edges with strictness *)
+  let reach = Array.make_matrix (max k 1) (max k 1) No in
+  let add_edge i j r =
+    let better a b =
+      match (a, b) with
+      | Through_lt, _ | _, Through_lt -> Through_lt
+      | Through_le, _ | _, Through_le -> Through_le
+      | No, No -> No
+    in
+    reach.(i).(j) <- better reach.(i).(j) r
+  in
+  List.iter
+    (fun a ->
+      let i = class_of.(idx a.lhs) and j = class_of.(idx a.rhs) in
+      match a.op with
+      | Lt -> add_edge i j Through_lt
+      | Le -> add_edge i j Through_le
+      | Eq | Ne -> ())
+    cell;
+  (* numeric facts between constant classes *)
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      match (value.(i), value.(j)) with
+      | Some a, Some b when Rat.compare a b < 0 -> add_edge i j Through_lt
+      | _ -> ()
+    done
+  done;
+  (* Warshall closure, strictness-propagating *)
+  for m = 0 to k - 1 do
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        let via =
+          match (reach.(i).(m), reach.(m).(j)) with
+          | No, _ | _, No -> No
+          | Through_lt, _ | _, Through_lt -> Through_lt
+          | Through_le, Through_le -> Through_le
+        in
+        match (via, reach.(i).(j)) with
+        | No, _ -> ()
+        | Through_lt, Through_lt -> ()
+        | Through_lt, _ -> reach.(i).(j) <- Through_lt
+        | Through_le, No -> reach.(i).(j) <- Through_le
+        | Through_le, _ -> ()
+      done
+    done
+  done;
+  for i = 0 to k - 1 do
+    if reach.(i).(i) = Through_lt then ok := false
+  done;
+  let nes =
+    List.filter_map
+      (fun a ->
+        if a.op = Ne then Some (class_of.(idx a.lhs), class_of.(idx a.rhs)) else None)
+      cell
+  in
+  List.iter
+    (fun (i, j) ->
+      if i = j then ok := false
+      else if reach.(i).(j) <> No && reach.(j).(i) <> No then
+        (* both directions weakly reachable forces equality *)
+        ok := false)
+    nes;
+  { sat = !ok; reps; value; reach; cls = (fun t -> class_of.(idx t)); nes }
+
+let sat_cell cell = (analyze cell).sat
+
+(* forced-equal-to-a-constant test for a term of a satisfiable cell *)
+let pinned_value (a : analysis) ci =
+  match a.value.(ci) with
+  | Some v -> Some v
+  | None ->
+    let k = Array.length a.reps in
+    let rec go j =
+      if j >= k then None
+      else
+        match a.value.(j) with
+        | Some v when a.reach.(ci).(j) <> No && a.reach.(j).(ci) <> No -> Some v
+        | _ -> go (j + 1)
+    in
+    go 0
+
+(* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let eval_term env = function
+  | C v -> v
+  | V x -> List.assoc x env
+
+let holds_atom env a =
+  let l = eval_term env a.lhs and r = eval_term env a.rhs in
+  match a.op with
+  | Lt -> Rat.compare l r < 0
+  | Le -> Rat.compare l r <= 0
+  | Eq -> Rat.equal l r
+  | Ne -> not (Rat.equal l r)
+
+let mem r tuple =
+  if List.length tuple <> List.length r.columns then
+    invalid_arg "Crel.mem: arity mismatch";
+  let env = List.combine r.columns tuple in
+  List.exists (fun cell -> List.for_all (holds_atom env) cell) r.cells
+
+let is_empty r = not (List.exists sat_cell r.cells)
+
+(* ------------------------------------------------------------------ *)
+(* Boolean operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let same_columns op a b =
+  if a.columns <> b.columns then
+    invalid_arg (Printf.sprintf "Crel.%s: column mismatch" op)
+
+let union a b =
+  same_columns "union" a b;
+  { a with cells = a.cells @ b.cells }
+
+let inter a b =
+  same_columns "inter" a b;
+  { a with cells = List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b.cells) a.cells }
+
+let negate_atom a =
+  match a.op with
+  | Lt -> { lhs = a.rhs; op = Le; rhs = a.lhs }
+  | Le -> { lhs = a.rhs; op = Lt; rhs = a.lhs }
+  | Eq -> { a with op = Ne }
+  | Ne -> { a with op = Eq }
+
+let complement r =
+  (* ¬(⋁ cells) = ⋀ (⋁ ¬atom): distribute into DNF *)
+  let rec go = function
+    | [] -> [ [] ] (* complement of empty union is everything *)
+    | cell :: rest ->
+      let rest' = go rest in
+      List.concat_map
+        (fun a -> List.map (fun c -> negate_atom a :: c) rest')
+        cell
+  in
+  { r with cells = List.filter sat_cell (go r.cells) }
+
+let diff a b =
+  same_columns "diff" a b;
+  inter a (complement b)
+
+let join a b =
+  let cols = a.columns @ List.filter (fun c -> not (List.mem c a.columns)) b.columns in
+  { columns = cols;
+    cells = List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b.cells) a.cells }
+
+let rename mapping r =
+  let rename_col c = match List.assoc_opt c mapping with Some c' -> c' | None -> c in
+  List.iter
+    (fun (src, _) ->
+      if not (List.mem src r.columns) then
+        invalid_arg (Printf.sprintf "Crel.rename: %s is not a column" src))
+    mapping;
+  let columns = List.map rename_col r.columns in
+  if List.length columns <> List.length (List.sort_uniq compare columns) then
+    invalid_arg "Crel.rename: columns collide";
+  let rename_term = function V x -> V (rename_col x) | t -> t in
+  let cells =
+    List.map
+      (List.map (fun a -> { a with lhs = rename_term a.lhs; rhs = rename_term a.rhs }))
+      r.cells
+  in
+  { columns; cells }
+
+let reorder ~columns r =
+  if List.sort compare columns <> List.sort compare r.columns then
+    invalid_arg "Crel.reorder: not a permutation of the columns";
+  { r with columns }
+
+let select atom r =
+  List.iter
+    (fun x ->
+      if not (List.mem x r.columns) then
+        invalid_arg (Printf.sprintf "Crel.select: variable %s is not a column" x))
+    (atom_vars atom);
+  { r with cells = List.map (fun c -> atom :: c) r.cells }
+
+(* ------------------------------------------------------------------ *)
+(* Projection: dense-order quantifier elimination                      *)
+(* ------------------------------------------------------------------ *)
+
+let subst_term x t = function V y when y = x -> t | u -> u
+
+let subst_atom x t a = { a with lhs = subst_term x t a.lhs; rhs = subst_term x t a.rhs }
+
+let mentions_x x a = List.mem x (atom_vars a)
+
+(* eliminate variable x from one cell; returns a list of cells *)
+let rec eliminate_var x cell =
+  let x_atoms, rest = List.partition (mentions_x x) cell in
+  if x_atoms = [] then [ cell ]
+  else
+    (* split disequalities on x into strict alternatives first *)
+    match List.find_opt (fun a -> a.op = Ne) x_atoms with
+    | Some a ->
+      let others = List.filter (fun b -> b <> a) cell in
+      eliminate_var x ({ a with op = Lt } :: others)
+      @ eliminate_var x ({ lhs = a.rhs; op = Lt; rhs = a.lhs } :: others)
+    | None -> (
+      (* an equality pins x *)
+      match
+        List.find_opt
+          (fun a ->
+            a.op = Eq && ((a.lhs = V x && a.rhs <> V x) || (a.rhs = V x && a.lhs <> V x)))
+          x_atoms
+      with
+      | Some a ->
+        let t = if a.lhs = V x then a.rhs else a.lhs in
+        [ List.filter_map
+            (fun b -> if b = a then None else Some (subst_atom x t b))
+            cell ]
+      | None ->
+        (* trivial atoms x op x *)
+        let trivial, x_atoms =
+          List.partition (fun a -> a.lhs = V x && a.rhs = V x) x_atoms
+        in
+        if List.exists (fun a -> a.op = Lt) trivial then [] (* x < x *)
+        else begin
+          (* Fourier–Motzkin over the dense order: lowers t <(=) x,
+             uppers x <(=) u; pairwise combination is exact over ℚ *)
+          let lowers =
+            List.filter_map
+              (fun a ->
+                if a.rhs = V x then Some (a.lhs, a.op = Lt)
+                else None)
+              x_atoms
+          in
+          let uppers =
+            List.filter_map
+              (fun a -> if a.lhs = V x then Some (a.rhs, a.op = Lt) else None)
+              x_atoms
+          in
+          let combined =
+            List.concat_map
+              (fun (l, sl) ->
+                List.map
+                  (fun (u, su) -> { lhs = l; op = (if sl || su then Lt else Le); rhs = u })
+                  uppers)
+              lowers
+          in
+          [ combined @ rest ]
+        end)
+
+let project ~keep r =
+  List.iter
+    (fun x ->
+      if not (List.mem x r.columns) then
+        invalid_arg (Printf.sprintf "Crel.project: %s is not a column" x))
+    keep;
+  let drop = List.filter (fun c -> not (List.mem c keep)) r.columns in
+  let cells =
+    List.fold_left
+      (fun cells x -> List.concat_map (eliminate_var x) cells)
+      r.cells drop
+  in
+  { columns = List.filter (fun c -> List.mem c keep) r.columns; cells = List.filter sat_cell cells }
+
+(* ------------------------------------------------------------------ *)
+(* Finiteness and witnesses                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cell_finite columns cell =
+  let a = analyze cell in
+  if not a.sat then true
+  else
+    List.for_all
+      (fun x ->
+        (* a column never mentioned is unconstrained, hence infinite *)
+        match List.exists (fun at -> List.mem x (atom_vars at)) cell with
+        | false -> false
+        | true -> Option.is_some (pinned_value a (a.cls (V x))))
+      columns
+
+let is_finite r = List.for_all (cell_finite r.columns) r.cells
+
+(* Construct some satisfying assignment of a satisfiable cell. *)
+let cell_witness columns cell =
+  let a = analyze cell in
+  if not a.sat then None
+  else begin
+    let k = Array.length a.reps in
+    let constrained x = List.exists (fun at -> List.mem x (atom_vars at)) cell in
+    let assignment = Array.make k None in
+    for i = 0 to k - 1 do
+      assignment.(i) <- pinned_value a i
+    done;
+    (* order the classes: weakly-mutually-reachable classes share values;
+       process in an order compatible with the strict closure *)
+    let order = List.init k Fun.id in
+    let order =
+      List.sort
+        (fun i j ->
+          if i = j then 0
+          else if a.reach.(i).(j) <> No && a.reach.(j).(i) = No then -1
+          else if a.reach.(j).(i) <> No && a.reach.(i).(j) = No then 1
+          else 0)
+        order
+    in
+    let avoid_of i =
+      List.filter_map
+        (fun (p, q) ->
+          if p = i then assignment.(q)
+          else if q = i then assignment.(p)
+          else None)
+        a.nes
+    in
+    let pick ~lo ~hi avoid =
+      (* a rational in the (open-as-needed) interval avoiding a finite set *)
+      let base =
+        match (lo, hi) with
+        | None, None -> Rat.zero
+        | Some (l, _), None -> Rat.add l Rat.one
+        | None, Some (h, _) -> Rat.sub h Rat.one
+        | Some (l, ls), Some (h, hs) ->
+          if Rat.equal l h then (if ls || hs then (* empty interior *) l else l)
+          else Rat.midpoint l h
+      in
+      let rec adjust v guard =
+        if guard <= 0 then v
+        else if List.exists (Rat.equal v) avoid then
+          let v' =
+            match (lo, hi) with
+            | Some (l, _), Some (h, _) when not (Rat.equal l h) -> Rat.midpoint v h
+            | _, None -> Rat.add v Rat.one
+            | None, _ -> Rat.sub v Rat.one
+            | _ -> v
+          in
+          adjust v' (guard - 1)
+        else v
+      in
+      adjust base 64
+    in
+    List.iter
+      (fun i ->
+        if assignment.(i) = None then begin
+          let lo = ref None and hi = ref None in
+          for j = 0 to k - 1 do
+            if j <> i then begin
+              (match (a.reach.(j).(i), assignment.(j)) with
+              | No, _ | _, None -> ()
+              | r, Some v ->
+                let strict = r = Through_lt in
+                (match !lo with
+                | Some (l, _) when Rat.compare v l <= 0 -> ()
+                | _ -> lo := Some (v, strict)));
+              match (a.reach.(i).(j), assignment.(j)) with
+              | No, _ | _, None -> ()
+              | r, Some v -> (
+                let strict = r = Through_lt in
+                match !hi with
+                | Some (h, _) when Rat.compare v h >= 0 -> ()
+                | _ -> hi := Some (v, strict))
+            end
+          done;
+          assignment.(i) <- Some (pick ~lo:!lo ~hi:!hi (avoid_of i))
+        end)
+      order;
+    let value_of x =
+      if constrained x then
+        match assignment.(a.cls (V x)) with Some v -> v | None -> Rat.zero
+      else Rat.zero
+    in
+    let tuple = List.map value_of columns in
+    (* the greedy order can, in rare forced-equality corner cases, violate
+       a disequality; only return verified witnesses *)
+    let env = List.combine columns tuple in
+    if List.for_all (holds_atom env) cell then Some tuple else None
+  end
+
+let witness r =
+  let rec go = function
+    | [] -> None
+    | cell :: rest -> (
+      match cell_witness r.columns cell with
+      | Some tuple -> Some tuple
+      | None -> go rest)
+  in
+  go r.cells
+
+let enumerate_if_finite r =
+  if not (is_finite r) then None
+  else
+    Some
+      (List.filter_map
+         (fun cell ->
+           let a = analyze cell in
+           if not a.sat then None
+           else
+             Some
+               (List.map
+                  (fun x ->
+                    match pinned_value a (a.cls (V x)) with
+                    | Some v -> v
+                    | None -> assert false)
+                  r.columns))
+         r.cells
+      |> List.sort_uniq compare)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_term fmt = function
+  | V x -> Format.pp_print_string fmt x
+  | C v -> Rat.pp fmt v
+
+let op_string = function Lt -> "<" | Le -> "<=" | Eq -> "=" | Ne -> "!="
+
+let pp_atom fmt a = Format.fprintf fmt "%a %s %a" pp_term a.lhs (op_string a.op) pp_term a.rhs
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>(%s):@," (String.concat ", " r.columns);
+  if r.cells = [] then Format.fprintf fmt "  false@,"
+  else
+    List.iter
+      (fun cell ->
+        if cell = [] then Format.fprintf fmt "  | true@,"
+        else
+          Format.fprintf fmt "  | %a@,"
+            (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " & ") pp_atom)
+            cell)
+      r.cells;
+  Format.fprintf fmt "@]"

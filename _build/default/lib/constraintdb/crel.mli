@@ -1,0 +1,87 @@
+(** Finitely representable (possibly infinite) relations over the dense
+    order [(ℚ, <)] — the paper's Section 1.2 "way out": accept infinite
+    answers, but keep them finitely represented, so that membership and
+    emptiness stay decidable even though "we cannot actually generate the
+    infinite relations". This is a minimal faithful core of the constraint
+    query languages of [KKR90].
+
+    A relation over columns [x₁ … xₖ] is a disjunction of {e cells}, each
+    a conjunction of order constraints between variables and rational
+    constants. The algebra below is closed: complement by negation-normal
+    form, join by conjunction, projection by dense-order quantifier
+    elimination. {!is_finite} decides finiteness — the relative safety
+    question, decidable here in contrast to the trace domain. *)
+
+type term =
+  | V of string
+  | C of Rat.t
+
+type op = Lt | Le | Eq | Ne
+
+type atom = { lhs : term; op : op; rhs : term }
+
+type cell = atom list
+(** Conjunction. *)
+
+type t
+(** A constraint relation: named columns plus a disjunction of cells. *)
+
+val make : columns:string list -> cell list -> t
+(** @raise Invalid_argument on duplicate columns or an atom mentioning a
+    variable outside the columns. *)
+
+val columns : t -> string list
+val cells : t -> cell list
+
+val full : columns:string list -> t
+(** All of ℚ^k. *)
+
+val empty : columns:string list -> t
+
+val of_points : columns:string list -> Rat.t list list -> t
+(** The finite relation listing the given tuples. *)
+
+val mem : t -> Rat.t list -> bool
+(** Membership of a rational tuple (in column order). *)
+
+val sat_cell : cell -> bool
+(** Satisfiability of one conjunction of order constraints over ℚ. *)
+
+val is_empty : t -> bool
+val union : t -> t -> t
+(** @raise Invalid_argument when column lists differ (also [inter], [diff]). *)
+
+val inter : t -> t -> t
+val complement : t -> t
+val diff : t -> t -> t
+val join : t -> t -> t
+(** Natural join on shared column names; columns concatenate (shared ones
+    kept once, from the left operand). *)
+
+val select : atom -> t -> t
+
+val rename : (string * string) list -> t -> t
+(** Simultaneous column renaming. @raise Invalid_argument when a source
+    is not a column or two columns collide after renaming. *)
+
+val reorder : columns:string list -> t -> t
+(** Permutes the column order. @raise Invalid_argument unless [columns]
+    is a permutation of the relation's columns. *)
+
+val project : keep:string list -> t -> t
+(** Projection onto a subset of columns: existential quantification of the
+    dropped ones, by dense-order quantifier elimination. *)
+
+val is_finite : t -> bool
+(** Whether the represented relation is a finite set of points: in every
+    satisfiable cell, every column is forced equal to a constant. Over a
+    dense order any non-degenerate interval is infinite, so this
+    characterization is exact. *)
+
+val enumerate_if_finite : t -> Rat.t list list option
+(** The tuple list when {!is_finite}; [None] otherwise. *)
+
+val witness : t -> Rat.t list option
+(** Some tuple of the relation, when nonempty. *)
+
+val pp : Format.formatter -> t -> unit

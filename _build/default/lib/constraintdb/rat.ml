@@ -1,0 +1,45 @@
+module B = Fq_numeric.Bigint
+
+type t = { num : B.t; den : B.t }
+(* Invariant: den > 0, gcd (|num|, den) = 1. *)
+
+let normalize num den =
+  if B.is_zero den then raise Division_by_zero;
+  let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+  let g = B.gcd num den in
+  if B.is_zero g then { num = B.zero; den = B.one }
+  else { num = B.div num g; den = B.div den g }
+
+let make num den = normalize num den
+let of_int n = { num = B.of_int n; den = B.one }
+let of_ints n d = make (B.of_int n) (B.of_int d)
+let zero = of_int 0
+let one = of_int 1
+
+let num r = r.num
+let den r = r.den
+
+let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+let equal a b = compare a b = 0
+
+let add a b = normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+let neg a = { a with num = B.neg a.num }
+let sub a b = add a (neg b)
+let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
+
+let midpoint a b = normalize (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul (B.of_int 2) (B.mul a.den b.den))
+
+let to_string r =
+  if B.equal r.den B.one then B.to_string r.num
+  else Printf.sprintf "%s/%s" (B.to_string r.num) (B.to_string r.den)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> { num = B.of_string s; den = B.one }
+  | Some i ->
+    let n = String.sub s 0 i in
+    let d = String.sub s (i + 1) (String.length s - i - 1) in
+    let r = normalize (B.of_string n) (B.of_string d) in
+    r
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

@@ -1,0 +1,32 @@
+(** Arbitrary-precision rational numbers — the dense countable order
+    underlying the constraint-database layer (Section 1.2 / [KKR90]).
+    Values are kept normalized: positive denominator, coprime
+    numerator/denominator. *)
+
+type t
+
+val zero : t
+val one : t
+val make : Fq_numeric.Bigint.t -> Fq_numeric.Bigint.t -> t
+(** [make num den]. @raise Division_by_zero when [den] is zero. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val num : t -> Fq_numeric.Bigint.t
+val den : t -> Fq_numeric.Bigint.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val midpoint : t -> t -> t
+(** Strictly between its arguments when they differ — density. *)
+
+val of_string : string -> t
+(** ["-3"], ["1/2"], ["-7/3"]. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+(** Facade for the Finite Queries library — a reproduction of
+    Stolboushkin & Taitslin, {e "Finite Queries Do Not Have Effective
+    Syntax"} (PODS'95 / Information and Computation 153, 1999).
+
+    One module per concept, re-exported from the internal libraries:
+
+    {2 Logic}
+    - {!Term}, {!Formula}, {!Parser}, {!Transform}, {!Signature} — the
+      relational calculus (first-order logic over a domain signature plus
+      a database scheme).
+
+    {2 Databases}
+    - {!Value}, {!Schema}, {!Tuple-less Relation}, {!State}, {!Relalg} —
+      finite relations, database states, and the positional relational
+      algebra.
+
+    {2 Domains} (Section 1.1's recursive domains with decidable theories)
+    - {!Domain} — the abstraction; {!Eq_domain}, {!Nat_order} ([N_<]),
+      {!Nat_succ} ([N']), {!Presburger}, {!Arithmetic}, {!Extension}, and
+      the paper's trace domain {!Traces} with its {!Reach} theory and the
+      {!Reach_qe} quantifier elimination (Theorem A.3).
+
+    {2 Turing machines} (the substrate of Section 3)
+    - {!Machine}, {!Tape}, {!Run}, {!Encode}, {!Trace}, {!Builder}
+      (Lemma A.2), {!Classify}, {!Zoo}.
+
+    {2 Evaluation}
+    - {!Translate}, {!Enumerate} — the Section 1.1 enumerate-and-decide
+      algorithm; {!Algebra_translate} — compilation to algebra for the
+      safe-range fragment.
+
+    {2 Safety}
+    - {!Safe_range}, {!Finitization} (Theorem 2.2), {!Ext_active}
+      (Theorems 2.6/2.7), {!Relative_safety} (Theorem 2.5 / 3.3),
+      {!Syntax_class}, {!Formula_enum}, {!Diagonal} (Theorem 3.1),
+      {!Halting_reduction} (Theorem 3.3).
+
+    {2 Constraint databases} (Section 1.2)
+    - {!Rat}, {!Crel}. *)
+
+(* numerics *)
+module Bigint = Fq_numeric.Bigint
+
+(* logic *)
+module Term = Fq_logic.Term
+module Formula = Fq_logic.Formula
+module Parser = Fq_logic.Parser
+module Lexer = Fq_logic.Lexer
+module Transform = Fq_logic.Transform
+module Signature = Fq_logic.Signature
+
+(* words and Turing machines *)
+module Word = Fq_words.Word
+module Machine = Fq_tm.Machine
+module Tape = Fq_tm.Tape
+module Run = Fq_tm.Run
+module Encode = Fq_tm.Encode
+module Trace = Fq_tm.Trace
+module Builder = Fq_tm.Builder
+module Classify = Fq_tm.Classify
+module Combine = Fq_tm.Combine
+module Explain = Fq_tm.Explain
+module Zoo = Fq_tm.Zoo
+
+(* databases *)
+module Value = Fq_db.Value
+module Schema = Fq_db.Schema
+module Relation = Fq_db.Relation
+module State = Fq_db.State
+module Relalg = Fq_db.Relalg
+module Codec = Fq_db.Codec
+
+(* domains *)
+module Domain = Fq_domain.Domain
+module Eq_domain = Fq_domain.Eq_domain
+module Nat_order = Fq_domain.Nat_order
+module Nat_succ = Fq_domain.Nat_succ
+module Presburger = Fq_domain.Presburger
+module Arithmetic = Fq_domain.Arithmetic
+module Cooper = Fq_domain.Cooper
+module Linear_term = Fq_domain.Linear_term
+module Extension = Fq_domain.Extension
+module Traces = Fq_domain.Traces
+module Reach = Fq_domain.Reach
+module Reach_qe = Fq_domain.Reach_qe
+
+(* evaluation *)
+module Translate = Fq_eval.Translate
+module Enumerate = Fq_eval.Enumerate
+
+(* safety *)
+module Safe_range = Fq_safety.Safe_range
+module Algebra_translate = Fq_safety.Algebra_translate
+module Ranf = Fq_safety.Ranf
+module Finitization = Fq_safety.Finitization
+module Ext_active = Fq_safety.Ext_active
+module Relative_safety = Fq_safety.Relative_safety
+module Formula_enum = Fq_safety.Formula_enum
+module Syntax_class = Fq_safety.Syntax_class
+module Diagonal = Fq_safety.Diagonal
+module Halting_reduction = Fq_safety.Halting_reduction
+module Report = Fq_safety.Report
+
+(* constraint databases *)
+module Rat = Fq_constraintdb.Rat
+module Crel = Fq_constraintdb.Crel
+module Ceval = Fq_constraintdb.Ceval

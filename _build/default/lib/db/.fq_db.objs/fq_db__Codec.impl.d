@@ -1,0 +1,1 @@
+lib/db/codec.ml: Fq_numeric List Printf Relation Result Schema State String Value

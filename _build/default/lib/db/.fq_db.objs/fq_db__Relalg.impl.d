@@ -1,0 +1,1 @@
+lib/db/relalg.ml: Format List Printf Relation Result Schema State Value

@@ -1,0 +1,1 @@
+lib/db/relalg.mli: Format Relation Schema State Value

@@ -1,0 +1,1 @@
+lib/db/relation.ml: Format List Printf Set Value

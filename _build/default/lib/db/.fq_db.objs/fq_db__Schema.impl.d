@@ -1,0 +1,1 @@
+lib/db/schema.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/db/state.ml: Format List Printf Relation Schema String Value

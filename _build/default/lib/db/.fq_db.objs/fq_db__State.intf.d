@@ -1,0 +1,1 @@
+lib/db/state.mli: Format Relation Schema Value

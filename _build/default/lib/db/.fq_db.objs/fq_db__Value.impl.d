@@ -1,0 +1,1 @@
+lib/db/value.ml: Format Fq_numeric Hashtbl String

@@ -1,0 +1,77 @@
+let value_of_string s =
+  if s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s then
+    Value.big (Fq_numeric.Bigint.of_string s)
+  else Value.str s
+
+let ( let* ) = Result.bind
+
+let split_once ~on s =
+  match String.index_opt s on with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_relation spec =
+  match split_once ~on:'=' spec with
+  | None -> Error (Printf.sprintf "bad relation spec %S (want NAME/ARITY=...)" spec)
+  | Some (head, body) -> (
+    match split_once ~on:'/' head with
+    | None -> Error (Printf.sprintf "bad relation head %S (want NAME/ARITY)" head)
+    | Some (name, arity_s) -> (
+      match int_of_string_opt arity_s with
+      | None -> Error (Printf.sprintf "bad arity %S" arity_s)
+      | Some arity -> (
+        let rows =
+          if body = "" then []
+          else
+            String.split_on_char ';' body
+            |> List.map (fun row -> List.map value_of_string (String.split_on_char ',' row))
+        in
+        match Relation.make ~arity rows with
+        | rel -> Ok (name, arity, rel)
+        | exception Invalid_argument msg -> Error msg)))
+
+let parse_constant spec =
+  match split_once ~on:'=' spec with
+  | None -> Error (Printf.sprintf "bad constant spec %S (want NAME=VALUE)" spec)
+  | Some (name, v) -> Ok (name, value_of_string v)
+
+let parse_state ~relations ~constants =
+  let rec collect f acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest ->
+      let* parsed = f spec in
+      collect f (parsed :: acc) rest
+  in
+  let* rels = collect parse_relation [] relations in
+  let* consts = collect parse_constant [] constants in
+  match
+    let schema =
+      Schema.make ~constants:(List.map fst consts) (List.map (fun (n, a, _) -> (n, a)) rels)
+    in
+    State.make ~schema ~constants:consts (List.map (fun (n, _, r) -> (n, r)) rels)
+  with
+  | state -> Ok state
+  | exception Invalid_argument msg -> Error msg
+
+let value_to_string = function
+  | Value.Int n -> Fq_numeric.Bigint.to_string n
+  | Value.Str s -> s
+
+let relation_to_string name rel =
+  let rows =
+    Relation.tuples rel
+    |> List.map (fun tup -> String.concat "," (List.map value_to_string tup))
+  in
+  Printf.sprintf "%s/%d=%s" name (Relation.arity rel) (String.concat ";" rows)
+
+let state_to_strings state =
+  let schema = State.schema state in
+  let rels =
+    List.map
+      (fun (name, _) -> relation_to_string name (State.relation state name))
+      (Schema.relations schema)
+  in
+  let consts =
+    List.map (fun (c, v) -> Printf.sprintf "%s=%s" c (value_to_string v)) (State.constants state)
+  in
+  (rels, consts)

@@ -1,0 +1,26 @@
+(** A small text format for database states, shared by the CLI and tests.
+
+    Relations: ["NAME/ARITY=v1,v2;v1,v2;..."] — semicolon-separated rows of
+    comma-separated values; an empty body is the empty relation. Constants:
+    ["NAME=VALUE"]. Values consisting solely of decimal digits are numbers;
+    everything else is a string (so trace-alphabet words pass through
+    verbatim). *)
+
+val value_of_string : string -> Value.t
+
+val parse_relation : string -> (string * int * Relation.t, string) result
+(** One ["NAME/ARITY=..."] spec. *)
+
+val parse_constant : string -> (string * Value.t, string) result
+(** One ["NAME=VALUE"] spec. *)
+
+val parse_state :
+  relations:string list -> constants:string list -> (State.t, string) result
+(** Builds the scheme from the specs themselves. *)
+
+val relation_to_string : string -> Relation.t -> string
+(** Inverse of {!parse_relation} for string/int-valued relations. *)
+
+val state_to_strings : State.t -> string list * string list
+(** [(relation specs, constant specs)] — round-trips through
+    {!parse_state}. *)

@@ -1,0 +1,117 @@
+type arg =
+  | Col of int
+  | Const of Value.t
+
+type cond =
+  | Eq of arg * arg
+  | Domain_pred of string * arg list
+  | Not of cond
+  | And_c of cond * cond
+  | Or_c of cond * cond
+
+type t =
+  | Rel of string
+  | Lit of Relation.t
+  | Select of cond * t
+  | Project of int list * t
+  | Product of t * t
+  | Union of t * t
+  | Diff of t * t
+
+let rec cond_max_col = function
+  | Eq (a, b) -> max (arg_max_col a) (arg_max_col b)
+  | Domain_pred (_, args) -> List.fold_left (fun m a -> max m (arg_max_col a)) (-1) args
+  | Not c -> cond_max_col c
+  | And_c (a, b) | Or_c (a, b) -> max (cond_max_col a) (cond_max_col b)
+
+and arg_max_col = function Col i -> i | Const _ -> -1
+
+let arity_check ~schema plan =
+  let ( let* ) = Result.bind in
+  let rec go = function
+    | Rel name -> (
+      match Schema.arity schema name with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "unknown relation %s" name))
+    | Lit r -> Ok (Relation.arity r)
+    | Select (cond, p) ->
+      let* a = go p in
+      if cond_max_col cond >= a then
+        Error (Printf.sprintf "selection touches column %d of arity %d" (cond_max_col cond) a)
+      else Ok a
+    | Project (cols, p) ->
+      let* a = go p in
+      if List.exists (fun c -> c < 0 || c >= a) cols then
+        Error (Printf.sprintf "projection out of range for arity %d" a)
+      else Ok (List.length cols)
+    | Product (p, q) ->
+      let* a = go p in
+      let* b = go q in
+      Ok (a + b)
+    | Union (p, q) | Diff (p, q) ->
+      let* a = go p in
+      let* b = go q in
+      if a <> b then Error (Printf.sprintf "arity mismatch %d vs %d" a b) else Ok a
+  in
+  go plan
+
+let no_domain_pred name _ =
+  invalid_arg (Printf.sprintf "Relalg.eval: no evaluator for domain predicate %s" name)
+
+let eval_arg tup = function
+  | Col i -> List.nth tup i
+  | Const v -> v
+
+let rec eval_cond domain_pred tup = function
+  | Eq (a, b) -> Value.equal (eval_arg tup a) (eval_arg tup b)
+  | Domain_pred (p, args) -> domain_pred p (List.map (eval_arg tup) args)
+  | Not c -> not (eval_cond domain_pred tup c)
+  | And_c (a, b) -> eval_cond domain_pred tup a && eval_cond domain_pred tup b
+  | Or_c (a, b) -> eval_cond domain_pred tup a || eval_cond domain_pred tup b
+
+let eval ~state ?(domain_pred = no_domain_pred) plan =
+  let rec go = function
+    | Rel name -> (
+      try State.relation state name
+      with Not_found -> invalid_arg (Printf.sprintf "Relalg.eval: unknown relation %s" name))
+    | Lit r -> r
+    | Select (cond, p) -> Relation.filter (fun tup -> eval_cond domain_pred tup cond) (go p)
+    | Project (cols, p) -> Relation.map_project cols (go p)
+    | Product (p, q) -> Relation.product (go p) (go q)
+    | Union (p, q) -> Relation.union (go p) (go q)
+    | Diff (p, q) -> Relation.diff (go p) (go q)
+  in
+  go plan
+
+let rec size = function
+  | Rel _ | Lit _ -> 1
+  | Select (_, p) | Project (_, p) -> 1 + size p
+  | Product (p, q) | Union (p, q) | Diff (p, q) -> 1 + size p + size q
+
+let pp_arg fmt = function
+  | Col i -> Format.fprintf fmt "#%d" i
+  | Const v -> Value.pp fmt v
+
+let rec pp_cond fmt = function
+  | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp_arg a pp_arg b
+  | Domain_pred (p, args) ->
+    Format.fprintf fmt "%s(%a)" p
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_arg)
+      args
+  | Not c -> Format.fprintf fmt "~(%a)" pp_cond c
+  | And_c (a, b) -> Format.fprintf fmt "(%a & %a)" pp_cond a pp_cond b
+  | Or_c (a, b) -> Format.fprintf fmt "(%a | %a)" pp_cond a pp_cond b
+
+let rec pp fmt = function
+  | Rel name -> Format.pp_print_string fmt name
+  | Lit r ->
+    if Relation.cardinal r <= 4 then Relation.pp fmt r
+    else Format.fprintf fmt "<lit:%d tuples>" (Relation.cardinal r)
+  | Select (c, p) -> Format.fprintf fmt "select[%a](%a)" pp_cond c pp p
+  | Project (cols, p) ->
+    Format.fprintf fmt "project[%a](%a)"
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") Format.pp_print_int)
+      cols pp p
+  | Product (p, q) -> Format.fprintf fmt "(%a x %a)" pp p pp q
+  | Union (p, q) -> Format.fprintf fmt "(%a U %a)" pp p pp q
+  | Diff (p, q) -> Format.fprintf fmt "(%a - %a)" pp p pp q

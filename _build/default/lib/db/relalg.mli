@@ -1,0 +1,51 @@
+(** Unnamed (positional) relational algebra over {!Relation}.
+
+    Columns are addressed by 0-based position. This is the compilation
+    target of the safe-range relational calculus (see
+    {!Fq_safety.Algebra_translate}); an algebra plan evaluates in time
+    polynomial in the database, in contrast to the generic enumeration
+    evaluator of Section 1.1.
+
+    Selections may invoke {e domain} predicates (such as [<] over the
+    naturals) through the [domain_pred] callback of {!eval}; the algebra
+    itself stays independent of any particular domain. *)
+
+type arg =
+  | Col of int
+  | Const of Value.t
+
+type cond =
+  | Eq of arg * arg
+  | Domain_pred of string * arg list  (** e.g. [Domain_pred ("<", [Col 0; Const 3])] *)
+  | Not of cond
+  | And_c of cond * cond
+  | Or_c of cond * cond
+
+type t =
+  | Rel of string  (** a scheme relation *)
+  | Lit of Relation.t  (** a literal (e.g. the active domain as a unary relation) *)
+  | Select of cond * t
+  | Project of int list * t  (** keep the listed columns, in order *)
+  | Product of t * t
+  | Union of t * t
+  | Diff of t * t
+
+val arity_check : schema:Schema.t -> t -> (int, string) result
+(** Static arity of the plan, or an error describing the first
+    ill-formed node (unknown relation, column out of range, arity
+    mismatch in [Union]/[Diff]). *)
+
+val eval :
+  state:State.t ->
+  ?domain_pred:(string -> Value.t list -> bool) ->
+  t ->
+  Relation.t
+(** Evaluates a plan bottom-up. [domain_pred] decides domain predicate
+    atoms in selections (defaults to rejecting every such atom with
+    [Invalid_argument]).
+    @raise Invalid_argument on an ill-formed plan (see {!arity_check}). *)
+
+val size : t -> int
+(** Number of operator nodes, for benchmarks and tests. *)
+
+val pp : Format.formatter -> t -> unit

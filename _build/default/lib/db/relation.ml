@@ -1,0 +1,94 @@
+type tuple = Value.t list
+
+module Tset = Set.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+type t = { arity : int; set : Tset.t }
+
+let check_arity arity tup =
+  if List.length tup <> arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple of length %d in relation of arity %d"
+         (List.length tup) arity)
+
+let make ~arity tuples =
+  List.iter (check_arity arity) tuples;
+  { arity; set = Tset.of_list tuples }
+
+let empty ~arity = { arity; set = Tset.empty }
+let arity r = r.arity
+let tuples r = Tset.elements r.set
+let cardinal r = Tset.cardinal r.set
+let is_empty r = Tset.is_empty r.set
+let mem tup r = Tset.mem tup r.set
+
+let add tup r =
+  check_arity r.arity tup;
+  { r with set = Tset.add tup r.set }
+
+let equal a b = a.arity = b.arity && Tset.equal a.set b.set
+
+let same_arity op a b =
+  if a.arity <> b.arity then
+    invalid_arg (Printf.sprintf "Relation.%s: arities %d and %d differ" op a.arity b.arity)
+
+let union a b =
+  same_arity "union" a b;
+  { a with set = Tset.union a.set b.set }
+
+let diff a b =
+  same_arity "diff" a b;
+  { a with set = Tset.diff a.set b.set }
+
+let inter a b =
+  same_arity "inter" a b;
+  { a with set = Tset.inter a.set b.set }
+
+let product a b =
+  let set =
+    Tset.fold
+      (fun ta acc -> Tset.fold (fun tb acc -> Tset.add (ta @ tb) acc) b.set acc)
+      a.set Tset.empty
+  in
+  { arity = a.arity + b.arity; set }
+
+let filter p r = { r with set = Tset.filter p r.set }
+
+let map_project cols r =
+  List.iter
+    (fun c ->
+      if c < 0 || c >= r.arity then
+        invalid_arg (Printf.sprintf "Relation.map_project: column %d of arity %d" c r.arity))
+    cols;
+  let set =
+    Tset.fold
+      (fun tup acc -> Tset.add (List.map (fun c -> List.nth tup c) cols) acc)
+      r.set Tset.empty
+  in
+  { arity = List.length cols; set }
+
+let fold f r acc = Tset.fold f r.set acc
+let iter f r = Tset.iter f r.set
+let exists p r = Tset.exists p r.set
+let for_all p r = Tset.for_all p r.set
+
+let values r =
+  Tset.fold (fun tup acc -> List.fold_left (fun acc v -> v :: acc) acc tup) r.set []
+  |> List.sort_uniq Value.compare
+
+let of_values vs = make ~arity:1 (List.map (fun v -> [ v ]) vs)
+
+let pp fmt r =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun tup ->
+      if !first then first := false else Format.fprintf fmt ", ";
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") Value.pp)
+        tup)
+    r;
+  Format.fprintf fmt "}"

@@ -1,0 +1,52 @@
+(** Finite relations: sets of same-arity tuples of {!Value.t}.
+
+    Relations are persistent and kept in a canonical sorted order, so
+    equality is structural and printing is deterministic. The arity is
+    carried explicitly; the nullary relations [{()}] and [{}] (the two
+    0-ary relations, "true" and "false") are representable, as relational
+    algebra requires. *)
+
+type tuple = Value.t list
+
+type t
+
+val make : arity:int -> tuple list -> t
+(** @raise Invalid_argument when a tuple's length differs from [arity]. *)
+
+val empty : arity:int -> t
+val arity : t -> int
+val tuples : t -> tuple list
+(** In canonical (sorted) order. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : tuple -> t -> bool
+val add : tuple -> t -> t
+val equal : t -> t -> bool
+
+val union : t -> t -> t
+(** @raise Invalid_argument on arity mismatch (also [diff], [inter]). *)
+
+val diff : t -> t -> t
+val inter : t -> t -> t
+
+val product : t -> t -> t
+(** Cartesian product; arities add. *)
+
+val filter : (tuple -> bool) -> t -> t
+val map_project : int list -> t -> t
+(** [map_project [i1; ...; ik] r] keeps columns [i1..ik] (0-based), in the
+    given order, deduplicating the result. Column indices may repeat.
+    @raise Invalid_argument on an out-of-range column. *)
+
+val fold : (tuple -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (tuple -> unit) -> t -> unit
+val exists : (tuple -> bool) -> t -> bool
+val for_all : (tuple -> bool) -> t -> bool
+val values : t -> Value.t list
+(** All values occurring in any tuple, deduplicated and sorted. *)
+
+val of_values : Value.t list -> t
+(** Unary relation from a value list. *)
+
+val pp : Format.formatter -> t -> unit

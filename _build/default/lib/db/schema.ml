@@ -1,0 +1,29 @@
+type t = {
+  relations : (string * int) list;
+  constants : string list;
+}
+
+let make ?(constants = []) relations =
+  let names = List.map fst relations @ constants in
+  if List.length names <> List.length (List.sort_uniq compare names) then
+    invalid_arg "Schema.make: duplicate names";
+  List.iter
+    (fun (r, a) -> if a < 0 then invalid_arg (Printf.sprintf "Schema.make: %s has negative arity" r))
+    relations;
+  { relations; constants }
+
+let empty = { relations = []; constants = [] }
+
+let relations s = s.relations
+let constants s = s.constants
+let arity s r = List.assoc_opt r s.relations
+let mem_relation s r = List.mem_assoc r s.relations
+
+let strip_at c = if String.length c > 0 && c.[0] = '@' then String.sub c 1 (String.length c - 1) else c
+let mem_constant s c = List.mem (strip_at c) s.constants
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (r, a) -> Format.fprintf fmt "%s/%d@," r a) s.relations;
+  List.iter (fun c -> Format.fprintf fmt "@%s@," c) s.constants;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,22 @@
+(** Database schemes (Codd): fixed relation names with arities, plus the
+    scheme's constant symbols (the paper's Theorem 3.1 uses a scheme with a
+    single constant symbol [c], written [@c] in our concrete syntax). *)
+
+type t
+
+val make : ?constants:string list -> (string * int) list -> t
+(** [make ~constants relations]. Constant names are given without the [@]
+    prefix. @raise Invalid_argument on duplicate names or negative arity. *)
+
+val empty : t
+
+val relations : t -> (string * int) list
+val constants : t -> string list
+(** Constant names, without the [@] prefix. *)
+
+val arity : t -> string -> int option
+val mem_relation : t -> string -> bool
+val mem_constant : t -> string -> bool
+(** Accepts the name with or without the [@] prefix. *)
+
+val pp : Format.formatter -> t -> unit

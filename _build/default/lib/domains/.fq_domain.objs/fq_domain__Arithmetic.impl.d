@@ -1,0 +1,1 @@
+lib/domains/arithmetic.ml: Fq_db Fq_logic Fq_numeric List Presburger Seq String

@@ -1,0 +1,1 @@
+lib/domains/arithmetic.mli: Domain Fq_logic

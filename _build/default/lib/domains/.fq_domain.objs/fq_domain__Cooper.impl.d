@@ -1,0 +1,1 @@
+lib/domains/cooper.ml: Fq_logic Fq_numeric Linear_term List Printf Result String

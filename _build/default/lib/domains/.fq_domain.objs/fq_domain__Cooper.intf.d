@@ -1,0 +1,1 @@
+lib/domains/cooper.mli: Fq_logic Fq_numeric Linear_term

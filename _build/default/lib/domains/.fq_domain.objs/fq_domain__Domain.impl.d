@@ -1,0 +1,1 @@
+lib/domains/domain.ml: Fq_db Fq_logic List Printf Result Seq String

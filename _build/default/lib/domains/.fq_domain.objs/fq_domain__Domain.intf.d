@@ -1,0 +1,1 @@
+lib/domains/domain.mli: Fq_db Fq_logic Seq

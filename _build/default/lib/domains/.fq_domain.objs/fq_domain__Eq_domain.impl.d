@@ -1,0 +1,1 @@
+lib/domains/eq_domain.ml: Char Fq_db Fq_logic Fq_numeric Fq_words List Printf Result Seq String

@@ -1,0 +1,1 @@
+lib/domains/eq_domain.mli: Domain Fq_logic

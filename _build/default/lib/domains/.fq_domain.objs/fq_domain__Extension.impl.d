@@ -1,0 +1,1 @@
+lib/domains/extension.ml: Domain Fq_db Fq_logic List Nat_order Seq

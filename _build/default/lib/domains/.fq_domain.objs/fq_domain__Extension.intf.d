@@ -1,0 +1,1 @@
+lib/domains/extension.mli: Domain Fq_db

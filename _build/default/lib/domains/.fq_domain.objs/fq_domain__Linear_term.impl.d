@@ -1,0 +1,1 @@
+lib/domains/linear_term.ml: Format Fq_logic Fq_numeric List Map Printf Result String

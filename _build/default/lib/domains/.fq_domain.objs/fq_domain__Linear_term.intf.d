@@ -1,0 +1,1 @@
+lib/domains/linear_term.mli: Format Fq_logic Fq_numeric

@@ -1,0 +1,1 @@
+lib/domains/nat_order.ml: Fq_db Fq_logic Fq_numeric List Printf Result Seq String

@@ -1,0 +1,1 @@
+lib/domains/nat_order.mli: Domain Fq_logic

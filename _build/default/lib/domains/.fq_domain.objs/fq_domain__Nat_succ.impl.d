@@ -1,0 +1,1 @@
+lib/domains/nat_succ.ml: Fq_db Fq_logic Fq_numeric List Printf Result Seq String

@@ -1,0 +1,1 @@
+lib/domains/nat_succ.mli: Domain Fq_logic

@@ -1,0 +1,1 @@
+lib/domains/presburger.ml: Cooper Fq_db Fq_logic Fq_numeric List Printf Result Seq String

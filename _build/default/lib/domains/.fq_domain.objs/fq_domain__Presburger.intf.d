@@ -1,0 +1,1 @@
+lib/domains/presburger.mli: Domain Fq_logic Fq_numeric

@@ -1,0 +1,1 @@
+lib/domains/reach.ml: Format Fq_logic Fq_tm Fq_words List Printf Result String

@@ -1,0 +1,1 @@
+lib/domains/reach.mli: Format Fq_logic Fq_words

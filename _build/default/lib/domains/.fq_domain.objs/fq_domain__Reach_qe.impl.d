@@ -1,0 +1,1 @@
+lib/domains/reach_qe.ml: Fq_tm Fq_words List Printf Reach Result String

@@ -1,0 +1,1 @@
+lib/domains/reach_qe.mli: Fq_logic Reach

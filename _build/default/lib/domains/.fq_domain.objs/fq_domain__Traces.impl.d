@@ -1,0 +1,1 @@
+lib/domains/traces.ml: Fq_db Fq_logic Fq_numeric Fq_tm Fq_words List Printf Reach_qe Seq String

@@ -1,0 +1,1 @@
+lib/domains/traces.mli: Domain

@@ -1,0 +1,55 @@
+module B = Fq_numeric.Bigint
+module Formula = Fq_logic.Formula
+module Signature = Fq_logic.Signature
+module Value = Fq_db.Value
+
+let name = "arithmetic"
+
+let signature =
+  Signature.make ~name
+    ~preds:[ ("<", 2); ("<=", 2); (">", 2); (">=", 2); ("dvd", 2) ]
+    ~funs:[ ("+", 2); ("*", 2); ("s", 1) ]
+    ()
+
+let member = Presburger.member
+let constant = Presburger.constant
+let const_name = Presburger.const_name
+let eval_fun = Presburger.eval_fun
+let eval_pred = Presburger.eval_pred
+let enumerate = Presburger.enumerate
+
+(* A sentence lies in the decidable fragment when every product has a
+   numeral side, i.e. it is really a Presburger sentence. *)
+let decidable_fragment f =
+  let rec linear_term = function
+    | Fq_logic.Term.Var _ | Fq_logic.Term.Const _ -> true
+    | Fq_logic.Term.App ("*", [ a; b ]) ->
+      (is_numeral_term a || is_numeral_term b) && linear_term a && linear_term b
+    | Fq_logic.Term.App (_, args) -> List.for_all linear_term args
+  and is_numeral_term = function
+    | Fq_logic.Term.Const c -> c <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') c
+    | _ -> false
+  in
+  let ok = ref true in
+  let check_terms ts = if not (List.for_all linear_term ts) then ok := false in
+  let rec go = function
+    | Formula.True | Formula.False -> ()
+    | Formula.Atom (_, ts) -> check_terms ts
+    | Formula.Eq (t, u) -> check_terms [ t; u ]
+    | Formula.Not g -> go g
+    | Formula.And (g, h) | Formula.Or (g, h) | Formula.Imp (g, h) | Formula.Iff (g, h) ->
+      go g;
+      go h
+    | Formula.Exists (_, g) | Formula.Forall (_, g) -> go g
+  in
+  go f;
+  !ok
+
+let decide f =
+  if decidable_fragment f then Presburger.decide f
+  else
+    Error
+      "the theory of (N, <, +, *) is undecidable; only its Presburger fragment \
+       is supported"
+
+let seeds _ = Seq.empty

@@ -1,0 +1,13 @@
+(** Full arithmetic [(ℕ, <, +, ×)] — the paper's Corollary 2.3 exhibit: a
+    domain whose theory is {e undecidable} (so {!decide} answers only the
+    fragments our procedures cover and reports failure otherwise), yet
+    which still has a recursive syntax for finite queries, because the
+    finitization operator of Theorem 2.2 applies to every extension of
+    [N_<]. "The existence of a recursive syntax is, somewhat surprisingly,
+    not related to decidability or recursiveness." *)
+
+include Domain.S
+
+val decidable_fragment : Fq_logic.Formula.t -> bool
+(** Whether the sentence happens to avoid nonlinear multiplication, in
+    which case {!decide} can answer via {!Presburger}. *)

@@ -1,0 +1,77 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Transform = Fq_logic.Transform
+module Signature = Fq_logic.Signature
+module Value = Fq_db.Value
+
+let name = "equality"
+let signature = Signature.make ~name ()
+
+(* The universe is the set of printable-ASCII strings — any countably
+   infinite set serves; this one keeps every element nameable by a quoted
+   constant and the enumeration surjective. *)
+let printable c = c >= ' ' && c <= '~'
+let member v =
+  match Value.as_str v with Some s -> String.for_all printable s | None -> false
+
+let constant c = if String.for_all printable c then Some (Value.str c) else None
+let const_name v = match v with Value.Str s -> s | Value.Int n -> Fq_numeric.Bigint.to_string n
+let eval_fun _ _ = None
+let eval_pred _ _ = None
+
+let printable_alphabet = String.init 95 (fun i -> Char.chr (32 + i))
+let enumerate () = Seq.map Value.str (Fq_words.Word.enumerate_over printable_alphabet ())
+
+(* Quantifier elimination for an infinite set with equality: in a
+   conjunction of literals, an equality x = t lets us substitute t for x;
+   otherwise x is constrained only by finitely many disequalities, which an
+   infinite domain always satisfies. *)
+let exists_conj x lits =
+  let is_x = function Term.Var v -> v = x | _ -> false in
+  let rec find_eq seen = function
+    | [] -> None
+    | Formula.Eq (t, u) :: rest when is_x t && not (is_x u) ->
+      Some (u, List.rev_append seen rest)
+    | Formula.Eq (t, u) :: rest when is_x u && not (is_x t) ->
+      Some (t, List.rev_append seen rest)
+    | lit :: rest -> find_eq (lit :: seen) rest
+  in
+  match find_eq [] lits with
+  | Some (t, rest) -> Formula.conj (List.map (Formula.subst [ (x, t) ]) rest)
+  | None ->
+    (* Only disequalities involve x (an equality x = x was simplified away);
+       drop them — satisfiable in an infinite domain — and keep the rest. *)
+    let mentions_x lit = Formula.Sset.mem x (Formula.free_var_set lit) in
+    Formula.conj (List.filter (fun l -> not (mentions_x l)) lits)
+
+let qe f =
+  if Signature.is_pure signature f then Ok (Transform.eliminate_quantifiers ~exists_conj f)
+  else Error "not a pure equality-domain formula"
+
+let decide f =
+  if not (Formula.is_sentence f) then
+    Error
+      (Printf.sprintf "formula has free variables: %s"
+         (String.concat ", " (Formula.free_vars f)))
+  else if not (Signature.is_pure signature f) then
+    Error "not a pure equality-domain formula"
+  else begin
+    let qf = Transform.eliminate_quantifiers ~exists_conj f in
+    (* A closed quantifier-free pure-equality formula only contains ground
+       equalities between constants. *)
+    let rec eval = function
+      | Formula.True -> Ok true
+      | Formula.False -> Ok false
+      | Formula.Eq (Term.Const a, Term.Const b) -> Ok (String.equal a b)
+      | Formula.Not g -> Result.map not (eval g)
+      | Formula.And (g, h) -> Result.bind (eval g) (fun a -> if a then eval h else Ok false)
+      | Formula.Or (g, h) -> Result.bind (eval g) (fun a -> if a then Ok true else eval h)
+      | Formula.Imp (g, h) -> Result.bind (eval g) (fun a -> if a then eval h else Ok true)
+      | Formula.Iff (g, h) ->
+        Result.bind (eval g) (fun a -> Result.map (fun b -> a = b) (eval h))
+      | f -> Error (Printf.sprintf "unexpected residue after QE: %s" (Formula.to_string f))
+    in
+    eval qf
+  end
+
+let seeds _ = Seq.empty

@@ -1,0 +1,15 @@
+(** The simplest infinite domain of Section 2: an infinite set with the
+    equality predicate only. Our universe is the set of all strings over a
+    small alphabet (any countably infinite set would do).
+
+    Over this domain the finite and domain-independent queries coincide,
+    relative safety is decidable, and restricting answers to the active
+    domain is an effective syntax (the paper's opening example of the
+    positive cases). The decision procedure is quantifier elimination for
+    the theory of pure equality over an infinite universe. *)
+
+include Domain.S
+
+val qe : Fq_logic.Formula.t -> (Fq_logic.Formula.t, string) result
+(** Quantifier-free equivalent of a pure-equality formula (possibly with
+    free variables). *)

@@ -1,0 +1,76 @@
+module Formula = Fq_logic.Formula
+module Signature = Fq_logic.Signature
+module Value = Fq_db.Value
+
+module Make (D : Domain.S) = struct
+  let name = D.name ^ "_with_order"
+
+  let order_signature =
+    Signature.make ~name ~preds:[ ("<", 2); ("<=", 2); (">", 2); (">=", 2) ] ()
+
+  let signature = Signature.union (Signature.make ~name ()) (Signature.union D.signature order_signature)
+
+  let member = D.member
+  let constant = D.constant
+  let const_name = D.const_name
+  let enumerate = D.enumerate
+
+  let search_cap = 100_000
+
+  let index v =
+    let rec go i seq =
+      if i >= search_cap then None
+      else
+        match seq () with
+        | Seq.Nil -> None
+        | Seq.Cons (w, rest) -> if Value.equal v w then Some i else go (i + 1) rest
+    in
+    go 0 (D.enumerate ())
+
+  let eval_fun = D.eval_fun
+  let seeds = D.seeds
+
+  let eval_pred p args =
+    match (p, args) with
+    | ("<" | "<=" | ">" | ">="), [ a; b ] -> (
+      match D.eval_pred p args with
+      | Some r -> Some r (* D may already interpret the order *)
+      | None -> (
+        match (index a, index b) with
+        | Some i, Some j ->
+          Some
+            (match p with
+            | "<" -> i < j
+            | "<=" -> i <= j
+            | ">" -> i > j
+            | _ -> i >= j)
+        | _ -> None))
+    | _ -> D.eval_pred p args
+
+  let uses_order f =
+    List.exists (fun (p, _) -> List.mem p [ "<"; "<="; ">"; ">=" ]) (Formula.preds f)
+
+  let uses_d_symbols f =
+    List.exists (fun (p, n) -> Signature.mem_pred D.signature p n) (Formula.preds f)
+    || List.exists (fun (fn, n) -> Signature.mem_fun D.signature fn n) (Formula.funs f)
+
+  let decide f =
+    match (uses_order f, uses_d_symbols f) with
+    | false, _ -> D.decide f
+    | true, false ->
+      (* pure-order sentences hold in (universe, <) iff in (ℕ, <): the
+         structures are isomorphic along the enumeration — provided the
+         constants are not mixed in either (constants name arbitrary
+         elements whose order position matters) *)
+      if Formula.consts f = [] then Nat_order.decide f
+      else
+        Error
+          (name
+         ^ ": order sentences with constants depend on enumeration positions; \
+            not supported")
+    | true, true ->
+      Error
+        (name
+       ^ ": no decision procedure for the combined theory (cf. Corollary 3.2: such \
+          a procedure need not exist)")
+end

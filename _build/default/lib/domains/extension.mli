@@ -1,0 +1,24 @@
+(** The paper's Corollary 2.4 combinator: every (countable) domain [D]
+    extends to a domain [D'] that is an extension of both [D] and [N_<],
+    and therefore has a recursive syntax for finite queries (the
+    finitization of Theorem 2.2).
+
+    The order is transported along [D]'s recursive enumeration: [x < y]
+    iff [x] is enumerated before [y] — an isomorphic copy of [(ℕ, <)] on
+    [D]'s universe, so the extension is recursive whenever [D] is.
+
+    The catch — the paper's Corollary 3.2 — is decidability: sentences
+    mixing the order with [D]'s own predicates need a decision procedure
+    for the {e combined} theory, which need not exist even when [D]'s
+    theory is decidable (it provably does not for the trace domain [T]).
+    {!Make.decide} therefore answers pure-[D] sentences via [D] and
+    pure-order sentences via the [N_<] procedure, and reports failure on
+    mixed ones. *)
+
+module Make (D : Domain.S) : sig
+  include Domain.S
+
+  val index : Fq_db.Value.t -> int option
+  (** Position of a value in [D]'s enumeration (searched with a cap of
+      [100_000]; [None] beyond it). *)
+end

@@ -1,0 +1,77 @@
+module B = Fq_numeric.Bigint
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Signature = Fq_logic.Signature
+module Value = Fq_db.Value
+
+let name = "presburger"
+
+let signature =
+  Signature.make ~name
+    ~preds:[ ("<", 2); ("<=", 2); (">", 2); (">=", 2); ("dvd", 2) ]
+    ~funs:[ ("+", 2); ("s", 1); ("*", 2) ]
+    ()
+
+let member v =
+  match Value.as_int v with Some n -> B.sign n >= 0 | None -> false
+
+let is_nat_numeral s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let constant c = if is_nat_numeral c then Some (Value.big (B.of_string c)) else None
+
+let const_name v =
+  match v with Value.Int n -> B.to_string n | Value.Str s -> s
+
+let eval_fun f args =
+  match (f, List.filter_map Value.as_int args) with
+  | "+", [ a; b ] when List.length args = 2 -> Some (Value.big (B.add a b))
+  | "*", [ a; b ] when List.length args = 2 -> Some (Value.big (B.mul a b))
+  | "s", [ a ] when List.length args = 1 -> Some (Value.big (B.succ a))
+  | _ -> None
+
+let eval_pred p args =
+  match (p, List.filter_map Value.as_int args) with
+  | "<", [ a; b ] when List.length args = 2 -> Some (B.compare a b < 0)
+  | "<=", [ a; b ] when List.length args = 2 -> Some (B.compare a b <= 0)
+  | ">", [ a; b ] when List.length args = 2 -> Some (B.compare a b > 0)
+  | ">=", [ a; b ] when List.length args = 2 -> Some (B.compare a b >= 0)
+  | "dvd", [ a; b ] when List.length args = 2 ->
+    Some (if B.is_zero a then B.is_zero b else B.divisible ~by:a b)
+  | _ -> None
+
+let enumerate () = Seq.map (fun n -> Value.int n) (Seq.ints 0)
+
+let nonneg v = Formula.Atom ("<=", [ Term.Const "0"; Term.Var v ])
+
+let rec relativize = function
+  | Formula.Exists (v, g) -> Formula.Exists (v, Formula.And (nonneg v, relativize g))
+  | Formula.Forall (v, g) -> Formula.Forall (v, Formula.Imp (nonneg v, relativize g))
+  | Formula.Not g -> Formula.Not (relativize g)
+  | Formula.And (g, h) -> Formula.And (relativize g, relativize h)
+  | Formula.Or (g, h) -> Formula.Or (relativize g, relativize h)
+  | Formula.Imp (g, h) -> Formula.Imp (relativize g, relativize h)
+  | Formula.Iff (g, h) -> Formula.Iff (relativize g, relativize h)
+  | (Formula.True | Formula.False | Formula.Atom _ | Formula.Eq _) as f -> f
+
+let check_pure f =
+  if Signature.is_pure signature f then Ok ()
+  else Error "not a pure Presburger formula"
+
+let decide f =
+  if not (Formula.is_sentence f) then
+    Error
+      (Printf.sprintf "formula has free variables: %s"
+         (String.concat ", " (Formula.free_vars f)))
+  else
+    Result.bind (check_pure f) (fun () -> Cooper.decide (relativize f))
+
+let decide_with_free ~env f =
+  Result.bind (check_pure f) (fun () ->
+      List.iter
+        (fun (v, n) ->
+          if B.sign n < 0 then
+            invalid_arg (Printf.sprintf "Presburger.decide_with_free: %s < 0" v))
+        env;
+      Result.bind (Cooper.qe (relativize f)) (fun qf -> Cooper.eval_qf ~env qf))
+
+let seeds _ = Seq.empty

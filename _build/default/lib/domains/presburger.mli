@@ -1,0 +1,20 @@
+(** Presburger arithmetic over the naturals: the domain
+    [(ℕ, <, ≤, +, successor, divisibility, numerals)] — the paper's
+    Section 2 example "natural numbers with <, +, and −" of a domain where
+    the finitization trick yields an effective syntax (Theorem 2.2 applies
+    to any extension of [N_<]).
+
+    Decision is by relativizing quantifiers to [0 ≤ v] and handing the
+    resulting ℤ-sentence to {!Cooper}: [(ℕ, +, <)] is a reduct of the
+    structure Cooper decides, so truth values agree. *)
+
+include Domain.S
+
+val relativize : Fq_logic.Formula.t -> Fq_logic.Formula.t
+(** Restricts every quantifier to the naturals: [∃v φ ↦ ∃v (0 ≤ v ∧ φ)],
+    [∀v φ ↦ ∀v (0 ≤ v → φ)]. *)
+
+val decide_with_free : env:(string * Fq_numeric.Bigint.t) list -> Fq_logic.Formula.t
+  -> (bool, string) result
+(** Truth of a formula under a (natural-valued) assignment to its free
+    variables. *)

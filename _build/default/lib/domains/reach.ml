@@ -1,0 +1,374 @@
+module Word = Fq_words.Word
+module Trace = Fq_tm.Trace
+module Classify = Fq_tm.Classify
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+
+type base =
+  | Var of string
+  | Const of Word.t
+
+type term =
+  | Base of base
+  | W_of of base
+  | M_of of base
+
+type cls = Machines | Inputs | Traces | Others
+
+type atom =
+  | Eq of term * term
+  | Cls of cls * term
+  | B of Word.t * term
+  | D of int * term * term
+  | E of int * term * term
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+let rec conj = function [] -> True | [ f ] -> f | f :: fs -> And (f, conj fs)
+let rec disj = function [] -> False | [ f ] -> f | f :: fs -> Or (f, disj fs)
+
+(* Applying w(·)/m(·) to a non-base term nests applications, which the
+   paper observes always yield ε. *)
+let apply_w = function Base b -> W_of b | W_of _ | M_of _ -> Base (Const "")
+let apply_m = function Base b -> M_of b | W_of _ | M_of _ -> Base (Const "")
+
+let p_formula m w p =
+  conj
+    [ Atom (Cls (Machines, m)); Atom (Cls (Inputs, w)); Atom (Cls (Traces, p));
+      Atom (Eq (apply_m p, m)); Atom (Eq (apply_w p, w)) ]
+
+(* ------------------- translation from the original T ---------------- *)
+
+let of_formula f =
+  let ( let* ) = Result.bind in
+  let term_of = function
+    | Term.Var v -> Ok (Base (Var v))
+    | Term.Const c ->
+      if Term.is_scheme_const c then Error (Printf.sprintf "scheme constant %s" c)
+      else if Word.is_word c then Ok (Base (Const c))
+      else Error (Printf.sprintf "constant %S is not a word over {1,.,*,-}" c)
+    | Term.App (fn, args) ->
+      Error (Printf.sprintf "function %s/%d is not in T's signature" fn (List.length args))
+  in
+  let rec go f =
+    match f with
+    | Formula.True -> Ok True
+    | Formula.False -> Ok False
+    | Formula.Eq (t, u) ->
+      let* t = term_of t in
+      let* u = term_of u in
+      Ok (Atom (Eq (t, u)))
+    | Formula.Atom ("P", [ m; w; p ]) ->
+      let* m = term_of m in
+      let* w = term_of w in
+      let* p = term_of p in
+      Ok (p_formula m w p)
+    | Formula.Atom (p, args) ->
+      Error (Printf.sprintf "predicate %s/%d is not in T's signature" p (List.length args))
+    | Formula.Not g ->
+      let* g = go g in
+      Ok (Not g)
+    | Formula.And (g, h) ->
+      let* g = go g in
+      let* h = go h in
+      Ok (And (g, h))
+    | Formula.Or (g, h) ->
+      let* g = go g in
+      let* h = go h in
+      Ok (Or (g, h))
+    | Formula.Imp (g, h) ->
+      let* g = go g in
+      let* h = go h in
+      Ok (Or (Not g, h))
+    | Formula.Iff (g, h) ->
+      let* g = go g in
+      let* h = go h in
+      Ok (Or (And (g, h), And (Not g, Not h)))
+    | Formula.Exists (v, g) ->
+      let* g = go g in
+      Ok (Exists (v, g))
+    | Formula.Forall (v, g) ->
+      let* g = go g in
+      Ok (Forall (v, g))
+  in
+  go f
+
+(* ------------------------------ structure -------------------------- *)
+
+let term_var = function
+  | Base (Var v) | W_of (Var v) | M_of (Var v) -> Some v
+  | Base (Const _) | W_of (Const _) | M_of (Const _) -> None
+
+let atom_terms = function
+  | Eq (t, u) -> [ t; u ]
+  | Cls (_, t) -> [ t ]
+  | B (_, t) -> [ t ]
+  | D (_, t, u) | E (_, t, u) -> [ t; u ]
+
+let free_vars f =
+  let rec go bound acc = function
+    | True | False -> acc
+    | Atom a ->
+      List.fold_left
+        (fun acc t ->
+          match term_var t with
+          | Some v when not (List.mem v bound) && not (List.mem v acc) -> v :: acc
+          | _ -> acc)
+        acc (atom_terms a)
+    | Not g -> go bound acc g
+    | And (g, h) | Or (g, h) -> go bound (go bound acc g) h
+    | Exists (v, g) | Forall (v, g) -> go (v :: bound) acc g
+  in
+  List.rev (go [] [] f)
+
+let is_sentence f = free_vars f = []
+
+let subst_base x b f =
+  let sub_term t =
+    match t with
+    | Base (Var v) when v = x -> Base b
+    | W_of (Var v) when v = x -> W_of b
+    | M_of (Var v) when v = x -> M_of b
+    | t -> t
+  in
+  let sub_atom = function
+    | Eq (t, u) -> Eq (sub_term t, sub_term u)
+    | Cls (c, t) -> Cls (c, sub_term t)
+    | B (w, t) -> B (w, sub_term t)
+    | D (i, t, u) -> D (i, sub_term t, sub_term u)
+    | E (i, t, u) -> E (i, sub_term t, sub_term u)
+  in
+  let rec go f =
+    match f with
+    | True | False -> f
+    | Atom a -> Atom (sub_atom a)
+    | Not g -> Not (go g)
+    | And (g, h) -> And (go g, go h)
+    | Or (g, h) -> Or (go g, go h)
+    | Exists (v, g) -> if v = x then f else Exists (v, go g)
+    | Forall (v, g) -> if v = x then f else Forall (v, go g)
+  in
+  go f
+
+let rec size = function
+  | True | False -> 1
+  | Atom _ -> 1
+  | Not g -> 1 + size g
+  | And (g, h) | Or (g, h) -> 1 + size g + size h
+  | Exists (_, g) | Forall (_, g) -> 1 + size g
+
+let rec nnf = function
+  | (True | False | Atom _) as f -> f
+  | Not g -> nnf_neg g
+  | And (g, h) -> And (nnf g, nnf h)
+  | Or (g, h) -> Or (nnf g, nnf h)
+  | Exists (v, g) -> Exists (v, nnf g)
+  | Forall (v, g) -> Forall (v, nnf g)
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Atom _ as a -> Not a
+  | Not g -> nnf g
+  | And (g, h) -> Or (nnf_neg g, nnf_neg h)
+  | Or (g, h) -> And (nnf_neg g, nnf_neg h)
+  | Exists (v, g) -> Forall (v, nnf_neg g)
+  | Forall (v, g) -> Exists (v, nnf_neg g)
+
+let rec simplify_bool f =
+  match f with
+  | True | False | Atom _ -> f
+  | Not g -> (
+    match simplify_bool g with
+    | True -> False
+    | False -> True
+    | Not h -> h
+    | g -> Not g)
+  | And (g, h) -> (
+    match (simplify_bool g, simplify_bool h) with
+    | False, _ | _, False -> False
+    | True, h -> h
+    | g, True -> g
+    | g, h -> if g = h then g else And (g, h))
+  | Or (g, h) -> (
+    match (simplify_bool g, simplify_bool h) with
+    | True, _ | _, True -> True
+    | False, h -> h
+    | g, False -> g
+    | g, h -> if g = h then g else Or (g, h))
+  | Exists (v, g) -> (
+    match simplify_bool g with
+    | True -> True
+    | False -> False
+    | g -> if List.mem v (free_vars g) then Exists (v, g) else g)
+  | Forall (v, g) -> (
+    match simplify_bool g with
+    | True -> True
+    | False -> False
+    | g -> if List.mem v (free_vars g) then Forall (v, g) else g)
+
+let rec dnf = function
+  | True -> [ [] ]
+  | False -> []
+  | (Atom _ | Not (Atom _)) as lit -> [ [ lit ] ]
+  | Or (g, h) -> dnf g @ dnf h
+  | And (g, h) ->
+    let dg = dnf g and dh = dnf h in
+    List.concat_map (fun cg -> List.map (fun ch -> cg @ ch) dh) dg
+  | Not _ | Exists _ | Forall _ -> invalid_arg "Reach.dnf: input must be quantifier-free NNF"
+
+(* --------------------------- ground semantics ----------------------- *)
+
+let ( let* ) = Result.bind
+
+let eval_base = function
+  | Const c -> Ok c
+  | Var v -> Error (Printf.sprintf "unbound variable %s" v)
+
+let eval_term = function
+  | Base b -> eval_base b
+  | W_of b -> Result.map Trace.w_fn (eval_base b)
+  | M_of b -> Result.map Trace.m_fn (eval_base b)
+
+let cls_of_word w =
+  match Classify.classify w with
+  | Classify.Machine -> Machines
+  | Classify.Input -> Inputs
+  | Classify.Trace -> Traces
+  | Classify.Other -> Others
+
+(* B_w(x): x is an input word and, padded with blanks, begins with w. *)
+let b_holds w x =
+  Word.is_input x
+  && String.length w >= 0
+  && (let n = String.length w in
+      let padded i = if i < String.length x then x.[i] else '-' in
+      let rec check i = i >= n || (w.[i] = padded i && check (i + 1)) in
+      check 0)
+
+let eval_atom a =
+  match a with
+  | Eq (t, u) ->
+    let* x = eval_term t in
+    let* y = eval_term u in
+    Ok (String.equal x y)
+  | Cls (c, t) ->
+    let* x = eval_term t in
+    Ok (cls_of_word x = c)
+  | B (w, t) ->
+    if not (Word.is_input w) then Error (Printf.sprintf "B-index %S is not an input word" w)
+    else
+      let* x = eval_term t in
+      Ok (b_holds w x)
+  | D (i, t, u) ->
+    if i < 1 then Error "D-index must be positive"
+    else
+      let* m = eval_term t in
+      let* w = eval_term u in
+      Ok (Trace.d_pred ~i m w)
+  | E (i, t, u) ->
+    if i < 1 then Error "E-index must be positive"
+    else
+      let* m = eval_term t in
+      let* w = eval_term u in
+      Ok (Trace.e_pred ~i m w)
+
+let holds ~env f =
+  let rec bind_term t =
+    match t with
+    | Base (Var v) -> Result.map (fun w -> Base (Const w)) (lookup v)
+    | W_of (Var v) -> Result.map (fun w -> W_of (Const w)) (lookup v)
+    | M_of (Var v) -> Result.map (fun w -> M_of (Const w)) (lookup v)
+    | t -> Ok t
+  and lookup v =
+    match List.assoc_opt v env with
+    | Some w -> Ok w
+    | None -> Error (Printf.sprintf "unbound variable %s" v)
+  in
+  let bind_atom = function
+    | Eq (t, u) ->
+      let* t = bind_term t in
+      let* u = bind_term u in
+      Ok (Eq (t, u))
+    | Cls (c, t) ->
+      let* t = bind_term t in
+      Ok (Cls (c, t))
+    | B (w, t) ->
+      let* t = bind_term t in
+      Ok (B (w, t))
+    | D (i, t, u) ->
+      let* t = bind_term t in
+      let* u = bind_term u in
+      Ok (D (i, t, u))
+    | E (i, t, u) ->
+      let* t = bind_term t in
+      let* u = bind_term u in
+      Ok (E (i, t, u))
+  in
+  let rec go = function
+    | True -> Ok true
+    | False -> Ok false
+    | Atom a ->
+      let* a = bind_atom a in
+      eval_atom a
+    | Not g -> Result.map not (go g)
+    | And (g, h) ->
+      let* a = go g in
+      if a then go h else Ok false
+    | Or (g, h) ->
+      let* a = go g in
+      if a then Ok true else go h
+    | Exists _ | Forall _ -> Error "holds: quantifier (use the decision procedure)"
+  in
+  go f
+
+let eval_ground f = holds ~env:[] f
+
+(* ------------------------------ printing --------------------------- *)
+
+let pp_base fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Const c -> Format.fprintf fmt "%S" c
+
+let pp_term fmt = function
+  | Base b -> pp_base fmt b
+  | W_of b -> Format.fprintf fmt "w(%a)" pp_base b
+  | M_of b -> Format.fprintf fmt "m(%a)" pp_base b
+
+let cls_name = function
+  | Machines -> "M"
+  | Inputs -> "W"
+  | Traces -> "T"
+  | Others -> "O"
+
+let pp_atom fmt = function
+  | Eq (t, u) -> Format.fprintf fmt "%a = %a" pp_term t pp_term u
+  | Cls (c, t) -> Format.fprintf fmt "%s(%a)" (cls_name c) pp_term t
+  | B (w, t) -> Format.fprintf fmt "B[%S](%a)" w pp_term t
+  | D (i, t, u) -> Format.fprintf fmt "D%d(%a, %a)" i pp_term t pp_term u
+  | E (i, t, u) -> Format.fprintf fmt "E%d(%a, %a)" i pp_term t pp_term u
+
+let pp fmt f =
+  let rec go prec fmt f =
+    let paren p body = if p < prec then Format.fprintf fmt "(%t)" body else body fmt in
+    match f with
+    | True -> Format.pp_print_string fmt "true"
+    | False -> Format.pp_print_string fmt "false"
+    | Atom a -> pp_atom fmt a
+    | Not g -> paren 4 (fun fmt -> Format.fprintf fmt "~%a" (go 4) g)
+    | And (g, h) -> paren 3 (fun fmt -> Format.fprintf fmt "%a /\\ %a" (go 3) g (go 4) h)
+    | Or (g, h) -> paren 2 (fun fmt -> Format.fprintf fmt "%a \\/ %a" (go 2) g (go 3) h)
+    | Exists (v, g) -> paren 1 (fun fmt -> Format.fprintf fmt "exists %s. %a" v (go 1) g)
+    | Forall (v, g) -> paren 1 (fun fmt -> Format.fprintf fmt "forall %s. %a" v (go 1) g)
+  in
+  go 0 fmt f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,109 @@
+(** The {e Reach Theory of Traces} — the enriched signature of the paper's
+    Appendix, in which the theory of the trace domain [T] admits
+    quantifier elimination (Theorem A.3).
+
+    On top of the original signature [{P, =, word constants}] the Appendix
+    adds, all first-order definable from [P]:
+
+    - four unary class predicates [M], [W], [T], [O] partitioning the
+      universe into machines, input words, traces and other words;
+    - prefix predicates [B_w(x)]: the input word [x], padded with blanks,
+      begins with [w] (each input word satisfies exactly one [B_w] per
+      length — the form used by the elimination's constant-expansion);
+    - counting predicates [D_i(M, w)] ("at least [i] distinct traces of
+      [M] in [w]") and their duals [E_i] ("exactly [i]");
+    - unary functions [w(x)] and [m(x)] extracting a trace's input word
+      and machine (the empty word on non-traces).
+
+    Terms are flat — the paper notes "any nested term always equals ε" —
+    so a term is a variable or constant, optionally under one application
+    of [w(·)] or [m(·)]. *)
+
+type base =
+  | Var of string
+  | Const of Fq_words.Word.t
+
+type term =
+  | Base of base
+  | W_of of base  (** [w(x)] *)
+  | M_of of base  (** [m(x)] *)
+
+type cls = Machines | Inputs | Traces | Others
+
+type atom =
+  | Eq of term * term
+  | Cls of cls * term
+  | B of Fq_words.Word.t * term  (** [B_w(t)] — [w] over [{1,-}] *)
+  | D of int * term * term  (** [D_i(machine, input)], [i >= 1] *)
+  | E of int * term * term
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+(** {1 Construction} *)
+
+val conj : t list -> t
+val disj : t list -> t
+
+val apply_w : term -> term
+(** [w(·)] applied to a term; nested applications collapse to [ε]. *)
+
+val apply_m : term -> term
+
+val p_formula : term -> term -> term -> t
+(** The defining expansion of the original predicate:
+    [P(m, w, p) ≡ M(m) ∧ W(w) ∧ T(p) ∧ m(p) = m ∧ w(p) = w]. *)
+
+val of_formula : Fq_logic.Formula.t -> (t, string) result
+(** Translates a query over the {e original} signature of [T] — predicate
+    [P/3], equality, word constants — into the Reach theory. Database
+    predicates and scheme constants are rejected. *)
+
+(** {1 Structure} *)
+
+val free_vars : t -> string list
+val is_sentence : t -> bool
+val term_var : term -> string option
+val subst_base : string -> base -> t -> t
+(** Substitutes a base term for a variable. Since terms are flat, this is
+    only sound when every occurrence of the variable under [w(·)]/[m(·)]
+    has been normalized first; occurrences [W_of (Var x)] become
+    [W_of b] (and similarly [M_of]), which requires [b] to be a base. *)
+
+val size : t -> int
+val nnf : t -> t
+val simplify_bool : t -> t
+val dnf : t -> t list list
+(** On quantifier-free NNF input, as in {!Fq_logic.Transform.dnf}. *)
+
+(** {1 Ground semantics} *)
+
+val cls_of_word : Fq_words.Word.t -> cls
+
+val b_holds : Fq_words.Word.t -> Fq_words.Word.t -> bool
+(** [b_holds w x]: the semantics of [B_w(x)] — [x] is an input word whose
+    blank-padding begins with [w]. *)
+
+val eval_atom : atom -> (bool, string) result
+(** Ground atoms only. *)
+
+val eval_term : term -> (Fq_words.Word.t, string) result
+(** Ground terms only. *)
+
+val eval_ground : t -> (bool, string) result
+(** Evaluates a sentence with no quantifiers and no variables, by running
+    the word classifiers and bounded Turing-machine simulation of
+    {!Fq_tm}. *)
+
+val holds : env:(string * Fq_words.Word.t) list -> t -> (bool, string) result
+(** Quantifier-free formulas under an assignment. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,43 @@
+module Word = Fq_words.Word
+module Value = Fq_db.Value
+module Signature = Fq_logic.Signature
+
+let name = "traces"
+
+let signature = Signature.make ~name ~preds:[ ("P", 3) ] ()
+
+let member v =
+  match Value.as_str v with Some w -> Word.is_word w | None -> false
+
+let constant c = if Word.is_word c then Some (Value.str c) else None
+
+let const_name v =
+  match v with Value.Str s -> s | Value.Int n -> Fq_numeric.Bigint.to_string n
+
+let eval_fun _ _ = None
+
+let eval_pred p args =
+  match (p, args) with
+  | "P", [ Value.Str m; Value.Str w; Value.Str t ] -> Some (Fq_tm.Trace.p_pred m w t)
+  | _ -> None
+
+let enumerate () = Seq.map Value.str (Word.enumerate ())
+
+(* Candidate answers for P-queries: trace words of every machine in the
+   active domain on every input in it (and on the short inputs), which the
+   plain word enumeration would reach only astronomically late. *)
+let seeds adom =
+  let words = List.filter_map Value.as_str adom in
+  let machines = List.filter Word.is_machine_shaped words in
+  let inputs = List.filter Word.is_input words in
+  let traces_of m w = Seq.take 64 (Fq_tm.Trace.traces ~machine:m ~input:w) in
+  List.to_seq machines
+  |> Seq.concat_map (fun m -> Seq.concat_map (traces_of m) (List.to_seq inputs))
+  |> Seq.map Value.str
+
+let decide f =
+  if not (Fq_logic.Formula.is_sentence f) then
+    Error
+      (Printf.sprintf "formula has free variables: %s"
+         (String.concat ", " (Fq_logic.Formula.free_vars f)))
+  else Reach_qe.decide_formula f

@@ -1,0 +1,16 @@
+(** The paper's domain [T] (Section 3): all words over the four-letter
+    alphabet [{1, ⋆, *, −}], with the single ternary predicate [P(M, w, p)]
+    — "[p] is a trace of the Turing machine [M] on input [w]" — plus
+    equality and a constant for every word.
+
+    [T] is recursive (Fact A.1: {!eval_pred} computes [P] by simulation)
+    and its first-order theory is decidable (Corollary A.4: {!decide} runs
+    the Reach-theory quantifier elimination of {!Reach_qe}), so finite
+    queries over [T] are effectively answerable — and yet Theorems 3.1
+    and 3.3 show they have no effective syntax and no decidable relative
+    safety (see {!Fq_safety.Diagonal} and {!Fq_safety.Halting_reduction}).
+
+    Word constants are written as double-quoted strings in the concrete
+    syntax: [P("1*1", "11", p)]. *)
+
+include Domain.S

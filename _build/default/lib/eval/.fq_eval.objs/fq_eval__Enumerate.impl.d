@@ -1,0 +1,1 @@
+lib/eval/enumerate.ml: Array Fq_db Fq_domain Fq_logic Fun List Result Seq Translate

@@ -1,0 +1,1 @@
+lib/eval/translate.ml: Fq_db Fq_domain Fq_logic List Printf

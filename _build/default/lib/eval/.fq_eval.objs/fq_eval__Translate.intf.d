@@ -1,0 +1,1 @@
+lib/eval/translate.mli: Fq_db Fq_domain Fq_logic

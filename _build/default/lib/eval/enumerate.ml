@@ -1,0 +1,127 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Value = Fq_db.Value
+module Relation = Fq_db.Relation
+
+type outcome =
+  | Finite of Relation.t
+  | Out_of_fuel of Relation.t
+
+let ( let* ) = Result.bind
+
+(* Fair k-tuple enumeration: stage n yields the tuples over the first n+1
+   elements whose maximal index is exactly n. *)
+let tuples ~arity enum =
+  if arity = 0 then Seq.return []
+  else begin
+    let prefix = ref [||] in
+    let seq = ref (enum ()) in
+    let element i =
+      (* grow the materialized prefix up to index i *)
+      while Array.length !prefix <= i do
+        match !seq () with
+        | Seq.Nil -> invalid_arg "Enumerate.tuples: enumeration ran dry"
+        | Seq.Cons (v, rest) ->
+          prefix := Array.append !prefix [| v |];
+          seq := rest
+      done;
+      !prefix.(i)
+    in
+    (* index tuples over [0..n] with at least one coordinate = n *)
+    let rec index_tuples k n =
+      if k = 0 then Seq.return ([], false)
+      else
+        Seq.concat_map
+          (fun i ->
+            Seq.map
+              (fun (rest, saw_n) -> (i :: rest, saw_n || i = n))
+              (index_tuples (k - 1) n))
+          (Seq.init (n + 1) Fun.id)
+    in
+    let stage n =
+      index_tuples arity n
+      |> Seq.filter_map (fun (idx, saw_n) ->
+             if saw_n then Some (List.map element idx) else None)
+    in
+    Seq.concat_map stage (Seq.ints 0)
+  end
+
+let substitute domain vars tuple f =
+  let (module D : Fq_domain.Domain.S) = domain in
+  Formula.subst (List.map2 (fun v value -> (v, Term.Const (D.const_name value))) vars tuple) f
+
+let not_in_relation domain vars rel =
+  (* ⋀_{ā ∈ rel} ⋁_i xᵢ ≠ aᵢ *)
+  let (module D : Fq_domain.Domain.S) = domain in
+  Formula.conj
+    (List.map
+       (fun tup ->
+         Formula.disj
+           (List.map2 (fun v value -> Formula.neq (Term.Var v) (Term.Const (D.const_name value))) vars tup))
+       (Relation.tuples rel))
+
+let decide domain f =
+  let (module D : Fq_domain.Domain.S) = domain in
+  D.decide f
+
+let certified_complete ~domain ~state f rel =
+  let* f' = Translate.formula ~domain ~state f in
+  let vars = Formula.free_vars f in
+  if vars = [] then Ok true
+  else
+    let more = Formula.exists_many vars (Formula.And (f', not_in_relation domain vars rel)) in
+    Result.map not (decide domain more)
+
+let run ?(fuel = 10_000) ?(max_certified = 12) ~domain ~state f =
+  let* f' = Translate.formula ~domain ~state f in
+  let vars = Formula.free_vars f in
+  if vars = [] then
+    let* holds = decide domain f' in
+    Ok (Finite (Relation.make ~arity:0 (if holds then [ [] ] else [])))
+  else begin
+    let arity = List.length vars in
+    let* nonempty = decide domain (Formula.exists_many vars f') in
+    if not nonempty then Ok (Finite (Relation.empty ~arity))
+    else begin
+      let (module D : Fq_domain.Domain.S) = domain in
+      (* Any enumeration order is sound; visiting the active domain first
+         finds the answers of domain-independent queries without scanning
+         far into the domain. *)
+      let adom_all = Translate.active_domain ~domain ~state f in
+      let adom = List.filter D.member adom_all in
+      let enum_with_adom () =
+        Seq.append (List.to_seq adom) (Seq.append (D.seeds adom_all) (D.enumerate ()))
+      in
+      let candidates = tuples ~arity enum_with_adom in
+      let exception Stop of (outcome, string) result in
+      let found = ref (Relation.empty ~arity) in
+      let remaining = ref fuel in
+      let visit tuple =
+        if !remaining <= 0 then raise (Stop (Ok (Out_of_fuel !found)));
+        decr remaining;
+        match decide domain (substitute domain vars tuple f') with
+        | Error e -> raise (Stop (Error e))
+        | Ok false -> ()
+        | Ok true -> (
+          if Relation.mem tuple !found then () (* adom values repeat in the enumeration *)
+          else begin
+            found := Relation.add tuple !found;
+            (* The completeness sentence grows with every found tuple and
+               can overwhelm the decision procedure; past the certification
+               cap we stop claiming completeness. *)
+            if Relation.cardinal !found > max_certified then
+              raise (Stop (Ok (Out_of_fuel !found)));
+            let more =
+              Formula.exists_many vars (Formula.And (f', not_in_relation domain vars !found))
+            in
+            match decide domain more with
+            | Error e -> raise (Stop (Error e))
+            | Ok false -> raise (Stop (Ok (Finite !found)))
+            | Ok true -> ()
+          end)
+      in
+      match Seq.iter visit candidates with
+      | () -> Ok (Out_of_fuel !found) (* enumeration ran dry — cannot happen on infinite domains *)
+      | exception Stop r -> r
+    end
+  end

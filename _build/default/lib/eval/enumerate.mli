@@ -1,0 +1,53 @@
+(** The Section 1.1 query-answering algorithm — the paper's proof that,
+    over a countable domain with constants for all elements and a
+    decidable theory, {e finite answers are computable}:
+
+    translate the query into a pure domain formula [F'] ({!Translate}),
+    ask the decision procedure whether [∃x̄ F'] holds, and if so scan the
+    domain's tuple enumeration, testing each candidate; after every hit,
+    ask whether [∃x̄ (F' ∧ ⋀_{found ā} x̄ ≠ ā)] still holds and stop when it
+    does not. The scan terminates exactly on queries with finite answers
+    in the given state ("note that, at least for safe queries, this
+    algorithm always stops"); a fuel bound turns divergence on infinite
+    answers into an [Out_of_fuel] verdict. *)
+
+type outcome =
+  | Finite of Fq_db.Relation.t
+      (** The complete (finite) answer, certified by the decision
+          procedure. *)
+  | Out_of_fuel of Fq_db.Relation.t
+      (** Candidates exhausted the fuel; the partial answer so far. The
+          query may have an infinite answer in this state — deciding which
+          is the (possibly undecidable, Theorem 3.3) relative safety
+          problem. *)
+
+val tuples : arity:int -> (unit -> Fq_db.Value.t Seq.t) -> Fq_db.Value.t list Seq.t
+(** Fair enumeration of all [arity]-tuples of an enumerable set (by
+    maximal index, so every tuple appears at a finite position). Arity 0
+    yields the single empty tuple. *)
+
+val run :
+  ?fuel:int ->
+  ?max_certified:int ->
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  (outcome, string) result
+(** Evaluates the query's free variables in their order of occurrence.
+    [fuel] bounds the number of enumerated candidate tuples (default
+    [10_000]); [max_certified] bounds the answer size the completeness
+    sentence is asked about (default [12]) — the sentence grows with every
+    found tuple, and past the cap the verdict degrades to [Out_of_fuel].
+    Candidates are scanned active-domain-first, then along the domain
+    enumeration. Errors propagate from translation or the decision
+    procedure. For a {e sentence}, the answer is the 0-ary relation:
+    nonempty iff the sentence holds. *)
+
+val certified_complete :
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  Fq_db.Relation.t ->
+  (bool, string) result
+(** The completeness check on its own: does the decision procedure confirm
+    that no tuple outside the given relation satisfies the query? *)

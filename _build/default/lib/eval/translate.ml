@@ -1,0 +1,66 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Value = Fq_db.Value
+module State = Fq_db.State
+module Schema = Fq_db.Schema
+module Relation = Fq_db.Relation
+
+exception Translate_error of string
+
+let formula ~domain ~state f =
+  let (module D : Fq_domain.Domain.S) = domain in
+  let schema = State.schema state in
+  let const_of_value v = Term.Const (D.const_name v) in
+  let replace_scheme_consts t =
+    (* leaves of terms: scheme constants become domain constants *)
+    let rec go t =
+      match t with
+      | Term.Const c when Term.is_scheme_const c -> (
+        match State.constant state c with
+        | v -> const_of_value v
+        | exception Not_found ->
+          raise (Translate_error (Printf.sprintf "scheme constant %s is uninterpreted" c)))
+      | Term.Const _ | Term.Var _ -> t
+      | Term.App (fn, args) -> Term.App (fn, List.map go args)
+    in
+    go t
+  in
+  let expand_atom f =
+    match f with
+    | Formula.Atom (r, args) when Schema.mem_relation schema r ->
+      let rel = State.relation state r in
+      let args = List.map replace_scheme_consts args in
+      if List.length args <> Relation.arity rel then
+        raise
+          (Translate_error
+             (Printf.sprintf "relation %s used with arity %d, scheme says %d" r
+                (List.length args) (Relation.arity rel)))
+      else
+        (* R(t̄) ⟺ ⋁_{ā ∈ R} ⋀ tᵢ = aᵢ *)
+        Formula.disj
+          (List.map
+             (fun tup ->
+               Formula.conj (List.map2 (fun t v -> Formula.Eq (t, const_of_value v)) args tup))
+             (Relation.tuples rel))
+    | Formula.Atom (p, args) -> Formula.Atom (p, List.map replace_scheme_consts args)
+    | Formula.Eq (t, u) -> Formula.Eq (replace_scheme_consts t, replace_scheme_consts u)
+    | f -> f
+  in
+  match Formula.map_atoms expand_atom f with
+  | f' -> Ok f'
+  | exception Translate_error msg -> Error msg
+
+let active_domain ~domain ~state f =
+  let (module D : Fq_domain.Domain.S) = domain in
+  let from_state = State.active_domain state in
+  let from_query =
+    List.filter_map
+      (fun c ->
+        if Term.is_scheme_const c then
+          match State.constant state c with
+          | v -> Some v
+          | exception Not_found -> None
+        else D.constant c)
+      (Formula.consts f)
+  in
+  List.sort_uniq Value.compare (from_state @ from_query)

@@ -1,0 +1,25 @@
+(** Reduction of queries over a database state to pure domain formulas —
+    the technique of the paper's Section 1.1 (from [AGSS86, GSSS86]): since
+    a state is a finite collection of finite relations and every element
+    has a constant, each database atom [R(x, y)] can be replaced by
+    [(x = a₁ ∧ y = b₁) ∨ … ∨ (x = aᵣ ∧ y = bᵣ)] listing [R]'s tuples, and
+    each scheme constant [@c] by the constant of its value. The result is
+    a formula the domain's decision procedure can handle. *)
+
+val formula :
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  (Fq_logic.Formula.t, string) result
+(** Fails when the query mentions a relation missing from the state's
+    scheme, a scheme constant without interpretation, or a relation atom
+    with the wrong arity. *)
+
+val active_domain :
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  Fq_db.Value.t list
+(** The active domain of a query in a state: every value in the state's
+    relations and constants plus the domain values denoted by the query's
+    own constants (Section 1's definition). *)

@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Format List Set Stdlib String Term

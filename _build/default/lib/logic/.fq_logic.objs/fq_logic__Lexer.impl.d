@@ -1,0 +1,1 @@
+lib/logic/lexer.ml: Format List Printf String

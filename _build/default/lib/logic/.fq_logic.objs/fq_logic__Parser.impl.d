@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Array Format Formula Lexer List Printf String Term

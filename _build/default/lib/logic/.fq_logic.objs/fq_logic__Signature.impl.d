@@ -1,0 +1,1 @@
+lib/logic/signature.ml: Formula List Printf String Term

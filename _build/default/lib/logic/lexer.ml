@@ -1,0 +1,140 @@
+type token =
+  | IDENT of string
+  | NUMBER of string
+  | STRING of string
+  | AT_IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | PRIME
+  | PIPE
+  | NOT
+  | AND
+  | OR
+  | IMP
+  | IFF
+  | FORALL
+  | EXISTS
+  | TRUE
+  | FALSE
+  | EOF
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "identifier %S" s
+  | NUMBER s -> Format.fprintf fmt "number %s" s
+  | STRING s -> Format.fprintf fmt "string %S" s
+  | AT_IDENT s -> Format.fprintf fmt "@%s" s
+  | LPAREN -> Format.pp_print_string fmt "'('"
+  | RPAREN -> Format.pp_print_string fmt "')'"
+  | COMMA -> Format.pp_print_string fmt "','"
+  | DOT -> Format.pp_print_string fmt "'.'"
+  | EQ -> Format.pp_print_string fmt "'='"
+  | NEQ -> Format.pp_print_string fmt "'!='"
+  | LT -> Format.pp_print_string fmt "'<'"
+  | LE -> Format.pp_print_string fmt "'<='"
+  | GT -> Format.pp_print_string fmt "'>'"
+  | GE -> Format.pp_print_string fmt "'>='"
+  | PLUS -> Format.pp_print_string fmt "'+'"
+  | MINUS -> Format.pp_print_string fmt "'-'"
+  | STAR -> Format.pp_print_string fmt "'*'"
+  | PRIME -> Format.pp_print_string fmt "\"'\""
+  | PIPE -> Format.pp_print_string fmt "'|'"
+  | NOT -> Format.pp_print_string fmt "'~'"
+  | AND -> Format.pp_print_string fmt "'/\\'"
+  | OR -> Format.pp_print_string fmt "'\\/'"
+  | IMP -> Format.pp_print_string fmt "'->'"
+  | IFF -> Format.pp_print_string fmt "'<->'"
+  | FORALL -> Format.pp_print_string fmt "'forall'"
+  | EXISTS -> Format.pp_print_string fmt "'exists'"
+  | TRUE -> Format.pp_print_string fmt "'true'"
+  | FALSE -> Format.pp_print_string fmt "'false'"
+  | EOF -> Format.pp_print_string fmt "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "forall" | "all" -> Some FORALL
+  | "exists" | "ex" -> Some EXISTS
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "not" -> Some NOT
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | _ -> None
+
+let tokenize s =
+  let n = String.length s in
+  let exception Lex_error of string in
+  let peek i = if i < n then Some s.[i] else None in
+  let rec span p i = if i < n && p s.[i] then span p (i + 1) else i in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '.' -> go (i + 1) (DOT :: acc)
+      | '=' -> go (i + 1) (EQ :: acc)
+      | '~' -> go (i + 1) (NOT :: acc)
+      | '+' -> go (i + 1) (PLUS :: acc)
+      | '*' -> go (i + 1) (STAR :: acc)
+      | '\'' -> go (i + 1) (PRIME :: acc)
+      | '&' -> go (i + 1) (AND :: acc)
+      | '!' ->
+        if peek (i + 1) = Some '=' then go (i + 2) (NEQ :: acc)
+        else raise (Lex_error "'!' must be followed by '='")
+      | '<' -> (
+        match peek (i + 1) with
+        | Some '=' -> go (i + 2) (LE :: acc)
+        | Some '>' -> go (i + 2) (NEQ :: acc)
+        | Some '-' when peek (i + 2) = Some '>' -> go (i + 3) (IFF :: acc)
+        | _ -> go (i + 1) (LT :: acc))
+      | '>' -> if peek (i + 1) = Some '=' then go (i + 2) (GE :: acc) else go (i + 1) (GT :: acc)
+      | '-' ->
+        if peek (i + 1) = Some '>' then go (i + 2) (IMP :: acc) else go (i + 1) (MINUS :: acc)
+      | '/' ->
+        if peek (i + 1) = Some '\\' then go (i + 2) (AND :: acc)
+        else raise (Lex_error "'/' must be followed by '\\'")
+      | '\\' ->
+        if peek (i + 1) = Some '/' then go (i + 2) (OR :: acc)
+        else raise (Lex_error "'\\' must be followed by '/'")
+      | '|' -> go (i + 1) (PIPE :: acc)
+      | '@' ->
+        let j = span is_ident_char (i + 1) in
+        if j = i + 1 then raise (Lex_error "'@' must be followed by an identifier")
+        else go j (AT_IDENT (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | '"' ->
+        let rec find j =
+          if j >= n then raise (Lex_error "unterminated string literal")
+          else if s.[j] = '"' then j
+          else find (j + 1)
+        in
+        let j = find (i + 1) in
+        go (j + 1) (STRING (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | c when is_digit c ->
+        let j = span is_digit i in
+        go j (NUMBER (String.sub s i (j - i)) :: acc)
+      | c when is_ident_start c ->
+        let j = span is_ident_char i in
+        let word = String.sub s i (j - i) in
+        let tok = match keyword word with Some t -> t | None -> IDENT word in
+        go j (tok :: acc)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  in
+  match go 0 [] with
+  | toks -> Ok toks
+  | exception Lex_error msg -> Error msg

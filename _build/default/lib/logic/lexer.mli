@@ -1,0 +1,38 @@
+(** Tokenizer for the concrete query syntax (see {!Parser}). *)
+
+type token =
+  | IDENT of string
+  | NUMBER of string
+  | STRING of string  (** double-quoted domain constant, e.g. a trace word *)
+  | AT_IDENT of string  (** ['@c'] — database-scheme constant *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | PRIME  (** postfix ['] — successor in the domain [N_succ] *)
+  | PIPE  (** [|] — divisibility atom [k | t] of Presburger *)
+  | NOT
+  | AND
+  | OR
+  | IMP
+  | IFF
+  | FORALL
+  | EXISTS
+  | TRUE
+  | FALSE
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> (token list, string) result
+(** Tokenizes a whole input. Returns a human-readable error message on
+    failure. The resulting list always ends with [EOF]. *)

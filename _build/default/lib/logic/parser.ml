@@ -1,0 +1,254 @@
+(* Recursive descent with single-token lookahead plus explicit backtracking
+   for the one ambiguous spot: after '(' we may be reading a parenthesized
+   formula or a parenthesized term that starts a relational atom. *)
+
+exception Parse_error of string
+
+type state = { toks : Lexer.token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st what =
+  raise
+    (Parse_error
+       (Format.asprintf "expected %s but found %a (token %d)" what Lexer.pp_token (peek st)
+          st.pos))
+
+let expect st tok what = if peek st = tok then advance st else fail st what
+
+(* ----------------------------- terms ------------------------------ *)
+
+let rec parse_term st =
+  let t = parse_factor st in
+  let rec loop t =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Term.App ("+", [ t; parse_factor st ]))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Term.App ("-", [ t; parse_factor st ]))
+    | _ -> t
+  in
+  loop t
+
+and parse_factor st =
+  let t = parse_postfix st in
+  let rec loop t =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Term.App ("*", [ t; parse_postfix st ]))
+    | _ -> t
+  in
+  loop t
+
+and parse_postfix st =
+  let t = parse_primary st in
+  let rec loop t =
+    match peek st with
+    | Lexer.PRIME ->
+      advance st;
+      loop (Term.App ("s", [ t ]))
+    | _ -> t
+  in
+  loop t
+
+and parse_primary st =
+  match peek st with
+  | Lexer.NUMBER n ->
+    advance st;
+    Term.Const n
+  | Lexer.STRING s ->
+    advance st;
+    Term.Const s
+  | Lexer.AT_IDENT c ->
+    advance st;
+    Term.Const ("@" ^ c)
+  | Lexer.MINUS ->
+    advance st;
+    let t = parse_primary st in
+    (* Fold unary minus on numerals; otherwise keep a "neg" application. *)
+    (match t with
+    | Term.Const n when String.for_all (fun c -> c >= '0' && c <= '9') n && n <> "" ->
+      Term.Const ("-" ^ n)
+    | _ -> Term.App ("neg", [ t ]))
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_term_list st in
+      expect st Lexer.RPAREN "')' closing the argument list";
+      Term.App (name, args)
+    | _ -> Term.Var name)
+  | Lexer.LPAREN ->
+    advance st;
+    let t = parse_term st in
+    expect st Lexer.RPAREN "')' closing the term";
+    t
+  | _ -> fail st "a term"
+
+and parse_term_list st =
+  match peek st with
+  | Lexer.RPAREN -> []
+  | _ ->
+    let t = parse_term st in
+    let rec loop acc =
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        loop (parse_term st :: acc)
+      | _ -> List.rev acc
+    in
+    loop [ t ]
+
+(* ---------------------------- formulas ---------------------------- *)
+
+let relop_of_token = function
+  | Lexer.EQ -> Some `Eq
+  | Lexer.NEQ -> Some `Neq
+  | Lexer.LT -> Some (`Rel "<")
+  | Lexer.LE -> Some (`Rel "<=")
+  | Lexer.GT -> Some (`Rel ">")
+  | Lexer.GE -> Some (`Rel ">=")
+  | Lexer.PIPE -> Some `Dvd
+  | _ -> None
+
+let rec parse_formula st = parse_iff st
+
+and parse_iff st =
+  let f = parse_imp st in
+  let rec loop f =
+    match peek st with
+    | Lexer.IFF ->
+      advance st;
+      loop (Formula.Iff (f, parse_imp st))
+    | _ -> f
+  in
+  loop f
+
+and parse_imp st =
+  let f = parse_or st in
+  match peek st with
+  | Lexer.IMP ->
+    advance st;
+    Formula.Imp (f, parse_imp st)
+  | _ -> f
+
+and parse_or st =
+  let f = parse_and st in
+  let rec loop f =
+    match peek st with
+    | Lexer.OR ->
+      advance st;
+      loop (Formula.Or (f, parse_and st))
+    | _ -> f
+  in
+  loop f
+
+and parse_and st =
+  let f = parse_unary st in
+  let rec loop f =
+    match peek st with
+    | Lexer.AND ->
+      advance st;
+      loop (Formula.And (f, parse_unary st))
+    | _ -> f
+  in
+  loop f
+
+and parse_unary st =
+  match peek st with
+  | Lexer.NOT ->
+    advance st;
+    Formula.Not (parse_unary st)
+  | Lexer.FORALL | Lexer.EXISTS ->
+    let quant = peek st in
+    advance st;
+    let rec vars acc =
+      match peek st with
+      | Lexer.IDENT v ->
+        advance st;
+        vars (v :: acc)
+      | Lexer.DOT ->
+        advance st;
+        List.rev acc
+      | _ -> fail st "a variable or '.' after the quantifier"
+    in
+    let vs = vars [] in
+    if vs = [] then fail st "at least one quantified variable";
+    (* Quantifier scope extends as far right as possible. *)
+    let body = parse_formula st in
+    if quant = Lexer.FORALL then Formula.forall_many vs body else Formula.exists_many vs body
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.TRUE ->
+    advance st;
+    Formula.True
+  | Lexer.FALSE ->
+    advance st;
+    Formula.False
+  | Lexer.LPAREN -> (
+    (* Try a parenthesized formula; backtrack to a term-headed atom if the
+       formula parse fails or a term operator follows the ')'. *)
+    let saved = st.pos in
+    match
+      advance st;
+      let f = parse_formula st in
+      expect st Lexer.RPAREN "')' closing the formula";
+      f
+    with
+    | f -> (
+      match peek st with
+      | Lexer.PLUS | Lexer.MINUS | Lexer.STAR | Lexer.PRIME | Lexer.EQ | Lexer.NEQ | Lexer.LT
+      | Lexer.LE | Lexer.GT | Lexer.GE | Lexer.PIPE ->
+        st.pos <- saved;
+        parse_relational_atom st
+      | _ -> f)
+    | exception Parse_error _ ->
+      st.pos <- saved;
+      parse_relational_atom st)
+  | _ -> parse_relational_atom st
+
+and parse_relational_atom st =
+  let t = parse_term st in
+  match relop_of_token (peek st) with
+  | Some `Eq ->
+    advance st;
+    Formula.Eq (t, parse_term st)
+  | Some `Neq ->
+    advance st;
+    Formula.neq t (parse_term st)
+  | Some (`Rel op) ->
+    advance st;
+    Formula.Atom (op, [ t; parse_term st ])
+  | Some `Dvd ->
+    advance st;
+    Formula.Atom ("dvd", [ t; parse_term st ])
+  | None -> (
+    (* A bare term can only be a predicate atom. *)
+    match t with
+    | Term.App (p, args) -> Formula.Atom (p, args)
+    | Term.Var v -> fail st (Printf.sprintf "a relational operator after variable %S" v)
+    | Term.Const _ -> fail st "a relational operator after the constant")
+
+let run parse s =
+  match Lexer.tokenize s with
+  | Error msg -> Error (Printf.sprintf "lexical error: %s" msg)
+  | Ok toks -> (
+    let st = { toks = Array.of_list toks; pos = 0 } in
+    match parse st with
+    | v -> if peek st = Lexer.EOF then Ok v else Error "trailing input after the formula"
+    | exception Parse_error msg -> Error msg)
+
+let formula s = run parse_formula s
+let term s = run parse_term s
+
+let formula_exn s =
+  match formula s with
+  | Ok f -> f
+  | Error msg -> invalid_arg (Printf.sprintf "Parser.formula_exn: %s (input: %s)" msg s)

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the concrete query syntax.
+
+    Grammar sketch (standard precedences, [<->] weakest, [~] strongest):
+
+    {v
+    formula := formula '<->' formula | formula '->' formula
+             | formula '\/' formula | formula '/\' formula
+             | '~' formula | ('forall'|'exists') x y ... '.' formula
+             | 'true' | 'false' | '(' formula ')'
+             | term ('='|'!='|'<'|'<='|'>'|'>=') term
+             | term '|' term                  (divisibility, Presburger)
+             | P '(' term, ... ')'            (predicate atom)
+    term    := term ('+'|'-') term | term '*' term | term '\''  (successor)
+             | x | 123 | "word" | '@'c | f '(' term, ... ')' | '(' term ')'
+    v}
+
+    Identifiers in term position are variables; numerals and double-quoted
+    strings are domain constants; [@c] is a database-scheme constant.
+    ASCII synonyms: [&]/[and] for conjunction, [or] for disjunction, [not]
+    for negation, [<>] for [!=], [all]/[ex] for quantifiers. *)
+
+val formula : string -> (Formula.t, string) result
+val term : string -> (Term.t, string) result
+
+val formula_exn : string -> Formula.t
+(** @raise Invalid_argument on a parse error. Convenient in tests. *)

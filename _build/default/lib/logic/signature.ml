@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  preds : (string * int) list;
+  funs : (string * int) list;
+}
+
+let make ~name ?(preds = []) ?(funs = []) () = { name; preds; funs }
+
+let mem_pred sg p n = List.mem (p, n) sg.preds
+let mem_fun sg f n = List.mem (f, n) sg.funs
+
+let union a b =
+  let merge xs ys = xs @ List.filter (fun y -> not (List.mem y xs)) ys in
+  { name = a.name; preds = merge a.preds b.preds; funs = merge a.funs b.funs }
+
+let check ?(schema = []) sg f =
+  let problems = ref [] in
+  let note msg = problems := msg :: !problems in
+  List.iter
+    (fun (p, n) ->
+      if not (mem_pred sg p n || List.mem (p, n) schema) then
+        note
+          (Printf.sprintf "predicate %s/%d is neither a %s domain predicate nor in the schema" p
+             n sg.name))
+    (Formula.preds f);
+  List.iter
+    (fun (fn, n) ->
+      if not (mem_fun sg fn n) then
+        note (Printf.sprintf "function %s/%d is not a %s domain function" fn n sg.name))
+    (Formula.funs f);
+  match List.rev !problems with
+  | [] -> Ok ()
+  | msgs -> Error (String.concat "; " msgs)
+
+let is_pure sg f =
+  List.for_all (fun (p, n) -> mem_pred sg p n) (Formula.preds f)
+  && List.for_all (fun (fn, n) -> mem_fun sg fn n) (Formula.funs f)
+  && List.for_all (fun c -> not (Term.is_scheme_const c)) (Formula.consts f)

@@ -1,0 +1,29 @@
+(** Logical signatures: which predicate and function symbols a domain
+    provides, used to check that a formula is well-formed before it is
+    handed to a decision procedure or evaluator. *)
+
+type t = {
+  name : string;  (** domain name, for error messages *)
+  preds : (string * int) list;  (** predicate symbols with arities *)
+  funs : (string * int) list;  (** function symbols with arities *)
+}
+
+val make : name:string -> ?preds:(string * int) list -> ?funs:(string * int) list -> unit -> t
+
+val mem_pred : t -> string -> int -> bool
+val mem_fun : t -> string -> int -> bool
+
+val union : t -> t -> t
+(** Signature of a domain extension: both symbol sets. The left name wins. *)
+
+val check :
+  ?schema:(string * int) list -> t -> Formula.t -> (unit, string) result
+(** [check ~schema sg f] verifies that every predicate of [f] is either a
+    domain predicate of [sg] or a database relation of [schema] (with the
+    right arity) and that every function symbol is in [sg]. Equality is
+    always allowed. *)
+
+val is_pure : t -> Formula.t -> bool
+(** A {e pure domain formula} mentions no database relation and no
+    scheme constant: exactly the formulas a domain decision procedure can
+    decide (§1.1 of the paper). *)

@@ -1,0 +1,118 @@
+module Sset = Set.Make (String)
+
+type t =
+  | Var of string
+  | Const of string
+  | App of string * t list
+
+let rec compare t u =
+  match (t, u) with
+  | Var a, Var b -> String.compare a b
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Const a, Const b -> String.compare a b
+  | Const _, _ -> -1
+  | _, Const _ -> 1
+  | App (f, ts), App (g, us) ->
+    let c = String.compare f g in
+    if c <> 0 then c else List.compare compare ts us
+
+let equal t u = compare t u = 0
+
+(* Constant names may contain characters of the trace alphabet; quote them
+   so that printed terms re-parse unambiguously. *)
+let pp_const fmt c =
+  let plain_number = c <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') c in
+  let scheme = String.length c > 0 && c.[0] = '@' in
+  if plain_number || scheme then Format.pp_print_string fmt c
+  else Format.fprintf fmt "%S" c
+
+(* Precedence levels for printing: additive (1) < multiplicative (2) <
+   postfix successor (3) < atomic, so that output re-parses to the same
+   term. *)
+let pp fmt t =
+  let rec go prec fmt t =
+    let paren p body = if p < prec then Format.fprintf fmt "(%t)" body else body fmt in
+    match t with
+    | Var v -> Format.pp_print_string fmt v
+    | Const c -> pp_const fmt c
+    | App (("+" | "-") as op, [ a; b ]) ->
+      paren 1 (fun fmt -> Format.fprintf fmt "%a %s %a" (go 1) a op (go 2) b)
+    | App ("*", [ a; b ]) ->
+      paren 2 (fun fmt -> Format.fprintf fmt "%a * %a" (go 2) a (go 3) b)
+    | App ("s", [ a ]) -> paren 3 (fun fmt -> Format.fprintf fmt "%a'" (go 3) a)
+    | App (f, []) -> Format.fprintf fmt "%s()" f
+    | App (f, ts) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") (go 0))
+        ts
+  in
+  go 0 fmt t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let rec fold f acc t =
+  match t with
+  | Var _ | Const _ -> f acc t
+  | App (_, ts) -> f (List.fold_left (fold f) acc ts) t
+
+let vars t =
+  let acc =
+    fold
+      (fun acc -> function
+        | Var v when not (List.mem v acc) -> v :: acc
+        | Var _ | Const _ | App _ -> acc)
+      [] t
+  in
+  List.rev acc
+
+let var_set t =
+  fold
+    (fun acc -> function
+      | Var v -> Sset.add v acc
+      | Const _ | App _ -> acc)
+    Sset.empty t
+
+let consts t =
+  let acc =
+    fold
+      (fun acc -> function
+        | Const c when not (List.mem c acc) -> c :: acc
+        | Const _ | Var _ | App _ -> acc)
+      [] t
+  in
+  List.rev acc
+
+let funs t =
+  let acc =
+    fold
+      (fun acc -> function
+        | App (f, ts) when not (List.mem (f, List.length ts) acc) ->
+          (f, List.length ts) :: acc
+        | App _ | Var _ | Const _ -> acc)
+      [] t
+  in
+  List.rev acc
+
+let rec subst bindings t =
+  match t with
+  | Var v -> ( match List.assoc_opt v bindings with Some u -> u | None -> t)
+  | Const _ -> t
+  | App (f, ts) -> App (f, List.map (subst bindings) ts)
+
+let rec subst_const c u t =
+  match t with
+  | Const c' when String.equal c c' -> u
+  | Const _ | Var _ -> t
+  | App (f, ts) -> App (f, List.map (subst_const c u) ts)
+
+let rec is_ground = function
+  | Var _ -> false
+  | Const _ -> true
+  | App (_, ts) -> List.for_all is_ground ts
+
+let rec size = function
+  | Var _ | Const _ -> 1
+  | App (_, ts) -> List.fold_left (fun acc t -> acc + size t) 1 ts
+
+let is_scheme_const c = String.length c > 0 && c.[0] = '@'

@@ -1,0 +1,42 @@
+(** First-order terms.
+
+    Terms are nominal and untyped: a constant is just a symbol whose meaning
+    is supplied by a domain (see {!Fq_domain.Domain}). By convention,
+    constant names beginning with ['@'] are {e database-scheme constants}
+    interpreted by a database state rather than by the domain (the constant
+    symbol [c] of the paper's Theorem 3.1 is written [@c]). *)
+
+type t =
+  | Var of string  (** first-order variable *)
+  | Const of string  (** constant symbol, domain- or state-interpreted *)
+  | App of string * t list  (** function symbol applied to arguments *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val vars : t -> string list
+(** Free variables, in order of first occurrence, without duplicates. *)
+
+val var_set : t -> Set.Make(String).t
+val consts : t -> string list
+val funs : t -> (string * int) list
+(** Function symbols with arities, without duplicates. *)
+
+val subst : (string * t) list -> t -> t
+(** [subst bindings t] simultaneously replaces each variable by its image.
+    Variables without a binding are left untouched. *)
+
+val subst_const : string -> t -> t -> t
+(** [subst_const c u t] replaces every occurrence of the constant symbol [c]
+    by the term [u] — the operation written [\[z/c\]] in the paper. *)
+
+val is_ground : t -> bool
+(** [true] iff the term contains no variable. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val is_scheme_const : string -> bool
+(** [true] iff the constant name refers to the database scheme (['@']-prefixed). *)

@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Array Buffer Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/safety/algebra_translate.ml: Fq_db Fq_domain Fq_eval Fq_logic List Printf Result

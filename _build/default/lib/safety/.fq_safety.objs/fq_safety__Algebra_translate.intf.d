@@ -1,0 +1,1 @@
+lib/safety/algebra_translate.mli: Fq_db Fq_domain Fq_logic

@@ -1,0 +1,1 @@
+lib/safety/diagonal.ml: Fq_db Fq_domain Fq_logic Fq_tm Fq_words List Result Seq String Syntax_class

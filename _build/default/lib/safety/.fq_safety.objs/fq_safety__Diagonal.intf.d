@@ -1,0 +1,1 @@
+lib/safety/diagonal.mli: Fq_db Fq_logic Fq_tm Fq_words Seq Syntax_class

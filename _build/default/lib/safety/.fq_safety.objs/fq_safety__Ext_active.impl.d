@@ -1,0 +1,1 @@
+lib/safety/ext_active.ml: Fq_domain Fq_eval Fq_logic Fq_numeric Fun Hashtbl List Printf Result String

@@ -1,0 +1,1 @@
+lib/safety/ext_active.mli: Fq_db Fq_domain Fq_logic

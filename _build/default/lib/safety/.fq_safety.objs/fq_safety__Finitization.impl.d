@@ -1,0 +1,1 @@
+lib/safety/finitization.ml: Fq_eval Fq_logic List Result

@@ -1,0 +1,1 @@
+lib/safety/finitization.mli: Fq_db Fq_domain Fq_logic

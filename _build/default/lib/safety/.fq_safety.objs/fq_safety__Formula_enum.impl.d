@@ -1,0 +1,1 @@
+lib/safety/formula_enum.ml: Fq_logic Hashtbl List Printf Seq

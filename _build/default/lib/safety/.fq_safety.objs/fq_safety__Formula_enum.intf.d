@@ -1,0 +1,1 @@
+lib/safety/formula_enum.mli: Fq_logic Seq

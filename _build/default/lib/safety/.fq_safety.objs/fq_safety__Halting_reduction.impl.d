@@ -1,0 +1,1 @@
+lib/safety/halting_reduction.ml: Diagonal Fq_db Fq_domain Fq_eval Fq_tm Fq_words List Printf Result

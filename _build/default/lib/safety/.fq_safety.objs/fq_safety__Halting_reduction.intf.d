@@ -1,0 +1,1 @@
+lib/safety/halting_reduction.mli: Fq_db Fq_logic Fq_words

@@ -1,0 +1,1 @@
+lib/safety/ranf.ml: Algebra_translate Fq_db Fq_domain Fq_logic List Printf Result Safe_range String

@@ -1,0 +1,1 @@
+lib/safety/ranf.mli: Algebra_translate Fq_db Fq_domain Fq_logic

@@ -1,0 +1,1 @@
+lib/safety/relative_safety.ml: Ext_active Finitization Fq_db Fq_domain Fq_eval Fq_logic List Printf Result

@@ -1,0 +1,1 @@
+lib/safety/relative_safety.mli: Fq_db Fq_domain Fq_logic

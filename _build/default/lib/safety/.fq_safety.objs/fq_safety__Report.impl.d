@@ -1,0 +1,1 @@
+lib/safety/report.ml: Algebra_translate Format Fq_db Fq_eval Fq_logic Ranf Relative_safety Safe_range

@@ -1,0 +1,1 @@
+lib/safety/report.mli: Format Fq_db Fq_domain Fq_logic Safe_range

@@ -1,0 +1,1 @@
+lib/safety/safe_range.ml: Fq_logic List Printf String

@@ -1,0 +1,1 @@
+lib/safety/safe_range.mli: Fq_logic

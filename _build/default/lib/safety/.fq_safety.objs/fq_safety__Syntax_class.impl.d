@@ -1,0 +1,1 @@
+lib/safety/syntax_class.ml: Ext_active Finitization Formula_enum Fq_logic Safe_range Seq

@@ -1,0 +1,1 @@
+lib/safety/syntax_class.mli: Formula_enum Fq_logic Seq

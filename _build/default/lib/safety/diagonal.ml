@@ -1,0 +1,145 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Word = Fq_words.Word
+module Builder = Fq_tm.Builder
+module Encode = Fq_tm.Encode
+module Run = Fq_tm.Run
+
+let schema = Fq_db.Schema.make ~constants:[ "c" ] []
+
+let totality_query m =
+  Formula.Atom ("P", [ Term.Const m; Term.Const "@c"; Term.Var "x" ])
+
+let state_for w =
+  Fq_db.State.make ~schema ~constants:[ ("c", Fq_db.Value.str w) ] []
+
+let equivalent_queries phi psi =
+  let avoid = Formula.Sset.union (Formula.all_vars phi) (Formula.all_vars psi) in
+  let z = Formula.fresh_var ~avoid "z" in
+  let phi_z = Formula.subst_const "@c" (Term.Var z) phi in
+  let psi_z = Formula.subst_const "@c" (Term.Var z) psi in
+  let xs =
+    List.sort_uniq compare (Formula.free_vars phi_z @ Formula.free_vars psi_z)
+    |> List.filter (fun v -> v <> z)
+  in
+  let sentence = Formula.Forall (z, Formula.forall_many xs (Formula.Iff (phi_z, psi_z))) in
+  Fq_domain.Traces.decide sentence
+
+let machine_words () = Seq.filter Word.is_machine_shaped (Word.enumerate ())
+
+let fresh_total_machine ~avoid =
+  (* For the i-th machine to avoid, designate the input wᵢ = 1^(i+1) and
+     halt after a number of steps different from that machine's (probed
+     with a small fuel; a diverging machine differs from any halting
+     count). Distinct wᵢ prefixes keep the constraints conflict-free, and
+     the k/k+1 choice dodges the probed count. The resulting prefix-trie
+     machine is total: it can only move right and halts as soon as its
+     finite transition table runs out. *)
+  let constraints =
+    List.mapi
+      (fun i m ->
+        let w = String.make (i + 1) '1' in
+        let base = i + 2 in
+        let steps =
+          match Run.halts_within ~fuel:(base + 2) (Encode.decode m) w with
+          | Some s -> if s = base then base + 1 else base
+          | None -> base
+        in
+        Builder.Exactly (w, steps + 1))
+      avoid
+  in
+  match Builder.build constraints with
+  | Ok m -> m
+  | Error e -> invalid_arg ("Diagonal.fresh_total_machine: " ^ e)
+
+type outcome =
+  | Missed_finite_query of {
+      machine : Word.t;
+      query : Formula.t;
+      candidates_checked : int;
+    }
+  | Admits_unsafe of {
+      formula : Formula.t;
+      witness_machine : Word.t;
+      witness_input : Word.t;
+    }
+
+let ( let* ) = Result.bind
+
+(* Is the query equivalent to any of the first [budget] formulas of the
+   syntax? Formulas whose equivalence test errors (outside T's signature)
+   are skipped. *)
+let covered_index ~syntax ~budget query =
+  let candidates = List.of_seq (Seq.take budget (syntax.Syntax_class.enumerate ())) in
+  let rec go i = function
+    | [] -> Ok None
+    | phi :: rest -> (
+      match equivalent_queries query phi with
+      | Ok true -> Ok (Some i)
+      | Ok false | Error _ -> go (i + 1) rest)
+  in
+  go 0 candidates
+
+let defeat ~syntax ~budget =
+  (* First: scan candidate formulas for an unsafe one — a formula
+     equivalent to the totality query of a machine known to diverge
+     somewhere. We probe the non-total zoo machines. *)
+  let unsafe_probe () =
+    let non_total =
+      List.filter_map
+        (fun e ->
+          match e.Fq_tm.Zoo.diverges_on with
+          | Some w -> Some (Encode.encode e.Fq_tm.Zoo.machine, w)
+          | None -> None)
+        Fq_tm.Zoo.all
+    in
+    let candidates = List.of_seq (Seq.take budget (syntax.Syntax_class.enumerate ())) in
+    List.find_map
+      (fun phi ->
+        List.find_map
+          (fun (m, w) ->
+            match equivalent_queries phi (totality_query m) with
+            | Ok true ->
+              Some (Admits_unsafe { formula = phi; witness_machine = m; witness_input = w })
+            | Ok false | Error _ -> None)
+          non_total)
+      candidates
+  in
+  match unsafe_probe () with
+  | Some outcome -> Ok outcome
+  | None ->
+    (* Second: build a total machine distinct from every machine whose
+       query the syntax covers (within budget), then show its finite
+       query is not covered. *)
+    let covered_machines =
+      machine_words () |> Seq.take budget
+      |> Seq.filter (fun m ->
+             match covered_index ~syntax ~budget (totality_query m) with
+             | Ok (Some _) -> true
+             | Ok None | Error _ -> false)
+      |> List.of_seq
+    in
+    let fresh = fresh_total_machine ~avoid:covered_machines in
+    let fresh_word = Encode.encode fresh in
+    let query = totality_query fresh_word in
+    let* covered = covered_index ~syntax ~budget query in
+    (match covered with
+    | None ->
+      Ok (Missed_finite_query { machine = fresh_word; query; candidates_checked = budget })
+    | Some _ ->
+      (* The syntax covered even the fresh machine within this budget;
+         with a larger budget the construction repeats — report the
+         budget as insufficient rather than fabricate a result. *)
+      Error "budget too small: the candidate syntax covered the fresh machine; increase it")
+
+let enumerate_total_machines_via ~syntax ~formula_budget ~machine_budget =
+  let machines = List.of_seq (Seq.take machine_budget (machine_words ())) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | m :: rest -> (
+      let* covered = covered_index ~syntax ~budget:formula_budget (totality_query m) in
+      match covered with
+      | Some _ -> go (m :: acc) rest
+      | None -> go acc rest)
+  in
+  go [] machines

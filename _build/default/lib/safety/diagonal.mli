@@ -1,0 +1,78 @@
+(** The executable content of Theorem 3.1: {e finite queries over the
+    trace domain [T] have no effective syntax}.
+
+    The proof's ingredients, each implemented here:
+
+    - the {b totality query} [M(x) = P(M, @c, x)] over the scheme with one
+      constant [c] — finite iff the machine [M] is total;
+    - the {b decidable equivalence test} between one-variable queries: by
+      the [\[z/c\]] substitution, [∀z ∀x (φ(x)\[z/c\] ↔ ψ(x)\[z/c\])] is a
+      pure domain sentence, decided by Corollary A.4 ({!Fq_domain.Traces});
+    - the {b reduction}: were a recursive syntax complete for finite
+      queries, scanning (machine, syntax-formula) pairs with the
+      equivalence test would recursively enumerate all total Turing
+      machines — which diagonalization forbids;
+    - a {b bounded diagonalization harness} ({!defeat}): given any
+      candidate syntax and a search budget, it either exhibits a total
+      machine whose (finite) totality query is equivalent to no candidate
+      formula within the budget, or an unsafe candidate formula. Fresh
+      total machines behaviorally distinct from any finite list are
+      manufactured with the Lemma A.2 builder ({!fresh_total_machine}). *)
+
+val schema : Fq_db.Schema.t
+(** One scheme constant [c], no relations (the paper's footnote 10 scheme). *)
+
+val totality_query : Fq_words.Word.t -> Fq_logic.Formula.t
+(** [M(x) := P("machine word", @c, x)]. *)
+
+val state_for : Fq_words.Word.t -> Fq_db.State.t
+(** The state interpreting [@c] as the given input word. *)
+
+val equivalent_queries :
+  Fq_logic.Formula.t -> Fq_logic.Formula.t -> (bool, string) result
+(** The paper's equivalence sentence [∀z∀x (φ\[z/c\] ↔ ψ\[z/c\])], decided
+    over [T]. Both formulas may use the scheme constant [@c] and the one
+    free variable [x]. *)
+
+val machine_words : unit -> Fq_words.Word.t Seq.t
+(** Recursive enumeration of all machine-shaped words — the [M₁, M₂, …]
+    of the proof. *)
+
+val fresh_total_machine : avoid:Fq_words.Word.t list -> Fq_tm.Machine.t
+(** A machine that (a) is total by construction (a prefix-trie machine
+    halts on every input) and (b) differs behaviorally from every machine
+    in [avoid] — it halts after a different number of steps on a
+    designated input. Built with {!Fq_tm.Builder}. *)
+
+type outcome =
+  | Missed_finite_query of {
+      machine : Fq_words.Word.t;  (** a total machine *)
+      query : Fq_logic.Formula.t;  (** its finite totality query *)
+      candidates_checked : int;
+    }
+      (** No candidate formula within the budget is equivalent to the
+          query: the syntax misses a finite query (up to the budget). *)
+  | Admits_unsafe of {
+      formula : Fq_logic.Formula.t;
+      witness_machine : Fq_words.Word.t;
+      witness_input : Fq_words.Word.t;
+    }
+      (** A candidate formula is equivalent to the totality query of a
+          machine that diverges on [witness_input]: the syntax contains an
+          unsafe formula. *)
+
+val defeat : syntax:Syntax_class.t -> budget:int -> (outcome, string) result
+(** Runs the bounded diagonalization. [budget] bounds both the number of
+    candidate formulas taken from the syntax and the machines scanned. *)
+
+val enumerate_total_machines_via :
+  syntax:Syntax_class.t ->
+  formula_budget:int ->
+  machine_budget:int ->
+  (Fq_words.Word.t list, string) result
+(** The reduction run forward: machines whose totality query matches some
+    candidate formula within the budgets. Were the syntax sound and
+    complete, this process (with unbounded budgets) would enumerate
+    exactly the total machines — the impossibility at the heart of
+    Theorem 3.1. Every returned machine is certifiably total whenever the
+    syntax is sound. *)

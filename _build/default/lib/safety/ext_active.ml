@@ -1,0 +1,164 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Transform = Fq_logic.Transform
+module B = Fq_numeric.Bigint
+
+let rec s_tower k t = if k <= 0 then t else s_tower (k - 1) (Term.App ("s", [ t ]))
+
+(* x within distance [bound] of term t: ⋁_k (x = s^k(t) ∨ s^k(x) = t) *)
+let near ~bound x t =
+  Formula.disj
+    (List.concat_map
+       (fun k ->
+         [ Formula.Eq (Term.Var x, s_tower k t); Formula.Eq (s_tower k (Term.Var x), t) ])
+       (List.init (bound + 1) Fun.id))
+
+let delta_plus ~schema ~consts ~bound x =
+  let const_parts =
+    List.map (fun c -> near ~bound x (Term.Const c)) ("0" :: consts)
+  in
+  let relation_parts =
+    List.map
+      (fun (r, arity) ->
+        let ys = List.init arity (fun i -> Printf.sprintf "%s_adom%d" x i) in
+        Formula.exists_many ys
+          (Formula.And
+             ( Formula.Atom (r, List.map (fun y -> Term.Var y) ys),
+               Formula.disj (List.map (fun y -> near ~bound x (Term.Var y)) ys) )))
+      schema
+  in
+  Formula.disj (const_parts @ relation_parts)
+
+let restrict ~schema f =
+  let bound = Fq_domain.Nat_succ.qe_offset_bound f in
+  let consts =
+    List.filter (fun c -> not (Term.is_scheme_const c)) (Formula.consts f)
+  in
+  let parts =
+    List.map (fun x -> delta_plus ~schema ~consts ~bound x) (Formula.free_vars f)
+  in
+  Formula.conj (f :: parts)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2.6: finiteness of the answer of a quantifier-free N'       *)
+(* formula, clause by clause, with an offset union-find.               *)
+(* ------------------------------------------------------------------ *)
+
+(* offset terms, as in Nat_succ: base + k, base a variable or the numeral
+   root "" (the constant base) *)
+type ot = { base : string option; off : B.t }
+
+exception Not_succ_formula of string
+
+let rec ot_of_term = function
+  | Term.Var v -> { base = Some v; off = B.zero }
+  | Term.Const c when c <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') c ->
+    { base = None; off = B.of_string c }
+  | Term.Const c -> raise (Not_succ_formula (Printf.sprintf "constant %S" c))
+  | Term.App ("s", [ t ]) ->
+    let o = ot_of_term t in
+    { o with off = B.succ o.off }
+  | Term.App (f, args) ->
+    raise (Not_succ_formula (Printf.sprintf "term %s/%d" f (List.length args)))
+
+(* Weighted union-find: find v = (root, delta) with val(v) = val(root) +
+   delta; a [None] root is the numeral origin (value 0). *)
+type uf = (string, string option * B.t) Hashtbl.t
+
+let rec find (uf : uf) v =
+  match Hashtbl.find_opt uf v with
+  | None -> (Some v, B.zero)
+  | Some (None, d) -> (None, d)
+  | Some (Some p, d) ->
+    let root, dp = find uf p in
+    let total = B.add d dp in
+    Hashtbl.replace uf v (root, total);
+    (root, total)
+
+let resolve uf (o : ot) =
+  match o.base with
+  | None -> (None, o.off)
+  | Some v ->
+    let root, d = find uf v in
+    (root, B.add d o.off)
+
+(* returns false on contradiction *)
+let union uf a b =
+  let ra, da = resolve uf a and rb, db = resolve uf b in
+  match (ra, rb) with
+  | None, None -> B.equal da db
+  | Some v, _ ->
+    (* val(v) = val(rb) + db - da; require nonnegative when rb is the
+       origin *)
+    let delta = B.sub db da in
+    if rb = Some v then B.is_zero delta
+    else begin
+      Hashtbl.replace uf v (rb, delta);
+      true
+    end
+  | None, Some w ->
+    let delta = B.sub da db in
+    Hashtbl.replace uf w (None, delta);
+    true
+
+(* A satisfiable clause has finitely many solutions iff every free
+   variable's root is the numeral origin. Nonnegativity: a variable pinned
+   to a negative value makes the clause unsatisfiable. *)
+let clause_analysis free_vars lits =
+  let uf : uf = Hashtbl.create 16 in
+  let eqs, nes =
+    List.partition_map
+      (fun lit ->
+        match lit with
+        | Formula.Eq (t, u) -> Left (ot_of_term t, ot_of_term u)
+        | Formula.Not (Formula.Eq (t, u)) -> Right (ot_of_term t, ot_of_term u)
+        | Formula.True -> Left ({ base = None; off = B.zero }, { base = None; off = B.zero })
+        | f -> raise (Not_succ_formula (Formula.to_string f)))
+      lits
+  in
+  let consistent = List.for_all (fun (a, b) -> union uf a b) eqs in
+  if not consistent then `Unsat
+  else begin
+    (* nonnegativity of pinned variables *)
+    let pinned_ok =
+      List.for_all
+        (fun v ->
+          match find uf v with
+          | None, d -> B.sign d >= 0
+          | Some _, _ -> true)
+        free_vars
+    in
+    let ne_ok =
+      List.for_all
+        (fun (a, b) ->
+          let ra, da = resolve uf a and rb, db = resolve uf b in
+          not (ra = rb && B.equal da db))
+        nes
+    in
+    if not (pinned_ok && ne_ok) then `Unsat
+    else if
+      List.for_all (fun v -> match find uf v with None, _ -> true | Some _, _ -> false) free_vars
+    then `Finite
+    else `Infinite
+  end
+
+let finite_in_state ~domain ~state f =
+  let ( let* ) = Result.bind in
+  let* f' = Fq_eval.Translate.formula ~domain ~state f in
+  let free = Formula.free_vars f' in
+  if free = [] then Ok true
+  else
+    let* qf = Fq_domain.Nat_succ.qe f' in
+    match Transform.dnf (Transform.nnf (Transform.simplify qf)) with
+    | clauses -> (
+      match
+        List.for_all
+          (fun lits ->
+            match clause_analysis free lits with
+            | `Unsat | `Finite -> true
+            | `Infinite -> false)
+          clauses
+      with
+      | b -> Ok b
+      | exception Not_succ_formula msg -> Error ("not an N' formula: " ^ msg))
+    | exception Not_succ_formula msg -> Error ("not an N' formula: " ^ msg)

@@ -1,0 +1,38 @@
+(** The paper's Section 2.2 machinery for the successor domain [N']:
+    Theorem 2.7's recursive syntax via the {e extended active domain}
+    [Δ⁺_q] (the active domain plus everything within successor-distance
+    [2^q] of it), and Theorem 2.6's relative-safety decision through
+    quantifier elimination.
+
+    Theorem 2.6's criterion, implemented in {!finite_in_state}: translate
+    the query into a pure [N'] formula, eliminate quantifiers with
+    {!Fq_domain.Nat_succ.qe}, and inspect the quantifier-free result —
+    "given a quantifier-free formula, it is easy to decide upon the
+    finiteness of the answer": in each satisfiable DNF clause, a free
+    variable admits infinitely many values unless an equality chain pins
+    it to a constant. *)
+
+val delta_plus :
+  schema:(string * int) list ->
+  consts:string list ->
+  bound:int ->
+  string ->
+  Fq_logic.Formula.t
+(** [delta_plus ~schema ~consts ~bound x] — the formula [δ⁺(x)]: [x] is
+    within successor-distance [bound] of one of the numeral constants
+    [consts] (zero is always included) or of a component of a tuple in
+    some schema relation. *)
+
+val restrict : schema:(string * int) list -> Fq_logic.Formula.t -> Fq_logic.Formula.t
+(** Theorem 2.7's syntax operator: [φ^E = φ ∧ ⋀_{x free} δ⁺_q(x)] with the
+    distance bound of {!Fq_domain.Nat_succ.qe_offset_bound}. Every [φ^E]
+    is finite, and a finite [φ] is equivalent to [φ^E]. *)
+
+val finite_in_state :
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  (bool, string) result
+(** Theorem 2.6: decides whether the query has a finite answer in the
+    state, over the domain [N'] (pass {!Fq_domain.Nat_succ} — the [domain]
+    argument is exposed for the translation step). *)

@@ -1,0 +1,26 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+
+let bound_part f =
+  let xs = Formula.free_vars f in
+  let avoid = Formula.all_vars f in
+  let m = Formula.fresh_var ~avoid "m" in
+  Formula.Exists
+    ( m,
+      Formula.forall_many xs
+        (Formula.Imp
+           (f, Formula.conj (List.map (fun x -> Formula.Atom ("<", [ Term.Var x; Term.Var m ])) xs))) )
+
+let finitize f = Formula.And (f, bound_part f)
+
+let is_finitization f =
+  match f with
+  | Formula.And (phi, bound) -> Formula.equal bound (bound_part phi)
+  | _ -> false
+
+let equivalence_in_state ~decide ~domain ~state f =
+  let ( let* ) = Result.bind in
+  let* f' = Fq_eval.Translate.formula ~domain ~state f in
+  let xs = Formula.free_vars f' in
+  let sentence = Formula.forall_many xs (Formula.Iff (f', finitize f')) in
+  decide sentence

@@ -1,0 +1,35 @@
+(** The finitization operator of Theorem 2.2 — the paper's recursive
+    syntax for finite queries over any extension of [N_<]:
+
+    {v
+    φ^F(x̄)  =  φ(x̄) ∧ ∃m ∀x̄ (φ(x̄) → ⋀ᵢ xᵢ < m)
+    v}
+
+    "The second part of this formula says that there exists an element
+    greater than any element in the answer." Two facts make the image of
+    this operator an effective syntax: the finitization of {e any} formula
+    is finite (its answer is bounded, and over ℕ bounded sets are finite),
+    and the finitization of a {e finite} formula is equivalent to it. Both
+    are exercised in the tests via the Presburger decision procedure.
+
+    The operator is purely syntactic, so it applies even when the
+    extension's theory is undecidable (Corollary 2.3: full arithmetic). *)
+
+val finitize : Fq_logic.Formula.t -> Fq_logic.Formula.t
+(** [φ^F]. The bound variable [m] is chosen fresh. For a sentence,
+    [finitize φ ≡ φ] (the bounding part is vacuous). *)
+
+val is_finitization : Fq_logic.Formula.t -> bool
+(** Recognizes the syntactic image of {!finitize} — the membership test of
+    the recursive syntax. *)
+
+val equivalence_in_state :
+  decide:(Fq_logic.Formula.t -> (bool, string) result) ->
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  (bool, string) result
+(** Theorem 2.5's criterion: in a given state, [φ] yields a finite answer
+    iff it is equivalent to its finitization there. Translates both into
+    pure domain formulas ({!Fq_eval.Translate}) and asks [decide] for
+    [∀x̄ (φ' ↔ φ'^F)]. *)

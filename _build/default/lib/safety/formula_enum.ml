@@ -1,0 +1,108 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+
+type vocabulary = {
+  preds : (string * int) list;
+  consts : string list;
+  funs : (string * int) list;
+}
+
+let var_pool n = List.init n (fun i -> Printf.sprintf "x%d" i)
+
+(* ---------------------------- terms -------------------------------- *)
+
+let rec terms_of_size voc ~vars n =
+  if n <= 0 then []
+  else if n = 1 then
+    List.map (fun v -> Term.Var v) vars @ List.map (fun c -> Term.Const c) voc.consts
+  else
+    (* App (f, args) has size 1 + Σ sizes *)
+    List.concat_map
+      (fun (f, arity) ->
+        if arity = 0 then if n = 1 then [ Term.App (f, []) ] else []
+        else
+          List.map (fun args -> Term.App (f, args)) (arg_lists voc ~vars arity (n - 1)))
+      voc.funs
+
+and arg_lists voc ~vars k budget =
+  (* all k-tuples of terms with total size = budget, each >= 1 *)
+  if k = 0 then if budget = 0 then [ [] ] else []
+  else if budget < k then []
+  else
+    List.concat_map
+      (fun first_size ->
+        let firsts = terms_of_size voc ~vars first_size in
+        List.concat_map
+          (fun rest -> List.map (fun t -> t :: rest) firsts)
+          (arg_lists voc ~vars (k - 1) (budget - first_size)))
+      (List.init (budget - k + 2) (fun i -> i)
+      |> List.filter (fun s -> s >= 1))
+
+(* --------------------------- formulas ------------------------------ *)
+
+let cache : (int, Formula.t list) Hashtbl.t = Hashtbl.create 16
+let cache_key = ref None (* invalidate when the vocabulary changes *)
+
+let rec formulas_of_size voc n =
+  let key = Some voc in
+  if !cache_key <> key then begin
+    Hashtbl.reset cache;
+    cache_key := key
+  end;
+  match Hashtbl.find_opt cache n with
+  | Some fs -> fs
+  | None ->
+    let vars = var_pool (max 1 n) in
+    let result =
+      if n <= 0 then []
+      else begin
+        let atoms =
+          if n = 1 then [ Formula.True; Formula.False ]
+          else
+            (* Atom (p, args): size 1 + Σ term sizes; Eq: 1 + |t| + |u| *)
+            List.concat_map
+              (fun (p, arity) ->
+                List.map (fun args -> Formula.Atom (p, args)) (arg_lists voc ~vars arity (n - 1)))
+              voc.preds
+            @ List.concat_map
+                (fun tsize ->
+                  let ts = terms_of_size voc ~vars tsize in
+                  let us = terms_of_size voc ~vars (n - 1 - tsize) in
+                  List.concat_map (fun t -> List.map (fun u -> Formula.Eq (t, u)) us) ts)
+                (List.init (max 0 (n - 2)) (fun i -> i + 1))
+        in
+        let nots = List.map (fun f -> Formula.Not f) (formulas_of_size voc (n - 1)) in
+        let quants =
+          List.concat_map
+            (fun v ->
+              List.concat_map
+                (fun f -> [ Formula.Exists (v, f); Formula.Forall (v, f) ])
+                (formulas_of_size voc (n - 1)))
+            vars
+        in
+        let binaries =
+          List.concat_map
+            (fun lsize ->
+              let ls = formulas_of_size voc lsize in
+              let rs = formulas_of_size voc (n - 1 - lsize) in
+              List.concat_map
+                (fun l ->
+                  List.concat_map
+                    (fun r -> [ Formula.And (l, r); Formula.Or (l, r); Formula.Imp (l, r) ])
+                    rs)
+                ls)
+            (List.init (max 0 (n - 2)) (fun i -> i + 1))
+        in
+        atoms @ nots @ quants @ binaries
+      end
+    in
+    Hashtbl.replace cache n result;
+    result
+
+let enumerate voc () =
+  Seq.concat_map (fun n -> List.to_seq (formulas_of_size voc n)) (Seq.ints 1)
+
+let enumerate_with_free voc ~free () =
+  let want = List.sort_uniq compare free in
+  enumerate voc ()
+  |> Seq.filter (fun f -> List.sort_uniq compare (Formula.free_vars f) = want)

@@ -1,0 +1,33 @@
+(** Recursive enumeration of first-order formulas — the "recursive
+    enumeration [φ₁(x), φ₂(x), …]" that Theorem 3.1's proof assumes a
+    recursive syntax would provide. Any recursive (or r.e.) class of
+    formulas embeds into this enumeration by filtering with its membership
+    test, which is exactly how {!Syntax_class} builds candidate syntaxes.
+
+    Formulas are enumerated by size, over a finite vocabulary: the given
+    predicates (with arities), constants, and a variable pool that grows
+    with the size budget, plus equality, the boolean connectives and both
+    quantifiers. Every formula over the vocabulary appears (up to the
+    naming of variables) at some finite position. *)
+
+type vocabulary = {
+  preds : (string * int) list;
+  consts : string list;  (** includes scheme constants, ['@']-prefixed *)
+  funs : (string * int) list;
+}
+
+val terms_of_size : vocabulary -> vars:string list -> int -> Fq_logic.Term.t list
+(** All terms of exactly the given size (see {!Fq_logic.Term.size}). *)
+
+val formulas_of_size : vocabulary -> int -> Fq_logic.Formula.t list
+(** All formulas of exactly the given size (see
+    {!Fq_logic.Formula.size}), using the variable pool [x0 … x(size-1)].
+    Beware: grows steeply with size. *)
+
+val enumerate : vocabulary -> unit -> Fq_logic.Formula.t Seq.t
+(** All formulas, by increasing size. *)
+
+val enumerate_with_free :
+  vocabulary -> free:string list -> unit -> Fq_logic.Formula.t Seq.t
+(** Only the formulas whose free variables are exactly the given list —
+    e.g. the one-free-variable queries of Theorem 3.1. *)

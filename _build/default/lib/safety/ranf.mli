@@ -1,0 +1,37 @@
+(** Relational-algebra normal form: direct compilation of safe-range
+    queries into algebra plans that never materialize the active domain.
+
+    {!Algebra_translate} compiles {e any} formula by relativizing to the
+    active domain — simple and total, but every negation and loose
+    variable costs an [adom^k] product. For {e safe-range} formulas the
+    classical RANF route does better: rewrite so that every disjunction
+    joins subformulas with equal free variables and every negation and
+    every variable is guarded by a positive conjunct, then translate
+    conjunctions to joins, guarded negations to anti-joins, disjunctions
+    to unions and existentials to projections. The resulting plans touch
+    only the stored relations.
+
+    Tests check plan-for-plan agreement with {!Algebra_translate} and the
+    Section 1.1 evaluator; the benchmark harness measures the plan-size
+    and evaluation-time gap (a DESIGN.md ablation). *)
+
+val to_ranf : Fq_logic.Formula.t -> Fq_logic.Formula.t
+(** SRNF followed by guard distribution: conjunctions push into
+    disjunctions whose disjuncts bind unequal variable sets, so that the
+    translation below applies. Preserves logical equivalence. *)
+
+val compile :
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  (Algebra_translate.compiled, string) result
+(** Fails (rather than falling back) when the formula is not safe-range —
+    use {!Algebra_translate} for the general active-domain semantics. The
+    state is used only to interpret scheme constants; the plan contains no
+    active-domain literal. *)
+
+val run :
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  (Fq_db.Relation.t, string) result

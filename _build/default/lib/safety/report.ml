@@ -1,0 +1,58 @@
+module Formula = Fq_logic.Formula
+module Relation = Fq_db.Relation
+module State = Fq_db.State
+module Schema = Fq_db.Schema
+
+type evaluation =
+  | Exact of { answer : Relation.t; engine : string }
+  | Partial of { tuples : Relation.t; fuel : int }
+  | Failed of string
+
+type t = {
+  formula : Formula.t;
+  safe_range : Safe_range.verdict;
+  finite_here : (bool, string) result;
+  evaluation : evaluation;
+}
+
+let enumerate ~fuel ?max_certified ~domain ~state f =
+  match Fq_eval.Enumerate.run ~fuel ?max_certified ~domain ~state f with
+  | Ok (Fq_eval.Enumerate.Finite answer) -> Exact { answer; engine = "enumerate" }
+  | Ok (Fq_eval.Enumerate.Out_of_fuel tuples) -> Partial { tuples; fuel }
+  | Error e -> Failed e
+
+let analyze ?(fuel = 10_000) ?max_certified ~domain ~state f =
+  let schema = Schema.relations (State.schema state) in
+  let safe_range = Safe_range.check ~schema f in
+  let finite_here = Relative_safety.decide_for ~domain ~state f in
+  let evaluation =
+    (* prefer the adom-free plans; fall back to active-domain compilation
+       (still exact for safe-range queries), then to enumeration *)
+    match (safe_range, Ranf.run ~domain ~state f) with
+    | Safe_range.Safe_range, Ok answer -> Exact { answer; engine = "ranf-algebra" }
+    | Safe_range.Safe_range, Error _ -> (
+      match Algebra_translate.run ~domain ~state f with
+      | Ok answer -> Exact { answer; engine = "adom-algebra" }
+      | Error _ -> enumerate ~fuel ?max_certified ~domain ~state f)
+    | Safe_range.Not_safe_range _, _ -> enumerate ~fuel ?max_certified ~domain ~state f
+  in
+  { formula = f; safe_range; finite_here; evaluation }
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>query: %a@," Formula.pp r.formula;
+  (match r.safe_range with
+  | Safe_range.Safe_range -> Format.fprintf fmt "syntactic: safe-range (finite in every state)@,"
+  | Safe_range.Not_safe_range why -> Format.fprintf fmt "syntactic: not safe-range (%s)@," why);
+  (match r.finite_here with
+  | Ok true -> Format.fprintf fmt "in this state: finite@,"
+  | Ok false -> Format.fprintf fmt "in this state: INFINITE@,"
+  | Error e -> Format.fprintf fmt "in this state: undecided (%s)@," e);
+  (match r.evaluation with
+  | Exact { answer; engine } ->
+    Format.fprintf fmt "answer (%s, %d tuples): %a@," engine (Relation.cardinal answer)
+      Relation.pp answer
+  | Partial { tuples; fuel } ->
+    Format.fprintf fmt "partial answer after fuel %d: %d tuples so far@," fuel
+      (Relation.cardinal tuples)
+  | Failed e -> Format.fprintf fmt "evaluation failed: %s@," e);
+  Format.fprintf fmt "@]"

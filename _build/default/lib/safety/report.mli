@@ -1,0 +1,36 @@
+(** One-call analysis of a query against a domain and a state: everything
+    the library can say about it, produced by the appropriate tool —
+
+    - the {e syntactic} verdict ({!Safe_range}): finite in {e every} state?
+    - the {e relative safety} verdict ({!Relative_safety.decide_for}):
+      finite in {e this} state? ([Error] over domains where Theorem 3.3
+      applies);
+    - the {e answer}, by the fastest applicable evaluator: the RANF
+      compiler for safe-range queries, otherwise the Section 1.1
+      enumeration with fuel.
+
+    This is the front door used by the CLI and the examples. *)
+
+type evaluation =
+  | Exact of { answer : Fq_db.Relation.t; engine : string }
+      (** complete answer; [engine] names the evaluator used *)
+  | Partial of { tuples : Fq_db.Relation.t; fuel : int }
+      (** enumeration ran out of fuel; possibly-infinite answer *)
+  | Failed of string
+
+type t = {
+  formula : Fq_logic.Formula.t;
+  safe_range : Safe_range.verdict;
+  finite_here : (bool, string) result;
+  evaluation : evaluation;
+}
+
+val analyze :
+  ?fuel:int ->
+  ?max_certified:int ->
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Syntactic range restriction — the classic {e effective syntax for
+    domain-independent queries} that the paper credits to Vardi, Ullman and
+    Van Gelder–Topor (Section 1.4): a recursive subclass of the calculus
+    such that every domain-independent query is expressible in it, and
+    every formula in it is domain-independent (hence finite over the
+    pure-equality domain, where the two classes coincide).
+
+    We implement the safe-range discipline of the standard textbook
+    treatment: normalize to {e SRNF} (no [∀], [→], [↔]; negation pushed
+    inward but kept above [∃]-blocks), compute the set [rr(φ)] of
+    range-restricted variables, and accept exactly the formulas whose free
+    variables are all range-restricted and whose every quantified variable
+    becomes restricted in its scope. *)
+
+val srnf : Fq_logic.Formula.t -> Fq_logic.Formula.t
+(** Safe-range normal form: eliminates [∀]/[→]/[↔], pushes [¬] through
+    [∧]/[∨]/[¬], renames bound variables apart. *)
+
+val range_restricted_vars :
+  schema:(string * int) list -> Fq_logic.Formula.t -> Fq_logic.Formula.Sset.t
+(** [rr(φ)] of an SRNF formula: the free variables guaranteed to range
+    over the active domain. Database atoms restrict their variables;
+    [x = c] restricts [x]; [x = y] propagates restriction; conjunction
+    unions, disjunction intersects, negation restricts nothing; an
+    [∃x.ψ]-block requires [x ∈ rr(ψ)] to export anything (else the whole
+    block restricts nothing, marking the quantified variable unsafe).
+    Domain predicates (such as [<]) restrict nothing. *)
+
+type verdict =
+  | Safe_range
+  | Not_safe_range of string  (** human-readable reason *)
+
+val check : schema:(string * int) list -> Fq_logic.Formula.t -> verdict
+(** Whether the formula is safe-range: every free variable and every
+    quantified variable is range-restricted where it matters. Safe-range
+    formulas are domain-independent, hence finite in every state. *)
+
+val is_safe_range : schema:(string * int) list -> Fq_logic.Formula.t -> bool

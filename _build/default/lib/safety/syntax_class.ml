@@ -1,0 +1,41 @@
+type t = {
+  name : string;
+  description : string;
+  accepts : Fq_logic.Formula.t -> bool;
+  enumerate : unit -> Fq_logic.Formula.t Seq.t;
+}
+
+let of_filter ~name ~description ~vocabulary accepts =
+  { name;
+    description;
+    accepts;
+    enumerate = (fun () -> Seq.filter accepts (Formula_enum.enumerate vocabulary ())) }
+
+let safe_range ~schema ~vocabulary =
+  of_filter ~name:"safe-range"
+    ~description:"range-restricted formulas (domain-independent syntax)" ~vocabulary
+    (fun f -> Safe_range.is_safe_range ~schema f)
+
+let finitizations ~vocabulary =
+  { name = "finitizations";
+    description = "the image of the Theorem 2.2 finitization operator over N_<";
+    accepts = Finitization.is_finitization;
+    enumerate =
+      (fun () -> Seq.map Finitization.finitize (Formula_enum.enumerate vocabulary ())) }
+
+(* f is in the image of [Ext_active.restrict] iff re-restricting its
+   left conjunct (the original φ) reproduces it; sentences restrict to
+   themselves. *)
+let is_restrict_image ~schema f =
+  Fq_logic.Formula.equal f (Ext_active.restrict ~schema f)
+  ||
+  match f with
+  | Fq_logic.Formula.And (phi, _) -> Fq_logic.Formula.equal f (Ext_active.restrict ~schema phi)
+  | _ -> false
+
+let extended_active ~schema ~vocabulary =
+  { name = "extended-active-domain";
+    description = "formulas restricted to the extended active domain of N' (Theorem 2.7)";
+    accepts = is_restrict_image ~schema;
+    enumerate =
+      (fun () -> Seq.map (Ext_active.restrict ~schema) (Formula_enum.enumerate vocabulary ())) }

@@ -1,0 +1,38 @@
+(** Candidate {e recursive syntaxes} for finite queries (Section 1.4): a
+    recursive subclass of formulas given by a membership test and a
+    recursive enumeration. A syntax is {e sound} for a domain when every
+    formula it contains is finite in every state, and {e complete} when
+    every finite query is equivalent to one of its formulas. Theorem 3.1
+    says no sound and complete recursive syntax exists for the trace
+    domain [T]; Theorems 2.2 / 2.7 give sound-and-complete syntaxes for
+    [N_<]-extensions and [N']. *)
+
+type t = {
+  name : string;
+  description : string;
+  accepts : Fq_logic.Formula.t -> bool;
+  enumerate : unit -> Fq_logic.Formula.t Seq.t;
+}
+
+val safe_range : schema:(string * int) list -> vocabulary:Formula_enum.vocabulary -> t
+(** The range-restricted (safe-range) formulas — the classical effective
+    syntax for domain-independent queries. Sound over every domain;
+    complete for the pure-equality domain, where finiteness and domain
+    independence coincide. *)
+
+val finitizations : vocabulary:Formula_enum.vocabulary -> t
+(** Theorem 2.2: the finitizations [φ^F] of all formulas. Sound and
+    complete over every extension of [N_<]. *)
+
+val extended_active : schema:(string * int) list -> vocabulary:Formula_enum.vocabulary -> t
+(** Theorem 2.7: formulas restricted to the extended active domain of
+    [N']. Sound and complete over [N']. *)
+
+val of_filter :
+  name:string ->
+  description:string ->
+  vocabulary:Formula_enum.vocabulary ->
+  (Fq_logic.Formula.t -> bool) ->
+  t
+(** An arbitrary recursive class given by its membership test, enumerated
+    by filtering the formula enumeration. *)

@@ -1,0 +1,1 @@
+lib/tm/builder.ml: Fq_words Hashtbl List Machine Printf Result String

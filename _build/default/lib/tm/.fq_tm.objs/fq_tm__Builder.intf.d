@@ -1,0 +1,1 @@
+lib/tm/builder.mli: Machine

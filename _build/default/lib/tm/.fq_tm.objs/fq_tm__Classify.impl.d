@@ -1,0 +1,1 @@
+lib/tm/classify.ml: Format Fq_words Trace

@@ -1,0 +1,1 @@
+lib/tm/classify.mli: Format Fq_words

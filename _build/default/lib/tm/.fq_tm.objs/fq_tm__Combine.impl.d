@@ -1,0 +1,1 @@
+lib/tm/combine.ml: List Machine

@@ -1,0 +1,1 @@
+lib/tm/combine.mli: Machine

@@ -1,0 +1,1 @@
+lib/tm/encode.ml: Fq_words List Machine Printf Seq String

@@ -1,0 +1,1 @@
+lib/tm/encode.mli: Fq_words Machine Seq

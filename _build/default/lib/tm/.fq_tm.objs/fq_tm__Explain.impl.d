@@ -1,0 +1,1 @@
+lib/tm/explain.ml: Buffer Fq_words Printf String Trace

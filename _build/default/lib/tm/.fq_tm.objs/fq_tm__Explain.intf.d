@@ -1,0 +1,1 @@
+lib/tm/explain.mli: Fq_words

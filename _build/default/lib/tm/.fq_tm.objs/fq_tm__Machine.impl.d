@@ -1,0 +1,1 @@
+lib/tm/machine.ml: Format List

@@ -1,0 +1,1 @@
+lib/tm/run.ml: Fq_words Machine Seq Tape

@@ -1,0 +1,1 @@
+lib/tm/run.mli: Machine Seq Tape

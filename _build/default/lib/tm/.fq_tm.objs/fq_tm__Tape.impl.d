@@ -1,0 +1,1 @@
+lib/tm/tape.ml: List Machine Printf String

@@ -1,0 +1,1 @@
+lib/tm/tape.mli: Machine

@@ -1,0 +1,1 @@
+lib/tm/trace.ml: Encode Fq_words List Option Printf Run Seq String

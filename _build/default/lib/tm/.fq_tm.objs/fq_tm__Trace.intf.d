@@ -1,0 +1,1 @@
+lib/tm/trace.mli: Fq_words Seq

@@ -1,0 +1,1 @@
+lib/tm/zoo.ml: List Machine

@@ -1,0 +1,1 @@
+lib/tm/zoo.mli: Machine

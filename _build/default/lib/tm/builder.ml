@@ -1,0 +1,143 @@
+module Word = Fq_words.Word
+
+type constraint_ =
+  | At_least of string * int
+  | Exactly of string * int
+
+let trim_blanks w =
+  let n = ref (String.length w) in
+  while !n > 0 && w.[!n - 1] = '-' do decr n done;
+  String.sub w 0 !n
+
+let validate = function
+  | At_least (w, i) | Exactly (w, i) ->
+    if not (Word.is_input w) then
+      invalid_arg (Printf.sprintf "Builder: %S is not an input word" w);
+    if i < 1 then invalid_arg "Builder: trace counts must be positive"
+
+(* The tape character at position [t] of the path of word [w]: the word's
+   character, or blank once the head has moved past it. *)
+let path_char w t = if t < String.length w then w.[t] else '-'
+let path_prefix w t = String.init t (path_char w)
+
+(* Per-tape requirements: survive at least [alive] steps; if [halt_at] is
+   set, the cell reached at that step must be undefined. *)
+type req = { mutable alive : int; mutable halt_at : int option }
+
+let gather constraints =
+  let tbl = Hashtbl.create 16 in
+  let req_of w =
+    let key = trim_blanks w in
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = { alive = 0; halt_at = None } in
+      Hashtbl.add tbl key r;
+      r
+  in
+  let conflict = ref None in
+  List.iter
+    (fun c ->
+      validate c;
+      match c with
+      | At_least (w, i) ->
+        let r = req_of w in
+        r.alive <- max r.alive (i - 1)
+      | Exactly (w, j) -> (
+        let r = req_of w in
+        r.alive <- max r.alive (j - 1);
+        match r.halt_at with
+        | Some j' when j' <> j - 1 ->
+          conflict :=
+            Some
+              (Printf.sprintf "word %S is required to halt after both %d and %d steps"
+                 (trim_blanks w) j' (j - 1))
+        | _ -> r.halt_at <- Some (j - 1)))
+    constraints;
+  (tbl, !conflict)
+
+let build constraints =
+  let tbl, conflict = gather constraints in
+  match conflict with
+  | Some msg -> Error msg
+  | None ->
+    let reqs = Hashtbl.fold (fun w r acc -> (w, r) :: acc) tbl [] in
+    (* Exact-halt constraints also require surviving until the halt step. *)
+    List.iter
+      (fun (_, r) ->
+        match r.halt_at with Some e -> r.alive <- max r.alive e | None -> ())
+      reqs;
+    let defined = Hashtbl.create 64 in
+    List.iter
+      (fun (w, r) ->
+        for t = 0 to r.alive - 1 do
+          Hashtbl.replace defined (path_prefix w t, path_char w t) ()
+        done)
+      reqs;
+    let forbidden =
+      List.filter_map
+        (fun (w, r) ->
+          match r.halt_at with
+          | Some e -> Some (w, (path_prefix w e, path_char w e))
+          | None -> None)
+        reqs
+    in
+    (match
+       List.find_opt (fun (_, cell) -> Hashtbl.mem defined cell) forbidden
+     with
+    | Some (w, _) ->
+      Error
+        (Printf.sprintf
+           "word %S must halt at a step where another constraint forces the machine on" w)
+    | None ->
+      (* Number the prefix states: the empty prefix is the initial state 1. *)
+      let state_ids = Hashtbl.create 64 in
+      Hashtbl.add state_ids "" 1;
+      let next_id = ref 2 in
+      let state_of p =
+        match Hashtbl.find_opt state_ids p with
+        | Some id -> id
+        | None ->
+          let id = !next_id in
+          incr next_id;
+          Hashtbl.add state_ids p id;
+          id
+      in
+      let cells =
+        Hashtbl.fold (fun cell () acc -> cell :: acc) defined []
+        |> List.sort (fun (p1, c1) (p2, c2) ->
+               let c = compare (String.length p1) (String.length p2) in
+               if c <> 0 then c else compare (p1, c1) (p2, c2))
+      in
+      let entries =
+        List.map
+          (fun (p, c) ->
+            let sym =
+              match Machine.symbol_of_char c with Some s -> s | None -> assert false
+            in
+            ( (state_of p, sym),
+              { Machine.next = state_of (p ^ String.make 1 c);
+                write = sym;
+                move = Machine.Right } ))
+          cells
+      in
+      Ok (Machine.make entries))
+
+let satisfiable constraints = Result.is_ok (build constraints)
+
+let prefix_eq a b n =
+  String.length a >= n && String.length b >= n && String.sub a 0 n = String.sub b 0 n
+
+let paper_criterion ~d ~e =
+  let bad_de =
+    List.exists
+      (fun (v, i) -> List.exists (fun (u, j) -> i > j && prefix_eq v u j) e)
+      d
+  in
+  let bad_ee =
+    List.exists
+      (fun (u_r, j_r) ->
+        List.exists (fun (u_q, j_q) -> j_r > j_q && prefix_eq u_r u_q j_q) e)
+      e
+  in
+  not (bad_de || bad_ee)

@@ -1,0 +1,47 @@
+(** Explicit construction of machines with prescribed initial behaviour —
+    the computational content of the paper's Lemma A.2.
+
+    Lemma A.2 characterizes when the formula
+    [∃x (D_{i₁}(x,v₁) ∧ … ∧ D_{iₖ}(x,vₖ) ∧ E_{j₁}(x,u₁) ∧ … ∧ E_{jₗ}(x,uₗ))]
+    is true: the proof "explicitly constructs the Turing machine that would
+    witness the quantifier … (that can actually be written as a finite
+    automaton) [and] stops at exactly the specified words in the specified
+    numbers of steps". This module is that construction.
+
+    The witness machine is a prefix-trie automaton: its states are the tape
+    prefixes it has read; on every defined cell it re-writes the scanned
+    symbol and moves right, so after [t] steps it is in the state labelled
+    by the first [t] tape characters. [D_i(x,w)] ("at least [i] traces")
+    requires the cells along [w]'s path to be defined for the first [i-1]
+    steps; [E_j(x,w)] ("exactly [j] traces") additionally requires the cell
+    reached at step [j-1] to be {e undefined}. The system is satisfiable
+    iff no required cell is also forbidden.
+
+    Unlike the paper we do not assume words are longer than the step
+    counts: a path continues over blank cells past the end of its word.
+    Words that agree after trimming trailing blanks denote the same tape,
+    so their constraints are merged. *)
+
+type constraint_ =
+  | At_least of string * int
+      (** [At_least (w, i)] — the machine must have at least [i] traces in
+          [w], i.e. [D_i(x, w)]. *)
+  | Exactly of string * int
+      (** [Exactly (w, j)] — exactly [j] traces in [w], i.e. [E_j(x, w)]. *)
+
+val build : constraint_ list -> (Machine.t, string) result
+(** The witness machine, or a human-readable reason the system is
+    unsatisfiable. Words must be input words and counts positive.
+    @raise Invalid_argument on malformed constraints. *)
+
+val satisfiable : constraint_ list -> bool
+
+val paper_criterion : d:(string * int) list -> e:(string * int) list -> bool
+(** The literal criterion of Lemma A.2, meaningful under the lemma's
+    hypothesis that every word is longer than every step count: the system
+    [{D_{iᵣ}(x,vᵣ)} ∪ {E_{jq}(x,u_q)}] is satisfiable iff for no pair
+    [(r,q)]:
+    - [iᵣ > j_q] and [vᵣ] and [u_q] share their length-[j_q] prefix, or
+    - [jᵣ > j_q] and [uᵣ] and [u_q] share their length-[j_q] prefix.
+
+    Tests check it agrees with {!satisfiable} under the hypothesis. *)

@@ -1,0 +1,21 @@
+type cls = Machine | Input | Trace | Other
+
+let classify w =
+  match Fq_words.Word.syntactic_class w with
+  | `Input -> Input
+  | `Machine_shaped -> Machine
+  | `Trace_shaped -> if Trace.is_trace_word w then Trace else Other
+  | `Other -> Other
+
+let is_machine w = classify w = Machine
+let is_input w = classify w = Input
+let is_trace w = classify w = Trace
+let is_other w = classify w = Other
+
+let to_string = function
+  | Machine -> "machine"
+  | Input -> "input"
+  | Trace -> "trace"
+  | Other -> "other"
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,18 @@
+(** The four pairwise disjoint classes of Section 3 and the Appendix: every
+    word of the domain [T] is a machine, an input word, a trace, or an
+    "other word". These are the unary predicates [M], [W], [T], [O] of the
+    Reach Theory of Traces. *)
+
+type cls = Machine | Input | Trace | Other
+
+val classify : Fq_words.Word.t -> cls
+(** @raise Invalid_argument if the argument is not a word over the
+    four-letter alphabet. *)
+
+val is_machine : Fq_words.Word.t -> bool
+val is_input : Fq_words.Word.t -> bool
+val is_trace : Fq_words.Word.t -> bool
+val is_other : Fq_words.Word.t -> bool
+
+val pp : Format.formatter -> cls -> unit
+val to_string : cls -> string

@@ -1,0 +1,29 @@
+open Machine
+
+let shift_states offset m =
+  Machine.make
+    (List.map
+       (fun ((s, c), tr) -> ((s + offset, c), { tr with next = tr.next + offset }))
+       (Machine.entries m))
+
+let sequence m1 m2 =
+  let max1 = List.fold_left max 1 (Machine.states m1) in
+  let m2' = shift_states max1 m2 in
+  let start2 = 1 + max1 in
+  (* every undefined cell of m1 transfers control to m2's start *)
+  let transfers =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun c ->
+            match Machine.delta m1 s c with
+            | Some _ -> None
+            | None -> Some ((s, c), { next = start2; write = c; move = Stay }))
+          [ Blank; One ])
+      (Machine.states m1)
+  in
+  Machine.make (Machine.entries m1 @ transfers @ Machine.entries m2')
+
+let chain = function
+  | [] -> invalid_arg "Combine.chain: empty list"
+  | m :: rest -> List.fold_left sequence m rest

@@ -1,0 +1,20 @@
+(** Combinators for building Turing machines out of smaller ones — the
+    classical constructions used informally throughout computability
+    arguments ("run M₁, then M₂"), made executable. They are how the test
+    suite manufactures total machines with prescribed multi-phase
+    behaviour beyond what the Lemma A.2 prefix-trie {!Builder} covers. *)
+
+val shift_states : int -> Machine.t -> Machine.t
+(** Renumbers every state by adding the offset. The result no longer
+    starts at state 1; used internally by {!sequence}. *)
+
+val sequence : Machine.t -> Machine.t -> Machine.t
+(** [sequence m1 m2] runs [m1] to completion and then behaves as [m2]
+    started from [m1]'s halting configuration (same tape, same head).
+    Every configuration where [m1] would halt instead transfers — in one
+    extra [Stay] step per transfer — to [m2]'s initial state. If [m1]
+    diverges, so does the composition. *)
+
+val chain : Machine.t list -> Machine.t
+(** [sequence] folded over a nonempty list.
+    @raise Invalid_argument on the empty list. *)

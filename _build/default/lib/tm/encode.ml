@@ -1,0 +1,52 @@
+open Machine
+
+let unary n = Fq_words.Word.unary n
+
+let field_of_symbol = function One -> "1" | Blank -> ""
+let field_of_move = function Left -> "" | Right -> "1" | Stay -> "11"
+
+let encode m =
+  match entries m with
+  | [] -> "*"
+  | es ->
+    let fields =
+      List.concat_map
+        (fun ((s, c), { next; write; move }) ->
+          [ unary (s - 1); field_of_symbol c; unary (next - 1); field_of_symbol write;
+            field_of_move move ])
+        es
+    in
+    String.concat "*" fields
+
+let value f = String.fold_left (fun acc c -> if c = '1' then acc + 1 else acc) 0 f
+
+let symbol_of_value v = if v mod 2 = 1 then One else Blank
+
+let move_of_value v =
+  match v mod 3 with
+  | 0 -> Left
+  | 1 -> Right
+  | _ -> Stay
+
+let decode w =
+  if not (Fq_words.Word.is_machine_shaped w) then
+    invalid_arg (Printf.sprintf "Encode.decode: %S is not machine-shaped" w);
+  let fields = String.split_on_char '*' w in
+  let rec groups acc = function
+    | f1 :: f2 :: f3 :: f4 :: f5 :: rest ->
+      let entry =
+        ( (value f1 + 1, symbol_of_value (value f2)),
+          { next = value f3 + 1; write = symbol_of_value (value f4); move = move_of_value (value f5) } )
+      in
+      groups (entry :: acc) rest
+    | _leftover -> List.rev acc
+  in
+  Machine.make (groups [] fields)
+
+let variants m =
+  let base = encode m in
+  (* Appending "*1^n" adds one padding field, which decoding ignores as
+     long as the total number of appended fields stays below five; appending
+     a single field of a fresh length each time keeps within one leftover
+     field while producing infinitely many distinct words. *)
+  Seq.cons base (Seq.map (fun n -> base ^ "*" ^ unary n) (Seq.ints 0))

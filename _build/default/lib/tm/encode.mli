@@ -1,0 +1,31 @@
+(** Encoding of Turing machines as words over [{1, −, *}].
+
+    The paper fixes only that machines are strings in this alphabet with at
+    least one ['*'] and says "the details of a particular representation
+    are not otherwise important". Our convention makes {e decoding total}
+    on the whole machine-shaped class, which the Appendix's constructions
+    need (every machine-shaped word denotes some machine, and every machine
+    has infinitely many encodings):
+
+    - split the word on ['*'] into fields over [{1,-}];
+    - consecutive groups of five fields [(s, c, s', c', m)] are transition
+      entries; leftover fields (fewer than five) are padding;
+    - a field's value is its number of ['1'] characters; states are
+      [value + 1], symbols are the value's parity ([odd = 1]), moves are
+      [value mod 3] ([0 = L], [1 = R], [2 = S]);
+    - on duplicate [(state, symbol)] keys the first entry wins. *)
+
+val encode : Machine.t -> Fq_words.Word.t
+(** Canonical encoding. [encode Machine.empty = "*"]. The result is always
+    machine-shaped. *)
+
+val decode : Fq_words.Word.t -> Machine.t
+(** Total on machine-shaped words; [decode (encode m)] has the same
+    transition function as [m].
+    @raise Invalid_argument if the word is not machine-shaped. *)
+
+val variants : Machine.t -> Fq_words.Word.t Seq.t
+(** Infinitely many pairwise distinct machine-shaped words all decoding to
+    (a machine behaviourally identical to) the given machine — "there are
+    infinitely many behaviorally equivalent but syntactically different
+    machines" (Appendix, case T-1). The first element is [encode m]. *)

@@ -1,0 +1,43 @@
+module Word = Fq_words.Word
+
+let snapshot_line ~state ~tape ~pos =
+  match (Word.unary_value state, Word.unary_value pos) with
+  | None, _ -> Error (Printf.sprintf "malformed state field %S" state)
+  | _, None -> Error (Printf.sprintf "malformed position field %S" pos)
+  | Some q, Some p ->
+    if q < 1 then Error "state must be positive"
+    else if p > String.length tape then Error "head position outside the tape window"
+    else begin
+      let buf = Buffer.create (String.length tape + 16) in
+      Buffer.add_string buf (Printf.sprintf "state q%-3d | tape " q);
+      let n = max (String.length tape) (p + 1) in
+      for i = 0 to n - 1 do
+        let c = if i < String.length tape then tape.[i] else '-' in
+        if i = p then Buffer.add_string buf (Printf.sprintf "[%c]" c)
+        else Buffer.add_char buf c
+      done;
+      Ok (Buffer.contents buf)
+    end
+
+let trace p =
+  match Trace.parse p with
+  | None -> Error (Printf.sprintf "%S is not a trace" p)
+  | Some (machine, input, k) -> (
+    match Word.split_fields p with
+    | _ :: rest ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "trace of machine %S on input %S (%d snapshot%s)\n" machine input k
+           (if k = 1 then "" else "s"));
+      let rec go i = function
+        | state :: tape :: pos :: more -> (
+          match snapshot_line ~state ~tape ~pos with
+          | Ok line ->
+            Buffer.add_string buf (Printf.sprintf "  %2d: %s\n" i line);
+            go (i + 1) more
+          | Error e -> Error e)
+        | [] -> Ok (Buffer.contents buf)
+        | _ -> Error "internal: field count not divisible by three"
+      in
+      go 0 rest
+    | [] -> Error "empty word")

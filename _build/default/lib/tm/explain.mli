@@ -1,0 +1,11 @@
+(** Human-readable rendering of trace words — for the CLI and examples.
+    A trace like ["*1**1*1.1.11..1.11.1"] is hard to read; {!trace}
+    renders it as one line per snapshot with the head position marked. *)
+
+val snapshot_line : state:string -> tape:string -> pos:string -> (string, string) result
+(** One snapshot as [state q2 | tape 1[1]- ] (head cell bracketed).
+    Errors on malformed unary fields or an out-of-range position. *)
+
+val trace : Fq_words.Word.t -> (string, string) result
+(** The whole trace: a header naming the machine and input, then one line
+    per snapshot. Errors when the word is not a valid trace. *)

@@ -1,0 +1,49 @@
+type symbol = Blank | One
+type move = Left | Right | Stay
+
+type transition = { next : int; write : symbol; move : move }
+
+type t = { table : ((int * symbol) * transition) list }
+(* Canonical: sorted by key, no duplicate keys. *)
+
+let make entries =
+  List.iter
+    (fun ((s, _), tr) ->
+      if s <= 0 || tr.next <= 0 then invalid_arg "Machine.make: states must be positive")
+    entries;
+  (* First entry wins on duplicate keys. *)
+  let dedup =
+    List.fold_left
+      (fun acc ((key, _) as e) -> if List.mem_assoc key acc then acc else e :: acc)
+      [] entries
+  in
+  { table = List.sort compare dedup }
+
+let delta m s c = List.assoc_opt (s, c) m.table
+let entries m = m.table
+
+let states m =
+  let add acc s = if List.mem s acc then acc else s :: acc in
+  let all = List.fold_left (fun acc ((s, _), tr) -> add (add acc s) tr.next) [ 1 ] m.table in
+  List.sort compare all
+
+let empty = { table = [] }
+
+let equal a b = a.table = b.table
+
+let symbol_of_char = function '1' -> Some One | '-' -> Some Blank | _ -> None
+let char_of_symbol = function One -> '1' | Blank -> '-'
+
+let pp fmt m =
+  let pp_move fmt = function
+    | Left -> Format.pp_print_string fmt "L"
+    | Right -> Format.pp_print_string fmt "R"
+    | Stay -> Format.pp_print_string fmt "S"
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun ((s, c), tr) ->
+      Format.fprintf fmt "(q%d, %c) -> (q%d, %c, %a)@," s (char_of_symbol c) tr.next
+        (char_of_symbol tr.write) pp_move tr.move)
+    m.table;
+  Format.fprintf fmt "@]"

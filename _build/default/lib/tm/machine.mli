@@ -1,0 +1,37 @@
+(** Standard single-tape Turing machines in the two-character tape alphabet
+    [{1, −}] (Section 3 of the paper).
+
+    States are positive integers; state [1] is the initial state. The
+    machine halts when the transition function is undefined for the current
+    (state, symbol) pair. *)
+
+type symbol = Blank | One
+type move = Left | Right | Stay
+
+type transition = { next : int; write : symbol; move : move }
+
+type t
+(** A machine: a finite partial transition function. *)
+
+val make : ((int * symbol) * transition) list -> t
+(** Builds a machine from transition entries. When a (state, symbol) key is
+    repeated, the first entry wins (matching the decoding convention of
+    {!Encode}). Non-positive states are invalid.
+    @raise Invalid_argument on a non-positive state. *)
+
+val delta : t -> int -> symbol -> transition option
+val entries : t -> ((int * symbol) * transition) list
+(** Entries in canonical order (sorted by key, duplicates removed). *)
+
+val states : t -> int list
+(** All states mentioned, sorted. Always contains [1]. *)
+
+val empty : t
+(** The machine with no transitions: halts immediately on every input. *)
+
+val equal : t -> t -> bool
+(** Equality of transition functions (not of encodings). *)
+
+val symbol_of_char : char -> symbol option
+val char_of_symbol : symbol -> char
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type config = { state : int; tape : Tape.t }
+
+let initial w = { state = 1; tape = Tape.of_input w }
+
+let step m { state; tape } =
+  match Machine.delta m state (Tape.read tape) with
+  | None -> None
+  | Some { Machine.next; write; move } ->
+    Some { state = next; tape = Tape.move move (Tape.write write tape) }
+
+let configs m w =
+  let rec from c () =
+    Seq.Cons
+      ( c,
+        match step m c with
+        | None -> Seq.empty
+        | Some c' -> from c' )
+  in
+  from (initial w)
+
+type outcome =
+  | Halted of { steps : int; result : string }
+  | Out_of_fuel
+
+let run ~fuel m w =
+  let rec go steps c =
+    match step m c with
+    | None -> Halted { steps; result = Tape.result c.tape }
+    | Some c' -> if steps >= fuel then Out_of_fuel else go (steps + 1) c'
+  in
+  go 0 (initial w)
+
+let halts_within ~fuel m w =
+  match run ~fuel m w with Halted { steps; _ } -> Some steps | Out_of_fuel -> None
+
+let config_count_upto ~bound m w =
+  match halts_within ~fuel:bound m w with
+  | Some steps -> min bound (steps + 1)
+  | None -> bound
+
+let snapshot { state; tape } =
+  let segment, pos = Tape.window tape in
+  (Fq_words.Word.unary state, segment, Fq_words.Word.unary pos)

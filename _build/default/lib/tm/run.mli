@@ -1,0 +1,36 @@
+(** Execution of Turing machines: configurations, stepping, bounded runs. *)
+
+type config = { state : int; tape : Tape.t }
+
+val initial : string -> config
+(** Initial configuration on an input word over [{1,-}]: state [1], head on
+    the leftmost character. *)
+
+val step : Machine.t -> config -> config option
+(** One transition; [None] when the machine halts (no applicable rule). *)
+
+val configs : Machine.t -> string -> config Seq.t
+(** The (finite or infinite) sequence of configurations of the computation
+    on the given input, starting with {!initial}. *)
+
+type outcome =
+  | Halted of { steps : int; result : string }
+  | Out_of_fuel
+
+val run : fuel:int -> Machine.t -> string -> outcome
+(** Runs for at most [fuel] steps. [Halted] reports the number of
+    transitions performed and the paper's result convention (leftmost block
+    of ['1']s, or the empty word on an all-blank tape). *)
+
+val halts_within : fuel:int -> Machine.t -> string -> int option
+(** [Some steps] if the machine halts within [fuel] steps. *)
+
+val config_count_upto : bound:int -> Machine.t -> string -> int
+(** [min(bound, number of configurations of the computation)]. The number
+    of configurations is [steps + 1] for a halting computation and infinite
+    otherwise; it equals the paper's number of distinct traces of the
+    machine on the input. *)
+
+val snapshot : config -> string * string * string
+(** [(state, tape, pos)] fields of the paper's trace snapshot: unary state,
+    tape window, unary head position. *)

@@ -1,0 +1,65 @@
+open Machine
+
+type t = {
+  left : symbol list;  (** cells left of the head, nearest first *)
+  head : symbol;
+  right : symbol list;  (** cells right of the head, nearest first *)
+}
+
+let blank_tape = { left = []; head = Blank; right = [] }
+
+let of_input w =
+  let symbols =
+    List.map
+      (fun c ->
+        match Machine.symbol_of_char c with
+        | Some s -> s
+        | None -> invalid_arg (Printf.sprintf "Tape.of_input: bad character %C" c))
+      (List.init (String.length w) (String.get w))
+  in
+  match symbols with
+  | [] -> blank_tape
+  | head :: right -> { left = []; head; right }
+
+let read t = t.head
+let write c t = { t with head = c }
+
+let move m t =
+  match m with
+  | Stay -> t
+  | Left -> (
+    match t.left with
+    | [] -> { left = []; head = Blank; right = t.head :: t.right }
+    | c :: rest -> { left = rest; head = c; right = t.head :: t.right })
+  | Right -> (
+    match t.right with
+    | [] -> { left = t.head :: t.left; head = Blank; right = [] }
+    | c :: rest -> { left = t.head :: t.left; head = c; right = rest })
+
+(* Drop blanks at the far end of a one-sided cell list (far end = list tail). *)
+let rec drop_near = function Blank :: rest -> drop_near rest | cells -> cells
+let trim_far cells = List.rev (drop_near (List.rev cells))
+
+let render cells = String.init (List.length cells) (fun i -> char_of_symbol (List.nth cells i))
+
+let window t =
+  let left = trim_far t.left in
+  let right = trim_far t.right in
+  let segment = List.rev_append left (t.head :: right) in
+  (render segment, List.length left)
+
+let result t =
+  let full = List.rev_append t.left (t.head :: t.right) in
+  let rec skip_to_one = function
+    | [] -> []
+    | One :: _ as l -> l
+    | Blank :: rest -> skip_to_one rest
+  in
+  let rec take_ones acc = function
+    | One :: rest -> take_ones (One :: acc) rest
+    | _ -> List.rev acc
+  in
+  render (take_ones [] (skip_to_one full))
+
+let equal a b =
+  trim_far a.left = trim_far b.left && a.head = b.head && trim_far a.right = trim_far b.right

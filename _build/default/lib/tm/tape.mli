@@ -1,0 +1,34 @@
+(** The bi-infinite tape of a Turing machine, as a persistent zipper.
+
+    Cells outside the explicitly stored region hold {!Machine.Blank}. The
+    zipper makes configurations persistent, so traces can capture snapshots
+    without copying the whole tape. *)
+
+type t
+
+val of_input : string -> t
+(** Writes an input word over [{1,-}] on an otherwise blank tape and places
+    the head on its leftmost character (on a blank cell when the word is
+    empty).
+    @raise Invalid_argument if the word has characters outside [{1,-}]. *)
+
+val read : t -> Machine.symbol
+val write : Machine.symbol -> t -> t
+val move : Machine.move -> t -> t
+
+val window : t -> string * int
+(** [(segment, pos)] where [segment] is the minimal contiguous region
+    covering every non-blank cell {e and the head}, rendered over [{1,-}],
+    and [pos] is the head's offset within it. The paper only demands the
+    minimal non-blank cover; including the head keeps the position
+    representable in unary when the head sits outside the written region
+    (see DESIGN.md). For the initial configuration on input [w] this is
+    [w] with trailing blanks trimmed (["-"] for an all-blank tape), at
+    position [0] — the paper's first snapshot [1 ⋆ w ⋆]. *)
+
+val result : t -> string
+(** The paper's result convention: the empty word when the tape is all
+    blank, otherwise the leftmost maximal block of ['1']s. *)
+
+val equal : t -> t -> bool
+(** Equality of tape content and head position (stored blanks trimmed). *)

@@ -1,0 +1,92 @@
+module Word = Fq_words.Word
+
+let check_args ~machine ~input ~k =
+  if not (Word.is_machine_shaped machine) then
+    invalid_arg (Printf.sprintf "Trace: %S is not machine-shaped" machine);
+  if not (Word.is_input input) then
+    invalid_arg (Printf.sprintf "Trace: %S is not an input word" input);
+  if k < 1 then invalid_arg "Trace: snapshot count must be positive"
+
+let render_fields machine snaps =
+  let fields =
+    machine :: List.concat_map (fun (st, tp, pos) -> [ st; tp; pos ]) snaps
+  in
+  (* A trace ends with its last (possibly empty) position field; when that
+     field is empty the rendered word ends with the separator. *)
+  Word.join_fields fields
+
+(* The first snapshot records the input verbatim (the paper's "1 ⋆ w ⋆"),
+   not the trimmed tape window: this keeps traces of a machine on different
+   inputs distinct, so the Appendix function w(x) is well defined. The
+   initial head position is always 0, and subsequent snapshots use the
+   minimal window of {!Run.snapshot}. *)
+let snapshot_seq m input =
+  Seq.mapi
+    (fun i c ->
+      let st, tp, pos = Run.snapshot c in
+      if i = 0 then (st, input, pos) else (st, tp, pos))
+    (Run.configs m input)
+
+let trace_word ~machine ~input ~k =
+  check_args ~machine ~input ~k;
+  let m = Encode.decode machine in
+  let snaps = List.of_seq (Seq.take k (snapshot_seq m input)) in
+  if List.length snaps < k then None else Some (render_fields machine snaps)
+
+let traces ~machine ~input =
+  check_args ~machine ~input ~k:1;
+  let m = Encode.decode machine in
+  (* The k-th trace extends the (k-1)-th by one snapshot. *)
+  Seq.scan (fun acc snap -> snap :: acc) [] (snapshot_seq m input)
+  |> Seq.filter (fun acc -> acc <> [])
+  |> Seq.map (fun acc -> render_fields machine (List.rev acc))
+
+let parse p =
+  match Word.split_fields p with
+  | m :: rest when Word.is_machine_shaped m && rest <> [] && List.length rest mod 3 = 0 ->
+    let k = List.length rest / 3 in
+    let snaps =
+      List.init k (fun i ->
+          (List.nth rest (3 * i), List.nth rest ((3 * i) + 1), List.nth rest ((3 * i) + 2)))
+    in
+    (* The input is the first snapshot's tape field, recorded verbatim. *)
+    (match snaps with
+    | (_, tape0, _) :: _ when Word.is_input tape0 -> (
+      match trace_word ~machine:m ~input:tape0 ~k with
+      | Some p' when String.equal p p' -> Some (m, tape0, k)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let is_trace_word p = Option.is_some (parse p)
+
+let p_pred m w p =
+  Word.is_machine_shaped m && Word.is_input w
+  &&
+  match parse p with
+  | None -> false
+  | Some (m', _, k) ->
+    String.equal m m'
+    && (match trace_word ~machine:m ~input:w ~k with
+       | Some p' -> String.equal p p'
+       | None -> false)
+
+let count_traces_upto ~bound ~machine ~input =
+  let m = Encode.decode machine in
+  Run.config_count_upto ~bound m input
+
+let d_pred ~i m w =
+  if i < 1 then invalid_arg "Trace.d_pred: i must be positive";
+  Word.is_machine_shaped m && Word.is_input w
+  && count_traces_upto ~bound:i ~machine:m ~input:w >= i
+
+let e_pred ~i m w =
+  if i < 1 then invalid_arg "Trace.e_pred: i must be positive";
+  Word.is_machine_shaped m && Word.is_input w
+  &&
+  match Run.halts_within ~fuel:i (Encode.decode m) w with
+  | Some steps -> steps = i - 1
+  | None -> false
+
+let w_fn p = match parse p with Some (_, w, _) -> w | None -> ""
+let m_fn p = match parse p with Some (m, _, _) -> m | None -> ""

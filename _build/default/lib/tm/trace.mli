@@ -1,0 +1,53 @@
+(** Traces of partial computations — the heart of the paper's domain [T].
+
+    A trace of machine [M] (given by its encoding word) in input [w] is the
+    word [M ⋆ s₁ ⋆ t₁ ⋆ p₁ ⋆ s₂ ⋆ t₂ ⋆ p₂ ⋆ …] listing the snapshots of the
+    first [k ≥ 1] configurations of [M]'s computation on [w] (each snapshot
+    is unary state ⋆ tape window ⋆ unary head position, see
+    {!Run.snapshot}). A halting computation with [n] steps has exactly
+    [n + 1] distinct traces; a diverging one has infinitely many. *)
+
+val trace_word : machine:Fq_words.Word.t -> input:string -> k:int -> Fq_words.Word.t option
+(** The trace listing the first [k] snapshots, or [None] when the
+    computation has fewer than [k] configurations. [k] must be positive.
+    @raise Invalid_argument if [machine] is not machine-shaped, [input] is
+    not an input word, or [k < 1]. *)
+
+val traces : machine:Fq_words.Word.t -> input:string -> Fq_words.Word.t Seq.t
+(** All traces of the machine in the input, shortest first. Finite iff the
+    machine halts on the input. *)
+
+val p_pred : Fq_words.Word.t -> Fq_words.Word.t -> Fq_words.Word.t -> bool
+(** [p_pred m w p] is the domain predicate [P(m, w, p)]: [m] is a
+    machine-shaped word, [w] an input word, and [p] a trace of [m] in [w].
+    Total on all words; never raises. *)
+
+val is_trace_word : Fq_words.Word.t -> bool
+(** Membership in the class [T]: [∃ M w. P(M, w, p)]. Decidable because a
+    trace determines its machine and (up to trailing blanks) its input. *)
+
+val parse : Fq_words.Word.t -> (Fq_words.Word.t * Fq_words.Word.t * int) option
+(** [parse p = Some (m, w, k)] when [p] is a valid trace: its machine word,
+    the input recovered from the first snapshot, and its snapshot count. *)
+
+val count_traces_upto : bound:int -> machine:Fq_words.Word.t -> input:string -> int
+(** [min(bound, number of traces of the machine in the input)]. *)
+
+val d_pred : i:int -> Fq_words.Word.t -> Fq_words.Word.t -> bool
+(** The Appendix predicate [D_i(M, w)]: the machine has at least [i]
+    distinct traces in [w] — equivalently, its computation on [w] reaches
+    at least [i] configurations. Decidable by bounded simulation. Total on
+    all words ([false] when [M] is not machine-shaped or [w] not an input);
+    [i] must be positive. *)
+
+val e_pred : i:int -> Fq_words.Word.t -> Fq_words.Word.t -> bool
+(** [E_i(M, w)]: exactly [i] distinct traces — the machine halts on [w]
+    after exactly [i - 1] steps. *)
+
+val w_fn : Fq_words.Word.t -> Fq_words.Word.t
+(** The Appendix function [w(x)]: the input word a trace starts from, and
+    the empty word on non-traces. *)
+
+val m_fn : Fq_words.Word.t -> Fq_words.Word.t
+(** The Appendix function [m(x)]: the machine of a trace, and the empty
+    word on non-traces. *)

@@ -1,0 +1,86 @@
+open Machine
+
+type totality = Total | Non_total | Unknown
+
+type entry = {
+  name : string;
+  machine : Machine.t;
+  totality : totality;
+  description : string;
+  diverges_on : string option;
+}
+
+let halt = Machine.empty
+
+let scan_right = make [ ((1, One), { next = 1; write = One; move = Right }) ]
+
+let erase = make [ ((1, One), { next = 1; write = Blank; move = Right }) ]
+
+let successor =
+  make
+    [ ((1, One), { next = 1; write = One; move = Right });
+      ((1, Blank), { next = 2; write = One; move = Stay }) ]
+
+let loop =
+  make
+    [ ((1, One), { next = 1; write = One; move = Right });
+      ((1, Blank), { next = 1; write = Blank; move = Right }) ]
+
+let loop_on_one = make [ ((1, One), { next = 1; write = One; move = Stay }) ]
+
+let parity =
+  make
+    [ ((1, One), { next = 2; write = One; move = Right });
+      ((2, One), { next = 1; write = One; move = Right });
+      ((2, Blank), { next = 2; write = Blank; move = Stay }) ]
+
+let bb2 =
+  make
+    [ ((1, Blank), { next = 2; write = One; move = Right });
+      ((1, One), { next = 2; write = One; move = Left });
+      ((2, Blank), { next = 1; write = One; move = Left }) ]
+
+let all =
+  [ { name = "halt";
+      machine = halt;
+      totality = Total;
+      description = "no transitions; halts immediately on every input";
+      diverges_on = None };
+    { name = "scan_right";
+      machine = scan_right;
+      totality = Total;
+      description = "moves right over 1s, halts at the first blank";
+      diverges_on = None };
+    { name = "erase";
+      machine = erase;
+      totality = Total;
+      description = "erases 1s rightwards, halts at the first blank";
+      diverges_on = None };
+    { name = "successor";
+      machine = successor;
+      totality = Total;
+      description = "unary successor: appends a 1 to the leading block";
+      diverges_on = None };
+    { name = "loop";
+      machine = loop;
+      totality = Non_total;
+      description = "moves right forever; halts on no input";
+      diverges_on = Some "" };
+    { name = "loop_on_one";
+      machine = loop_on_one;
+      totality = Non_total;
+      description = "halts iff the scanned cell is blank; loops in place on a 1";
+      diverges_on = Some "1" };
+    { name = "parity";
+      machine = parity;
+      totality = Non_total;
+      description = "halts iff the leading block of 1s has even length";
+      diverges_on = Some "1" };
+    { name = "bb2";
+      machine = bb2;
+      totality = Unknown;
+      description = "2-state busy beaver; halts on blank input after 5 steps";
+      diverges_on = None } ]
+
+let total_machines = List.filter (fun e -> e.totality = Total) all
+let non_total_machines = List.filter (fun e -> e.totality = Non_total) all

@@ -1,0 +1,52 @@
+(** A small zoo of concrete Turing machines used throughout the examples,
+    tests and benchmarks — total machines (whose trace queries [P(M, c, x)]
+    are finite queries, Theorem 3.1) and non-total ones (whose queries are
+    unsafe). *)
+
+type totality =
+  | Total  (** halts on every input — established by construction *)
+  | Non_total  (** diverges on at least one (known) input *)
+  | Unknown  (** no totality proof either way *)
+
+type entry = {
+  name : string;
+  machine : Machine.t;
+  totality : totality;
+  description : string;
+  diverges_on : string option;  (** a witness input for [Non_total] *)
+}
+
+val halt : Machine.t
+(** No transitions: halts immediately on every input. Total. *)
+
+val scan_right : Machine.t
+(** Moves right until it reads a blank, then halts. Total. *)
+
+val erase : Machine.t
+(** Erases ['1']s rightwards until a blank, then halts. Total. *)
+
+val successor : Machine.t
+(** Unary successor: appends a ['1'] to the first block and halts. Total. *)
+
+val loop : Machine.t
+(** Moves right forever. Halts on no input. *)
+
+val loop_on_one : Machine.t
+(** Halts immediately when the scanned cell is blank; loops forever in
+    place when it reads a ['1']. Halts exactly on inputs beginning with a
+    blank (or empty). Not total — the canonical machine of the
+    Theorem 3.3 halting reduction. *)
+
+val parity : Machine.t
+(** Scans the leading block of ['1']s; halts at the terminating blank iff
+    the block's length is even, loops in place otherwise. Not total. *)
+
+val bb2 : Machine.t
+(** The 2-state busy beaver: halts on blank input after 5 steps leaving
+    four ['1']s. Totality on arbitrary inputs is not asserted. *)
+
+val all : entry list
+(** Every machine above with its name, totality flag and description. *)
+
+val total_machines : entry list
+val non_total_machines : entry list

@@ -1,0 +1,1 @@
+lib/words/word.ml: Bytes Format Fun List Printf Seq String

@@ -1,0 +1,77 @@
+type t = string
+
+let sep = '.'
+
+let is_letter = function '1' | '.' | '*' | '-' -> true | _ -> false
+let is_word w = String.for_all is_letter w
+
+let is_machine_shaped w =
+  String.length w > 0
+  && String.for_all (function '1' | '-' | '*' -> true | _ -> false) w
+  && String.exists (fun c -> c = '*') w
+
+let is_input w = String.for_all (function '1' | '-' -> true | _ -> false) w
+
+let split_fields w = String.split_on_char sep w
+let join_fields fields = String.concat (String.make 1 sep) fields
+
+(* Shape of a trace: machine . (state . tape . pos .)+  — i.e. when split
+   on '.', one machine-shaped field followed by 3k (k >= 1) further fields
+   forming (state, tape, pos) groups, where the final pos field may be the
+   trailing empty field produced by a trailing separator. *)
+let is_trace_shaped w =
+  match split_fields w with
+  | m :: rest when is_machine_shaped m ->
+    let n = List.length rest in
+    n >= 3
+    && n mod 3 = 0
+    && List.for_all2
+         (fun i f ->
+           match i mod 3 with
+           | 0 -> (* state: nonempty unary *) f <> "" && String.for_all (fun c -> c = '1') f
+           | 1 -> (* tape: over {1,-} *) is_input f
+           | _ -> (* pos: unary, possibly empty *) String.for_all (fun c -> c = '1') f)
+         (List.init n Fun.id) rest
+  | _ -> false
+
+let syntactic_class w =
+  if not (is_word w) then invalid_arg (Printf.sprintf "Word.syntactic_class: %S" w);
+  if is_input w then `Input
+  else if is_machine_shaped w then `Machine_shaped
+  else if is_trace_shaped w then `Trace_shaped
+  else `Other
+
+let unary n =
+  if n < 0 then invalid_arg "Word.unary: negative";
+  String.make n '1'
+
+let unary_value w = if String.for_all (fun c -> c = '1') w then Some (String.length w) else None
+
+let enumerate_over letters () =
+  let k = String.length letters in
+  if k = 0 then invalid_arg "Word.enumerate_over: empty letter set";
+  (* Enumerate by length; within a length, letters index a base-k counter. *)
+  let word_of len idx =
+    let b = Bytes.create len in
+    let rec fill i idx =
+      if i >= 0 then begin
+        Bytes.set b i letters.[idx mod k];
+        fill (i - 1) (idx / k)
+      end
+    in
+    fill (len - 1) idx;
+    Bytes.to_string b
+  in
+  let int_pow b e =
+    let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+    go 1 e
+  in
+  let rec from len idx () =
+    if idx < int_pow k len then Seq.Cons (word_of len idx, from len (idx + 1))
+    else from (len + 1) 0 ()
+  in
+  from 0 0
+
+let enumerate = enumerate_over "1.*-"
+
+let pp fmt w = if w = "" then Format.pp_print_string fmt "ε" else Format.fprintf fmt "%S" w

@@ -1,0 +1,64 @@
+(** Words over the trace alphabet of the paper's Section 3.
+
+    The domain [T] is the set of all words in the four-letter alphabet
+    [{1, ⋆, *, −}]. We render the letters as ASCII characters:
+
+    - ['1'] — the unary digit [1];
+    - ['.'] — the snapshot separator [⋆];
+    - ['*'] — the machine-encoding delimiter [*];
+    - ['-'] — the blank / white-space marker [−].
+
+    Words fall into four pairwise disjoint {e syntactic} classes:
+
+    - {b machine-shaped}: nonempty, over [{1,-,*}], containing at least one
+      ['*'] — candidate Turing-machine encodings (class [M]);
+    - {b input-shaped}: over [{1,-}] (possibly empty) — input words
+      (class [W]);
+    - {b trace-shaped}: words containing ['.'] that parse as
+      [machine . (state . tape . pos .)+] — only the semantically valid
+      ones (checked in {!Fq_tm.Trace}) form the paper's class [T];
+    - everything else is "other" (class [O], together with the trace-shaped
+      words that fail semantic validation). *)
+
+type t = string
+(** A word over the four-letter alphabet. *)
+
+val sep : char
+(** The snapshot separator [⋆], rendered ['.']. *)
+
+val is_word : t -> bool
+(** Every character is one of ['1'], ['.'], ['*'], ['-']. *)
+
+val is_machine_shaped : t -> bool
+val is_input : t -> bool
+(** Input words are exactly the words over [{1,-}]; this class needs no
+    semantic check. *)
+
+val syntactic_class : t -> [ `Machine_shaped | `Input | `Trace_shaped | `Other ]
+(** Classification by shape only. [`Trace_shaped] words still need the
+    semantic check of {!Fq_tm.Trace.is_trace_word} to be in class [T].
+    @raise Invalid_argument if [is_word] fails. *)
+
+val split_fields : t -> t list
+(** Splits on the snapshot separator. [split_fields "a.b" = ["a"; "b"]];
+    a trailing separator yields a trailing empty field. *)
+
+val join_fields : t list -> t
+
+val unary : int -> t
+(** [unary n] is the unary numeral [1^n]; [unary 0 = ""].
+    @raise Invalid_argument on negative input. *)
+
+val unary_value : t -> int option
+(** Inverse of {!unary}: [Some n] iff the word is [1^n]. *)
+
+val enumerate : unit -> t Seq.t
+(** All words over the four-letter alphabet: by length, then
+    lexicographically. The recursive enumeration of the (countable)
+    domain [T] used by the Section 1.1 query-answering algorithm. *)
+
+val enumerate_over : string -> unit -> t Seq.t
+(** [enumerate_over letters] enumerates words over the given letters. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the word quoted, with [ε] for the empty word. *)

@@ -1,0 +1,1 @@
+test/test_constraintdb.ml: Alcotest Crel Fq_constraintdb Fq_logic Fq_numeric List Option QCheck QCheck_alcotest Rat Result

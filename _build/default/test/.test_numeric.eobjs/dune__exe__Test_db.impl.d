@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Codec Fq_db Fq_numeric List Relalg Relation Result Schema State Value

@@ -1,0 +1,1 @@
+test/test_domains_misc.ml: Alcotest Arithmetic Eq_domain Extension Fq_db Fq_domain Fq_logic Fq_safety List Result Seq Traces

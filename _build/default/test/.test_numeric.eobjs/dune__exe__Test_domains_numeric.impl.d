@@ -1,0 +1,1 @@
+test/test_domains_numeric.ml: Alcotest Cooper Eq_domain Fq_domain Fq_logic Fq_numeric List Nat_order Nat_succ Presburger Printf QCheck QCheck_alcotest

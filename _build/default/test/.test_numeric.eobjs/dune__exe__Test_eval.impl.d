@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Format Fq_db Fq_domain Fq_eval Fq_logic List Relation Result Schema Seq State Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format Fq_db Fq_domain Fq_eval Fq_logic Fq_numeric Fq_safety Fq_tm List Printf QCheck QCheck_alcotest Relalg Relation Schema Seq State Value

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Formula Fq_logic List Parser Printf QCheck QCheck_alcotest Result Term Transform

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Fq_numeric List QCheck QCheck_alcotest String

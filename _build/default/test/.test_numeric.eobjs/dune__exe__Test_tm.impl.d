@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Builder Classify Combine Encode Explain Format Fq_tm Fq_words Hashtbl List Machine Option Printf QCheck QCheck_alcotest Result Run Seq String Tape Trace Zoo

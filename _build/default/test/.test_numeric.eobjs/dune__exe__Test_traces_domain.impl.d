@@ -1,0 +1,1 @@
+test/test_traces_domain.ml: Alcotest Fq_domain Fq_logic Fq_tm Fq_words List Option Printf QCheck QCheck_alcotest Reach Reach_qe Result String Traces

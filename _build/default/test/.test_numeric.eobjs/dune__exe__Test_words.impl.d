@@ -1,0 +1,1 @@
+test/test_words.ml: Alcotest Format Fq_words List Printf QCheck QCheck_alcotest Seq String

@@ -1,0 +1,14 @@
+  $ ../../bin/fq.exe decide -d presburger "forall x. exists y. x < y"
+  $ ../../bin/fq.exe decide -d presburger "exists x. x + x = 7"
+  $ ../../bin/fq.exe decide -d nat_succ "exists y. forall x. x' != y"
+  $ ../../bin/fq.exe decide -d equality "exists x y z. x != y /\ y != z /\ x != z"
+  $ ../../bin/fq.exe safety -s F/2 "exists y. F(x, y)"
+  $ ../../bin/fq.exe safety -s F/2 "~F(x, y)"
+  $ ../../bin/fq.exe eval -d equality -r "F/2=adam,cain;adam,abel" "exists y z. y != z /\ F(x, y) /\ F(x, z)"
+  $ ../../bin/fq.exe relsafe -d presburger -r "R/1=2;5" "exists y. R(y) /\ x < y"
+  $ ../../bin/fq.exe relsafe -d presburger -r "R/1=2;5" "exists y. R(y) /\ y < x"
+  $ ../../bin/fq.exe report -d equality -r "F/2=a,b;b,c" "exists y. F(x, y) /\ F(y, z)"
+  $ ../../bin/fq.exe tm -m scan_right -w 111
+  $ ../../bin/fq.exe tm -m loop -w 1 --fuel 100
+  $ ../../bin/fq.exe tm -m scan_right -w 11 --explain
+  $ ../../bin/fq.exe halting -m parity -w 11

@@ -1,0 +1,53 @@
+Decide sentences over the built-in domains (Corollary A.4 and Section 2):
+
+  $ ../../bin/fq.exe decide -d presburger "forall x. exists y. x < y"
+  true
+  $ ../../bin/fq.exe decide -d presburger "exists x. x + x = 7"
+  false
+  $ ../../bin/fq.exe decide -d nat_succ "exists y. forall x. x' != y"
+  true
+  $ ../../bin/fq.exe decide -d equality "exists x y z. x != y /\ y != z /\ x != z"
+  true
+
+The safe-range syntax (Section 1.4):
+
+  $ ../../bin/fq.exe safety -s F/2 "exists y. F(x, y)"
+  safe-range: the query is finite in every state
+  $ ../../bin/fq.exe safety -s F/2 "~F(x, y)"
+  not safe-range: free variable(s) x, y are not range-restricted
+
+Evaluation and relative safety in a state (Sections 1.1 and 1.3):
+
+  $ ../../bin/fq.exe eval -d equality -r "F/2=adam,cain;adam,abel" "exists y z. y != z /\ F(x, y) /\ F(x, z)"
+  finite answer (1 tuples): {("adam")}
+  $ ../../bin/fq.exe relsafe -d presburger -r "R/1=2;5" "exists y. R(y) /\ x < y"
+  finite in this state
+  $ ../../bin/fq.exe relsafe -d presburger -r "R/1=2;5" "exists y. R(y) /\ y < x"
+  INFINITE in this state
+
+The full report:
+
+  $ ../../bin/fq.exe report -d equality -r "F/2=a,b;b,c" "exists y. F(x, y) /\ F(y, z)"
+  query: exists y. F(x, y) /\ F(y, z)
+  syntactic: safe-range (finite in every state)
+  in this state: finite
+  answer (ranf-algebra, 1 tuples): {("a", "c")}
+  
+
+Turing machines of the trace domain (Section 3):
+
+  $ ../../bin/fq.exe tm -m scan_right -w 111
+  halts after 3 steps; result "111"
+  $ ../../bin/fq.exe tm -m loop -w 1 --fuel 100
+  still running after 100 steps
+  $ ../../bin/fq.exe tm -m scan_right -w 11 --explain
+  halts after 2 steps; result "11"
+  trace of machine "*1**1*1" on input "11" (3 snapshots)
+     0: state q1   | tape [1]1
+     1: state q1   | tape 1[1]
+     2: state q1   | tape 11[-]
+
+The Theorem 3.3 reduction:
+
+  $ ../../bin/fq.exe halting -m parity -w 11
+  the machine halts after 2 steps: the query P(M, @c, x) is finite in the state c = "11", with 3 certified answer tuples

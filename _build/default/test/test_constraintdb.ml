@@ -1,0 +1,286 @@
+(* Tests for Fq_constraintdb: rationals and finitely representable
+   relations over the dense order (the paper's Section 1.2 / KKR90). *)
+
+open Fq_constraintdb
+
+let q = Rat.of_int
+let qq = Rat.of_ints
+
+(* ------------------------------ rationals -------------------------- *)
+
+let test_rat_basics () =
+  Alcotest.(check string) "normalize" "1/2" (Rat.to_string (Rat.of_ints 2 4));
+  Alcotest.(check string) "sign in denominator" "-1/2" (Rat.to_string (Rat.of_ints 1 (-2)));
+  Alcotest.(check string) "integer prints plainly" "3" (Rat.to_string (q 3));
+  Alcotest.(check bool) "add" true (Rat.equal (qq 5 6) (Rat.add (qq 1 2) (qq 1 3)));
+  Alcotest.(check bool) "sub" true (Rat.equal (qq 1 6) (Rat.sub (qq 1 2) (qq 1 3)));
+  Alcotest.(check bool) "mul" true (Rat.equal (qq 1 6) (Rat.mul (qq 1 2) (qq 1 3)));
+  Alcotest.(check bool) "compare" true (Rat.compare (qq 1 3) (qq 1 2) < 0);
+  Alcotest.(check bool) "of_string" true (Rat.equal (qq (-7) 3) (Rat.of_string "-7/3"));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Rat.make Fq_numeric.Bigint.one Fq_numeric.Bigint.zero))
+
+let prop_midpoint =
+  QCheck.Test.make ~name:"midpoint is strictly between" ~count:300
+    (QCheck.pair (QCheck.int_range (-100) 100) (QCheck.int_range (-100) 100))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let lo, hi = if a < b then (q a, q b) else (q b, q a) in
+      let m = Rat.midpoint lo hi in
+      Rat.compare lo m < 0 && Rat.compare m hi < 0)
+
+(* --------------------------- constraint relations ------------------ *)
+
+open Crel
+
+let interval ~col lo hi =
+  make ~columns:[ col ]
+    [ [ { lhs = C lo; op = Lt; rhs = V col }; { lhs = V col; op = Lt; rhs = C hi } ] ]
+
+let test_membership () =
+  let r = interval ~col:"x" (q 0) (q 10) in
+  Alcotest.(check bool) "inside" true (mem r [ q 5 ]);
+  Alcotest.(check bool) "boundary excluded" false (mem r [ q 0 ]);
+  Alcotest.(check bool) "outside" false (mem r [ q 11 ]);
+  Alcotest.(check bool) "rational inside" true (mem r [ qq 1 2 ])
+
+let test_sat () =
+  Alcotest.(check bool) "open interval sat" true
+    (sat_cell [ { lhs = C (q 0); op = Lt; rhs = V "x" }; { lhs = V "x"; op = Lt; rhs = C (q 1) } ]);
+  Alcotest.(check bool) "empty numeric interval" false
+    (sat_cell [ { lhs = C (q 1); op = Lt; rhs = V "x" }; { lhs = V "x"; op = Lt; rhs = C (q 0) } ]);
+  Alcotest.(check bool) "point interval with ne" false
+    (sat_cell
+       [ { lhs = C (q 1); op = Le; rhs = V "x" }; { lhs = V "x"; op = Le; rhs = C (q 1) };
+         { lhs = V "x"; op = Ne; rhs = C (q 1) } ]);
+  Alcotest.(check bool) "cycle of strict" false
+    (sat_cell
+       [ { lhs = V "x"; op = Lt; rhs = V "y" }; { lhs = V "y"; op = Lt; rhs = V "z" };
+         { lhs = V "z"; op = Lt; rhs = V "x" } ]);
+  Alcotest.(check bool) "cycle of nonstrict is equality" true
+    (sat_cell [ { lhs = V "x"; op = Le; rhs = V "y" }; { lhs = V "y"; op = Le; rhs = V "x" } ]);
+  Alcotest.(check bool) "forced equality vs ne" false
+    (sat_cell
+       [ { lhs = V "x"; op = Le; rhs = V "y" }; { lhs = V "y"; op = Le; rhs = V "x" };
+         { lhs = V "x"; op = Ne; rhs = V "y" } ])
+
+let test_boolean_ops () =
+  let r01 = interval ~col:"x" (q 0) (q 1) in
+  let r02 = interval ~col:"x" (q 0) (q 2) in
+  Alcotest.(check bool) "inter member" true (mem (inter r01 r02) [ qq 1 2 ]);
+  Alcotest.(check bool) "diff member" true (mem (diff r02 r01) [ qq 3 2 ]);
+  Alcotest.(check bool) "diff boundary" true (mem (diff r02 r01) [ q 1 ]);
+  Alcotest.(check bool) "diff excluded" false (mem (diff r02 r01) [ qq 1 2 ]);
+  let comp = complement r01 in
+  Alcotest.(check bool) "complement left" true (mem comp [ q (-1) ]);
+  Alcotest.(check bool) "complement inside" false (mem comp [ qq 1 2 ]);
+  Alcotest.(check bool) "union" true (mem (union r01 (interval ~col:"x" (q 5) (q 6))) [ qq 11 2 ]);
+  Alcotest.(check bool) "empty is empty" true (is_empty (empty ~columns:[ "x" ]));
+  Alcotest.(check bool) "full is not" false (is_empty (full ~columns:[ "x" ]));
+  Alcotest.(check bool) "inter with complement empty" true (is_empty (inter r01 (complement r01)))
+
+let test_join_project () =
+  (* y strictly between x and z *)
+  let between =
+    make ~columns:[ "x"; "y"; "z" ]
+      [ [ { lhs = V "x"; op = Lt; rhs = V "y" }; { lhs = V "y"; op = Lt; rhs = V "z" } ] ]
+  in
+  (* project out y: dense order gives exactly x < z *)
+  let xz = project ~keep:[ "x"; "z" ] between in
+  Alcotest.(check bool) "projection keeps x<z" true (mem xz [ q 0; q 1 ]);
+  Alcotest.(check bool) "projection drops x>=z" false (mem xz [ q 1; q 0 ]);
+  Alcotest.(check bool) "projection drops x=z" false (mem xz [ q 1; q 1 ]);
+  (* over the integers x < y < z would force z - x >= 2; density matters *)
+  Alcotest.(check bool) "adjacent rationals fine" true (mem xz [ q 0; qq 1 1000 ]);
+  (* join on shared column *)
+  let r1 = interval ~col:"x" (q 0) (q 10) in
+  let r2 =
+    make ~columns:[ "x"; "y" ] [ [ { lhs = V "x"; op = Lt; rhs = V "y" } ] ]
+  in
+  let j = join r1 r2 in
+  Alcotest.(check (list string)) "join columns" [ "x"; "y" ] (columns j);
+  Alcotest.(check bool) "join member" true (mem j [ q 5; q 7 ]);
+  Alcotest.(check bool) "join respects both" false (mem j [ q 11; q 12 ])
+
+let test_point_projection_with_ne () =
+  (* ∃x (0 <= x <= 0 ∧ x ≠ 0 ∧ y = x): empty — the degenerate-interval
+     case that naive Fourier-Motzkin misses *)
+  let r =
+    make ~columns:[ "x"; "y" ]
+      [ [ { lhs = C (q 0); op = Le; rhs = V "x" }; { lhs = V "x"; op = Le; rhs = C (q 0) };
+          { lhs = V "x"; op = Ne; rhs = C (q 0) }; { lhs = V "y"; op = Eq; rhs = V "x" } ] ]
+  in
+  Alcotest.(check bool) "empty before projection" true (is_empty r);
+  let p = project ~keep:[ "y" ] r in
+  Alcotest.(check bool) "still empty after" true (is_empty p);
+  (* and the satisfiable variant *)
+  let r2 =
+    make ~columns:[ "x"; "y" ]
+      [ [ { lhs = C (q 0); op = Le; rhs = V "x" }; { lhs = V "x"; op = Le; rhs = C (q 1) };
+          { lhs = V "x"; op = Ne; rhs = C (q 0) }; { lhs = V "y"; op = Eq; rhs = V "x" } ] ]
+  in
+  let p2 = project ~keep:[ "y" ] r2 in
+  Alcotest.(check bool) "y = 1/2 in projection" true (mem p2 [ qq 1 2 ]);
+  Alcotest.(check bool) "y = 0 excluded" false (mem p2 [ q 0 ])
+
+let test_finiteness () =
+  let pts = of_points ~columns:[ "x"; "y" ] [ [ q 1; q 2 ]; [ q 3; q 4 ] ] in
+  Alcotest.(check bool) "points finite" true (is_finite pts);
+  Alcotest.(check (option (list (list string)))) "enumerate points"
+    (Some [ [ "1"; "2" ]; [ "3"; "4" ] ])
+    (Option.map (List.map (List.map Rat.to_string)) (enumerate_if_finite pts));
+  Alcotest.(check bool) "interval infinite" false (is_finite (interval ~col:"x" (q 0) (q 1)));
+  Alcotest.(check bool) "full infinite" false (is_finite (full ~columns:[ "x" ]));
+  Alcotest.(check bool) "empty finite" true (is_finite (empty ~columns:[ "x" ]));
+  (* pinned through an equality chain *)
+  let chained =
+    make ~columns:[ "x"; "y" ]
+      [ [ { lhs = V "x"; op = Eq; rhs = V "y" }; { lhs = V "y"; op = Eq; rhs = C (q 5) } ] ]
+  in
+  Alcotest.(check bool) "chained pin finite" true (is_finite chained);
+  (* pinned by two opposite nonstrict bounds *)
+  let squeezed =
+    make ~columns:[ "x" ]
+      [ [ { lhs = C (q 2); op = Le; rhs = V "x" }; { lhs = V "x"; op = Le; rhs = C (q 2) } ] ]
+  in
+  Alcotest.(check bool) "squeezed finite" true (is_finite squeezed)
+
+let test_witness () =
+  let r = interval ~col:"x" (q 0) (q 1) in
+  (match witness r with
+  | Some [ w ] -> Alcotest.(check bool) "witness inside" true (mem r [ w ])
+  | _ -> Alcotest.fail "expected a witness");
+  Alcotest.(check (option (list string))) "no witness in empty" None
+    (Option.map (List.map Rat.to_string) (witness (empty ~columns:[ "x" ])));
+  (* multi-variable with ne *)
+  let r2 =
+    make ~columns:[ "x"; "y" ]
+      [ [ { lhs = V "x"; op = Lt; rhs = V "y" }; { lhs = V "y"; op = Ne; rhs = C (q 1) };
+          { lhs = V "x"; op = Lt; rhs = C (q 2) } ] ]
+  in
+  match witness r2 with
+  | Some tuple -> Alcotest.(check bool) "witness satisfies" true (mem r2 tuple)
+  | None -> Alcotest.fail "expected a witness"
+
+(* property: complement is an involution on membership *)
+let gen_tuple = QCheck.map (fun (a, b) -> [ q a; q b ]) (QCheck.pair QCheck.small_int QCheck.small_int)
+
+let some_rel =
+  make ~columns:[ "x"; "y" ]
+    [ [ { lhs = V "x"; op = Lt; rhs = V "y" } ];
+      [ { lhs = V "x"; op = Eq; rhs = C (q 3) }; { lhs = V "y"; op = Le; rhs = C (q 0) } ] ]
+
+let prop_complement_involution =
+  QCheck.Test.make ~name:"x ∈ r xor x ∈ complement r" ~count:300 gen_tuple (fun tup ->
+      mem some_rel tup <> mem (complement some_rel) tup)
+
+let prop_diff_semantics =
+  QCheck.Test.make ~name:"diff = inter with complement" ~count:300 gen_tuple (fun tup ->
+      let other = interval ~col:"x" (q (-5)) (q 5) in
+      let other2 = join other (full ~columns:[ "y" ]) in
+      (* align columns *)
+      let d = diff some_rel other2 in
+      mem d tup = (mem some_rel tup && not (mem other2 tup)))
+
+(* --------------------- FO queries over constraint DBs -------------- *)
+
+let parse = Fq_logic.Parser.formula_exn
+
+(* a constraint database: an interval relation and a "less-than" relation *)
+let cdb : Fq_constraintdb.Ceval.db =
+  [ ( "I",
+      make ~columns:[ "a" ]
+        [ [ { lhs = C (q 0); op = Le; rhs = V "a" }; { lhs = V "a"; op = Le; rhs = C (q 10) } ]
+        ] );
+    ("Below", make ~columns:[ "a"; "b" ] [ [ { lhs = V "a"; op = Lt; rhs = V "b" } ] ]) ]
+
+let run_q f =
+  match Fq_constraintdb.Ceval.query ~db:cdb (parse f) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s: %s" f e
+
+let holds_q f env =
+  match Fq_constraintdb.Ceval.holds ~db:cdb (parse f) ~env with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "%s: %s" f e
+
+let decide_q f =
+  match Fq_constraintdb.Ceval.decide ~db:cdb (parse f) with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "%s: %s" f e
+
+let test_ceval_atoms () =
+  Alcotest.(check bool) "I(5)" true (holds_q "I(x)" [ ("x", q 5) ]);
+  Alcotest.(check bool) "I(11)" false (holds_q "I(x)" [ ("x", q 11) ]);
+  Alcotest.(check bool) "constant argument" true (decide_q "I(\"5\")");
+  Alcotest.(check bool) "Below(1,2)" true (holds_q "Below(x, y)" [ ("x", q 1); ("y", q 2) ]);
+  Alcotest.(check bool) "repeated variable" false (holds_q "Below(x, x)" [ ("x", q 1) ]);
+  Alcotest.(check bool) "order atom" true (holds_q "x < y" [ ("x", q 0); ("y", q 1) ])
+
+let test_ceval_connectives () =
+  let r = run_q "I(x) /\\ ~Below(x, \"5\")" in
+  (* x in [0,10] and not (x < 5): [5,10] *)
+  Alcotest.(check bool) "7 in" true (mem r [ q 7 ]);
+  Alcotest.(check bool) "5 in (boundary)" true (mem r [ q 5 ]);
+  Alcotest.(check bool) "3 out" false (mem r [ q 3 ]);
+  let u = run_q "Below(x, \"0\") \\/ I(x)" in
+  Alcotest.(check bool) "union left" true (mem u [ q (-5) ]);
+  Alcotest.(check bool) "union right" true (mem u [ q 10 ]);
+  Alcotest.(check bool) "union gap" false (mem u [ q 11 ])
+
+let test_ceval_quantifiers () =
+  (* ∃b between a and 10 — density: any a < 10 qualifies *)
+  let r = run_q "exists b. Below(x, b) /\\ Below(b, \"10\")" in
+  Alcotest.(check bool) "9.999 qualifies" true (mem r [ Rat.of_string "9999/1000" ]);
+  Alcotest.(check bool) "10 fails" false (mem r [ q 10 ]);
+  (* sentences *)
+  Alcotest.(check bool) "∀x∃y x<y" true (decide_q "forall x. exists y. x < y");
+  Alcotest.(check bool) "∃ least element" false (decide_q "exists x. forall y. x <= y");
+  Alcotest.(check bool) "density" true
+    (decide_q "forall x y. x < y -> exists z. x < z /\\ z < y");
+  Alcotest.(check bool) "I nonempty" true (decide_q "exists x. I(x)");
+  Alcotest.(check bool) "I bounded" true (decide_q "forall x. I(x) -> x <= \"10\"")
+
+let test_ceval_finiteness () =
+  (* the relative safety question, decidable here *)
+  let finite f =
+    match Fq_constraintdb.Ceval.query ~db:cdb (parse f) with
+    | Ok r -> Crel.is_finite r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "interval infinite" false (finite "I(x)");
+  Alcotest.(check bool) "endpoints finite" true
+    (finite "I(x) /\\ (forall y. I(y) -> x <= y) \\/ I(x) /\\ (forall y. I(y) -> y <= x)");
+  Alcotest.(check bool) "equality point finite" true (finite "x = \"3\"")
+
+let test_ceval_errors () =
+  Alcotest.(check bool) "unknown relation" true
+    (Result.is_error (Fq_constraintdb.Ceval.query ~db:cdb (parse "J(x)")));
+  Alcotest.(check bool) "arity mismatch" true
+    (Result.is_error (Fq_constraintdb.Ceval.query ~db:cdb (parse "I(x, y)")));
+  Alcotest.(check bool) "function term" true
+    (Result.is_error (Fq_constraintdb.Ceval.query ~db:cdb (parse "x + 1 < y")));
+  Alcotest.(check bool) "decide on non-sentence" true
+    (Result.is_error (Fq_constraintdb.Ceval.decide ~db:cdb (parse "I(x)")))
+
+let () =
+  Alcotest.run "fq_constraintdb"
+    [ ( "rat",
+        [ Alcotest.test_case "basics" `Quick test_rat_basics;
+          QCheck_alcotest.to_alcotest prop_midpoint ] );
+      ( "crel",
+        [ Alcotest.test_case "membership" `Quick test_membership;
+          Alcotest.test_case "satisfiability" `Quick test_sat;
+          Alcotest.test_case "boolean ops" `Quick test_boolean_ops;
+          Alcotest.test_case "join and project" `Quick test_join_project;
+          Alcotest.test_case "degenerate projection" `Quick test_point_projection_with_ne;
+          Alcotest.test_case "finiteness (relative safety)" `Quick test_finiteness;
+          Alcotest.test_case "witness" `Quick test_witness;
+          QCheck_alcotest.to_alcotest prop_complement_involution;
+          QCheck_alcotest.to_alcotest prop_diff_semantics ] );
+      ( "ceval",
+        [ Alcotest.test_case "atoms" `Quick test_ceval_atoms;
+          Alcotest.test_case "connectives" `Quick test_ceval_connectives;
+          Alcotest.test_case "quantifiers" `Quick test_ceval_quantifiers;
+          Alcotest.test_case "finiteness" `Quick test_ceval_finiteness;
+          Alcotest.test_case "errors" `Quick test_ceval_errors ] ) ]

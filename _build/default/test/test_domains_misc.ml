@@ -1,0 +1,120 @@
+(* Tests for the remaining domain machinery: the equality-domain QE, the
+   arithmetic domain (Corollary 2.3), and the extension combinator
+   (Corollary 2.4 / Corollary 3.2). *)
+
+open Fq_domain
+module Formula = Fq_logic.Formula
+module Value = Fq_db.Value
+
+let parse = Fq_logic.Parser.formula_exn
+
+(* --------------------------- Eq_domain.qe -------------------------- *)
+
+let test_eq_qe () =
+  let qe s =
+    match Eq_domain.qe (parse s) with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  (* ∃y (y ≠ x): true in an infinite domain *)
+  Alcotest.(check bool) "∃y y≠x is True" true (Formula.equal Formula.True (qe "exists y. y != x"));
+  (* ∃y (y = x ∧ y = "a"): substitutes to x = "a" *)
+  Alcotest.(check bool) "substitution" true
+    (Formula.equal (parse "x = \"a\"") (qe "exists y. y = x /\\ y = \"a\""));
+  (* quantifier-free input is untouched semantically *)
+  Alcotest.(check bool) "qf unchanged" true (Formula.equal (parse "x = \"a\"") (qe "x = \"a\""));
+  (* domain predicates rejected *)
+  Alcotest.(check bool) "wrong signature" true (Result.is_error (Eq_domain.qe (parse "x < y")))
+
+let test_eq_member_enumerate () =
+  Alcotest.(check bool) "printable string member" true (Eq_domain.member (Value.str "hello"));
+  Alcotest.(check bool) "int not member" false (Eq_domain.member (Value.int 3));
+  (* the enumeration is consistent with membership and hits given words *)
+  let first = List.of_seq (Seq.take 200 (Eq_domain.enumerate ())) in
+  Alcotest.(check bool) "enumerated values are members" true (List.for_all Eq_domain.member first);
+  Alcotest.(check int) "no duplicates" (List.length first)
+    (List.length (List.sort_uniq compare first))
+
+(* ------------------------- Arithmetic (Cor 2.3) -------------------- *)
+
+let test_arithmetic () =
+  (* the Presburger fragment is decided *)
+  (match Arithmetic.decide (parse "forall x. exists y. x < y") with
+  | Ok b -> Alcotest.(check bool) "linear sentence" true b
+  | Error e -> Alcotest.fail e);
+  (match Arithmetic.decide (parse "forall x. x * 2 = x + x") with
+  | Ok b -> Alcotest.(check bool) "scalar multiplication is linear" true b
+  | Error e -> Alcotest.fail e);
+  (* genuine multiplication is refused *)
+  Alcotest.(check bool) "x*y refused" true
+    (Result.is_error (Arithmetic.decide (parse "exists x y. x * y = 6")));
+  Alcotest.(check bool) "fragment detection" false
+    (Arithmetic.decidable_fragment (parse "exists x y z. x * x + y * y = z * z"));
+  Alcotest.(check bool) "fragment detection (linear)" true
+    (Arithmetic.decidable_fragment (parse "exists x. 2 * x = 4"));
+  (* but evaluation of ground nonlinear terms works (the domain is
+     recursive even though its theory is not decidable) *)
+  match Arithmetic.eval_fun "*" [ Value.int 6; Value.int 7 ] with
+  | Some v -> Alcotest.(check bool) "6*7" true (Value.equal v (Value.int 42))
+  | None -> Alcotest.fail "multiplication should evaluate"
+
+(* ------------------------- Extension (Cor 2.4) --------------------- *)
+
+module Ext = Extension.Make (Eq_domain)
+
+let test_extension_order () =
+  (* the transported order is a linear order consistent with enumeration
+     indices *)
+  let v1 = List.nth (List.of_seq (Seq.take 5 (Eq_domain.enumerate ()))) 1 in
+  let v3 = List.nth (List.of_seq (Seq.take 5 (Eq_domain.enumerate ()))) 3 in
+  (match Ext.eval_pred "<" [ v1; v3 ] with
+  | Some b -> Alcotest.(check bool) "earlier < later" true b
+  | None -> Alcotest.fail "order should evaluate");
+  (match Ext.eval_pred "<" [ v3; v1 ] with
+  | Some b -> Alcotest.(check bool) "later < earlier" false b
+  | None -> Alcotest.fail "order should evaluate");
+  Alcotest.(check (option int)) "index of first" (Some 0)
+    (Ext.index (List.hd (List.of_seq (Seq.take 1 (Eq_domain.enumerate ())))))
+
+let test_extension_decide () =
+  (* pure-D sentences delegate *)
+  (match Ext.decide (parse "exists x y. x != y") with
+  | Ok b -> Alcotest.(check bool) "pure equality" true b
+  | Error e -> Alcotest.fail e);
+  (* pure-order sentences go through N_< (the structures are isomorphic) *)
+  (match Ext.decide (parse "exists x. forall y. x <= y") with
+  | Ok b -> Alcotest.(check bool) "least element exists" true b
+  | Error e -> Alcotest.fail e);
+  (match Ext.decide (parse "forall x. exists y. y < x") with
+  | Ok b -> Alcotest.(check bool) "no infinite descent" false b
+  | Error e -> Alcotest.fail e);
+  (* mixed sentences are refused — the Cor 3.2 phenomenon *)
+  Alcotest.(check bool) "mixed refused" true
+    (Result.is_error (Ext.decide (parse "exists x y. x < y /\\ x = \"a\"")));
+  (* order with constants refused (positions are enumeration-dependent) *)
+  Alcotest.(check bool) "order with constants refused" true
+    (Result.is_error (Ext.decide (parse "exists x. x < \"zz\"")))
+
+let test_extension_finitization_applies () =
+  (* Cor 2.4's point: the finitization operator gives the extension a
+     recursive syntax, purely syntactically *)
+  let f = parse "x != \"a\"" in
+  let fin = Fq_safety.Finitization.finitize f in
+  Alcotest.(check bool) "recognized" true (Fq_safety.Finitization.is_finitization fin);
+  (* and the extension of T exists as a module, with the same caveat *)
+  let module TExt = Extension.Make (Traces) in
+  Alcotest.(check bool) "trace extension mixed refused" true
+    (Result.is_error
+       (TExt.decide (parse "exists m p x. P(m, x, p) /\\ x < p")))
+
+let () =
+  Alcotest.run "fq_domain (misc)"
+    [ ( "eq_domain",
+        [ Alcotest.test_case "quantifier elimination" `Quick test_eq_qe;
+          Alcotest.test_case "membership and enumeration" `Quick test_eq_member_enumerate ] );
+      ("arithmetic", [ Alcotest.test_case "Corollary 2.3" `Quick test_arithmetic ]);
+      ( "extension",
+        [ Alcotest.test_case "transported order" `Quick test_extension_order;
+          Alcotest.test_case "decide dispatch" `Quick test_extension_decide;
+          Alcotest.test_case "finitization applies (Cor 2.4)" `Quick
+            test_extension_finitization_applies ] ) ]

@@ -1,0 +1,372 @@
+(* Tests for Fq_logic: terms, formulas, parser, printer, transforms. *)
+
+open Fq_logic
+
+let fml = Alcotest.testable Formula.pp Formula.equal
+let trm = Alcotest.testable Term.pp Term.equal
+
+let parse s = Parser.formula_exn s
+
+let parse_term s =
+  match Parser.term s with Ok t -> t | Error e -> Alcotest.failf "term %S: %s" s e
+
+(* ------------------------------ terms ------------------------------ *)
+
+let test_term_basics () =
+  let t = parse_term "f(x, g(y, x), 3)" in
+  Alcotest.(check (list string)) "vars in order" [ "x"; "y" ] (Term.vars t);
+  Alcotest.(check (list string)) "consts" [ "3" ] (Term.consts t);
+  Alcotest.(check bool) "not ground" false (Term.is_ground t);
+  Alcotest.(check bool) "ground" true (Term.is_ground (parse_term "f(1, 2)"));
+  Alcotest.(check int) "size" 6 (Term.size t);
+  Alcotest.check trm "subst"
+    (parse_term "f(1, g(y, 1), 3)")
+    (Term.subst [ ("x", Term.Const "1") ] t)
+
+let test_term_subst_const () =
+  let t = parse_term "f(@c, x)" in
+  Alcotest.check trm "replace scheme constant"
+    (parse_term "f(z, x)")
+    (Term.subst_const "@c" (Term.Var "z") t)
+
+(* ----------------------------- parsing ----------------------------- *)
+
+let test_parse_basic () =
+  Alcotest.check fml "conjunction"
+    (Formula.And (Formula.Atom ("F", [ Term.Var "x" ]), Formula.Atom ("G", [ Term.Var "y" ])))
+    (parse "F(x) /\\ G(y)");
+  Alcotest.check fml "ascii and" (parse "F(x) /\\ G(y)") (parse "F(x) & G(y)");
+  Alcotest.check fml "keyword and" (parse "F(x) /\\ G(y)") (parse "F(x) and G(y)");
+  Alcotest.check fml "neq sugar" (Formula.Not (Formula.Eq (Term.Var "x", Term.Var "y")))
+    (parse "x != y");
+  Alcotest.check fml "neq <>" (parse "x != y") (parse "x <> y")
+
+let test_parse_precedence () =
+  (* ~ binds tighter than /\ than \/ than -> than <-> *)
+  Alcotest.check fml "not and"
+    (Formula.And (Formula.Not (parse "F(x)"), parse "G(x)"))
+    (parse "~F(x) /\\ G(x)");
+  Alcotest.check fml "and or"
+    (Formula.Or (Formula.And (parse "F(x)", parse "G(x)"), parse "H(x)"))
+    (parse "F(x) /\\ G(x) \\/ H(x)");
+  Alcotest.check fml "imp right assoc"
+    (Formula.Imp (parse "F(x)", Formula.Imp (parse "G(x)", parse "H(x)")))
+    (parse "F(x) -> G(x) -> H(x)");
+  Alcotest.check fml "iff weakest"
+    (Formula.Iff (parse "F(x)", Formula.Imp (parse "G(x)", parse "H(x)")))
+    (parse "F(x) <-> G(x) -> H(x)")
+
+let test_parse_quantifiers () =
+  Alcotest.check fml "multi-var"
+    (Formula.Exists ("x", Formula.Exists ("y", parse "F(x, y)")))
+    (parse "exists x y. F(x, y)");
+  Alcotest.check fml "scope extends right"
+    (Formula.Forall ("x", Formula.Imp (parse "F(x)", parse "G(x)")))
+    (parse "forall x. F(x) -> G(x)");
+  (* the paper's M(x): exists y z (y != z /\ F(x,y) /\ F(x,z)) *)
+  let m = parse "exists y z. y != z /\\ F(x, y) /\\ F(x, z)" in
+  Alcotest.(check (list string)) "free vars of M(x)" [ "x" ] (Formula.free_vars m)
+
+let test_parse_terms_in_atoms () =
+  Alcotest.check fml "arithmetic"
+    (Formula.Atom
+       ( "<",
+         [ Term.App ("+", [ Term.Var "x"; Term.Const "1" ]); Term.Var "y" ] ))
+    (parse "x + 1 < y");
+  Alcotest.check fml "successor postfix"
+    (Formula.Eq (Term.App ("s", [ Term.Var "x" ]), Term.Var "y"))
+    (parse "x' = y");
+  Alcotest.check fml "double successor"
+    (Formula.Eq (Term.App ("s", [ Term.App ("s", [ Term.Var "x" ]) ]), Term.Var "y"))
+    (parse "x'' = y");
+  Alcotest.check fml "divisibility"
+    (Formula.Atom ("dvd", [ Term.Const "2"; Term.Var "x" ]))
+    (parse "2 | x");
+  Alcotest.check fml "parenthesized term on the left"
+    (Formula.Eq (Term.App ("+", [ Term.Var "x"; Term.Var "y" ]), Term.Var "z"))
+    (parse "(x + y) = z");
+  Alcotest.check fml "string constant"
+    (Formula.Atom ("P", [ Term.Const "1*1"; Term.Const ""; Term.Var "p" ]))
+    (parse "P(\"1*1\", \"\", p)");
+  Alcotest.check fml "scheme constant"
+    (Formula.Atom ("P", [ Term.Var "m"; Term.Const "@c"; Term.Var "p" ]))
+    (parse "P(m, @c, p)")
+
+let test_parse_errors () =
+  let is_err s =
+    match Parser.formula s with Ok f -> Alcotest.failf "%S parsed as %a" s Formula.pp f | Error _ -> ()
+  in
+  List.iter is_err [ ""; "F(x"; "x"; "F(x))"; "forall . F(x)"; "x = "; "F(x) /\\"; "@ x" ]
+
+let test_print_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let f = parse s in
+      Alcotest.check fml (Printf.sprintf "roundtrip %S" s) f (parse (Formula.to_string f)))
+    [ "exists y z. y != z /\\ F(x, y) /\\ F(x, z)";
+      "forall x. F(x) -> G(x) \\/ H(x)";
+      "P(\"1*1\", @c, p) <-> ~(x = y)";
+      "x + 1 < y /\\ 2 | x";
+      "exists m. forall x y. F(x) /\\ F(y) -> x = y";
+      "x' = y \\/ ~(x'' = z)";
+      "true /\\ (false \\/ ~true)" ]
+
+(* ----------------------------- formulas ---------------------------- *)
+
+let test_free_vars () =
+  Alcotest.(check (list string)) "order of occurrence" [ "z"; "x" ]
+    (Formula.free_vars (parse "G(z) /\\ exists y. F(x, y)"));
+  Alcotest.(check bool) "sentence" true (Formula.is_sentence (parse "exists x. F(x)"));
+  Alcotest.(check bool) "not sentence" false (Formula.is_sentence (parse "F(x)"))
+
+let test_subst_capture () =
+  (* substituting y for x under exists y must rename the binder *)
+  let f = parse "exists y. F(x, y)" in
+  let g = Formula.subst [ ("x", Term.Var "y") ] f in
+  (match g with
+  | Formula.Exists (v, body) ->
+    Alcotest.(check bool) "binder renamed" true (v <> "y");
+    Alcotest.check fml "body substituted"
+      (Formula.Atom ("F", [ Term.Var "y"; Term.Var v ]))
+      body
+  | _ -> Alcotest.fail "expected exists");
+  (* no capture: plain substitution under a different binder *)
+  Alcotest.check fml "no rename needed"
+    (parse "exists z. F(w, z)")
+    (Formula.subst [ ("x", Term.Var "w") ] (parse "exists z. F(x, z)"))
+
+let test_subst_const_formula () =
+  (* Theorem 3.1's [z/c]: substituting a variable for a constant must avoid
+     capture by existing binders *)
+  let f = parse "exists z. P(m, @c, z)" in
+  let g = Formula.subst_const "@c" (Term.Var "z") f in
+  (match g with
+  | Formula.Exists (v, Formula.Atom ("P", [ _; Term.Var z; _ ])) ->
+    Alcotest.(check bool) "binder avoided" true (v <> "z");
+    Alcotest.(check string) "constant replaced" "z" z
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_misc_accessors () =
+  let f = parse "exists x. F(x, g(y)) /\\ x < 3 \\/ P(\"11\", @c, x)" in
+  Alcotest.(check (list (pair string int)))
+    "preds" [ ("F", 2); ("<", 2); ("P", 3) ] (Formula.preds f);
+  Alcotest.(check (list (pair string int))) "funs" [ ("g", 1) ] (Formula.funs f);
+  Alcotest.(check (list string)) "consts" [ "3"; "11"; "@c" ] (Formula.consts f);
+  Alcotest.(check int) "qdepth" 1 (Formula.quantifier_depth f);
+  Alcotest.(check int) "qdepth nested" 3
+    (Formula.quantifier_depth (parse "forall x. exists y. F(x, y) /\\ exists z. G(z)"))
+
+(* ---------------------------- transforms --------------------------- *)
+
+let test_simplify () =
+  let s f = Transform.simplify f in
+  Alcotest.check fml "and true" (parse "F(x)") (s (parse "F(x) /\\ true"));
+  Alcotest.check fml "or true" Formula.True (s (parse "F(x) \\/ true"));
+  Alcotest.check fml "double neg" (parse "F(x)") (s (parse "~~F(x)"));
+  Alcotest.check fml "x = x" Formula.True (s (parse "x = x"));
+  Alcotest.check fml "vacuous quantifier" (parse "F(y)") (s (parse "exists x. F(y)"));
+  Alcotest.check fml "imp false" Formula.True (s (parse "false -> F(x)"));
+  Alcotest.check fml "iff same" Formula.True (s (parse "F(x) <-> F(x)"))
+
+let rec is_nnf = function
+  | Formula.True | Formula.False | Formula.Atom _ | Formula.Eq _ -> true
+  | Formula.Not (Formula.Atom _) | Formula.Not (Formula.Eq _) -> true
+  | Formula.Not _ | Formula.Imp _ | Formula.Iff _ -> false
+  | Formula.And (f, g) | Formula.Or (f, g) -> is_nnf f && is_nnf g
+  | Formula.Exists (_, f) | Formula.Forall (_, f) -> is_nnf f
+
+let test_nnf () =
+  Alcotest.check fml "de morgan"
+    (parse "~F(x) \\/ ~G(x)")
+    (Transform.nnf (parse "~(F(x) /\\ G(x))"));
+  Alcotest.check fml "neg exists"
+    (parse "forall x. ~F(x)")
+    (Transform.nnf (parse "~(exists x. F(x))"));
+  Alcotest.check fml "imp"
+    (parse "~F(x) \\/ G(x)")
+    (Transform.nnf (parse "F(x) -> G(x)"));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "nnf(%s) is nnf" s)
+        true
+        (is_nnf (Transform.nnf (parse s))))
+    [ "~(F(x) <-> exists y. G(y))"; "~~~(F(x) -> ~G(y))"; "~(forall x. F(x) -> false)" ]
+
+let test_prenex () =
+  let p = Transform.prenex (parse "(exists x. F(x)) /\\ (exists x. G(x))") in
+  let prefix, m = Transform.matrix p in
+  Alcotest.(check int) "two quantifiers" 2 (List.length prefix);
+  Alcotest.(check bool) "matrix quantifier-free" true (Formula.quantifier_depth m = 0);
+  let names = List.map fst prefix in
+  Alcotest.(check int) "binders distinct" 2 (List.length (List.sort_uniq compare names));
+  (* universal under negation flips *)
+  let p2 = Transform.prenex (parse "~(forall x. F(x))") in
+  match p2 with
+  | Formula.Exists (_, Formula.Not _) -> ()
+  | f -> Alcotest.failf "expected exists-not, got %a" Formula.pp f
+
+let test_miniscope () =
+  (* ∃x (F(x) ∨ G(y)) pushes to (∃x F(x)) ∨ G(y) — the quantifier drops
+     from the x-free disjunct *)
+  Alcotest.check fml "exists over or"
+    (parse "(exists x. F(x)) \\/ G(y)")
+    (Transform.miniscope (parse "exists x. F(x) \\/ G(y)"));
+  Alcotest.check fml "exists over and with free part"
+    (parse "G(y) /\\ (exists x. F(x))")
+    (Transform.miniscope (parse "exists x. G(y) /\\ F(x)"));
+  Alcotest.check fml "forall over and"
+    (parse "(forall x. F(x)) /\\ (forall x. G(x))")
+    (Transform.miniscope (parse "forall x. F(x) /\\ G(x)"));
+  Alcotest.check fml "vacuous quantifier drops"
+    (parse "F(y)")
+    (Transform.miniscope (parse "exists x. F(y)"))
+
+let test_dnf () =
+  let clauses = Transform.dnf (Transform.nnf (parse "(F(x) \\/ G(x)) /\\ H(x)")) in
+  Alcotest.(check int) "two clauses" 2 (List.length clauses);
+  List.iter (fun c -> Alcotest.(check int) "clause size" 2 (List.length c)) clauses;
+  Alcotest.(check int) "dnf true" 1 (List.length (Transform.dnf Formula.True));
+  Alcotest.(check int) "dnf false" 0 (List.length (Transform.dnf Formula.False))
+
+(* ---------------------------- signature ---------------------------- *)
+
+let test_signature_check () =
+  let sg =
+    Fq_logic.Signature.make ~name:"toy" ~preds:[ ("<", 2) ] ~funs:[ ("s", 1) ] ()
+  in
+  let ok f = Fq_logic.Signature.check ~schema:[ ("F", 2) ] sg (parse f) in
+  Alcotest.(check bool) "domain predicate accepted" true (Result.is_ok (ok "x < y"));
+  Alcotest.(check bool) "schema relation accepted" true (Result.is_ok (ok "F(x, y)"));
+  Alcotest.(check bool) "mixed accepted" true (Result.is_ok (ok "F(x, y) /\\ x' < y"));
+  Alcotest.(check bool) "unknown predicate rejected" true (Result.is_error (ok "G(x)"));
+  Alcotest.(check bool) "wrong arity rejected" true (Result.is_error (ok "F(x)"));
+  Alcotest.(check bool) "unknown function rejected" true
+    (Result.is_error (ok "f(x) < y"));
+  (* purity: scheme constants and database relations break it *)
+  Alcotest.(check bool) "pure" true (Fq_logic.Signature.is_pure sg (parse "x < y"));
+  Alcotest.(check bool) "db atom impure" false (Fq_logic.Signature.is_pure sg (parse "F(x, y)"));
+  Alcotest.(check bool) "scheme constant impure" false
+    (Fq_logic.Signature.is_pure sg (parse "x < @c"));
+  (* union of signatures *)
+  let sg2 = Fq_logic.Signature.make ~name:"other" ~preds:[ ("P", 3) ] () in
+  let u = Fq_logic.Signature.union sg sg2 in
+  Alcotest.(check bool) "union has both" true
+    (Fq_logic.Signature.mem_pred u "<" 2 && Fq_logic.Signature.mem_pred u "P" 3)
+
+let test_lexer_errors () =
+  List.iter
+    (fun s ->
+      match Fq_logic.Lexer.tokenize s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not tokenize" s)
+    [ "x ! y"; "a / b"; "\\x"; "@ "; "\"unterminated"; "x # y" ]
+
+(* --------------------------- qcheck gens ---------------------------- *)
+
+let gen_formula : Formula.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let atom =
+    oneof
+      [ map (fun v -> Formula.Atom ("F", [ Term.Var v ])) var;
+        map2 (fun v w -> Formula.Atom ("R", [ Term.Var v; Term.Var w ])) var var;
+        map2 (fun v w -> Formula.Eq (Term.Var v, Term.Var w)) var var;
+        return Formula.True; return Formula.False ]
+  in
+  sized_size (int_bound 8)
+  @@ fix (fun self n ->
+         if n <= 0 then atom
+         else
+           oneof
+             [ atom;
+               map (fun f -> Formula.Not f) (self (n - 1));
+               map2 (fun f g -> Formula.And (f, g)) (self (n / 2)) (self (n / 2));
+               map2 (fun f g -> Formula.Or (f, g)) (self (n / 2)) (self (n / 2));
+               map2 (fun f g -> Formula.Imp (f, g)) (self (n / 2)) (self (n / 2));
+               map2 (fun v f -> Formula.Exists (v, f)) var (self (n - 1));
+               map2 (fun v f -> Formula.Forall (v, f)) var (self (n - 1)) ])
+
+let arb_formula = QCheck.make ~print:Formula.to_string gen_formula
+
+(* Brute-force evaluation over a tiny universe, used as semantics oracle
+   for the transformations. R and F are fixed small relations. *)
+let universe = [ 0; 1; 2 ]
+
+let rec eval env f =
+  match f with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom ("F", [ t ]) -> eval_term env t mod 2 = 0
+  | Formula.Atom ("R", [ t; u ]) -> eval_term env t < eval_term env u
+  | Formula.Atom _ -> false
+  | Formula.Eq (t, u) -> eval_term env t = eval_term env u
+  | Formula.Not g -> not (eval env g)
+  | Formula.And (g, h) -> eval env g && eval env h
+  | Formula.Or (g, h) -> eval env g || eval env h
+  | Formula.Imp (g, h) -> (not (eval env g)) || eval env h
+  | Formula.Iff (g, h) -> eval env g = eval env h
+  | Formula.Exists (v, g) -> List.exists (fun d -> eval ((v, d) :: env) g) universe
+  | Formula.Forall (v, g) -> List.for_all (fun d -> eval ((v, d) :: env) g) universe
+
+and eval_term env = function
+  | Term.Var v -> ( match List.assoc_opt v env with Some d -> d | None -> 0)
+  | Term.Const _ | Term.App _ -> 0
+
+let env0 = [ ("x", 0); ("y", 1); ("z", 2) ]
+
+let prop_preserves name transform =
+  QCheck.Test.make ~name ~count:300 arb_formula (fun f ->
+      eval env0 f = eval env0 (transform f))
+
+let prop_nnf_shape =
+  QCheck.Test.make ~name:"nnf output is in nnf" ~count:300 arb_formula (fun f ->
+      is_nnf (Transform.nnf f))
+
+let prop_prenex_shape =
+  QCheck.Test.make ~name:"prenex matrix is quantifier-free" ~count:300 arb_formula
+    (fun f ->
+      let _, m = Transform.matrix (Transform.prenex f) in
+      Formula.quantifier_depth m = 0)
+
+let prop_roundtrip_print_parse =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 arb_formula (fun f ->
+      match Parser.formula (Formula.to_string f) with
+      | Ok g -> Formula.equal f g
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s on %s" e (Formula.to_string f))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_preserves "simplify preserves semantics" Transform.simplify;
+      prop_preserves "nnf preserves semantics" Transform.nnf;
+      prop_preserves "prenex preserves semantics" Transform.prenex;
+      prop_preserves "miniscope preserves semantics" Transform.miniscope;
+      prop_nnf_shape; prop_prenex_shape; prop_roundtrip_print_parse ]
+
+let () =
+  Alcotest.run "fq_logic"
+    [ ( "terms",
+        [ Alcotest.test_case "basics" `Quick test_term_basics;
+          Alcotest.test_case "subst_const" `Quick test_term_subst_const ] );
+      ( "parser",
+        [ Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "quantifiers" `Quick test_parse_quantifiers;
+          Alcotest.test_case "terms in atoms" `Quick test_parse_terms_in_atoms;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip ] );
+      ( "formulas",
+        [ Alcotest.test_case "free_vars" `Quick test_free_vars;
+          Alcotest.test_case "capture-avoiding subst" `Quick test_subst_capture;
+          Alcotest.test_case "subst_const" `Quick test_subst_const_formula;
+          Alcotest.test_case "accessors" `Quick test_misc_accessors ] );
+      ( "signature",
+        [ Alcotest.test_case "check" `Quick test_signature_check;
+          Alcotest.test_case "lexer errors" `Quick test_lexer_errors ] );
+      ( "transforms",
+        [ Alcotest.test_case "simplify" `Quick test_simplify;
+          Alcotest.test_case "nnf" `Quick test_nnf;
+          Alcotest.test_case "prenex" `Quick test_prenex;
+          Alcotest.test_case "miniscope" `Quick test_miniscope;
+          Alcotest.test_case "dnf" `Quick test_dnf ] );
+      ("properties", qcheck_cases) ]

@@ -1,0 +1,200 @@
+(* Tests for Fq_numeric.Bigint: unit tests on corner cases plus qcheck
+   properties cross-checking against native int arithmetic. *)
+
+module B = Fq_numeric.Bigint
+
+let b = B.of_int
+let check_b msg expected actual = Alcotest.(check string) msg expected (B.to_string actual)
+
+(* ------------------------------ units ------------------------------ *)
+
+let test_of_to_string () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s B.(to_string (of_string s)))
+    [ "0"; "1"; "-1"; "9999"; "10000"; "-10000"; "123456789012345678901234567890";
+      "-99999999999999999999" ];
+  check_b "+42 parses" "42" (B.of_string "+42");
+  check_b "leading zeros" "7" (B.of_string "007");
+  check_b "negative leading zeros" "-7" (B.of_string "-0007");
+  check_b "zero with zeros" "0" (B.of_string "000")
+
+let test_of_string_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises s (Invalid_argument "expected") (fun () ->
+          try ignore (B.of_string s)
+          with Invalid_argument _ -> raise (Invalid_argument "expected")))
+    [ ""; "-"; "+"; "12a"; " 12"; "1 2" ]
+
+let test_arith_corner_cases () =
+  check_b "0+0" "0" B.(add zero zero);
+  check_b "1+(-1)" "0" (B.add B.one B.minus_one);
+  check_b "carry" "10000" (B.add (b 9999) B.one);
+  check_b "borrow" "9999" (B.sub (b 10000) B.one);
+  check_b "big mul"
+    "15241578753238836750495351562536198787501905199875019052100"
+    B.(mul (of_string "123456789012345678901234567890")
+         (of_string "123456789012345678901234567890"));
+  check_b "neg mul" "-6" (B.mul (b 2) (b (-3)));
+  check_b "sub to negative" "-5" (B.sub (b 5) (b 10))
+
+let test_div_rem () =
+  let q, r = B.div_rem (b 7) (b 2) in
+  check_b "7/2 q" "3" q;
+  check_b "7/2 r" "1" r;
+  let q, r = B.div_rem (b (-7)) (b 2) in
+  check_b "-7/2 q (truncated)" "-3" q;
+  check_b "-7/2 r (sign of dividend)" "-1" r;
+  let q, r = B.ediv_rem (b (-7)) (b 2) in
+  check_b "-7/2 eq" "-4" q;
+  check_b "-7/2 er (nonnegative)" "1" r;
+  let q, r = B.ediv_rem (b (-7)) (b (-2)) in
+  check_b "-7/-2 eq" "4" q;
+  check_b "-7/-2 er" "1" r;
+  let q, r =
+    B.div_rem (B.of_string "100000000000000000000000001") (B.of_string "99999999999")
+  in
+  check_b "long division q" "1000000000010000" q;
+  check_b "long division r" "10001" r;
+  Alcotest.check_raises "division by zero" Division_by_zero (fun () ->
+      ignore (B.div_rem B.one B.zero))
+
+let test_gcd_lcm () =
+  check_b "gcd 12 18" "6" (B.gcd (b 12) (b 18));
+  check_b "gcd negative" "6" (B.gcd (b (-12)) (b 18));
+  check_b "gcd 0 5" "5" (B.gcd B.zero (b 5));
+  check_b "gcd 0 0" "0" (B.gcd B.zero B.zero);
+  check_b "lcm 4 6" "12" (B.lcm (b 4) (b 6));
+  check_b "lcm with 0" "0" (B.lcm (b 4) B.zero);
+  check_b "lcm negative" "12" (B.lcm (b (-4)) (b 6));
+  check_b "lcm_list" "60" (B.lcm_list [ b 4; b 6; b 5 ]);
+  check_b "lcm_list empty" "1" (B.lcm_list [])
+
+let test_pow () =
+  check_b "2^10" "1024" (B.pow (b 2) 10);
+  check_b "10^30" ("1" ^ String.make 30 '0') (B.pow (b 10) 30);
+  check_b "x^0" "1" (B.pow (b 999) 0);
+  check_b "(-2)^3" "-8" (B.pow (b (-2)) 3)
+
+let test_to_int () =
+  Alcotest.(check (option int)) "roundtrip" (Some 123456) (B.to_int_opt (b 123456));
+  Alcotest.(check (option int)) "negative" (Some (-42)) (B.to_int_opt (b (-42)));
+  Alcotest.(check (option int)) "max_int" (Some max_int) (B.to_int_opt (b max_int));
+  Alcotest.(check (option int)) "min_int" (Some min_int) (B.to_int_opt (b min_int));
+  Alcotest.(check (option int))
+    "overflow" None
+    (B.to_int_opt (B.mul (b max_int) (b 100)));
+  Alcotest.(check (option int))
+    "underflow" None
+    (B.to_int_opt (B.mul (b min_int) (b 100)))
+
+let test_compare () =
+  Alcotest.(check bool) "1 < 2" true B.(compare one (b 2) < 0);
+  Alcotest.(check bool) "-2 < 1" true B.(compare (b (-2)) one < 0);
+  Alcotest.(check bool) "-2 < -1" true B.(compare (b (-2)) (b (-1)) < 0);
+  Alcotest.(check bool) "equal" true (B.equal (b 42) (B.of_string "42"));
+  Alcotest.(check int) "sign neg" (-1) (B.sign (b (-5)));
+  Alcotest.(check int) "sign zero" 0 (B.sign B.zero);
+  check_b "min" "-3" (B.min (b 5) (b (-3)));
+  check_b "max" "5" (B.max (b 5) (b (-3)))
+
+let test_divisible () =
+  Alcotest.(check bool) "3 | 9" true (B.divisible ~by:(b 3) (b 9));
+  Alcotest.(check bool) "3 | 10" false (B.divisible ~by:(b 3) (b 10));
+  Alcotest.(check bool) "3 | -9" true (B.divisible ~by:(b 3) (b (-9)));
+  Alcotest.(check bool) "-3 | 9" true (B.divisible ~by:(b (-3)) (b 9));
+  Alcotest.(check bool) "anything | 0" true (B.divisible ~by:(b 7) B.zero)
+
+(* --------------------------- properties ---------------------------- *)
+
+let small_int = QCheck.int_range (-100000) 100000
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_int/to_int roundtrip" ~count:500 QCheck.int (fun n ->
+      B.to_int_opt (b n) = Some n)
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches native int" ~count:1000
+    (QCheck.pair small_int small_int)
+    (fun (x, y) -> B.to_int_opt (B.add (b x) (b y)) = Some (x + y))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches native int" ~count:1000
+    (QCheck.pair small_int small_int)
+    (fun (x, y) -> B.to_int_opt (B.mul (b x) (b y)) = Some (x * y))
+
+let prop_div_rem_matches_int =
+  QCheck.Test.make ~name:"div_rem matches native int" ~count:1000
+    (QCheck.pair small_int small_int)
+    (fun (x, y) ->
+      QCheck.assume (y <> 0);
+      B.to_int_opt (B.div (b x) (b y)) = Some (x / y)
+      && B.to_int_opt (B.rem (b x) (b y)) = Some (x mod y))
+
+let prop_div_rem_law =
+  QCheck.Test.make ~name:"a = q*b + r and |r| < |b|" ~count:1000
+    (QCheck.pair (QCheck.map B.of_string (QCheck.Gen.map (fun n -> string_of_int n) QCheck.Gen.int |> QCheck.make))
+       small_int)
+    (fun (a, y) ->
+      QCheck.assume (y <> 0);
+      let bb = b y in
+      let q, r = B.div_rem a bb in
+      B.equal a (B.add (B.mul q bb) r) && B.compare (B.abs r) (B.abs bb) < 0)
+
+let prop_ediv_nonneg =
+  QCheck.Test.make ~name:"euclidean remainder in [0, |b|)" ~count:1000
+    (QCheck.pair small_int small_int)
+    (fun (x, y) ->
+      QCheck.assume (y <> 0);
+      let q, r = B.ediv_rem (b x) (b y) in
+      B.sign r >= 0
+      && B.compare r (B.abs (b y)) < 0
+      && B.equal (b x) (B.add (B.mul q (b y)) r))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:500 (QCheck.pair small_int small_int)
+    (fun (x, y) ->
+      QCheck.assume (x <> 0 || y <> 0);
+      let g = B.gcd (b x) (b y) in
+      B.divisible ~by:g (b x) && B.divisible ~by:g (b y))
+
+let prop_lcm_is_multiple =
+  QCheck.Test.make ~name:"lcm is a common multiple" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (x, y) ->
+      QCheck.assume (x <> 0 && y <> 0);
+      let l = B.lcm (b x) (b y) in
+      B.divisible ~by:(b x) l && B.divisible ~by:(b y) l)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:500
+    (QCheck.triple small_int small_int small_int)
+    (fun (x, y, z) ->
+      (* build a biggish number out of three smalls *)
+      let n = B.add (B.mul (B.mul (b x) (b y)) (b 1_000_000_007)) (b z) in
+      B.equal n (B.of_string (B.to_string n)))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (x, y) -> B.compare (b x) (b y) = -B.compare (b y) (b x))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_add_matches_int; prop_mul_matches_int; prop_div_rem_matches_int;
+      prop_div_rem_law; prop_ediv_nonneg; prop_gcd_divides; prop_lcm_is_multiple;
+      prop_string_roundtrip; prop_compare_antisym ]
+
+let () =
+  Alcotest.run "fq_numeric"
+    [ ( "bigint",
+        [ Alcotest.test_case "of_string/to_string" `Quick test_of_to_string;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+          Alcotest.test_case "arithmetic corner cases" `Quick test_arith_corner_cases;
+          Alcotest.test_case "div_rem" `Quick test_div_rem;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "to_int bounds" `Quick test_to_int;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "divisible" `Quick test_divisible ] );
+      ("bigint properties", qcheck_cases) ]

@@ -1,0 +1,406 @@
+(* Tests for Fq_tm: machines, tapes, runs, encodings, traces (the predicate
+   P of the paper's Section 3), the Lemma A.2 builder, and classification. *)
+
+open Fq_tm
+module W = Fq_words.Word
+
+let outcome =
+  Alcotest.testable
+    (fun fmt -> function
+      | Run.Halted { steps; result } -> Format.fprintf fmt "Halted(%d, %S)" steps result
+      | Run.Out_of_fuel -> Format.pp_print_string fmt "Out_of_fuel")
+    ( = )
+
+(* ------------------------------- tape ------------------------------ *)
+
+let test_tape_window () =
+  let t = Tape.of_input "1-1" in
+  Alcotest.(check (pair string int)) "initial window" ("1-1", 0) (Tape.window t);
+  let t = Tape.of_input "" in
+  Alcotest.(check (pair string int)) "blank tape window" ("-", 0) (Tape.window t);
+  let t = Tape.move Machine.Right (Tape.of_input "11") in
+  Alcotest.(check (pair string int)) "after a move" ("11", 1) (Tape.window t);
+  (* head walks right past the word: window must include the head *)
+  let t = Tape.move Machine.Right t in
+  Alcotest.(check (pair string int)) "head beyond word" ("11-", 2) (Tape.window t);
+  (* head walks left of the word *)
+  let t = Tape.move Machine.Left (Tape.of_input "1") in
+  Alcotest.(check (pair string int)) "head left of word" ("-1", 0) (Tape.window t)
+
+let test_tape_write_result () =
+  let t = Tape.write Machine.Blank (Tape.of_input "11") in
+  Alcotest.(check string) "result skips leading blank" "1" (Tape.result t);
+  Alcotest.(check string) "all blank result" "" (Tape.result (Tape.of_input "--"));
+  Alcotest.(check string) "leftmost block" "11" (Tape.result (Tape.of_input "-11-111"))
+
+(* ------------------------------- runs ------------------------------ *)
+
+let test_run_halt () =
+  Alcotest.check outcome "empty machine halts at once"
+    (Run.Halted { steps = 0; result = "11" })
+    (Run.run ~fuel:10 Zoo.halt "11")
+
+let test_run_scan () =
+  Alcotest.check outcome "scan_right crosses the input"
+    (Run.Halted { steps = 3; result = "111" })
+    (Run.run ~fuel:10 Zoo.scan_right "111");
+  Alcotest.check outcome "erase leaves a blank tape"
+    (Run.Halted { steps = 2; result = "" })
+    (Run.run ~fuel:10 Zoo.erase "11")
+
+let test_run_successor () =
+  (match Run.run ~fuel:10 Zoo.successor "111" with
+  | Run.Halted { result; _ } -> Alcotest.(check string) "successor" "1111" result
+  | Run.Out_of_fuel -> Alcotest.fail "successor ran out of fuel");
+  match Run.run ~fuel:10 Zoo.successor "" with
+  | Run.Halted { result; _ } -> Alcotest.(check string) "successor of 0" "1" result
+  | Run.Out_of_fuel -> Alcotest.fail "successor ran out of fuel"
+
+let test_run_loop () =
+  Alcotest.check outcome "loop never halts" Run.Out_of_fuel (Run.run ~fuel:1000 Zoo.loop "");
+  Alcotest.(check (option int)) "halts_within none" None
+    (Run.halts_within ~fuel:100 Zoo.loop "1");
+  Alcotest.(check (option int)) "loop_on_one halts on blank start" (Some 0)
+    (Run.halts_within ~fuel:10 Zoo.loop_on_one "-1");
+  Alcotest.(check (option int)) "loop_on_one diverges on 1" None
+    (Run.halts_within ~fuel:100 Zoo.loop_on_one "1")
+
+let test_run_parity () =
+  Alcotest.(check (option int)) "even block halts" (Some 2)
+    (Run.halts_within ~fuel:100 Zoo.parity "11");
+  Alcotest.(check (option int)) "odd block diverges" None
+    (Run.halts_within ~fuel:100 Zoo.parity "111");
+  Alcotest.(check (option int)) "empty block halts" (Some 0)
+    (Run.halts_within ~fuel:100 Zoo.parity "")
+
+let test_run_bb2 () =
+  match Run.run ~fuel:100 Zoo.bb2 "" with
+  | Run.Halted { steps; result } ->
+    (* the classical count of 6 includes the halting transition, which our
+       undefined-delta convention does not perform *)
+    Alcotest.(check int) "bb2 halts in 5 steps" 5 steps;
+    Alcotest.(check string) "bb2 writes 4 ones" "1111" result
+  | Run.Out_of_fuel -> Alcotest.fail "bb2 should halt on blank input"
+
+let test_config_count () =
+  Alcotest.(check int) "halting count = steps + 1" 4
+    (Run.config_count_upto ~bound:100 Zoo.scan_right "111");
+  Alcotest.(check int) "diverging count hits bound" 17
+    (Run.config_count_upto ~bound:17 Zoo.loop "")
+
+(* ----------------------------- encoding ---------------------------- *)
+
+let test_encode_roundtrip () =
+  List.iter
+    (fun { Zoo.name; machine; _ } ->
+      let w = Encode.encode machine in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s encoding is machine-shaped" name)
+        true (W.is_machine_shaped w);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s decode/encode roundtrip" name)
+        true
+        (Machine.equal machine (Encode.decode w)))
+    Zoo.all
+
+let test_decode_total () =
+  (* decode succeeds on every machine-shaped word *)
+  W.enumerate () |> Seq.take 2000
+  |> Seq.iter (fun w ->
+         if W.is_machine_shaped w then ignore (Encode.decode w));
+  Alcotest.check_raises "decode rejects non-machines"
+    (Invalid_argument "Encode.decode: \"11\" is not machine-shaped") (fun () ->
+      ignore (Encode.decode "11"))
+
+let test_variants () =
+  let vs = List.of_seq (Seq.take 10 (Encode.variants Zoo.scan_right)) in
+  Alcotest.(check int) "10 distinct variants" 10 (List.length (List.sort_uniq compare vs));
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "variant decodes to same machine" true
+        (Machine.equal Zoo.scan_right (Encode.decode v)))
+    vs
+
+(* ------------------------------ traces ----------------------------- *)
+
+let scan = Encode.encode Zoo.scan_right
+let looper = Encode.encode Zoo.loop
+
+let test_trace_shape () =
+  match Trace.trace_word ~machine:scan ~input:"11" ~k:1 with
+  | None -> Alcotest.fail "first trace must exist"
+  | Some p ->
+    Alcotest.(check string) "paper's first snapshot M.1.w." (scan ^ ".1.11.") p;
+    Alcotest.(check bool) "trace-shaped" true (W.syntactic_class p = `Trace_shaped)
+
+let test_trace_counts () =
+  (* scan_right on "11" halts in 2 steps: exactly 3 traces *)
+  let ts = List.of_seq (Trace.traces ~machine:scan ~input:"11") in
+  Alcotest.(check int) "halting: steps+1 traces" 3 (List.length ts);
+  Alcotest.(check int) "distinct traces" 3 (List.length (List.sort_uniq compare ts));
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Printf.sprintf "P holds of %S" p) true (Trace.p_pred scan "11" p))
+    ts;
+  (* diverging machine has unboundedly many traces *)
+  let many = List.of_seq (Seq.take 50 (Trace.traces ~machine:looper ~input:"")) in
+  Alcotest.(check int) "diverging: as many as asked" 50 (List.length many)
+
+let test_p_pred_total () =
+  Alcotest.(check bool) "garbage trace" false (Trace.p_pred scan "11" "junk");
+  Alcotest.(check bool) "not a machine" false (Trace.p_pred "11" "11" "x");
+  Alcotest.(check bool) "not an input" false (Trace.p_pred scan "*" "x");
+  (* a trace of the wrong machine *)
+  (match Trace.trace_word ~machine:looper ~input:"" ~k:2 with
+  | Some p -> Alcotest.(check bool) "wrong machine" false (Trace.p_pred scan "" p)
+  | None -> Alcotest.fail "looper trace");
+  (* a trace of the right machine but wrong input *)
+  match Trace.trace_word ~machine:scan ~input:"1" ~k:1 with
+  | Some p -> Alcotest.(check bool) "wrong input" false (Trace.p_pred scan "11" p)
+  | None -> Alcotest.fail "scan trace"
+
+let test_trace_inputs_distinct () =
+  (* inputs differing in trailing blanks give distinct traces (w is recorded
+     verbatim), so the Appendix function w(x) is well defined *)
+  let p1 = Option.get (Trace.trace_word ~machine:scan ~input:"1" ~k:1) in
+  let p2 = Option.get (Trace.trace_word ~machine:scan ~input:"1-" ~k:1) in
+  Alcotest.(check bool) "distinct traces" false (String.equal p1 p2);
+  Alcotest.(check string) "w recovers input" "1" (Trace.w_fn p1);
+  Alcotest.(check string) "w recovers padded input" "1-" (Trace.w_fn p2);
+  Alcotest.(check string) "m recovers machine" scan (Trace.m_fn p1);
+  Alcotest.(check string) "w on non-trace" "" (Trace.w_fn "junk.")
+
+let test_d_e_preds () =
+  (* scan_right on "11": 3 traces exactly *)
+  Alcotest.(check bool) "D_1" true (Trace.d_pred ~i:1 scan "11");
+  Alcotest.(check bool) "D_3" true (Trace.d_pred ~i:3 scan "11");
+  Alcotest.(check bool) "D_4" false (Trace.d_pred ~i:4 scan "11");
+  Alcotest.(check bool) "E_3" true (Trace.e_pred ~i:3 scan "11");
+  Alcotest.(check bool) "E_2" false (Trace.e_pred ~i:2 scan "11");
+  Alcotest.(check bool) "E_4" false (Trace.e_pred ~i:4 scan "11");
+  (* loop: D_i for all i, E_i never *)
+  Alcotest.(check bool) "loop D_50" true (Trace.d_pred ~i:50 looper "");
+  Alcotest.(check bool) "loop no E_5" false (Trace.e_pred ~i:5 looper "");
+  (* non-machine first argument *)
+  Alcotest.(check bool) "D on non-machine" false (Trace.d_pred ~i:1 "111" "")
+
+let test_is_trace_word () =
+  let p = Option.get (Trace.trace_word ~machine:scan ~input:"1-1" ~k:2) in
+  Alcotest.(check bool) "real trace" true (Trace.is_trace_word p);
+  Alcotest.(check bool) "corrupted trace" false (Trace.is_trace_word (p ^ "1"));
+  Alcotest.(check bool) "machine word is not a trace" false (Trace.is_trace_word scan);
+  (* trace-shaped but semantically wrong: state 2 never reached first *)
+  Alcotest.(check bool) "bad semantics" false (Trace.is_trace_word (scan ^ ".11.11."))
+
+(* --------------------------- Lemma A.2 ----------------------------- *)
+
+let test_builder_simple () =
+  (* a machine halting on "11" after exactly 2 steps and on "--1" after 0 *)
+  match Builder.build [ Builder.Exactly ("11", 3); Builder.Exactly ("-1", 1) ] with
+  | Error e -> Alcotest.failf "unsatisfiable: %s" e
+  | Ok m ->
+    Alcotest.(check (option int)) "halts on 11 after 2" (Some 2)
+      (Run.halts_within ~fuel:100 m "11");
+    Alcotest.(check (option int)) "halts on -1 at once" (Some 0)
+      (Run.halts_within ~fuel:100 m "-1")
+
+let test_builder_at_least () =
+  match Builder.build [ Builder.At_least ("111", 4) ] with
+  | Error e -> Alcotest.failf "unsatisfiable: %s" e
+  | Ok m ->
+    let enc = Encode.encode m in
+    Alcotest.(check bool) "D_4 holds" true (Trace.d_pred ~i:4 enc "111")
+
+let test_builder_conflicts () =
+  (* same word, two different exact counts *)
+  Alcotest.(check bool) "contradictory exacts" false
+    (Builder.satisfiable [ Builder.Exactly ("11", 2); Builder.Exactly ("11", 3) ]);
+  (* trailing blanks denote the same tape *)
+  Alcotest.(check bool) "trailing blanks merge" false
+    (Builder.satisfiable [ Builder.Exactly ("1", 2); Builder.Exactly ("1-", 3) ]);
+  (* E forces a halt where D forces survival on a shared prefix *)
+  Alcotest.(check bool) "D vs E prefix conflict" false
+    (Builder.satisfiable [ Builder.At_least ("111", 3); Builder.Exactly ("1111", 2) ]);
+  (* distinct prefixes: no conflict *)
+  Alcotest.(check bool) "diverging prefixes fine" true
+    (Builder.satisfiable [ Builder.At_least ("-11", 3); Builder.Exactly ("1-1", 2) ])
+
+let test_builder_matches_paper_criterion () =
+  (* under the lemma's hypothesis (words longer than all counts) the
+     explicit criterion and the builder agree *)
+  let words = [ "111"; "11-"; "1-1"; "-11"; "1--" ] in
+  let pairs = List.concat_map (fun w -> [ (w, 1); (w, 2); (w, 3) ]) words in
+  List.iter
+    (fun (v, i) ->
+      List.iter
+        (fun (u, j) ->
+          let expected = Builder.paper_criterion ~d:[ (v, i) ] ~e:[ (u, j) ] in
+          let actual =
+            Builder.satisfiable [ Builder.At_least (v, i); Builder.Exactly (u, j) ]
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "D_%d(%s) & E_%d(%s)" i v j u)
+            expected actual)
+        pairs)
+    pairs
+
+let test_builder_witness_satisfies () =
+  (* when satisfiable, the built machine actually satisfies the system *)
+  let systems =
+    [ [ Builder.At_least ("11-", 2); Builder.Exactly ("111", 3) ];
+      [ Builder.Exactly ("1", 1); Builder.Exactly ("-1", 2) ];
+      [ Builder.At_least ("111", 3); Builder.At_least ("11-", 2); Builder.Exactly ("--1", 1) ]
+    ]
+  in
+  List.iter
+    (fun sys ->
+      match Builder.build sys with
+      | Error e -> Alcotest.failf "should be satisfiable: %s" e
+      | Ok m ->
+        let enc = Encode.encode m in
+        List.iter
+          (function
+            | Builder.At_least (w, i) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "D_%d(%S)" i w)
+                true (Trace.d_pred ~i enc w)
+            | Builder.Exactly (w, j) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "E_%d(%S)" j w)
+                true (Trace.e_pred ~i:j enc w))
+          sys)
+    systems
+
+(* ----------------------------- combinators ------------------------- *)
+
+let test_sequence () =
+  (* scan to the end of the block, then append a 1: unary successor *)
+  let scan_then_succ = Combine.sequence Zoo.scan_right Zoo.successor in
+  (match Run.run ~fuel:100 scan_then_succ "111" with
+  | Run.Halted { result; _ } -> Alcotest.(check string) "scan;succ = succ" "1111" result
+  | Run.Out_of_fuel -> Alcotest.fail "should halt");
+  (* two successors add two *)
+  let add_two = Combine.sequence Zoo.successor Zoo.successor in
+  (match Run.run ~fuel:100 add_two "11" with
+  | Run.Halted { result; _ } -> Alcotest.(check string) "n + 2" "1111" result
+  | Run.Out_of_fuel -> Alcotest.fail "should halt");
+  (* sequencing after a diverging machine diverges *)
+  let never = Combine.sequence Zoo.loop Zoo.halt in
+  Alcotest.(check (option int)) "loop; halt diverges" None
+    (Run.halts_within ~fuel:500 never "1")
+
+let test_chain () =
+  let add_three = Combine.chain [ Zoo.successor; Zoo.successor; Zoo.successor ] in
+  (match Run.run ~fuel:200 add_three "1" with
+  | Run.Halted { result; _ } -> Alcotest.(check string) "1 + 3" "1111" result
+  | Run.Out_of_fuel -> Alcotest.fail "should halt");
+  Alcotest.check_raises "empty chain" (Invalid_argument "Combine.chain: empty list")
+    (fun () -> ignore (Combine.chain []))
+
+let test_sequence_is_machine () =
+  (* composed machines encode, decode and trace like any other *)
+  let m = Combine.sequence Zoo.scan_right Zoo.successor in
+  let w = Encode.encode m in
+  Alcotest.(check bool) "machine-shaped" true (W.is_machine_shaped w);
+  Alcotest.(check bool) "roundtrip" true (Machine.equal m (Encode.decode w));
+  let t = Option.get (Trace.trace_word ~machine:w ~input:"11" ~k:3) in
+  Alcotest.(check bool) "traces validate" true (Trace.p_pred w "11" t)
+
+(* ------------------------------ explain ----------------------------- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_explain () =
+  let p = Option.get (Trace.trace_word ~machine:scan ~input:"11" ~k:3) in
+  (match Explain.trace p with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    Alcotest.(check bool) "mentions the machine" true (contains text scan);
+    Alcotest.(check bool) "header plus three snapshot lines" true
+      (List.length (String.split_on_char '\n' (String.trim text)) = 4);
+    Alcotest.(check bool) "head marker present" true (contains text "[1]"));
+  Alcotest.(check bool) "non-trace rejected" true (Result.is_error (Explain.trace "1.1"))
+
+let test_classify () =
+  Alcotest.(check string) "machine" "machine" (Classify.to_string (Classify.classify scan));
+  Alcotest.(check string) "input" "input" (Classify.to_string (Classify.classify "1-1"));
+  Alcotest.(check string) "empty input" "input" (Classify.to_string (Classify.classify ""));
+  let p = Option.get (Trace.trace_word ~machine:scan ~input:"1" ~k:2) in
+  Alcotest.(check string) "trace" "trace" (Classify.to_string (Classify.classify p));
+  Alcotest.(check string) "other" "other" (Classify.to_string (Classify.classify "..."))
+
+let test_classes_partition () =
+  (* each word is in exactly one class; count them over a prefix of the
+     enumeration *)
+  let counts = Hashtbl.create 4 in
+  W.enumerate () |> Seq.take 3000
+  |> Seq.iter (fun w ->
+         let c = Classify.to_string (Classify.classify w) in
+         Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)));
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class %s inhabited" c)
+        true
+        (Hashtbl.mem counts c))
+    [ "machine"; "input"; "other" ]
+
+(* property: p_pred agrees with trace generation *)
+let prop_p_pred_generated =
+  QCheck.Test.make ~name:"generated traces satisfy P; perturbed ones do not" ~count:100
+    (QCheck.pair
+       (QCheck.oneofl (List.map (fun e -> Encode.encode e.Zoo.machine) Zoo.all))
+       (QCheck.pair
+          (QCheck.string_gen_of_size (QCheck.Gen.int_bound 3)
+             (QCheck.Gen.oneofl [ '1'; '-' ]))
+          (QCheck.int_range 1 5)))
+    (fun (m, (w, k)) ->
+      match Trace.trace_word ~machine:m ~input:w ~k with
+      | None -> true
+      | Some p -> Trace.p_pred m w p && not (Trace.p_pred m w (p ^ "1")))
+
+let () =
+  Alcotest.run "fq_tm"
+    [ ( "tape",
+        [ Alcotest.test_case "window" `Quick test_tape_window;
+          Alcotest.test_case "write/result" `Quick test_tape_write_result ] );
+      ( "run",
+        [ Alcotest.test_case "halt" `Quick test_run_halt;
+          Alcotest.test_case "scan/erase" `Quick test_run_scan;
+          Alcotest.test_case "successor" `Quick test_run_successor;
+          Alcotest.test_case "loops" `Quick test_run_loop;
+          Alcotest.test_case "parity" `Quick test_run_parity;
+          Alcotest.test_case "bb2" `Quick test_run_bb2;
+          Alcotest.test_case "config_count" `Quick test_config_count ] );
+      ( "encode",
+        [ Alcotest.test_case "roundtrip" `Quick test_encode_roundtrip;
+          Alcotest.test_case "total decoding" `Quick test_decode_total;
+          Alcotest.test_case "variants" `Quick test_variants ] );
+      ( "trace",
+        [ Alcotest.test_case "shape" `Quick test_trace_shape;
+          Alcotest.test_case "counts" `Quick test_trace_counts;
+          Alcotest.test_case "p_pred totality" `Quick test_p_pred_total;
+          Alcotest.test_case "inputs recorded verbatim" `Quick test_trace_inputs_distinct;
+          Alcotest.test_case "D and E" `Quick test_d_e_preds;
+          Alcotest.test_case "is_trace_word" `Quick test_is_trace_word;
+          QCheck_alcotest.to_alcotest prop_p_pred_generated ] );
+      ( "builder",
+        [ Alcotest.test_case "exact halts" `Quick test_builder_simple;
+          Alcotest.test_case "at-least" `Quick test_builder_at_least;
+          Alcotest.test_case "conflicts" `Quick test_builder_conflicts;
+          Alcotest.test_case "agrees with paper criterion" `Quick
+            test_builder_matches_paper_criterion;
+          Alcotest.test_case "witness satisfies system" `Quick test_builder_witness_satisfies
+        ] );
+      ( "combine",
+        [ Alcotest.test_case "sequence" `Quick test_sequence;
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "composed machines are machines" `Quick
+            test_sequence_is_machine ] );
+      ("explain", [ Alcotest.test_case "rendering" `Quick test_explain ]);
+      ( "classify",
+        [ Alcotest.test_case "classes" `Quick test_classify;
+          Alcotest.test_case "partition" `Quick test_classes_partition ] ) ]

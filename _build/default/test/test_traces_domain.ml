@@ -1,0 +1,480 @@
+(* Tests for the trace domain T and the Reach-theory quantifier elimination
+   (the paper's Section 3 and Appendix). These exercise every case of the
+   Theorem A.3 elimination: machine quantifiers (Lemma A.2), input
+   quantifiers (bounded-prefix expansion), trace quantifiers (T-1..T-4)
+   and "other word" quantifiers. *)
+
+open Fq_domain
+module Word = Fq_words.Word
+module Trace = Fq_tm.Trace
+module Encode = Fq_tm.Encode
+module Zoo = Fq_tm.Zoo
+
+let parse = Fq_logic.Parser.formula_exn
+
+let scan = Encode.encode Zoo.scan_right
+let looper = Encode.encode Zoo.loop
+let halter = Encode.encode Zoo.halt
+
+let check_t s expected =
+  match Traces.decide (parse s) with
+  | Ok b -> Alcotest.(check bool) s expected b
+  | Error e -> Alcotest.failf "%s: %s" s e
+
+let check_reach name f expected =
+  match Reach_qe.decide f with
+  | Ok b -> Alcotest.(check bool) name expected b
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+(* --------------------------- ground facts --------------------------- *)
+
+let test_ground () =
+  let p = Option.get (Trace.trace_word ~machine:scan ~input:"11" ~k:2) in
+  check_t (Printf.sprintf "P(%S, \"11\", %S)" scan p) true;
+  (* written out with the actual constants *)
+  check_t (Printf.sprintf "P(\"%s\", \"11\", \"%s\")" scan p) true;
+  check_t (Printf.sprintf "P(\"%s\", \"1\", \"%s\")" scan p) false;
+  check_t (Printf.sprintf "P(\"%s\", \"11\", \"1.1\")" halter) false;
+  check_t "\"1\" = \"1\"" true;
+  check_t "\"1\" = \"11\"" false
+
+(* --------------------- quantifiers over traces ---------------------- *)
+
+let test_exists_trace () =
+  (* every machine has a first trace on every input *)
+  check_t (Printf.sprintf "exists p. P(\"%s\", \"11\", p)" scan) true;
+  check_t (Printf.sprintf "exists p. P(\"%s\", \"\", p)" looper) true;
+  (* scan_right on "11" has exactly 3 traces *)
+  let p1 = Option.get (Trace.trace_word ~machine:scan ~input:"11" ~k:1) in
+  check_t
+    (Printf.sprintf "exists p. P(\"%s\", \"11\", p) /\\ p != \"%s\"" scan p1)
+    true;
+  (* all three excluded: no fourth trace *)
+  let p2 = Option.get (Trace.trace_word ~machine:scan ~input:"11" ~k:2) in
+  let p3 = Option.get (Trace.trace_word ~machine:scan ~input:"11" ~k:3) in
+  check_t
+    (Printf.sprintf
+       "exists p. P(\"%s\", \"11\", p) /\\ p != \"%s\" /\\ p != \"%s\" /\\ p != \"%s\""
+       scan p1 p2 p3)
+    false;
+  (* the looper always has more traces *)
+  let q1 = Option.get (Trace.trace_word ~machine:looper ~input:"" ~k:1) in
+  let q2 = Option.get (Trace.trace_word ~machine:looper ~input:"" ~k:2) in
+  check_t
+    (Printf.sprintf "exists p. P(\"%s\", \"\", p) /\\ p != \"%s\" /\\ p != \"%s\"" looper
+       q1 q2)
+    true
+
+let test_counting_via_fo () =
+  (* "at most 3 traces" as a pure first-order sentence: any four traces
+     coincide somewhere *)
+  let at_most_3 m w =
+    Printf.sprintf
+      "forall p1 p2 p3 p4. P(\"%s\", \"%s\", p1) /\\ P(\"%s\", \"%s\", p2) /\\ P(\"%s\", \
+       \"%s\", p3) /\\ P(\"%s\", \"%s\", p4) -> p1 = p2 \\/ p1 = p3 \\/ p1 = p4 \\/ p2 = \
+       p3 \\/ p2 = p4 \\/ p3 = p4"
+      m w m w m w m w
+  in
+  let at_most_2 m w =
+    Printf.sprintf
+      "forall p1 p2 p3. P(\"%s\", \"%s\", p1) /\\ P(\"%s\", \"%s\", p2) /\\ P(\"%s\", \
+       \"%s\", p3) -> p1 = p2 \\/ p1 = p3 \\/ p2 = p3"
+      m w m w m w
+  in
+  check_t (at_most_3 scan "11") true (* exactly 3 *);
+  check_t (at_most_2 scan "11") false;
+  check_t (at_most_3 looper "") false (* infinitely many *);
+  check_t (at_most_3 halter "1") true (* exactly 1 *)
+
+(* ----------------------- machine quantifiers ------------------------ *)
+
+let test_exists_machine () =
+  (* some machine has a trace on "11" *)
+  check_t "exists m p. P(m, \"11\", p)" true;
+  (* some machine halts immediately on "1": exactly one trace *)
+  check_t
+    "exists m. (exists p. P(m, \"1\", p)) /\\ (forall p q. P(m, \"1\", p) /\\ P(m, \"1\", \
+     q) -> p = q)"
+    true;
+  (* a non-machine word vacuously has no traces, so this is true *)
+  check_t "exists m. forall p. ~P(m, \"1\", p)" true;
+  (* but an actual machine (one with a trace on "11") always has a first
+     trace on "1" as well *)
+  check_t "exists m q. P(m, \"11\", q) /\\ (forall p. ~P(m, \"1\", p))" false
+
+let test_lemma_a2_formulas () =
+  (* ∃x (D_2(x,"11") ∧ E_1(x,"1-")): halts instantly on "1-" but survives
+     a step on "11" — prefixes differ at position 0? "11" vs "1-" share
+     prefix of length 1... E_1 means halt at step 0: cell (ε, '1');
+     D_2 needs the cell (ε,'1') defined: conflict! *)
+  let f1 =
+    Reach.Exists
+      ( "x",
+        Reach.conj
+          [ Reach.Atom (Reach.D (2, Base (Var "x"), Base (Const "11")));
+            Reach.Atom (Reach.E (1, Base (Var "x"), Base (Const "1-"))) ] )
+  in
+  check_reach "D2(x,11) & E1(x,1-) unsat (shared first cell)" f1 false;
+  (* but with different first characters it is satisfiable *)
+  let f2 =
+    Reach.Exists
+      ( "x",
+        Reach.conj
+          [ Reach.Atom (Reach.D (2, Base (Var "x"), Base (Const "11")));
+            Reach.Atom (Reach.E (1, Base (Var "x"), Base (Const "-1"))) ] )
+  in
+  check_reach "D2(x,11) & E1(x,-1) sat" f2 true;
+  (* cross-check a batch against the builder *)
+  List.iter
+    (fun (i, v, j, u) ->
+      let f =
+        Reach.Exists
+          ( "x",
+            Reach.And
+              ( Reach.Atom (Reach.D (i, Base (Var "x"), Base (Const v))),
+                Reach.Atom (Reach.E (j, Base (Var "x"), Base (Const u))) ) )
+      in
+      let expected =
+        Fq_tm.Builder.satisfiable [ Fq_tm.Builder.At_least (v, i); Fq_tm.Builder.Exactly (u, j) ]
+      in
+      check_reach (Printf.sprintf "D%d(x,%s) & E%d(x,%s)" i v j u) f expected)
+    [ (1, "11", 1, "11"); (2, "11", 1, "11"); (2, "11", 2, "11"); (3, "1-", 2, "11");
+      (2, "-1", 3, "-1"); (3, "111", 1, "1--") ]
+
+(* ------------------------ input quantifiers ------------------------- *)
+
+let test_exists_input () =
+  (* scan_right halts in exactly 2 steps on some input (one with two
+     leading 1s) *)
+  let f =
+    Reach.Exists
+      ("w", Reach.Atom (Reach.E (3, Base (Const scan), W_of (Var "w"))))
+  in
+  (* E takes an input word, not a trace: use the input variable directly *)
+  ignore f;
+  let g = Reach.Exists ("w", Reach.Atom (Reach.E (3, Base (Const scan), Base (Var "w")))) in
+  check_reach "∃w E3(scan, w)" g true;
+  (* the looper halts on no input *)
+  let h =
+    Reach.Exists
+      ( "w",
+        Reach.disj
+          [ Reach.Atom (Reach.E (1, Base (Const looper), Base (Var "w")));
+            Reach.Atom (Reach.E (2, Base (Const looper), Base (Var "w")));
+            Reach.Atom (Reach.E (3, Base (Const looper), Base (Var "w"))) ] )
+  in
+  check_reach "looper never halts within 2 steps" h false;
+  (* B-constrained: an input starting with "1-" on which halt() halts
+     immediately *)
+  let k =
+    Reach.Exists
+      ( "w",
+        Reach.And
+          ( Reach.Atom (Reach.B ("1-", Base (Var "w"))),
+            Reach.Atom (Reach.E (1, Base (Const halter), Base (Var "w"))) ) )
+  in
+  check_reach "∃w B_{1-}(w) ∧ E1(halt, w)" k true
+
+(* ----------------------- mixed-class sentences ---------------------- *)
+
+let test_classes () =
+  check_reach "∃x M(x)" (Reach.Exists ("x", Reach.Atom (Reach.Cls (Machines, Base (Var "x"))))) true;
+  check_reach "∃x O(x)" (Reach.Exists ("x", Reach.Atom (Reach.Cls (Others, Base (Var "x"))))) true;
+  check_reach "∀x: exactly one class"
+    (Reach.Forall
+       ( "x",
+         Reach.disj
+           [ Reach.conj
+               [ Reach.Atom (Reach.Cls (Machines, Base (Var "x")));
+                 Reach.Not (Reach.Atom (Reach.Cls (Inputs, Base (Var "x")))) ];
+             Reach.Atom (Reach.Cls (Inputs, Base (Var "x")));
+             Reach.Atom (Reach.Cls (Traces, Base (Var "x")));
+             Reach.Atom (Reach.Cls (Others, Base (Var "x"))) ] ))
+    true;
+  (* every trace's machine is a machine and input an input *)
+  check_reach "∀p∈T: M(m(p)) ∧ W(w(p))"
+    (Reach.Forall
+       ( "p",
+         Reach.Or
+           ( Reach.Not (Reach.Atom (Reach.Cls (Traces, Base (Var "p")))),
+             Reach.And
+               ( Reach.Atom (Reach.Cls (Machines, M_of (Var "p"))),
+                 Reach.Atom (Reach.Cls (Inputs, W_of (Var "p"))) ) ) ))
+    true;
+  (* m of a non-trace is ε, which is an input *)
+  check_reach "∀x∈M: W(m(x))"
+    (Reach.Forall
+       ( "x",
+         Reach.Or
+           ( Reach.Not (Reach.Atom (Reach.Cls (Machines, Base (Var "x")))),
+             Reach.Atom (Reach.Cls (Inputs, M_of (Var "x"))) ) ))
+    true
+
+let test_trace_structure () =
+  (* every machine-and-input pair has a trace: ∀m∀w∃p P(m,w,p) relativized *)
+  check_t
+    "forall m w. (exists q. P(m, w, q)) \\/ ~(exists q. P(m, w, q)) " true;
+  check_t
+    "forall m w p. P(m, w, p) -> exists q. P(m, w, q) /\\ q = p" true;
+  (* there are two distinct traces of some machine on some input *)
+  check_t "exists m w p q. P(m, w, p) /\\ P(m, w, q) /\\ p != q" true;
+  (* a trace determines its machine: no word is a trace of two machines *)
+  check_t "exists m n w p. P(m, w, p) /\\ P(n, w, p) /\\ m != n" false;
+  (* ... and its input *)
+  check_t "exists m w v p. P(m, w, p) /\\ P(m, v, p) /\\ w != v" false
+
+(* the paper's Theorem 3.1 formula on concrete states: M(x) := P(M, c, x)
+   with c a constant — finite iff the machine halts on c's value *)
+let test_totality_formula_ground_instances () =
+  (* halts: scan on "11" in 2 steps — at most 3 traces *)
+  let bounded m w n =
+    (* "at most n traces" via n+1 universally quantified trace variables *)
+    let vars = List.init (n + 1) (fun i -> Printf.sprintf "p%d" i) in
+    let atoms =
+      List.map (fun v -> Printf.sprintf "P(\"%s\", \"%s\", %s)" m w v) vars
+    in
+    let rec eqs = function
+      | [] -> []
+      | v :: rest -> List.map (fun u -> Printf.sprintf "%s = %s" v u) rest @ eqs rest
+    in
+    Printf.sprintf "forall %s. %s -> %s" (String.concat " " vars)
+      (String.concat " /\\ " atoms)
+      (String.concat " \\/ " (eqs vars))
+  in
+  check_t (bounded scan "11" 3) true;
+  check_t (bounded scan "11" 2) false;
+  check_t (bounded looper "1" 3) false
+
+(* ------------------- deeper QE coverage (Thm A.3) ------------------ *)
+
+let test_function_equalities () =
+  (* equalities between w/m of *different* trace variables exercise the
+     case-T substitution shapes (2) with non-base terms *)
+  let c = check_t in
+  (* two traces sharing their machine but not their input *)
+  c "exists p q. (exists m w v. P(m, w, p) /\\ P(m, v, q) /\\ w != v)" true;
+  (* ... expressed through quantified machines: every pair of traces of
+     one machine on one input of different lengths differs *)
+  c
+    (Printf.sprintf
+       "forall p q. P(\"%s\", \"1\", p) /\\ P(\"%s\", \"1\", q) /\\ p != q -> \
+        (exists m. P(m, \"1\", p) /\\ P(m, \"1\", q))"
+       scan scan)
+    true;
+  (* no word is both a machine and a trace of something *)
+  c "exists m w p. P(m, w, p) /\\ p = m" false;
+  (* no trace is its own input *)
+  c "exists m w p. P(m, w, p) /\\ p = w" false
+
+let test_quantifier_alternations () =
+  let c = check_t in
+  (* ∀ machine ∃ trace on a fixed input: false — non-machine words are
+     quantified too, so restrict by P-existence *)
+  c "forall m. exists p. P(m, \"1\", p)" false;
+  c "forall m. (exists w q. P(m, w, q)) -> exists p. P(m, \"1\", p)" true;
+  (* there are two distinct machines with traces on the same input *)
+  c "exists m n w p q. P(m, w, p) /\\ P(n, w, q) /\\ m != n" true;
+  (* every trace extends to... not expressible without concatenation; but
+     every machine-with-a-trace has a one-snapshot trace: *)
+  c
+    "forall m w p. P(m, w, p) -> exists q. P(m, w, q) /\\ (forall r. P(m, w, r) -> q = r) \
+     \\/ exists q r. P(m, w, q) /\\ P(m, w, r) /\\ q != r"
+    true
+
+let test_constants_in_odd_positions () =
+  let c = check_t in
+  (* using a trace constant where a machine is expected *)
+  let p = Option.get (Trace.trace_word ~machine:scan ~input:"1" ~k:1) in
+  c (Printf.sprintf "exists w q. P(\"%s\", w, q)" p) false;
+  (* using a machine constant as an input *)
+  c (Printf.sprintf "exists m q. P(m, \"%s\", q)" scan) false;
+  (* the empty word is a legitimate input *)
+  c (Printf.sprintf "exists q. P(\"%s\", \"\", q)" scan) true
+
+let test_sentence_batteries () =
+  (* a battery of closed Reach-theory sentences covering each class case *)
+  let cr = check_reach in
+  let open Fq_domain.Reach in
+  (* case W with B and D together: some input starting with "11" on which
+     scan survives 2 steps *)
+  cr "∃w (B_11(w) ∧ D3(scan, w))"
+    (Exists
+       ( "w",
+         conj
+           [ Atom (B ("11", Base (Var "w")));
+             Atom (D (3, Base (Const scan), Base (Var "w"))) ] ))
+    true;
+  (* ... but not 4 steps: scan halts after the two 1s *)
+  cr "∃w (B_11-(w) ∧ D5(scan, w))"
+    (Exists
+       ( "w",
+         conj
+           [ Atom (B ("11-", Base (Var "w")));
+             Atom (D (5, Base (Const scan), Base (Var "w"))) ] ))
+    false;
+  (* case O: there are infinitely many other words — three distinct ones *)
+  cr "∃x y z ∈ O, pairwise distinct"
+    (Exists
+       ( "x",
+         Exists
+           ( "y",
+             Exists
+               ( "z",
+                 conj
+                   [ Atom (Cls (Others, Base (Var "x")));
+                     Atom (Cls (Others, Base (Var "y")));
+                     Atom (Cls (Others, Base (Var "z")));
+                     Not (Atom (Eq (Base (Var "x"), Base (Var "y"))));
+                     Not (Atom (Eq (Base (Var "y"), Base (Var "z"))));
+                     Not (Atom (Eq (Base (Var "x"), Base (Var "z")))) ] ) ) ))
+    true;
+  (* negated class atoms on a quantified variable *)
+  cr "∀x (¬M(x) ∨ ¬W(x))"
+    (Forall
+       ( "x",
+         Or
+           ( Not (Atom (Cls (Machines, Base (Var "x")))),
+             Not (Atom (Cls (Inputs, Base (Var "x")))) ) ))
+    true;
+  (* E on a machine variable with constant input, negated: machines that
+     do not halt instantly on ε exist *)
+  cr "∃x ∈ M, ¬E1(x, ε)"
+    (Exists
+       ( "x",
+         conj
+           [ Atom (Cls (Machines, Base (Var "x")));
+             Not (Atom (E (1, Base (Var "x"), Base (Const "")))) ] ))
+    true;
+  (* mixed: a trace whose machine halts on its own input in exactly the
+     number of steps recorded — trivially true of any final trace *)
+  cr "∃p ∈ T with E-characterised machine"
+    (Exists
+       ( "p",
+         conj
+           [ Atom (Cls (Traces, Base (Var "p")));
+             Atom (E (1, M_of (Var "p"), Base (Const "-"))) ] ))
+    true
+
+let test_decide_rejects () =
+  (* non-sentences and wrong signatures are refused, not mis-decided *)
+  Alcotest.(check bool) "free variable" true
+    (Result.is_error (Traces.decide (parse "P(m, \"1\", p)")));
+  Alcotest.(check bool) "wrong predicate" true
+    (Result.is_error (Traces.decide (parse "exists x. Q(x)")));
+  Alcotest.(check bool) "arithmetic constant" true
+    (Result.is_error (Traces.decide (parse "exists x. x = f(x)")));
+  Alcotest.(check bool) "non-word constant" true
+    (Result.is_error (Traces.decide (parse "exists p. P(\"abc\", \"1\", p)")))
+
+(* ---------------- randomized consistency of the QE ----------------- *)
+
+(* Random Reach sentences over a small vocabulary. The decision procedure
+   must satisfy the boolean laws exactly: ¬ flips, ∧ conjoins, a true
+   ground instance witnesses an ∃. Each law exercises the eliminator on
+   structurally different inputs, so agreement is strong evidence of
+   correctness. *)
+
+let sample_pool =
+  let t1 = Option.get (Trace.trace_word ~machine:scan ~input:"1" ~k:1) in
+  [ ""; "1"; "-1"; "*"; scan; looper; t1; "1.1" ]
+
+let gen_reach_sentence : Reach.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Reach in
+  let var = oneofl [ "x"; "y" ] in
+  let base = oneof [ map (fun v -> Var v) var; map (fun c -> Const c) (oneofl sample_pool) ] in
+  let term =
+    frequency [ (3, map (fun b -> Base b) base); (1, map (fun b -> W_of b) base);
+                (1, map (fun b -> M_of b) base) ]
+  in
+  let cls = oneofl [ Machines; Inputs; Traces; Others ] in
+  let atom =
+    frequency
+      [ (3, map2 (fun t u -> Atom (Eq (t, u))) term term);
+        (2, map2 (fun c t -> Atom (Cls (c, t))) cls term);
+        (1, map2 (fun s t -> Atom (B (s, t))) (oneofl [ ""; "1"; "1-" ]) term);
+        (2, map3 (fun i t u -> Atom (D (i, t, u))) (int_range 1 3) term
+              (map (fun c -> Base (Const c)) (oneofl [ "1"; "11"; "-1" ])));
+        (1, map3 (fun i t u -> Atom (E (i, t, u))) (int_range 1 3) term
+              (map (fun c -> Base (Const c)) (oneofl [ "1"; "11" ]))) ]
+  in
+  let qf =
+    fix
+      (fun self n ->
+        if n <= 0 then atom
+        else
+          frequency
+            [ (3, atom);
+              (1, map (fun f -> Not f) (self (n - 1)));
+              (2, map2 (fun f g -> And (f, g)) (self (n / 2)) (self (n / 2)));
+              (2, map2 (fun f g -> Or (f, g)) (self (n / 2)) (self (n / 2))) ])
+      3
+  in
+  let* body = qf in
+  let* qx = bool in
+  let* qy = bool in
+  let close v q f =
+    if List.mem v (Reach.free_vars f) then if q then Reach.Exists (v, f) else Reach.Forall (v, f)
+    else f
+  in
+  return (close "x" qx (close "y" qy body))
+
+let arb_reach = QCheck.make ~print:Reach.to_string gen_reach_sentence
+
+let decide_exn f =
+  match Reach_qe.decide f with
+  | Ok b -> b
+  | Error e -> QCheck.Test.fail_reportf "decide: %s on %s" e (Reach.to_string f)
+
+let prop_negation_consistent =
+  QCheck.Test.make ~name:"decide(¬f) = ¬decide(f)" ~count:120 arb_reach (fun f ->
+      decide_exn (Reach.Not f) = not (decide_exn f))
+
+let prop_conjunction_consistent =
+  QCheck.Test.make ~name:"decide(f ∧ g) = decide f && decide g" ~count:60
+    (QCheck.pair arb_reach arb_reach)
+    (fun (f, g) -> decide_exn (Reach.And (f, g)) = (decide_exn f && decide_exn g))
+
+let prop_witness_monotone =
+  (* a true ground instance forces the existential *)
+  QCheck.Test.make ~name:"f[x:=w] true ⟹ ∃x f true" ~count:80
+    (QCheck.pair arb_reach (QCheck.oneofl sample_pool))
+    (fun (f, w) ->
+      (* re-open the sentence: strip one outer quantifier if present *)
+      match f with
+      | Reach.Exists (x, body) | Reach.Forall (x, body) ->
+        let inst = Reach.subst_base x (Reach.Const w) body in
+        let inst_true = decide_exn inst in
+        let exists_true = decide_exn (Reach.Exists (x, body)) in
+        let forall_true = decide_exn (Reach.Forall (x, body)) in
+        (not inst_true || exists_true) && ((not forall_true) || inst_true)
+      | _ -> QCheck.assume_fail ())
+
+let () =
+  Alcotest.run "fq_domain (traces)"
+    [ ( "ground",
+        [ Alcotest.test_case "P on constants" `Quick test_ground ] );
+      ( "trace quantifiers",
+        [ Alcotest.test_case "exists trace" `Quick test_exists_trace;
+          Alcotest.test_case "counting via FO" `Quick test_counting_via_fo ] );
+      ( "machine quantifiers",
+        [ Alcotest.test_case "exists machine" `Quick test_exists_machine;
+          Alcotest.test_case "Lemma A.2 formulas" `Quick test_lemma_a2_formulas ] );
+      ( "input quantifiers",
+        [ Alcotest.test_case "exists input" `Quick test_exists_input ] );
+      ( "mixed",
+        [ Alcotest.test_case "classes" `Quick test_classes;
+          Alcotest.test_case "trace structure" `Quick test_trace_structure;
+          Alcotest.test_case "bounded totality instances" `Quick
+            test_totality_formula_ground_instances ] );
+      ( "deep QE",
+        [ Alcotest.test_case "function equalities" `Quick test_function_equalities;
+          Alcotest.test_case "quantifier alternations" `Quick test_quantifier_alternations;
+          Alcotest.test_case "constants in odd positions" `Quick
+            test_constants_in_odd_positions;
+          Alcotest.test_case "sentence batteries" `Quick test_sentence_batteries;
+          Alcotest.test_case "rejections" `Quick test_decide_rejects ] );
+      ( "consistency",
+        [ QCheck_alcotest.to_alcotest prop_negation_consistent;
+          QCheck_alcotest.to_alcotest prop_conjunction_consistent;
+          QCheck_alcotest.to_alcotest prop_witness_monotone ] ) ]

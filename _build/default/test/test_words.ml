@@ -1,0 +1,88 @@
+(* Tests for Fq_words.Word: the four-letter alphabet and syntactic word
+   classes of the paper's Section 3. *)
+
+module W = Fq_words.Word
+
+let cls =
+  Alcotest.testable
+    (fun fmt c ->
+      Format.pp_print_string fmt
+        (match c with
+        | `Machine_shaped -> "machine"
+        | `Input -> "input"
+        | `Trace_shaped -> "trace"
+        | `Other -> "other"))
+    ( = )
+
+let test_is_word () =
+  Alcotest.(check bool) "valid" true (W.is_word "1.*-");
+  Alcotest.(check bool) "empty" true (W.is_word "");
+  Alcotest.(check bool) "bad char" false (W.is_word "1a");
+  Alcotest.(check bool) "space" false (W.is_word "1 1")
+
+let test_classes () =
+  Alcotest.check cls "empty is input" `Input (W.syntactic_class "");
+  Alcotest.check cls "ones" `Input (W.syntactic_class "111");
+  Alcotest.check cls "blanks" `Input (W.syntactic_class "-1-");
+  Alcotest.check cls "star alone" `Machine_shaped (W.syntactic_class "*");
+  Alcotest.check cls "machine" `Machine_shaped (W.syntactic_class "1*-1");
+  Alcotest.check cls "trace shape" `Trace_shaped (W.syntactic_class "*.1.11.");
+  Alcotest.check cls "dot but no machine head" `Other (W.syntactic_class ".1.1.");
+  Alcotest.check cls "wrong field count" `Other (W.syntactic_class "*.1");
+  Alcotest.check cls "bad state field" `Other (W.syntactic_class "*.-.11.");
+  Alcotest.check cls "bad pos field" `Other (W.syntactic_class "*.1.11.-")
+
+let test_classes_disjoint () =
+  (* the syntactic classes partition all words *)
+  W.enumerate () |> Seq.take 800
+  |> Seq.iter (fun w ->
+         match W.syntactic_class w with
+         | `Machine_shaped ->
+           Alcotest.(check bool)
+             (Printf.sprintf "%S machine not input" w)
+             false (W.is_input w)
+         | `Input | `Trace_shaped | `Other -> ())
+
+let test_fields () =
+  Alcotest.(check (list string)) "split" [ "a"; "b" ] (W.split_fields "a.b");
+  Alcotest.(check (list string)) "trailing sep" [ "a"; "" ] (W.split_fields "a.");
+  Alcotest.(check (list string)) "empty" [ "" ] (W.split_fields "");
+  Alcotest.(check string) "join inverse" "1.11." (W.join_fields [ "1"; "11"; "" ])
+
+let test_unary () =
+  Alcotest.(check string) "unary 0" "" (W.unary 0);
+  Alcotest.(check string) "unary 3" "111" (W.unary 3);
+  Alcotest.(check (option int)) "value" (Some 3) (W.unary_value "111");
+  Alcotest.(check (option int)) "empty value" (Some 0) (W.unary_value "");
+  Alcotest.(check (option int)) "non-unary" None (W.unary_value "1-1");
+  Alcotest.check_raises "negative" (Invalid_argument "Word.unary: negative") (fun () ->
+      ignore (W.unary (-1)))
+
+let test_enumerate () =
+  let first = List.of_seq (Seq.take 6 (W.enumerate ())) in
+  Alcotest.(check (list string)) "starts with short words" [ ""; "1"; "."; "*"; "-"; "11" ]
+    first;
+  (* lengths are nondecreasing and all four-letter words appear *)
+  let ws = List.of_seq (Seq.take 400 (W.enumerate ())) in
+  let lens = List.map String.length ws in
+  Alcotest.(check bool) "sorted by length" true (List.sort compare lens = lens);
+  Alcotest.(check bool) "all valid" true (List.for_all W.is_word ws);
+  Alcotest.(check int) "no duplicates" (List.length ws)
+    (List.length (List.sort_uniq compare ws))
+
+let prop_enumerate_over_complete =
+  QCheck.Test.make ~name:"every word over {1,-} of length <= 5 is enumerated" ~count:100
+    (QCheck.string_gen_of_size (QCheck.Gen.int_bound 5) (QCheck.Gen.oneofl [ '1'; '-' ]))
+    (fun w ->
+      W.enumerate_over "1-" () |> Seq.take 200 |> Seq.exists (String.equal w))
+
+let () =
+  Alcotest.run "fq_words"
+    [ ( "word",
+        [ Alcotest.test_case "is_word" `Quick test_is_word;
+          Alcotest.test_case "syntactic classes" `Quick test_classes;
+          Alcotest.test_case "classes disjoint" `Quick test_classes_disjoint;
+          Alcotest.test_case "fields" `Quick test_fields;
+          Alcotest.test_case "unary" `Quick test_unary;
+          Alcotest.test_case "enumerate" `Quick test_enumerate;
+          QCheck_alcotest.to_alcotest prop_enumerate_over_complete ] ) ]

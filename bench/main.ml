@@ -9,7 +9,8 @@
    vs the Cooper baseline; enumeration evaluation vs compiled algebra).
 
    Run with: dune exec bench/main.exe            (experiments + benches)
-             dune exec bench/main.exe -- quick   (experiments only) *)
+             dune exec bench/main.exe -- quick   (experiments only)
+             dune exec bench/main.exe -- json    (PR ablations, JSON to stdout) *)
 
 open Finite_queries
 
@@ -327,7 +328,10 @@ let e15 () =
           | Relalg.Lit r -> Relation.cardinal r
           | Relalg.Rel _ -> 0
           | Relalg.Select (_, p) | Relalg.Project (_, p) -> go p
-          | Relalg.Product (p, q) | Relalg.Union (p, q) | Relalg.Diff (p, q) -> go p + go q
+          | Relalg.Product (p, q)
+          | Relalg.Join (_, p, q)
+          | Relalg.Union (p, q)
+          | Relalg.Diff (p, q) -> go p + go q
         in
         go plan
     in
@@ -447,6 +451,159 @@ let sweeps () =
   sweep_reach ()
 
 (* ------------------------------------------------------------------ *)
+(* PR 1 ablations: hash-join engine and the decision cache             *)
+(* ------------------------------------------------------------------ *)
+
+(* Three binary relations chained on their middle columns:
+   R = {(i, i+1)}, S = {(i+1, i+2)}, T = {(i+2, i+3)} for i < n.
+   The naive plan executes the equijoins the way the seed engine did —
+   materialize the cartesian product, then filter; the optimizer rewrites
+   the same plan into two hash joins. *)
+let join_schema = Schema.make [ ("R", 2); ("S", 2); ("T", 2) ]
+
+let join_state n =
+  let mk off =
+    Relation.make ~arity:2 (List.init n (fun i -> [ vi (i + off); vi (i + off + 1) ]))
+  in
+  State.make ~schema:join_schema [ ("R", mk 0); ("S", mk 1); ("T", mk 2) ]
+
+let naive_join_plan =
+  Relalg.(
+    Select
+      ( Eq (Col 3, Col 4),
+        Product (Select (Eq (Col 1, Col 2), Product (Rel "R", Rel "S")), Rel "T") ))
+
+let join_ablation ~n =
+  let st = join_state n in
+  let optimized = Optimizer.optimize_for ~schema:join_schema naive_join_plan in
+  let naive_res = Relalg.eval ~state:st naive_join_plan in
+  let opt_res = Relalg.eval ~state:st optimized in
+  let agree = Relation.equal naive_res opt_res in
+  let naive_us = time_us ~reps:2 (fun () -> Relalg.eval ~state:st naive_join_plan) in
+  let opt_us = time_us ~reps:20 (fun () -> Relalg.eval ~state:st optimized) in
+  let joins_in plan =
+    let rec go = function
+      | Relalg.Rel _ | Relalg.Lit _ -> 0
+      | Relalg.Select (_, p) | Relalg.Project (_, p) -> go p
+      | Relalg.Join (_, p, q) -> 1 + go p + go q
+      | Relalg.Product (p, q) | Relalg.Union (p, q) | Relalg.Diff (p, q) -> go p + go q
+    in
+    go plan
+  in
+  ( `Assoc
+      [ ("tuples_per_relation", `Int n);
+        ("rows_out", `Int (Relation.cardinal opt_res));
+        ("agree", `Bool agree);
+        ("hash_joins_in_optimized_plan", `Int (joins_in optimized));
+        ("naive_us", `Float naive_us);
+        ("hashjoin_us", `Float opt_us);
+        ("speedup", `Float (naive_us /. opt_us)) ],
+    agree,
+    naive_us,
+    opt_us )
+
+let cache_ablation ~n =
+  (* G(x,z) on a path of n edges has n-1 answer tuples; the enumeration
+     re-decides the candidate sentence for every active-domain value and
+     the bench re-runs the whole evaluation, so a shared cache converts
+     repeat decides into hash lookups. *)
+  let st = chain_state n in
+  let run ?cache () =
+    Enumerate.run ~fuel:200_000 ~max_certified:(2 * n) ?cache ~domain:eq_domain ~state:st
+      g_query
+  in
+  let answers =
+    match run () with
+    | Ok (Enumerate.Finite r) -> Relation.cardinal r
+    | _ -> -1
+  in
+  let uncached_us = time_us ~reps:3 (fun () -> run ()) in
+  let cache = Decide_cache.create () in
+  let cold_t0 = Sys.time () in
+  ignore (run ~cache ());
+  let cold_us = (Sys.time () -. cold_t0) *. 1e6 in
+  let warm_us = time_us ~reps:3 (fun () -> run ~cache ()) in
+  let stats = Decide_cache.stats cache in
+  ( `Assoc
+      [ ("path_edges", `Int n);
+        ("answer_tuples", `Int answers);
+        ("uncached_us", `Float uncached_us);
+        ("cached_cold_us", `Float cold_us);
+        ("cached_warm_us", `Float warm_us);
+        ("speedup_warm", `Float (uncached_us /. warm_us));
+        ("cache_hits", `Int stats.Decide_cache.hits);
+        ("cache_misses", `Int stats.Decide_cache.misses);
+        ("cache_entries", `Int stats.Decide_cache.entries) ],
+    answers,
+    uncached_us,
+    warm_us )
+
+let ablations () =
+  section "A1 (PR 1): hash-join engine vs naive product-filter (3-way chain join)";
+  row "%6s %14s %14s %10s" "n" "naive(us)" "hashjoin(us)" "speedup";
+  List.iter
+    (fun n ->
+      let _, agree, naive_us, opt_us = join_ablation ~n in
+      row "%6d %14.0f %14.0f %9.1fx%s" n naive_us opt_us (naive_us /. opt_us)
+        (if agree then "" else "  ** MISMATCH **"))
+    [ 100; 1000 ];
+  section "A2 (PR 1): Enumerate.run with and without the decide cache";
+  row "%6s %8s %14s %14s %10s" "edges" "answers" "uncached(us)" "warm(us)" "speedup";
+  List.iter
+    (fun n ->
+      let _, answers, uncached_us, warm_us = cache_ablation ~n in
+      row "%6d %8d %14.0f %14.0f %9.1fx" n answers uncached_us warm_us (uncached_us /. warm_us))
+    [ 6; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output (-- json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* minimal JSON printer — no external dependency *)
+let rec print_json fmt = function
+  | `Null -> Format.fprintf fmt "null"
+  | `Bool b -> Format.fprintf fmt "%b" b
+  | `Int n -> Format.fprintf fmt "%d" n
+  | `Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf fmt "%.0f" f
+    else Format.fprintf fmt "%.3f" f
+  | `String s -> Format.fprintf fmt "%S" s
+  | `List items ->
+    Format.fprintf fmt "@[<hv 2>[";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        print_json fmt item)
+      items;
+    Format.fprintf fmt "]@]"
+  | `Assoc fields ->
+    Format.fprintf fmt "@[<hv 2>{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Format.fprintf fmt ",@ ";
+        Format.fprintf fmt "%S: %a" k print_json v)
+      fields;
+    Format.fprintf fmt "}@]"
+
+let json_report () =
+  let join_json, join_agree, join_naive, join_opt = join_ablation ~n:1000 in
+  let cache_json, cache_answers, cache_uncached, cache_warm = cache_ablation ~n:12 in
+  let doc =
+    `Assoc
+      [ ("pr", `Int 1);
+        ("description", `String "hash-join execution engine + plan optimizer + decide cache");
+        ("join_ablation", join_json);
+        ("decide_cache_ablation", cache_json);
+        ( "acceptance",
+          `Assoc
+            [ ("join_agree", `Bool join_agree);
+              ("join_speedup_ge_5x", `Bool (join_naive >= 5.0 *. join_opt));
+              ("cache_answers_ge_8", `Bool (cache_answers >= 8));
+              ("cache_speedup_gt_1x", `Bool (cache_uncached > cache_warm)) ] ) ]
+  in
+  Format.printf "%a@." print_json doc
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -530,11 +687,17 @@ let run_benchmarks () =
     bench_tests
 
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
-  Format.printf "Finite Queries - experiment harness (E1-E15), sweeps and microbenchmarks@.";
-  experiments ();
-  if not quick then begin
-    sweeps ();
-    run_benchmarks ()
-  end;
-  Format.printf "@.done.@."
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  match mode with
+  | "json" -> json_report ()
+  | _ ->
+    let quick = mode = "quick" in
+    Format.printf
+      "Finite Queries - experiment harness (E1-E15), sweeps and microbenchmarks@.";
+    experiments ();
+    ablations ();
+    if not quick then begin
+      sweeps ();
+      run_benchmarks ()
+    end;
+    Format.printf "@.done.@."

@@ -68,10 +68,13 @@ module Schema = Fq_db.Schema
 module Relation = Fq_db.Relation
 module State = Fq_db.State
 module Relalg = Fq_db.Relalg
+module Row = Fq_db.Row
+module Optimizer = Fq_db.Optimizer
 module Codec = Fq_db.Codec
 
 (* domains *)
 module Domain = Fq_domain.Domain
+module Decide_cache = Fq_domain.Decide_cache
 module Eq_domain = Fq_domain.Eq_domain
 module Nat_order = Fq_domain.Nat_order
 module Nat_succ = Fq_domain.Nat_succ

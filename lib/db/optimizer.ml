@@ -1,0 +1,234 @@
+(* Plan optimizer for the relational algebra.
+
+   Three cooperating rewrites, all semantics-preserving on set semantics
+   (QCheck-verified in test/test_optimizer.ml):
+
+   - selection pushdown: conjuncts of a [Select] sink toward the leaves —
+     through [Project] (column remapping), into both sides of [Union] and
+     [Diff], and onto the side of a [Product]/[Join] they mention;
+   - join introduction: an equality [Col i = Col j] straddling a
+     [Product] turns the product into a hash [Join] (additional
+     straddling equalities extend an existing join's key);
+   - projection pushdown: a [Project] narrows the operands of products,
+     joins and selections to the columns actually consumed above
+     (difference blocks pushdown: π(A − B) ≠ πA − πB);
+
+   plus pruning of trivial nodes (identity projections, empty and
+   nullary-true literals, nested selects/projects). *)
+
+open Relalg
+
+exception Unknown_arity of string
+
+let arity ~arity_of plan =
+  let rec go = function
+    | Rel name -> (
+      match arity_of name with
+      | Some a -> a
+      | None -> raise (Unknown_arity name))
+    | Lit r -> Relation.arity r
+    | Select (_, p) -> go p
+    | Project (cols, _) -> List.length cols
+    | Product (p, q) | Join (_, p, q) -> go p + go q
+    | Union (p, _) | Diff (p, _) -> go p
+  in
+  go plan
+
+(* ------------------------------------------------------------------ *)
+(* Condition utilities                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec arg_cols = function Col i -> [ i ] | Const _ -> []
+
+and cond_cols = function
+  | Eq (a, b) -> arg_cols a @ arg_cols b
+  | Domain_pred (_, args) -> List.concat_map arg_cols args
+  | Not c -> cond_cols c
+  | And_c (a, b) | Or_c (a, b) -> cond_cols a @ cond_cols b
+
+let remap_arg f = function Col i -> Col (f i) | Const v -> Const v
+
+let rec remap_cond f = function
+  | Eq (a, b) -> Eq (remap_arg f a, remap_arg f b)
+  | Domain_pred (p, args) -> Domain_pred (p, List.map (remap_arg f) args)
+  | Not c -> Not (remap_cond f c)
+  | And_c (a, b) -> And_c (remap_cond f a, remap_cond f b)
+  | Or_c (a, b) -> Or_c (remap_cond f a, remap_cond f b)
+
+let rec cond_conjuncts = function
+  | And_c (a, b) -> cond_conjuncts a @ cond_conjuncts b
+  | c -> [ c ]
+
+let conj_cond = function
+  | [] -> None
+  | c :: rest -> Some (List.fold_left (fun acc c -> And_c (acc, c)) c rest)
+
+(* wrap [p] in a selection over the remaining conjuncts, if any *)
+let reselect conds p =
+  match conj_cond conds with None -> p | Some c -> Select (c, p)
+
+let nth_col cols k =
+  match List.nth_opt cols k with
+  | Some c -> c
+  | None -> invalid_arg "Optimizer: condition column out of projection range"
+
+let pos_in needed k =
+  let rec go i = function
+    | [] -> invalid_arg "Optimizer: missing needed column"
+    | c :: _ when c = k -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 needed
+
+let identity_cols n = List.init n (fun i -> i)
+
+(* ------------------------------------------------------------------ *)
+(* The rewrite                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_exn ~arity_of plan =
+  let arity p = arity ~arity_of p in
+  (* push a conjunction of selection conditions down into [p] *)
+  let rec push_select conds p =
+    match conds with
+    | [] -> opt p
+    | _ -> (
+      match p with
+      | Select (c, q) -> push_select (conds @ cond_conjuncts c) q
+      | Project (cols, q) ->
+        (* σ_c (π_cols q) = π_cols (σ_{c[cols]} q) *)
+        let remapped = List.map (remap_cond (nth_col cols)) conds in
+        push_project cols (push_select remapped q)
+      | Product (q, r) | Join (_, q, r) -> (
+        let na = arity q in
+        let classify c =
+          let cs = cond_cols c in
+          if List.for_all (fun i -> i < na) cs then `Left c
+          else if List.for_all (fun i -> i >= na) cs then `Right (remap_cond (fun i -> i - na) c)
+          else
+            match c with
+            | Eq (Col i, Col j) when i < na && j >= na -> `Pair (i, j - na)
+            | Eq (Col j, Col i) when i < na && j >= na -> `Pair (i, j - na)
+            | c -> `Rest c
+        in
+        let classified = List.map classify conds in
+        let left = List.filter_map (function `Left c -> Some c | _ -> None) classified in
+        let right = List.filter_map (function `Right c -> Some c | _ -> None) classified in
+        let pairs = List.filter_map (function `Pair ij -> Some ij | _ -> None) classified in
+        let rest = List.filter_map (function `Rest c -> Some c | _ -> None) classified in
+        let q' = push_select left q and r' = push_select right r in
+        match (p, pairs) with
+        | Product _, [] -> reselect rest (Product (q', r'))
+        | Product _, _ -> reselect rest (Join (pairs, q', r'))
+        | Join (existing, _, _), _ -> reselect rest (Join (existing @ pairs, q', r'))
+        | _ -> assert false)
+      | Union (q, r) -> Union (push_select conds q, push_select conds r)
+      | Diff (q, r) ->
+        (* σ(A − B) = σA − σB *)
+        Diff (push_select conds q, push_select conds r)
+      | Rel _ | Lit _ -> reselect conds (opt p))
+  (* push a projection down into [p]; the result computes π_cols p *)
+  and push_project cols p =
+    let default () =
+      let p' = opt p in
+      if cols = identity_cols (arity p') then p' else Project (cols, p')
+    in
+    match p with
+    | Project (cols', q) -> push_project (List.map (nth_col cols') cols) q
+    | Select (c, q) ->
+      let needed = List.sort_uniq compare (cols @ cond_cols c) in
+      if List.length needed < arity q then
+        let q' = push_project needed q in
+        let inner = Select (remap_cond (pos_in needed) c, q') in
+        let outer = List.map (pos_in needed) cols in
+        if outer = identity_cols (List.length needed) then inner else Project (outer, inner)
+      else default ()
+    | Product (q, r) | Join (_, q, r) -> (
+      let na = arity q and nb = arity r in
+      let pairs = match p with Join (pairs, _, _) -> pairs | _ -> [] in
+      let needed_left =
+        List.sort_uniq compare (List.filter (fun i -> i < na) cols @ List.map fst pairs)
+      in
+      let needed_right =
+        List.sort_uniq compare
+          (List.map (fun i -> i - na) (List.filter (fun i -> i >= na) cols)
+          @ List.map snd pairs)
+      in
+      if List.length needed_left < na || List.length needed_right < nb then begin
+        let q' = push_project needed_left q and r' = push_project needed_right r in
+        let remap i =
+          if i < na then pos_in needed_left i
+          else List.length needed_left + pos_in needed_right (i - na)
+        in
+        let pairs' =
+          List.map (fun (i, j) -> (pos_in needed_left i, pos_in needed_right j)) pairs
+        in
+        let core =
+          match p with Product _ -> Product (q', r') | _ -> Join (pairs', q', r')
+        in
+        let outer = List.map remap cols in
+        if outer = identity_cols (List.length needed_left + List.length needed_right) then
+          core
+        else Project (outer, core)
+      end
+      else default ())
+    | Union (q, r) -> Union (push_project cols q, push_project cols r)
+    | Diff _ | Rel _ | Lit _ -> default ()
+  and opt p =
+    match p with
+    | Rel _ | Lit _ -> p
+    | Select (c, q) -> push_select (cond_conjuncts c) q
+    | Project (cols, q) -> push_project cols q
+    | Product (q, r) -> Product (opt q, opt r)
+    | Join (pairs, q, r) -> Join (pairs, opt q, opt r)
+    | Union (q, r) -> Union (opt q, opt r)
+    | Diff (q, r) -> Diff (opt q, opt r)
+  in
+  (* prune trivial nodes, bottom-up *)
+  let is_empty_lit = function Lit r -> Relation.is_empty r | _ -> false in
+  let is_true0 = function
+    | Lit r -> Relation.arity r = 0 && not (Relation.is_empty r)
+    | _ -> false
+  in
+  let rec simplify p =
+    match p with
+    | Rel _ | Lit _ -> p
+    | Select (c, q) ->
+      let q' = simplify q in
+      if is_empty_lit q' then q' else Select (c, q')
+    | Project (cols, q) ->
+      let q' = simplify q in
+      if is_empty_lit q' then Lit (Relation.empty ~arity:(List.length cols))
+      else if cols = identity_cols (arity q') then q'
+      else Project (cols, q')
+    | Product (q, r) ->
+      let q' = simplify q and r' = simplify r in
+      if is_empty_lit q' || is_empty_lit r' then
+        Lit (Relation.empty ~arity:(arity q' + arity r'))
+      else if is_true0 q' then r'
+      else if is_true0 r' then q'
+      else Product (q', r')
+    | Join (pairs, q, r) ->
+      let q' = simplify q and r' = simplify r in
+      if is_empty_lit q' || is_empty_lit r' then
+        Lit (Relation.empty ~arity:(arity q' + arity r'))
+      else if pairs = [] && is_true0 q' then r'
+      else if pairs = [] && is_true0 r' then q'
+      else Join (pairs, q', r')
+    | Union (q, r) ->
+      let q' = simplify q and r' = simplify r in
+      if is_empty_lit q' then r' else if is_empty_lit r' then q' else Union (q', r')
+    | Diff (q, r) ->
+      let q' = simplify q and r' = simplify r in
+      if is_empty_lit q' || is_empty_lit r' then q' else Diff (q', r')
+  in
+  (* two rounds: pruning can expose further pushdown and vice versa *)
+  simplify (opt (simplify (opt plan)))
+
+let optimize ~arity_of plan =
+  match optimize_exn ~arity_of plan with
+  | optimized -> optimized
+  | exception Unknown_arity _ -> plan
+  | exception Invalid_argument _ -> plan
+
+let optimize_for ~schema plan = optimize ~arity_of:(Schema.arity schema) plan

@@ -1,0 +1,26 @@
+(** Plan optimizer for {!Relalg}: selection pushdown, hash-join
+    introduction, projection pushdown, and trivial-node pruning.
+
+    The optimizer is {e semantics-preserving}: for every well-formed plan
+    [p] and state, [eval (optimize p) = eval p] (property-tested with
+    QCheck). On an ill-formed plan — or one mentioning a relation whose
+    arity [arity_of] does not know — the plan is returned unchanged
+    rather than rejected, so optimization is always safe to apply.
+
+    The central rewrite is join introduction:
+    [Select (Eq (Col i, Col j), Product (p, q))] becomes
+    [Join ([(i, j - arity p)], p, q)], executed as a hash join instead of
+    a materialized cartesian product — the difference between O(|p|·|q|)
+    and O(|p| + |q| + output). *)
+
+val optimize : arity_of:(string -> int option) -> Relalg.t -> Relalg.t
+(** [arity_of] resolves the arity of [Rel] leaves (typically
+    {!Schema.arity} partially applied). *)
+
+val optimize_for : schema:Schema.t -> Relalg.t -> Relalg.t
+
+val arity : arity_of:(string -> int option) -> Relalg.t -> int
+(** Static arity of a plan, assuming well-formedness.
+    @raise Unknown_arity on a [Rel] leaf [arity_of] cannot resolve. *)
+
+exception Unknown_arity of string

@@ -15,6 +15,7 @@ type t =
   | Select of cond * t
   | Project of int list * t
   | Product of t * t
+  | Join of (int * int) list * t * t
   | Union of t * t
   | Diff of t * t
 
@@ -48,6 +49,12 @@ let arity_check ~schema plan =
       let* a = go p in
       let* b = go q in
       Ok (a + b)
+    | Join (pairs, p, q) ->
+      let* a = go p in
+      let* b = go q in
+      if List.exists (fun (i, j) -> i < 0 || i >= a || j < 0 || j >= b) pairs then
+        Error (Printf.sprintf "join columns out of range for arities %d and %d" a b)
+      else Ok (a + b)
     | Union (p, q) | Diff (p, q) ->
       let* a = go p in
       let* b = go q in
@@ -78,6 +85,7 @@ let eval ~state ?(domain_pred = no_domain_pred) plan =
     | Select (cond, p) -> Relation.filter (fun tup -> eval_cond domain_pred tup cond) (go p)
     | Project (cols, p) -> Relation.map_project cols (go p)
     | Product (p, q) -> Relation.product (go p) (go q)
+    | Join (pairs, p, q) -> Relation.equijoin pairs (go p) (go q)
     | Union (p, q) -> Relation.union (go p) (go q)
     | Diff (p, q) -> Relation.diff (go p) (go q)
   in
@@ -86,7 +94,7 @@ let eval ~state ?(domain_pred = no_domain_pred) plan =
 let rec size = function
   | Rel _ | Lit _ -> 1
   | Select (_, p) | Project (_, p) -> 1 + size p
-  | Product (p, q) | Union (p, q) | Diff (p, q) -> 1 + size p + size q
+  | Product (p, q) | Join (_, p, q) | Union (p, q) | Diff (p, q) -> 1 + size p + size q
 
 let pp_arg fmt = function
   | Col i -> Format.fprintf fmt "#%d" i
@@ -113,5 +121,11 @@ let rec pp fmt = function
       (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") Format.pp_print_int)
       cols pp p
   | Product (p, q) -> Format.fprintf fmt "(%a x %a)" pp p pp q
+  | Join (pairs, p, q) ->
+    Format.fprintf fmt "(%a |x|[%a] %a)" pp p
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ",")
+         (fun fmt (i, j) -> Format.fprintf fmt "%d=%d" i j))
+      pairs pp q
   | Union (p, q) -> Format.fprintf fmt "(%a U %a)" pp p pp q
   | Diff (p, q) -> Format.fprintf fmt "(%a - %a)" pp p pp q

@@ -27,6 +27,12 @@ type t =
   | Select of cond * t
   | Project of int list * t  (** keep the listed columns, in order *)
   | Product of t * t
+  | Join of (int * int) list * t * t
+      (** [Join (pairs, p, q)] is the equijoin: the tuples of
+          [Product (p, q)] whose column [i] (of [p]) equals column [j]
+          (of [q]) for every [(i, j)] in [pairs]. Semantically equal to
+          the corresponding [Select] over [Product]; executed as a hash
+          join ({!Relation.equijoin}). *)
   | Union of t * t
   | Diff of t * t
 

@@ -1,12 +1,10 @@
 type tuple = Value.t list
 
-module Tset = Set.Make (struct
-  type t = Value.t list
-
-  let compare = List.compare Value.compare
-end)
-
-type t = { arity : int; set : Tset.t }
+(* Rows are kept in a sorted, duplicate-free array (ascending
+   Row.compare, i.e. lexicographic by Value.compare) — the same canonical
+   order the original Tset representation exposed, but with O(1) column
+   access, precomputed hashes and cache-friendly scans. *)
+type t = { arity : int; rows : Row.t array }
 
 let check_arity arity tup =
   if List.length tup <> arity then
@@ -14,48 +12,223 @@ let check_arity arity tup =
       (Printf.sprintf "Relation: tuple of length %d in relation of arity %d"
          (List.length tup) arity)
 
+let check_row_arity arity row =
+  if Row.arity row <> arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple of length %d in relation of arity %d"
+         (Row.arity row) arity)
+
+(* sort in place and drop duplicates; returns a fresh array when the
+   input had duplicates, the sorted input otherwise *)
+let sort_uniq_rows rows =
+  Array.sort Row.compare rows;
+  let n = Array.length rows in
+  if n <= 1 then rows
+  else begin
+    let dupes = ref 0 in
+    for i = 1 to n - 1 do
+      if Row.equal rows.(i - 1) rows.(i) then incr dupes
+    done;
+    if !dupes = 0 then rows
+    else begin
+      let out = Array.make (n - !dupes) rows.(0) in
+      let j = ref 0 in
+      for i = 1 to n - 1 do
+        if not (Row.equal rows.(i) out.(!j)) then begin
+          incr j;
+          out.(!j) <- rows.(i)
+        end
+      done;
+      out
+    end
+  end
+
+let of_rows ~arity rows =
+  Array.iter (check_row_arity arity) rows;
+  { arity; rows = sort_uniq_rows (Array.copy rows) }
+
+(* internal: rows already sorted and duplicate-free *)
+let of_sorted_rows ~arity rows = { arity; rows }
+
 let make ~arity tuples =
   List.iter (check_arity arity) tuples;
-  { arity; set = Tset.of_list tuples }
+  { arity; rows = sort_uniq_rows (Array.of_list (List.map Row.of_list tuples)) }
 
-let empty ~arity = { arity; set = Tset.empty }
+let empty ~arity = { arity; rows = [||] }
 let arity r = r.arity
-let tuples r = Tset.elements r.set
-let cardinal r = Tset.cardinal r.set
-let is_empty r = Tset.is_empty r.set
-let mem tup r = Tset.mem tup r.set
+let rows r = r.rows
+let tuples r = Array.to_list (Array.map Row.to_list r.rows)
+let cardinal r = Array.length r.rows
+let is_empty r = Array.length r.rows = 0
+
+let mem_row row r =
+  let lo = ref 0 and hi = ref (Array.length r.rows) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Row.compare row r.rows.(mid) in
+    if c = 0 then found := true else if c < 0 then hi := mid else lo := mid + 1
+  done;
+  !found
+
+let mem tup r = mem_row (Row.of_list tup) r
 
 let add tup r =
   check_arity r.arity tup;
-  { r with set = Tset.add tup r.set }
+  let row = Row.of_list tup in
+  (* binary search for the insertion point *)
+  let lo = ref 0 and hi = ref (Array.length r.rows) in
+  let dup = ref false in
+  while (not !dup) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Row.compare row r.rows.(mid) in
+    if c = 0 then dup := true else if c < 0 then hi := mid else lo := mid + 1
+  done;
+  if !dup then r
+  else begin
+    let n = Array.length r.rows in
+    let out = Array.make (n + 1) row in
+    Array.blit r.rows 0 out 0 !lo;
+    Array.blit r.rows !lo out (!lo + 1) (n - !lo);
+    { r with rows = out }
+  end
 
-let equal a b = a.arity = b.arity && Tset.equal a.set b.set
+let equal a b =
+  a.arity = b.arity
+  && Array.length a.rows = Array.length b.rows
+  &&
+  let n = Array.length a.rows in
+  let rec go i = i >= n || (Row.equal a.rows.(i) b.rows.(i) && go (i + 1)) in
+  go 0
 
 let same_arity op a b =
   if a.arity <> b.arity then
     invalid_arg (Printf.sprintf "Relation.%s: arities %d and %d differ" op a.arity b.arity)
 
+(* merge two sorted duplicate-free arrays, keeping rows according to
+   [keep : in_a -> in_b -> bool] evaluated on each distinct row *)
+let merge keep a b =
+  let n = Array.length a and m = Array.length b in
+  let buf = ref (Array.make (max 16 (n + m)) (Row.of_array [||])) in
+  let len = ref 0 in
+  let push row =
+    if !len = Array.length !buf then begin
+      let bigger = Array.make (2 * !len) row in
+      Array.blit !buf 0 bigger 0 !len;
+      buf := bigger
+    end;
+    !buf.(!len) <- row;
+    incr len
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < n || !j < m do
+    if !i >= n then begin
+      if keep false true then push b.(!j);
+      incr j
+    end
+    else if !j >= m then begin
+      if keep true false then push a.(!i);
+      incr i
+    end
+    else
+      let c = Row.compare a.(!i) b.(!j) in
+      if c < 0 then begin
+        if keep true false then push a.(!i);
+        incr i
+      end
+      else if c > 0 then begin
+        if keep false true then push b.(!j);
+        incr j
+      end
+      else begin
+        if keep true true then push a.(!i);
+        incr i;
+        incr j
+      end
+  done;
+  Array.sub !buf 0 !len
+
 let union a b =
   same_arity "union" a b;
-  { a with set = Tset.union a.set b.set }
+  { a with rows = merge (fun _ _ -> true) a.rows b.rows }
 
 let diff a b =
   same_arity "diff" a b;
-  { a with set = Tset.diff a.set b.set }
+  { a with rows = merge (fun ina inb -> ina && not inb) a.rows b.rows }
 
 let inter a b =
   same_arity "inter" a b;
-  { a with set = Tset.inter a.set b.set }
+  { a with rows = merge (fun ina inb -> ina && inb) a.rows b.rows }
 
 let product a b =
-  let set =
-    Tset.fold
-      (fun ta acc -> Tset.fold (fun tb acc -> Tset.add (ta @ tb) acc) b.set acc)
-      a.set Tset.empty
-  in
-  { arity = a.arity + b.arity; set }
+  (* both sides sorted and unique, so the left-major concatenation is
+     already in canonical order with no duplicates *)
+  let n = Array.length a.rows and m = Array.length b.rows in
+  if n = 0 || m = 0 then empty ~arity:(a.arity + b.arity)
+  else begin
+    let out = Array.make (n * m) a.rows.(0) in
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        out.((i * m) + j) <- Row.concat a.rows.(i) b.rows.(j)
+      done
+    done;
+    of_sorted_rows ~arity:(a.arity + b.arity) out
+  end
 
-let filter p r = { r with set = Tset.filter p r.set }
+(* Hash equijoin: [pairs] are (left column, right column) equalities. The
+   right side is loaded into a hash table keyed by its key columns; the
+   left side probes. Output rows are left ++ right, in canonical order
+   (left-major, and each bucket preserves the right side's order). *)
+let equijoin pairs a b =
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= a.arity || j < 0 || j >= b.arity then
+        invalid_arg
+          (Printf.sprintf "Relation.equijoin: columns (%d,%d) of arities (%d,%d)" i j a.arity
+             b.arity))
+    pairs;
+  let arity = a.arity + b.arity in
+  if is_empty a || is_empty b then empty ~arity
+  else begin
+    let lcols = Array.of_list (List.map fst pairs) in
+    let rcols = Array.of_list (List.map snd pairs) in
+    let table = Hashtbl.create (2 * Array.length b.rows) in
+    (* bucket lists are built back-to-front so each ends up in row order *)
+    for j = Array.length b.rows - 1 downto 0 do
+      let row = b.rows.(j) in
+      let key = Row.project rcols row in
+      let bucket = try Hashtbl.find table key with Not_found -> [] in
+      Hashtbl.replace table key (row :: bucket)
+    done;
+    let buf = ref (Array.make 16 a.rows.(0)) in
+    let len = ref 0 in
+    let push row =
+      if !len = Array.length !buf then begin
+        let bigger = Array.make (2 * !len) row in
+        Array.blit !buf 0 bigger 0 !len;
+        buf := bigger
+      end;
+      !buf.(!len) <- row;
+      incr len
+    in
+    Array.iter
+      (fun la ->
+        let key = Row.project lcols la in
+        match Hashtbl.find_opt table key with
+        | None -> ()
+        | Some bucket -> List.iter (fun rb -> push (Row.concat la rb)) bucket)
+      a.rows;
+    of_sorted_rows ~arity (Array.sub !buf 0 !len)
+  end
+
+let filter p r =
+  (* filtering preserves order and uniqueness *)
+  let kept = Array.of_seq (Seq.filter (fun row -> p (Row.to_list row)) (Array.to_seq r.rows)) in
+  { r with rows = kept }
+
+let filter_rows p r =
+  let kept = Array.of_seq (Seq.filter p (Array.to_seq r.rows)) in
+  { r with rows = kept }
 
 let map_project cols r =
   List.iter
@@ -63,32 +236,27 @@ let map_project cols r =
       if c < 0 || c >= r.arity then
         invalid_arg (Printf.sprintf "Relation.map_project: column %d of arity %d" c r.arity))
     cols;
-  let set =
-    Tset.fold
-      (fun tup acc -> Tset.add (List.map (fun c -> List.nth tup c) cols) acc)
-      r.set Tset.empty
-  in
-  { arity = List.length cols; set }
+  let cols = Array.of_list cols in
+  { arity = Array.length cols; rows = sort_uniq_rows (Array.map (Row.project cols) r.rows) }
 
-let fold f r acc = Tset.fold f r.set acc
-let iter f r = Tset.iter f r.set
-let exists p r = Tset.exists p r.set
-let for_all p r = Tset.for_all p r.set
+let fold f r acc = Array.fold_left (fun acc row -> f (Row.to_list row) acc) acc r.rows
+let iter f r = Array.iter (fun row -> f (Row.to_list row)) r.rows
+let exists p r = Array.exists (fun row -> p (Row.to_list row)) r.rows
+let for_all p r = Array.for_all (fun row -> p (Row.to_list row)) r.rows
 
 let values r =
-  Tset.fold (fun tup acc -> List.fold_left (fun acc v -> v :: acc) acc tup) r.set []
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc v -> v :: acc) acc (Row.cells row))
+    [] r.rows
   |> List.sort_uniq Value.compare
 
 let of_values vs = make ~arity:1 (List.map (fun v -> [ v ]) vs)
 
 let pp fmt r =
   Format.fprintf fmt "{";
-  let first = ref true in
-  iter
-    (fun tup ->
-      if !first then first := false else Format.fprintf fmt ", ";
-      Format.fprintf fmt "(%a)"
-        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") Value.pp)
-        tup)
-    r;
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Row.pp fmt row)
+    r.rows;
   Format.fprintf fmt "}"

@@ -4,7 +4,12 @@
     equality is structural and printing is deterministic. The arity is
     carried explicitly; the nullary relations [{()}] and [{}] (the two
     0-ary relations, "true" and "false") are representable, as relational
-    algebra requires. *)
+    algebra requires.
+
+    Internally tuples are array-backed {!Row}s with precomputed hashes,
+    stored in a sorted duplicate-free array: set operations are linear
+    merges, column access is O(1), and {!equijoin} runs as a hash join.
+    The list-based [tuple] API is preserved on top. *)
 
 type tuple = Value.t list
 
@@ -33,7 +38,21 @@ val inter : t -> t -> t
 val product : t -> t -> t
 (** Cartesian product; arities add. *)
 
+val equijoin : (int * int) list -> t -> t -> t
+(** [equijoin pairs a b] is the hash equijoin: the tuples [ta ++ tb] with
+    [ta.(i) = tb.(j)] for every [(i, j)] in [pairs]. Equivalent to
+    selecting those equalities over [product a b], but executed by
+    hashing the (smaller) right side on its key columns and probing with
+    the left — O(|a| + |b| + output) expected.
+    @raise Invalid_argument on an out-of-range column. *)
+
 val filter : (tuple -> bool) -> t -> t
+(** Keeps the tuples satisfying the predicate. *)
+
+val filter_rows : (Row.t -> bool) -> t -> t
+(** Like {!filter} but over the array-backed rows, avoiding the
+    per-tuple list conversion on hot paths. *)
+
 val map_project : int list -> t -> t
 (** [map_project [i1; ...; ik] r] keeps columns [i1..ik] (0-based), in the
     given order, deduplicating the result. Column indices may repeat.
@@ -48,5 +67,16 @@ val values : t -> Value.t list
 
 val of_values : Value.t list -> t
 (** Unary relation from a value list. *)
+
+val rows : t -> Row.t array
+(** The underlying rows, sorted and duplicate-free; treat as read-only. *)
+
+val of_rows : arity:int -> Row.t array -> t
+(** Builds a relation from arbitrary rows (sorts and deduplicates; the
+    input array is not mutated).
+    @raise Invalid_argument when a row's arity differs from [arity]. *)
+
+val mem_row : Row.t -> t -> bool
+(** Binary search over the sorted rows. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Array-backed tuples with a precomputed hash.
+
+    Rows are the execution engine's internal tuple representation: column
+    access is O(1) (unlike the [Value.t list] tuples of the public
+    {!Relation} API) and the hash computed at construction makes rows
+    cheap hash-table keys for hash joins and duplicate elimination. *)
+
+type t
+
+val of_list : Value.t list -> t
+val of_array : Value.t array -> t
+(** Takes ownership of the array; do not mutate it afterwards. *)
+
+val to_list : t -> Value.t list
+val cells : t -> Value.t array
+(** The underlying array; treat as read-only. *)
+
+val hash : t -> int
+(** Precomputed at construction; equal rows have equal hashes. *)
+
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val equal : t -> t -> bool
+(** Rejects on hash mismatch before comparing cells. *)
+
+val compare : t -> t -> int
+(** Lexicographic by {!Value.compare} — the canonical relation order. *)
+
+val concat : t -> t -> t
+val project : int array -> t -> t
+(** [project cols r] keeps the listed columns, in order (repeats allowed). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(* Memoized decision cache.
+
+   The Section 1.1 enumeration algorithm re-decides closely related
+   closed formulas over and over: the candidate test ϕ(ā) recurs whenever
+   the enumeration revisits a tuple (the active domain is scanned first
+   and reappears in the domain enumeration), and harness code decides the
+   same completeness sentences across runs. Keys are alpha-normalized
+   before lookup, so any two alpha-equivalent sentences share one cache
+   line ("hash-consed" up to bound-variable names). *)
+
+module Formula = Fq_logic.Formula
+
+module Key = struct
+  type t = Formula.t
+
+  let equal = Formula.equal
+  let hash = Formula.hash
+end
+
+module H = Hashtbl.Make (Key)
+
+type stats = { hits : int; misses : int; entries : int }
+
+type t = {
+  table : (bool, string) result H.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let create ?(size = 256) () = { table = H.create size; cache_hits = 0; cache_misses = 0 }
+
+let stats c = { hits = c.cache_hits; misses = c.cache_misses; entries = H.length c.table }
+
+let clear c =
+  H.reset c.table;
+  c.cache_hits <- 0;
+  c.cache_misses <- 0
+
+let decide c (module D : Domain.S) f =
+  let key = Formula.alpha_normalize f in
+  match H.find_opt c.table key with
+  | Some r ->
+    c.cache_hits <- c.cache_hits + 1;
+    r
+  | None ->
+    c.cache_misses <- c.cache_misses + 1;
+    let r = D.decide f in
+    H.add c.table key r;
+    r
+
+(* A domain whose [decide] consults the cache; every other component is
+   forwarded. Lets cache-oblivious code (Enumerate, Relative_safety, the
+   finitization check) benefit by a plain domain swap. *)
+let domain c ((module D : Domain.S) as d) : Domain.t =
+  (module struct
+    let name = D.name
+    let signature = D.signature
+    let member = D.member
+    let constant = D.constant
+    let const_name = D.const_name
+    let eval_fun = D.eval_fun
+    let eval_pred = D.eval_pred
+    let enumerate = D.enumerate
+    let seeds = D.seeds
+    let decide f = decide c d f
+  end)

@@ -1,0 +1,25 @@
+(** Memoized decision cache: repeated [D.decide] calls on
+    alpha-equivalent closed formulas hit a hash table keyed by the
+    alpha-normalized formula ({!Fq_logic.Formula.alpha_normalize}).
+
+    Caching is sound because a domain's theory is fixed: a sentence's
+    truth value never changes, and alpha-equivalent sentences have the
+    same truth value. Errors are cached too (a formula outside the
+    domain's language stays outside it). *)
+
+type t
+
+type stats = { hits : int; misses : int; entries : int }
+
+val create : ?size:int -> unit -> t
+val stats : t -> stats
+val clear : t -> unit
+
+val decide : t -> Domain.t -> Fq_logic.Formula.t -> (bool, string) result
+(** [decide cache d f] returns the cached verdict for any sentence
+    alpha-equivalent to [f], calling [D.decide] on a miss. *)
+
+val domain : t -> Domain.t -> Domain.t
+(** [domain cache d] is [d] with its [decide] routed through the cache —
+    a drop-in replacement wherever a {!Domain.t} is consumed
+    (e.g. {!Fq_eval.Enumerate.run}). *)

@@ -14,18 +14,26 @@ let ( let* ) = Result.bind
 let tuples ~arity enum =
   if arity = 0 then Seq.return []
   else begin
-    let prefix = ref [||] in
+    (* the materialized prefix of the enumeration, in a doubling buffer
+       (appending element-by-element with Array.append is quadratic) *)
+    let buf = ref (Array.make 16 (Value.int 0)) in
+    let len = ref 0 in
     let seq = ref (enum ()) in
     let element i =
-      (* grow the materialized prefix up to index i *)
-      while Array.length !prefix <= i do
+      while !len <= i do
         match !seq () with
         | Seq.Nil -> invalid_arg "Enumerate.tuples: enumeration ran dry"
         | Seq.Cons (v, rest) ->
-          prefix := Array.append !prefix [| v |];
+          if !len = Array.length !buf then begin
+            let bigger = Array.make (2 * !len) v in
+            Array.blit !buf 0 bigger 0 !len;
+            buf := bigger
+          end;
+          !buf.(!len) <- v;
+          incr len;
           seq := rest
       done;
-      !prefix.(i)
+      !buf.(i)
     in
     (* index tuples over [0..n] with at least one coordinate = n *)
     let rec index_tuples k n =
@@ -64,7 +72,12 @@ let decide domain f =
   let (module D : Fq_domain.Domain.S) = domain in
   D.decide f
 
-let certified_complete ~domain ~state f rel =
+let certified_complete ?cache ~domain ~state f rel =
+  let domain =
+    match cache with
+    | Some c -> Fq_domain.Decide_cache.domain c domain
+    | None -> domain
+  in
   let* f' = Translate.formula ~domain ~state f in
   let vars = Formula.free_vars f in
   if vars = [] then Ok true
@@ -72,7 +85,12 @@ let certified_complete ~domain ~state f rel =
     let more = Formula.exists_many vars (Formula.And (f', not_in_relation domain vars rel)) in
     Result.map not (decide domain more)
 
-let run ?(fuel = 10_000) ?(max_certified = 12) ~domain ~state f =
+let run ?(fuel = 10_000) ?(max_certified = 12) ?cache ~domain ~state f =
+  let domain =
+    match cache with
+    | Some c -> Fq_domain.Decide_cache.domain c domain
+    | None -> domain
+  in
   let* f' = Translate.formula ~domain ~state f in
   let vars = Formula.free_vars f in
   if vars = [] then
@@ -95,6 +113,11 @@ let run ?(fuel = 10_000) ?(max_certified = 12) ~domain ~state f =
       let candidates = tuples ~arity enum_with_adom in
       let exception Stop of (outcome, string) result in
       let found = ref (Relation.empty ~arity) in
+      (* The completeness sentence's exclusion conjunct ⋀_{ā} ⋁ᵢ xᵢ ≠ aᵢ is
+         extended by one clause per found tuple instead of being rebuilt
+         from the whole relation each time (which is quadratic in the
+         answer size). *)
+      let excl = ref Formula.True in
       let remaining = ref fuel in
       let visit tuple =
         if !remaining <= 0 then raise (Stop (Ok (Out_of_fuel !found)));
@@ -106,14 +129,20 @@ let run ?(fuel = 10_000) ?(max_certified = 12) ~domain ~state f =
           if Relation.mem tuple !found then () (* adom values repeat in the enumeration *)
           else begin
             found := Relation.add tuple !found;
+            let clause =
+              Formula.disj
+                (List.map2
+                   (fun v value ->
+                     Formula.neq (Term.Var v) (Term.Const (D.const_name value)))
+                   vars tuple)
+            in
+            excl := (match !excl with Formula.True -> clause | prev -> Formula.And (prev, clause));
             (* The completeness sentence grows with every found tuple and
                can overwhelm the decision procedure; past the certification
                cap we stop claiming completeness. *)
             if Relation.cardinal !found > max_certified then
               raise (Stop (Ok (Out_of_fuel !found)));
-            let more =
-              Formula.exists_many vars (Formula.And (f', not_in_relation domain vars !found))
-            in
+            let more = Formula.exists_many vars (Formula.And (f', !excl)) in
             match decide domain more with
             | Error e -> raise (Stop (Error e))
             | Ok false -> raise (Stop (Ok (Finite !found)))

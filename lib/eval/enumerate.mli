@@ -29,6 +29,7 @@ val tuples : arity:int -> (unit -> Fq_db.Value.t Seq.t) -> Fq_db.Value.t list Se
 val run :
   ?fuel:int ->
   ?max_certified:int ->
+  ?cache:Fq_domain.Decide_cache.t ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   Fq_logic.Formula.t ->
@@ -36,14 +37,18 @@ val run :
 (** Evaluates the query's free variables in their order of occurrence.
     [fuel] bounds the number of enumerated candidate tuples (default
     [10_000]); [max_certified] bounds the answer size the completeness
-    sentence is asked about (default [12]) — the sentence grows with every
-    found tuple, and past the cap the verdict degrades to [Out_of_fuel].
-    Candidates are scanned active-domain-first, then along the domain
-    enumeration. Errors propagate from translation or the decision
+    sentence is asked about (default [12]) — the sentence is extended
+    incrementally with one exclusion clause per found tuple, and past the
+    cap the verdict degrades to [Out_of_fuel]. [cache] memoizes every
+    [decide] call on alpha-equivalent sentences
+    ({!Fq_domain.Decide_cache}); pass the same cache across runs to reuse
+    verdicts. Candidates are scanned active-domain-first, then along the
+    domain enumeration. Errors propagate from translation or the decision
     procedure. For a {e sentence}, the answer is the 0-ary relation:
     nonempty iff the sentence holds. *)
 
 val certified_complete :
+  ?cache:Fq_domain.Decide_cache.t ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   Fq_logic.Formula.t ->

@@ -253,6 +253,61 @@ let rename_bound ~avoid f =
   in
   snd (go (Sset.union avoid (free_var_set f)) f)
 
+let alpha_normalize f =
+  (* Bound variables are renamed to [prefix ^ binder-depth], so two
+     alpha-equivalent formulas normalize to the same term — the key
+     property behind the decision cache. The prefix is grown until no
+     variable of [f] starts with it, making the canonical names fresh. *)
+  let avoid = all_vars f in
+  let prefix =
+    let starts_with p v = String.length v >= String.length p && String.sub v 0 (String.length p) = p in
+    let rec grow p = if Sset.exists (starts_with p) avoid then grow (p ^ "%") else p in
+    grow "%"
+  in
+  let rec term env t =
+    match t with
+    | Term.Var v -> (
+      match List.assoc_opt v env with Some w -> Term.Var w | None -> t)
+    | Term.Const _ -> t
+    | Term.App (fn, ts) -> Term.App (fn, List.map (term env) ts)
+  in
+  let rec go env depth f =
+    match f with
+    | True | False -> f
+    | Atom (p, ts) -> Atom (p, List.map (term env) ts)
+    | Eq (t, u) -> Eq (term env t, term env u)
+    | Not g -> Not (go env depth g)
+    | And (g, h) -> And (go env depth g, go env depth h)
+    | Or (g, h) -> Or (go env depth g, go env depth h)
+    | Imp (g, h) -> Imp (go env depth g, go env depth h)
+    | Iff (g, h) -> Iff (go env depth g, go env depth h)
+    | Exists (v, g) ->
+      let w = prefix ^ string_of_int depth in
+      Exists (w, go ((v, w) :: env) (depth + 1) g)
+    | Forall (v, g) ->
+      let w = prefix ^ string_of_int depth in
+      Forall (w, go ((v, w) :: env) (depth + 1) g)
+  in
+  go [] 0 f
+
+let hash f =
+  let cmb h k = ((h * 0x01000193) lxor k) land max_int in
+  let rec go h = function
+    | True -> cmb h 1
+    | False -> cmb h 2
+    | Atom (p, ts) ->
+      List.fold_left (fun h t -> cmb h (Term.hash t)) (cmb (cmb h 3) (Hashtbl.hash p)) ts
+    | Eq (t, u) -> cmb (cmb (cmb h 4) (Term.hash t)) (Term.hash u)
+    | Not g -> go (cmb h 5) g
+    | And (g, h') -> go (go (cmb h 6) g) h'
+    | Or (g, h') -> go (go (cmb h 7) g) h'
+    | Imp (g, h') -> go (go (cmb h 8) g) h'
+    | Iff (g, h') -> go (go (cmb h 9) g) h'
+    | Exists (v, g) -> go (cmb (cmb h 10) (Hashtbl.hash v)) g
+    | Forall (v, g) -> go (cmb (cmb h 11) (Hashtbl.hash v)) g
+  in
+  go 0x811c9dc5 f
+
 let subst_const c t f =
   (* Rename bound variables clashing with [t]'s variables, then replace the
      constant everywhere. *)

@@ -40,6 +40,17 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+val hash : t -> int
+(** Structural hash, consistent with {!equal}. Combined with
+    {!alpha_normalize} it keys hash tables up to alpha-equivalence. *)
+
+val alpha_normalize : t -> t
+(** Renames every bound variable to a canonical name determined by its
+    binder depth, so alpha-equivalent formulas become structurally equal:
+    [equal (alpha_normalize f) (alpha_normalize g)] iff [f] and [g] are
+    alpha-equivalent. Free variables, constants and predicates are
+    untouched; the result is logically equivalent to the input. *)
+
 val free_vars : t -> string list
 (** Free variables in order of first occurrence. *)
 

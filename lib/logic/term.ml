@@ -19,6 +19,15 @@ let rec compare t u =
 
 let equal t u = compare t u = 0
 
+let hash t =
+  let cmb h k = ((h * 0x01000193) lxor k) land max_int in
+  let rec go h = function
+    | Var v -> cmb (cmb h 1) (Hashtbl.hash v)
+    | Const c -> cmb (cmb h 2) (Hashtbl.hash c)
+    | App (f, ts) -> List.fold_left go (cmb (cmb h 3) (Hashtbl.hash f)) ts
+  in
+  go 0x811c9dc5 t
+
 (* Constant names may contain characters of the trace alphabet; quote them
    so that printed terms re-parse unambiguously. *)
 let pp_const fmt c =

@@ -13,6 +13,10 @@ type t =
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -156,14 +156,16 @@ let compile ~domain ~state ?(extra_adom = []) f =
     { plan = Relalg.Project (projection, selected); columns = vars }
   and natural_join cg ch =
     let shared = List.filter (fun v -> List.mem v cg.columns) ch.columns in
-    let prod = Relalg.Product (cg.plan, ch.plan) in
-    let off = List.length cg.columns in
-    let conds =
-      List.map
-        (fun v -> Relalg.Eq (Relalg.Col (col_of cg.columns v), Relalg.Col (off + col_of ch.columns v)))
-        shared
+    (* shared columns become hash-join keys; without shared columns the
+       join degenerates to a product *)
+    let pairs =
+      List.map (fun v -> (col_of cg.columns v, col_of ch.columns v)) shared
     in
-    let selected = List.fold_left (fun acc c -> Relalg.Select (c, acc)) prod conds in
+    let selected =
+      match pairs with
+      | [] -> Relalg.Product (cg.plan, ch.plan)
+      | _ -> Relalg.Join (pairs, cg.plan, ch.plan)
+    in
     let target = dedup (cg.columns @ ch.columns) in
     let all_cols = cg.columns @ ch.columns in
     let projection =
@@ -181,7 +183,8 @@ let compile ~domain ~state ?(extra_adom = []) f =
     { plan = Relalg.Project (projection, selected); columns = target }
   in
   match go f with
-  | compiled -> Ok compiled
+  | compiled ->
+    Ok { compiled with plan = Fq_db.Optimizer.optimize_for ~schema compiled.plan }
   | exception Unsupported msg -> Error msg
 
 let run ~domain ~state ?extra_adom f =

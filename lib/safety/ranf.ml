@@ -87,18 +87,18 @@ let compile ~domain ~state f =
     incr retries;
     if !retries > 200 then raise (Not_ranf "guard pushing did not converge")
   in
-  (* natural join of two compiled plans *)
+  (* natural join of two compiled plans, as a hash equijoin on the
+     shared columns (a product when none are shared) *)
   let natural_join cg ch =
     let shared = List.filter (fun v -> List.mem v cg.columns) ch.columns in
-    let prod = Relalg.Product (cg.plan, ch.plan) in
-    let off = List.length cg.columns in
-    let conds =
-      List.map
-        (fun v ->
-          Relalg.Eq (Relalg.Col (col_of cg.columns v), Relalg.Col (off + col_of ch.columns v)))
-        shared
+    let pairs =
+      List.map (fun v -> (col_of cg.columns v, col_of ch.columns v)) shared
     in
-    let selected = List.fold_left (fun acc c -> Relalg.Select (c, acc)) prod conds in
+    let selected =
+      match pairs with
+      | [] -> Relalg.Product (cg.plan, ch.plan)
+      | _ -> Relalg.Join (pairs, cg.plan, ch.plan)
+    in
     let target = dedup (cg.columns @ ch.columns) in
     let all = cg.columns @ ch.columns in
     let projection =
@@ -340,9 +340,8 @@ let compile ~domain ~state f =
            (String.concat "," free)
            (String.concat "," compiled.columns))
     else
-      Ok
-        { plan = Relalg.Project (List.map (col_of compiled.columns) free, compiled.plan);
-          columns = free }
+      let plan = Relalg.Project (List.map (col_of compiled.columns) free, compiled.plan) in
+      Ok { plan = Fq_db.Optimizer.optimize_for ~schema plan; columns = free }
   | exception Not_ranf msg -> Error ("not RANF-compilable: " ^ msg)
 
 let run ~domain ~state f =

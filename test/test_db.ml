@@ -68,6 +68,29 @@ let test_relation_ops () =
 let test_relation_values () =
   Alcotest.(check int) "distinct values" 4 (List.length (Relation.values father_rel))
 
+let test_relation_rows () =
+  let r1 = Relation.make ~arity:2 [ [ v 2; v 3 ]; [ v 1; v 2 ] ] in
+  let rows = Relation.rows r1 in
+  Alcotest.(check int) "rows length" 2 (Array.length rows);
+  Alcotest.(check bool) "rows sorted" true (Row.compare rows.(0) rows.(1) < 0);
+  Alcotest.check rel "of_rows round-trips" r1 (Relation.of_rows ~arity:2 rows);
+  Alcotest.(check bool) "mem_row" true (Relation.mem_row (Row.of_list [ v 1; v 2 ]) r1);
+  Alcotest.(check bool) "not mem_row" false
+    (Relation.mem_row (Row.of_list [ v 3; v 1 ]) r1);
+  Alcotest.(check bool) "row hash consistent with equal" true
+    (Row.hash (Row.of_list [ v 1; v 2 ]) = Row.hash rows.(0))
+
+let test_relation_equijoin () =
+  let a = Relation.make ~arity:2 [ [ v 1; v 2 ]; [ v 2; v 3 ]; [ v 5; v 9 ] ] in
+  let b = Relation.make ~arity:2 [ [ v 2; v 7 ]; [ v 3; v 8 ] ] in
+  Alcotest.check rel "equijoin on a.1 = b.0"
+    (Relation.make ~arity:4 [ [ v 1; v 2; v 2; v 7 ]; [ v 2; v 3; v 3; v 8 ] ])
+    (Relation.equijoin [ (1, 0) ] a b);
+  Alcotest.check rel "no pairs degenerates to product" (Relation.product a b)
+    (Relation.equijoin [] a b);
+  Alcotest.(check bool) "disjoint keys join empty" true
+    (Relation.is_empty (Relation.equijoin [ (0, 1) ] a b))
+
 (* ------------------------------ state ------------------------------ *)
 
 let test_state () =
@@ -121,6 +144,19 @@ let test_relalg_domain_pred () =
   Alcotest.(check int) "pairs below diagonal" 3
     (Relation.cardinal (eval ~state ~domain_pred plan))
 
+let test_relalg_join () =
+  let open Relalg in
+  (* grandfathers again, via the explicit hash-join node *)
+  let plan = Project ([ 0; 3 ], Join ([ (1, 0) ], Rel "F", Rel "F")) in
+  Alcotest.check rel "grandfather via Join"
+    (Relation.make ~arity:2 [ [ s "adam"; s "enoch" ] ])
+    (eval ~state plan);
+  Alcotest.(check (result int string)) "join arity" (Ok 4)
+    (arity_check ~schema:father_schema (Join ([ (1, 0) ], Rel "F", Rel "F")));
+  Alcotest.(check bool) "join pair out of range" true
+    (Result.is_error
+       (arity_check ~schema:father_schema (Join ([ (2, 0) ], Rel "F", Rel "F"))))
+
 let test_relalg_arity_check () =
   let open Relalg in
   let ok plan = Relalg.arity_check ~schema:father_schema plan in
@@ -173,11 +209,14 @@ let () =
       ( "relation",
         [ Alcotest.test_case "basics" `Quick test_relation_basics;
           Alcotest.test_case "operations" `Quick test_relation_ops;
-          Alcotest.test_case "values" `Quick test_relation_values ] );
+          Alcotest.test_case "values" `Quick test_relation_values;
+          Alcotest.test_case "row access" `Quick test_relation_rows;
+          Alcotest.test_case "equijoin" `Quick test_relation_equijoin ] );
       ("state", [ Alcotest.test_case "basics" `Quick test_state ]);
       ( "relalg",
         [ Alcotest.test_case "eval" `Quick test_relalg_eval;
           Alcotest.test_case "domain predicates" `Quick test_relalg_domain_pred;
+          Alcotest.test_case "join node" `Quick test_relalg_join;
           Alcotest.test_case "arity check" `Quick test_relalg_arity_check ] );
       ( "codec",
         [ Alcotest.test_case "parse" `Quick test_codec_parse;

@@ -117,6 +117,27 @@ let test_mixed_unsafe_union () =
     Alcotest.failf "reported finite: %s" (Format.asprintf "%a" Relation.pp r)
   | Error e -> Alcotest.fail e
 
+let test_decide_cache () =
+  let module DC = Fq_domain.Decide_cache in
+  let f = parse "exists y. F(x, y) /\\ F(y, z)" in
+  let uncached =
+    match Enumerate.run ~domain:eq_domain ~state f with
+    | Ok (Enumerate.Finite r) -> r
+    | _ -> Alcotest.fail "uncached run not finite"
+  in
+  let cache = DC.create () in
+  let cached_run () =
+    match Enumerate.run ~cache ~domain:eq_domain ~state f with
+    | Ok (Enumerate.Finite r) -> r
+    | _ -> Alcotest.fail "cached run not finite"
+  in
+  Alcotest.check rel "cached answer = uncached answer" uncached (cached_run ());
+  let cold = DC.stats cache in
+  Alcotest.check rel "warm rerun unchanged" uncached (cached_run ());
+  let warm = DC.stats cache in
+  Alcotest.(check bool) "rerun hits the cache" true (warm.DC.hits > cold.DC.hits);
+  Alcotest.(check int) "rerun adds no entries" cold.DC.entries warm.DC.entries
+
 let test_certified_complete () =
   let f = parse "exists y z. y != z /\\ F(x, y) /\\ F(x, z)" in
   let answer = Relation.make ~arity:1 [ [ s "adam" ] ] in
@@ -168,5 +189,6 @@ let () =
           Alcotest.test_case "empty answer" `Quick test_empty_answer;
           Alcotest.test_case "unsafe out of fuel" `Quick test_unsafe_runs_out_of_fuel;
           Alcotest.test_case "unsafe union (intro)" `Quick test_mixed_unsafe_union;
+          Alcotest.test_case "decide cache" `Quick test_decide_cache;
           Alcotest.test_case "certified completeness" `Quick test_certified_complete ] );
       ("nat_order", [ Alcotest.test_case "queries over N_<" `Quick test_nat_order_queries ]) ]

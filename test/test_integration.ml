@@ -79,7 +79,10 @@ let test_ranf_no_adom_literal () =
         | Relalg.Lit r -> Relation.cardinal r
         | Relalg.Rel _ -> 0
         | Relalg.Select (_, p) | Relalg.Project (_, p) -> max_lit p
-        | Relalg.Product (p, q) | Relalg.Union (p, q) | Relalg.Diff (p, q) ->
+        | Relalg.Product (p, q)
+        | Relalg.Join (_, p, q)
+        | Relalg.Union (p, q)
+        | Relalg.Diff (p, q) ->
           max (max_lit p) (max_lit q)
       in
       Alcotest.(check bool) (f ^ ": no adom literal") true (max_lit plan <= 1)

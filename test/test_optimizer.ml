@@ -1,0 +1,244 @@
+(* Property tests for the plan optimizer (PR 1): random well-formed plans
+   over random small states must evaluate identically before and after
+   optimization, and the hash equijoin must agree with its specification,
+   a selection over a cartesian product. *)
+
+module Relation = Fq_db.Relation
+module Relalg = Fq_db.Relalg
+module Optimizer = Fq_db.Optimizer
+module Schema = Fq_db.Schema
+module State = Fq_db.State
+module Value = Fq_db.Value
+
+let vi = Value.int
+let schema = Schema.make [ ("A", 1); ("B", 2); ("C", 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* a tiny value universe, so equalities hold often enough to matter *)
+let gen_value = QCheck.Gen.map vi (QCheck.Gen.int_range 0 4)
+
+let gen_rows arity =
+  QCheck.Gen.(list_size (int_range 0 7) (list_repeat arity gen_value))
+
+let gen_relation arity = QCheck.Gen.map (Relation.make ~arity) (gen_rows arity)
+
+let gen_state =
+  QCheck.Gen.(
+    map3
+      (fun a b c -> State.make ~schema [ ("A", a); ("B", b); ("C", c) ])
+      (gen_relation 1) (gen_relation 2) (gen_relation 3))
+
+let gen_arg arity =
+  let open QCheck.Gen in
+  if arity = 0 then map (fun v -> Relalg.Const v) gen_value
+  else
+    frequency
+      [ (3, map (fun i -> Relalg.Col i) (int_range 0 (arity - 1)));
+        (1, map (fun v -> Relalg.Const v) gen_value) ]
+
+let rec gen_cond depth arity =
+  let open QCheck.Gen in
+  let eq = map2 (fun a b -> Relalg.Eq (a, b)) (gen_arg arity) (gen_arg arity) in
+  if depth = 0 then eq
+  else
+    frequency
+      [ (4, eq);
+        (1, map (fun c -> Relalg.Not c) (gen_cond (depth - 1) arity));
+        ( 2,
+          map2
+            (fun c d -> Relalg.And_c (c, d))
+            (gen_cond (depth - 1) arity)
+            (gen_cond (depth - 1) arity) );
+        ( 1,
+          map2
+            (fun c d -> Relalg.Or_c (c, d))
+            (gen_cond (depth - 1) arity)
+            (gen_cond (depth - 1) arity) ) ]
+
+(* Arity-directed plan generator: every produced plan is well-formed and
+   has exactly the requested arity, so Union/Diff/Join constraints hold
+   by construction. *)
+let rec gen_plan fuel arity =
+  let open QCheck.Gen in
+  let base =
+    let lit = map (fun r -> Relalg.Lit r) (gen_relation arity) in
+    match arity with
+    | 1 -> oneof [ return (Relalg.Rel "A"); lit ]
+    | 2 -> oneof [ return (Relalg.Rel "B"); lit ]
+    | 3 -> oneof [ return (Relalg.Rel "C"); lit ]
+    | _ -> lit
+  in
+  if fuel = 0 then base
+  else
+    let sub = gen_plan (fuel - 1) in
+    let select =
+      gen_cond 2 arity >>= fun c -> map (fun p -> Relalg.Select (c, p)) (sub arity)
+    in
+    let project =
+      int_range 0 2 >>= fun extra ->
+      let inner = arity + extra in
+      if inner = 0 then map (fun p -> Relalg.Project ([], p)) (sub 0)
+      else
+        list_repeat arity (int_range 0 (inner - 1)) >>= fun cols ->
+        map (fun p -> Relalg.Project (cols, p)) (sub inner)
+    in
+    let product =
+      int_range 0 arity >>= fun a1 ->
+      map2 (fun p q -> Relalg.Product (p, q)) (sub a1) (sub (arity - a1))
+    in
+    let join =
+      int_range 0 arity >>= fun a1 ->
+      let a2 = arity - a1 in
+      (if a1 = 0 || a2 = 0 then return []
+       else
+         list_size (int_range 0 2)
+           (pair (int_range 0 (a1 - 1)) (int_range 0 (a2 - 1))))
+      >>= fun pairs -> map2 (fun p q -> Relalg.Join (pairs, p, q)) (sub a1) (sub a2)
+    in
+    let union = map2 (fun p q -> Relalg.Union (p, q)) (sub arity) (sub arity) in
+    let diff = map2 (fun p q -> Relalg.Diff (p, q)) (sub arity) (sub arity) in
+    frequency
+      [ (2, base); (3, select); (2, project); (2, product); (2, join); (2, union);
+        (2, diff) ]
+
+let gen_scenario =
+  QCheck.Gen.(
+    int_range 0 3 >>= fun arity ->
+    int_range 0 3 >>= fun fuel -> pair (gen_plan fuel arity) gen_state)
+
+let print_scenario (plan, _state) = Format.asprintf "%a" Relalg.pp plan
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"optimize preserves semantics (random plans/states)"
+    ~count:600
+    (QCheck.make ~print:print_scenario gen_scenario)
+    (fun (plan, state) ->
+      let before = Relalg.eval ~state plan in
+      let after = Relalg.eval ~state (Optimizer.optimize_for ~schema plan) in
+      Relation.equal before after)
+
+let prop_optimize_wellformed =
+  QCheck.Test.make ~name:"optimize preserves static arity" ~count:600
+    (QCheck.make ~print:print_scenario gen_scenario)
+    (fun (plan, _state) ->
+      let opt = Optimizer.optimize_for ~schema plan in
+      match (Relalg.arity_check ~schema plan, Relalg.arity_check ~schema opt) with
+      | Ok a, Ok b -> a = b
+      | _ -> false)
+
+let gen_join_case =
+  QCheck.Gen.(
+    int_range 1 2 >>= fun a1 ->
+    int_range 1 2 >>= fun a2 ->
+    triple
+      (list_size (int_range 1 3) (pair (int_range 0 (a1 - 1)) (int_range 0 (a2 - 1))))
+      (gen_relation a1) (gen_relation a2))
+
+let print_join_case (pairs, ra, rb) =
+  Format.asprintf "pairs=[%s] %a %a"
+    (String.concat "; " (List.map (fun (i, j) -> Printf.sprintf "%d=%d" i j) pairs))
+    Relation.pp ra Relation.pp rb
+
+let prop_join_is_select_product =
+  QCheck.Test.make ~name:"hash equijoin = select over product" ~count:500
+    (QCheck.make ~print:print_join_case gen_join_case)
+    (fun (pairs, ra, rb) ->
+      let a1 = Relation.arity ra in
+      let state = State.make ~schema [] in
+      let p = Relalg.Lit ra and q = Relalg.Lit rb in
+      let cond =
+        match
+          List.map (fun (i, j) -> Relalg.Eq (Col i, Col (a1 + j))) pairs
+        with
+        | [] -> assert false
+        | c :: rest -> List.fold_left (fun acc c' -> Relalg.And_c (acc, c')) c rest
+      in
+      Relation.equal
+        (Relalg.eval ~state (Relalg.Join (pairs, p, q)))
+        (Relalg.eval ~state (Relalg.Select (cond, Relalg.Product (p, q)))))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic rewrite checks                                        *)
+(* ------------------------------------------------------------------ *)
+
+let count_nodes pred plan =
+  let rec go p =
+    (if pred p then 1 else 0)
+    +
+    match p with
+    | Relalg.Rel _ | Relalg.Lit _ -> 0
+    | Relalg.Select (_, p) | Relalg.Project (_, p) -> go p
+    | Relalg.Product (p, q)
+    | Relalg.Join (_, p, q)
+    | Relalg.Union (p, q)
+    | Relalg.Diff (p, q) ->
+      go p + go q
+  in
+  go plan
+
+let is_join = function Relalg.Join _ -> true | _ -> false
+let is_product = function Relalg.Product _ -> true | _ -> false
+
+let test_select_product_becomes_join () =
+  let plan =
+    Relalg.(Select (Eq (Col 1, Col 2), Product (Rel "B", Rel "B")))
+  in
+  let opt = Optimizer.optimize_for ~schema plan in
+  Alcotest.(check int) "one hash join" 1 (count_nodes is_join opt);
+  Alcotest.(check int) "no residual product" 0 (count_nodes is_product opt)
+
+let test_chain_becomes_two_joins () =
+  let plan =
+    Relalg.(
+      Select
+        ( Eq (Col 3, Col 4),
+          Product (Select (Eq (Col 1, Col 2), Product (Rel "B", Rel "B")), Rel "B") ))
+  in
+  let opt = Optimizer.optimize_for ~schema plan in
+  Alcotest.(check int) "two hash joins" 2 (count_nodes is_join opt);
+  Alcotest.(check int) "no residual product" 0 (count_nodes is_product opt);
+  let state =
+    State.make ~schema
+      [ ( "B",
+          Relation.make ~arity:2
+            (List.init 30 (fun i -> [ vi i; vi (i + 1) ])) ) ]
+  in
+  Alcotest.(check bool)
+    "same answer on a chain database" true
+    (Relation.equal (Relalg.eval ~state plan) (Relalg.eval ~state opt))
+
+let test_identity_project_pruned () =
+  let plan = Relalg.(Project ([ 0; 1 ], Rel "B")) in
+  Alcotest.(check bool)
+    "identity projection removed" true
+    (Optimizer.optimize_for ~schema plan = Relalg.Rel "B")
+
+let test_malformed_plan_unchanged () =
+  (* a plan the optimizer cannot type must be returned untouched *)
+  let plan = Relalg.(Select (Eq (Col 7, Col 0), Rel "Nope")) in
+  Alcotest.(check bool)
+    "unknown relation: plan returned unchanged" true
+    (Optimizer.optimize_for ~schema plan = plan)
+
+let () =
+  Alcotest.run "optimizer"
+    [ ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_optimize_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_optimize_wellformed;
+          QCheck_alcotest.to_alcotest prop_join_is_select_product ] );
+      ( "rewrites",
+        [ Alcotest.test_case "select-over-product becomes hash join" `Quick
+            test_select_product_becomes_join;
+          Alcotest.test_case "left-deep chain becomes two joins" `Quick
+            test_chain_becomes_two_joins;
+          Alcotest.test_case "identity projection pruned" `Quick
+            test_identity_project_pruned;
+          Alcotest.test_case "ill-formed plan left unchanged" `Quick
+            test_malformed_plan_unchanged ] ) ]

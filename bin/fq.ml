@@ -59,25 +59,58 @@ let constant_arg =
 let parse_state rel_specs const_specs =
   Codec.parse_state ~relations:rel_specs ~constants:const_specs
 
+(* --------------------------- resource governor ---------------------- *)
+
+(* Exit codes: 0 = complete answer, 3 = partial (budget exhausted),
+   4 = input outside the supported fragment, 1 = any other error. *)
+let exit_partial = 3
+let exit_unsupported = 4
+
+let exit_of_error msg =
+  match Budget.failure_of_string msg with
+  | Some (Budget.Unsupported _) -> exit_unsupported
+  | Some _ -> exit_partial
+  | None -> 1
+
 let report = function
-  | Ok () -> 0
+  | Ok code -> code
   | Error msg ->
     Format.eprintf "error: %s@." msg;
-    1
+    exit_of_error msg
+
+let fuel_arg ~default =
+  let doc =
+    "Step/candidate budget for the resource governor. On exhaustion the command reports \
+     what it established so far and exits 3."
+  in
+  Arg.(value & opt int default & info [ "fuel" ] ~doc)
+
+let timeout_arg =
+  let doc =
+    "Wall-clock deadline in milliseconds. On expiry the command reports partial results \
+     and exits 3."
+  in
+  Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~doc)
+
+let budget_of fuel timeout_ms = Budget.make ~fuel ?timeout_ms ()
 
 (* ------------------------------ decide ----------------------------- *)
 
 let decide_cmd =
-  let run domain formula =
+  let run domain fuel timeout_ms formula =
     report
       (Result.bind (parse_formula formula) (fun f ->
            let (module D : Domain.S) = domain in
+           let budget = budget_of fuel timeout_ms in
            Result.map
-             (fun b -> Format.printf "%b@." b)
-             (D.decide f)))
+             (fun b ->
+               Format.printf "%b@." b;
+               0)
+             (Budget.protect ~budget (fun () -> D.decide f))))
   in
   let doc = "Decide a pure domain sentence (the domain's decision procedure)." in
-  Cmd.v (Cmd.info "decide" ~doc) Term.(const run $ domain_arg $ formula_arg)
+  Cmd.v (Cmd.info "decide" ~doc)
+    Term.(const run $ domain_arg $ fuel_arg ~default:1_000_000 $ timeout_arg $ formula_arg)
 
 (* ------------------------------ safety ----------------------------- *)
 
@@ -104,10 +137,11 @@ let safety_cmd =
       (Result.bind (parse_schema_assoc schema) (fun schema ->
            Result.map
              (fun f ->
-               match Safe_range.check ~schema f with
+               (match Safe_range.check ~schema f with
                | Safe_range.Safe_range ->
                  Format.printf "safe-range: the query is finite in every state@."
-               | Safe_range.Not_safe_range why -> Format.printf "not safe-range: %s@." why)
+               | Safe_range.Not_safe_range why -> Format.printf "not safe-range: %s@." why);
+               0)
              (parse_formula formula)))
   in
   let doc = "Check the syntactic safe-range (range-restriction) discipline." in
@@ -116,60 +150,83 @@ let safety_cmd =
 (* ------------------------------ relsafe ---------------------------- *)
 
 let relsafe_cmd =
-  let run domain rels consts formula =
+  let run domain rels consts fuel timeout_ms formula =
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
+               let budget = budget_of fuel timeout_ms in
                Result.map
                  (fun b ->
-                   Format.printf "%s@." (if b then "finite in this state" else "INFINITE in this state"))
-                 (Relative_safety.decide_for ~domain ~state f))))
+                   Format.printf "%s@."
+                     (if b then "finite in this state" else "INFINITE in this state");
+                   0)
+                 (Budget.protect ~budget (fun () ->
+                      Relative_safety.decide_for ~domain ~state f)))))
   in
   let doc = "Decide relative safety: is the query's answer finite in the given state? (Undecidable over traces — Theorem 3.3.)" in
   Cmd.v (Cmd.info "relsafe" ~doc)
-    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ formula_arg)
+    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:1_000_000
+          $ timeout_arg $ formula_arg)
 
 (* ------------------------------- eval ------------------------------ *)
 
-let fuel_arg =
-  let doc = "Candidate budget for the enumeration algorithm." in
-  Arg.(value & opt int 10_000 & info [ "fuel" ] ~doc)
-
 let eval_cmd =
-  let run domain rels consts fuel formula =
+  let run domain rels consts fuel timeout_ms verbose formula =
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
-               Result.map
-                 (function
-                   | Enumerate.Finite r ->
-                     Format.printf "finite answer (%d tuples): %a@." (Relation.cardinal r)
-                       Relation.pp r
-                   | Enumerate.Out_of_fuel r ->
-                     Format.printf
-                       "fuel exhausted; partial answer (%d tuples): %a@.(the answer may be \
-                        infinite — relative safety is the hard part)@."
-                       (Relation.cardinal r) Relation.pp r)
-                 (Enumerate.run ~fuel ~domain ~state f))))
+               let budget = budget_of fuel timeout_ms in
+               let rep = Query.eval_resilient ~budget ~domain ~state f in
+               if verbose then Format.printf "%a@." Query.pp rep;
+               match rep.Query.verdict with
+               | Query.Complete { answer; _ } ->
+                 if not verbose then
+                   Format.printf "finite answer (%d tuples): %a@." (Relation.cardinal answer)
+                     Relation.pp answer;
+                 Ok 0
+               | Query.Partial { tuples; reason; _ } ->
+                 if not verbose then
+                   Format.printf
+                     "%a; partial answer (%d tuples): %a@.(the answer may be infinite — \
+                      relative safety is the hard part)@."
+                     Budget.pp_failure reason (Relation.cardinal tuples) Relation.pp tuples;
+                 Ok exit_partial
+               | Query.Failed { reason } -> Error reason)))
   in
-  let doc = "Answer a query in a state with the Section 1.1 enumerate-and-decide algorithm." in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ]
+             ~doc:"Print the full degradation-chain report (tier, attempts, resources spent).")
+  in
+  let doc =
+    "Answer a query in a state: RANF compilation when safe-range, else the Section 1.1 \
+     enumerate-and-decide algorithm under the governor."
+  in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg $ formula_arg)
+    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:10_000
+          $ timeout_arg $ verbose $ formula_arg)
 
 (* ------------------------------ report ----------------------------- *)
 
 let report_cmd =
-  let run domain rels consts fuel formula =
+  let run domain rels consts fuel timeout_ms formula =
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.map
              (fun state ->
-               Format.printf "%a@." Report.pp (Report.analyze ~fuel ~domain ~state f))
+               let budget = budget_of fuel timeout_ms in
+               let r = Report.analyze ~fuel ~budget ~domain ~state f in
+               Format.printf "%a@." Report.pp r;
+               match r.Report.evaluation with
+               | Report.Exact _ -> 0
+               | Report.Partial _ -> exit_partial
+               | Report.Failed e -> exit_of_error e)
              (parse_state rels consts)))
   in
   let doc = "Full analysis of a query: syntactic safety, relative safety, and the answer by the best applicable evaluator." in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg $ formula_arg)
+    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:10_000
+          $ timeout_arg $ formula_arg)
 
 (* -------------------------------- tm ------------------------------- *)
 
@@ -181,7 +238,7 @@ let machine_of_string s =
     else Error (Printf.sprintf "%S is neither a zoo machine nor a machine-shaped word" s)
 
 let tm_cmd =
-  let run machine input fuel show_traces explain list_zoo =
+  let run machine input fuel timeout_ms show_traces explain list_zoo =
     if list_zoo then begin
       Format.printf "%-12s %-9s %s@." "name" "totality" "description";
       List.iter
@@ -202,10 +259,15 @@ let tm_cmd =
              if not (Word.is_input input) then
                Error (Printf.sprintf "%S is not an input word over {1,-}" input)
              else begin
-               (match Run.run ~fuel (Encode.decode m) input with
-               | Run.Halted { steps; result } ->
-                 Format.printf "halts after %d steps; result %S@." steps result
-               | Run.Out_of_fuel -> Format.printf "still running after %d steps@." fuel);
+               let code =
+                 match Run.run_b ~budget:(budget_of fuel timeout_ms) (Encode.decode m) input with
+                 | Run.Done { steps; result } ->
+                   Format.printf "halts after %d steps; result %S@." steps result;
+                   0
+                 | Run.Stopped { steps; _ } ->
+                   Format.printf "still running after %d steps@." steps;
+                   exit_partial
+               in
                if show_traces then begin
                  Format.printf "traces:@.";
                  Trace.traces ~machine:m ~input |> Seq.take 10
@@ -222,21 +284,22 @@ let tm_cmd =
                    | Error e -> Format.printf "explain: %s@." e)
                  | None -> ()
                end;
-               Ok ()
+               Ok code
              end))
   in
   let machine =
     Arg.(value & opt string "scan_right" & info [ "m"; "machine" ] ~doc:"Zoo name or machine word.")
   in
   let input = Arg.(value & opt string "" & info [ "w"; "input" ] ~doc:"Input word over {1,-}.") in
-  let fuel = Arg.(value & opt int 10_000 & info [ "fuel" ] ~doc:"Step budget.") in
   let traces = Arg.(value & flag & info [ "traces" ] ~doc:"Print the first traces.") in
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Render the computation snapshot by snapshot.")
   in
   let zoo = Arg.(value & flag & info [ "zoo" ] ~doc:"List the machine zoo and exit.") in
   let doc = "Run a Turing machine of the trace domain; inspect the zoo and traces." in
-  Cmd.v (Cmd.info "tm" ~doc) Term.(const run $ machine $ input $ fuel $ traces $ explain $ zoo)
+  Cmd.v (Cmd.info "tm" ~doc)
+    Term.(const run $ machine $ input $ fuel_arg ~default:10_000 $ timeout_arg $ traces
+          $ explain $ zoo)
 
 (* ------------------------------- diag ------------------------------ *)
 
@@ -251,7 +314,8 @@ let diag_cmd =
     in
     report
       (Result.map
-         (function
+         (fun outcome ->
+           (match outcome with
            | Diagonal.Missed_finite_query { machine; query; candidates_checked } ->
              Format.printf
                "the candidate syntax misses a finite query (Theorem 3.1):@.  total machine \
@@ -261,7 +325,8 @@ let diag_cmd =
              Format.printf
                "the candidate syntax admits an unsafe formula:@.  %a@.  (the machine %S \
                 diverges on %S)@."
-               Formula.pp formula witness_machine witness_input)
+               Formula.pp formula witness_machine witness_input);
+           0)
          (Diagonal.defeat ~syntax ~budget))
   in
   let budget = Arg.(value & opt int 4 & info [ "budget" ] ~doc:"Search budget.") in
@@ -271,31 +336,38 @@ let diag_cmd =
 (* ------------------------------ halting ---------------------------- *)
 
 let halting_cmd =
-  let run machine input fuel =
+  let run machine input fuel timeout_ms =
     report
       (Result.bind (machine_of_string machine) (fun m ->
+           let budget =
+             match timeout_ms with
+             | None -> Budget.of_fuel ~share:false fuel
+             | Some t -> Budget.make ~fuel ~timeout_ms:t ()
+           in
            Result.map
              (function
                | Halting_reduction.Halts { steps; answer } ->
                  Format.printf
                    "the machine halts after %d steps: the query P(M, @@c, x) is finite in \
                     the state c = %S, with %d certified answer tuples@."
-                   steps input (Relation.cardinal answer)
+                   steps input (Relation.cardinal answer);
+                 0
                | Halting_reduction.Diverges_beyond { trace_count } ->
                  Format.printf
                    "no halt within %d steps: at least %d answer tuples so far (if the \
                     machine diverges, the answer is infinite — and Theorem 3.3 says no \
                     procedure can always tell)@."
-                   fuel trace_count)
-             (Halting_reduction.check ~fuel ~machine:m ~input ())))
+                   fuel trace_count;
+                 exit_partial)
+             (Halting_reduction.check ~budget ~machine:m ~input ())))
   in
   let machine =
     Arg.(value & opt string "loop" & info [ "m"; "machine" ] ~doc:"Zoo name or machine word.")
   in
   let input = Arg.(value & opt string "" & info [ "w"; "input" ] ~doc:"Input word.") in
-  let fuel = Arg.(value & opt int 1_000 & info [ "fuel" ] ~doc:"Simulation budget.") in
   let doc = "The Theorem 3.3 reduction: halting of (M, w) as relative safety over T." in
-  Cmd.v (Cmd.info "halting" ~doc) Term.(const run $ machine $ input $ fuel)
+  Cmd.v (Cmd.info "halting" ~doc)
+    Term.(const run $ machine $ input $ fuel_arg ~default:1_000 $ timeout_arg)
 
 (* ------------------------------- main ------------------------------ *)
 

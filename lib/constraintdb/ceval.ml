@@ -33,6 +33,9 @@ let atom_rel op t u =
 
 let compile ~db f =
   let rec go f =
+    (* one work unit per connective: the complement/join recursion can blow
+       up doubly exponentially in the quantifier alternation depth *)
+    Fq_core.Budget.tick_ambient ();
     match f with
     | Formula.True -> Crel.full ~columns:[]
     | Formula.False -> Crel.empty ~columns:[]
@@ -99,23 +102,25 @@ let compile ~db f =
     else Ok rel
   | exception Unsupported msg -> Error msg
 
-let query ~db f = compile ~db f
+let query ?budget ~db f = Fq_core.Budget.protect ?budget (fun () -> compile ~db f)
 
-let holds ~db f ~env =
-  let* rel = compile ~db f in
-  let cols = Crel.columns rel in
-  let* tuple =
-    List.fold_right
-      (fun c acc ->
-        let* acc = acc in
-        match List.assoc_opt c env with
-        | Some r -> Ok (r :: acc)
-        | None -> Error (Printf.sprintf "no value for free variable %s" c))
-      cols (Ok [])
-  in
-  Ok (Crel.mem rel tuple)
+let holds ?budget ~db f ~env =
+  Fq_core.Budget.protect ?budget (fun () ->
+      let* rel = compile ~db f in
+      let cols = Crel.columns rel in
+      let* tuple =
+        List.fold_right
+          (fun c acc ->
+            let* acc = acc in
+            match List.assoc_opt c env with
+            | Some r -> Ok (r :: acc)
+            | None -> Error (Printf.sprintf "no value for free variable %s" c))
+          cols (Ok [])
+      in
+      Ok (Crel.mem rel tuple))
 
-let decide ~db f =
-  let* rel = compile ~db f in
-  if Crel.columns rel <> [] then Error "not a sentence"
-  else Ok (not (Crel.is_empty rel))
+let decide ?budget ~db f =
+  Fq_core.Budget.protect ?budget (fun () ->
+      let* rel = compile ~db f in
+      if Crel.columns rel <> [] then Error "not a sentence"
+      else Ok (not (Crel.is_empty rel)))

@@ -1,0 +1,142 @@
+type failure =
+  | Fuel_exhausted
+  | Deadline_exceeded
+  | Oversize of int
+  | Cancelled
+  | Unsupported of string
+
+exception Exhausted of failure
+
+type t = {
+  fuel_limit : int; (* max_int = unlimited *)
+  deadline : float; (* absolute gettimeofday; infinity = none *)
+  max_result : int; (* max_int = uncapped *)
+  cancelled : unit -> bool;
+  shared : bool; (* eligible to become the ambient budget under [guard] *)
+  started : float;
+  mutable spent : int;
+}
+
+let never_cancelled () = false
+
+let now () = Unix.gettimeofday ()
+
+let make ?fuel ?timeout_ms ?max_result ?cancel () =
+  let started = now () in
+  {
+    fuel_limit = Option.value fuel ~default:max_int;
+    deadline =
+      (match timeout_ms with
+      | None -> infinity
+      | Some ms -> started +. (float_of_int ms /. 1000.));
+    max_result = Option.value max_result ~default:max_int;
+    cancelled = Option.value cancel ~default:never_cancelled;
+    shared = true;
+    started;
+    spent = 0;
+  }
+
+let unlimited () = make ()
+
+let of_fuel ?(share = true) fuel =
+  let b = make ~fuel () in
+  if share then b else { b with shared = false }
+
+let with_deadline ~timeout_ms = make ~timeout_ms ()
+
+(* Deadline and cancellation are polled only every [slow_mask + 1] ticks:
+   a gettimeofday per checkpoint would dominate tight QE loops. *)
+let slow_mask = 255
+
+let slow_check b =
+  if b.cancelled () then raise (Exhausted Cancelled);
+  if now () > b.deadline then raise (Exhausted Deadline_exceeded)
+
+let tick b =
+  let n = b.spent + 1 in
+  b.spent <- n;
+  if n > b.fuel_limit then raise (Exhausted Fuel_exhausted);
+  if n land slow_mask = 0 && (b.deadline < infinity || b.cancelled != never_cancelled)
+  then slow_check b
+
+let charge b n =
+  if n > 0 then begin
+    b.spent <- b.spent + n;
+    if b.spent > b.fuel_limit then raise (Exhausted Fuel_exhausted);
+    if b.deadline < infinity || b.cancelled != never_cancelled then slow_check b
+  end
+
+let ensure_size b n = if n > b.max_result then raise (Exhausted (Oversize b.max_result))
+
+let check b =
+  if b.cancelled () then Some Cancelled
+  else if b.spent > b.fuel_limit then Some Fuel_exhausted
+  else if now () > b.deadline then Some Deadline_exceeded
+  else None
+
+let exhausted b = Option.is_some (check b)
+
+let unsupported msg = raise (Exhausted (Unsupported msg))
+
+(* Ambient (dynamically-scoped) budget, so decision procedures behind the
+   fixed [Domain.S.decide] signature can still checkpoint. *)
+let current : t option ref = ref None
+
+let ambient () = !current
+
+let tick_ambient () =
+  match !current with
+  | None -> ()
+  | Some b -> tick b
+
+let charge_ambient n =
+  match !current with
+  | None -> ()
+  | Some b -> charge b n
+
+let guard b f =
+  let saved = !current in
+  if b.shared then current := Some b;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () -> match f () with v -> Ok v | exception Exhausted fl -> Error fl)
+
+let pp_failure ppf = function
+  | Fuel_exhausted -> Format.pp_print_string ppf "fuel exhausted"
+  | Deadline_exceeded -> Format.pp_print_string ppf "deadline exceeded"
+  | Oversize n -> Format.fprintf ppf "result size over %d" n
+  | Cancelled -> Format.pp_print_string ppf "cancelled"
+  | Unsupported msg -> Format.fprintf ppf "unsupported: %s" msg
+
+let error_string = function
+  | Fuel_exhausted -> "budget: fuel exhausted"
+  | Deadline_exceeded -> "budget: deadline exceeded"
+  | Oversize n -> Printf.sprintf "budget: result size over %d" n
+  | Cancelled -> "budget: cancelled"
+  | Unsupported msg -> "unsupported: " ^ msg
+
+let failure_of_string s =
+  let prefix p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if s = "budget: fuel exhausted" then Some Fuel_exhausted
+  else if s = "budget: deadline exceeded" then Some Deadline_exceeded
+  else if s = "budget: cancelled" then Some Cancelled
+  else if prefix "budget: result size over " then
+    int_of_string_opt (after "budget: result size over ") |> Option.map (fun n -> Oversize n)
+  else if prefix "unsupported: " then Some (Unsupported (after "unsupported: "))
+  else None
+
+let protect ?budget f =
+  let run () = match f () with r -> r | exception Exhausted fl -> Error (error_string fl) in
+  match budget with
+  | None -> run ()
+  | Some b -> (
+    match guard b run with
+    | Ok r -> r
+    | Error fl -> Error (error_string fl))
+
+type usage = { ticks : int; elapsed_ms : float }
+
+let usage b = { ticks = b.spent; elapsed_ms = (now () -. b.started) *. 1000. }
+
+let spent b = b.spent

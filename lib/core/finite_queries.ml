@@ -27,7 +27,13 @@
     {2 Evaluation}
     - {!Translate}, {!Enumerate} — the Section 1.1 enumerate-and-decide
       algorithm; {!Algebra_translate} — compilation to algebra for the
-      safe-range fragment.
+      safe-range fragment; {!Query} — the resilient front-end with the
+      RANF → active-domain → budgeted-enumeration degradation chain.
+
+    {2 Resource governor}
+    - {!Budget} — step fuel, wall-clock deadline, cardinality cap, and
+      cooperative cancellation unified behind one structured failure type;
+      threaded through every long-running engine.
 
     {2 Safety}
     - {!Safe_range}, {!Finitization} (Theorem 2.2), {!Ext_active}
@@ -37,6 +43,9 @@
 
     {2 Constraint databases} (Section 1.2)
     - {!Rat}, {!Crel}. *)
+
+(* resource governor *)
+module Budget = Fq_core.Budget
 
 (* numerics *)
 module Bigint = Fq_numeric.Bigint
@@ -90,11 +99,12 @@ module Reach_qe = Fq_domain.Reach_qe
 (* evaluation *)
 module Translate = Fq_eval.Translate
 module Enumerate = Fq_eval.Enumerate
+module Safe_range = Fq_eval.Safe_range
+module Algebra_translate = Fq_eval.Algebra_translate
+module Ranf = Fq_eval.Ranf
+module Query = Fq_eval.Query
 
 (* safety *)
-module Safe_range = Fq_safety.Safe_range
-module Algebra_translate = Fq_safety.Algebra_translate
-module Ranf = Fq_safety.Ranf
 module Finitization = Fq_safety.Finitization
 module Ext_active = Fq_safety.Ext_active
 module Relative_safety = Fq_safety.Relative_safety

@@ -76,18 +76,32 @@ let rec eval_cond domain_pred tup = function
   | And_c (a, b) -> eval_cond domain_pred tup a && eval_cond domain_pred tup b
   | Or_c (a, b) -> eval_cond domain_pred tup a || eval_cond domain_pred tup b
 
-let eval ~state ?(domain_pred = no_domain_pred) plan =
+let eval ~state ?budget ?(domain_pred = no_domain_pred) plan =
+  let module B = Fq_core.Budget in
+  (* Every operator charges one unit plus the cardinality it materialized,
+     against the explicit budget if given, else the ambient one — so a
+     governed front-end bounds even plans evaluated deep inside a compiled
+     tier.  [Budget.Exhausted] propagates; front-ends [guard]. *)
+  let settle rel =
+    let n = 1 + Relation.cardinal rel in
+    (match budget with
+    | Some b ->
+      B.charge b n;
+      B.ensure_size b (Relation.cardinal rel)
+    | None -> B.charge_ambient n);
+    rel
+  in
   let rec go = function
     | Rel name -> (
-      try State.relation state name
+      try settle (State.relation state name)
       with Not_found -> invalid_arg (Printf.sprintf "Relalg.eval: unknown relation %s" name))
-    | Lit r -> r
-    | Select (cond, p) -> Relation.filter (fun tup -> eval_cond domain_pred tup cond) (go p)
-    | Project (cols, p) -> Relation.map_project cols (go p)
-    | Product (p, q) -> Relation.product (go p) (go q)
-    | Join (pairs, p, q) -> Relation.equijoin pairs (go p) (go q)
-    | Union (p, q) -> Relation.union (go p) (go q)
-    | Diff (p, q) -> Relation.diff (go p) (go q)
+    | Lit r -> settle r
+    | Select (cond, p) -> settle (Relation.filter (fun tup -> eval_cond domain_pred tup cond) (go p))
+    | Project (cols, p) -> settle (Relation.map_project cols (go p))
+    | Product (p, q) -> settle (Relation.product (go p) (go q))
+    | Join (pairs, p, q) -> settle (Relation.equijoin pairs (go p) (go q))
+    | Union (p, q) -> settle (Relation.union (go p) (go q))
+    | Diff (p, q) -> settle (Relation.diff (go p) (go q))
   in
   go plan
 

@@ -43,13 +43,19 @@ val arity_check : schema:Schema.t -> t -> (int, string) result
 
 val eval :
   state:State.t ->
+  ?budget:Fq_core.Budget.t ->
   ?domain_pred:(string -> Value.t list -> bool) ->
   t ->
   Relation.t
 (** Evaluates a plan bottom-up. [domain_pred] decides domain predicate
     atoms in selections (defaults to rejecting every such atom with
-    [Invalid_argument]).
-    @raise Invalid_argument on an ill-formed plan (see {!arity_check}). *)
+    [Invalid_argument]). Every operator charges one work unit plus the
+    cardinality of its result to [budget] — or, when no explicit budget is
+    given, to the ambient {!Fq_core.Budget} if one is installed — and an
+    explicit budget's cardinality cap applies to every intermediate.
+    @raise Invalid_argument on an ill-formed plan (see {!arity_check}).
+    @raise Fq_core.Budget.Exhausted when the governing budget runs dry;
+    front-ends recover with {!Fq_core.Budget.guard}. *)
 
 val size : t -> int
 (** Number of operator nodes, for benchmarks and tests. *)

@@ -1,4 +1,5 @@
 module B = Fq_numeric.Bigint
+module Budget = Fq_core.Budget
 module L = Linear_term
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
@@ -215,25 +216,38 @@ let eliminate x phi =
     let delta_int =
       match B.to_int_opt delta with
       | Some d -> d
-      | None -> failwith "Cooper: divisor lcm out of native range"
+      | None ->
+        (* The expansion below enumerates δ residues; a δ beyond the native
+           range cannot be materialized, so this input is outside the
+           procedure's fragment — a structured refusal, not a crash. *)
+        Budget.unsupported
+          (Printf.sprintf "Cooper: divisor lcm %s exceeds the native expansion range"
+             (B.to_string delta))
     in
-    let rec range j acc = if j < 1 then acc else range (j - 1) (j :: acc) in
-    let js = range delta_int [] in
-    List.fold_left
-      (fun acc j ->
+    (* The δ·(1+|B|) substitution instances are Cooper's exponential seat —
+       checkpoint each one so a governed caller can cut the expansion
+       short. *)
+    let rec expand j acc =
+      if j > delta_int then acc
+      else begin
+        Budget.tick_ambient ();
         let jt = L.of_int j in
         let from_minus_inf = subst_x x jt minus_inf in
         let from_bounds =
           List.fold_left
-            (fun acc b -> disj acc (subst_x x (L.add b jt) phi1))
+            (fun acc b ->
+              Budget.tick_ambient ();
+              disj acc (subst_x x (L.add b jt) phi1))
             F bset
         in
-        disj acc (disj from_minus_inf from_bounds))
-      F js
+        expand (j + 1) (disj acc (disj from_minus_inf from_bounds))
+      end
+    in
+    expand 1 F
 
 (* ----------------------------- driver ------------------------------ *)
 
-let qe f =
+let qe_exn f =
   let rec go f =
     match f with
     | Formula.True -> Ok T
@@ -267,6 +281,8 @@ let qe f =
   in
   go f
 
+let qe ?budget f = Budget.protect ?budget (fun () -> qe_exn f)
+
 let eval_qf ~env qf =
   let eval_atom = function
     | Lt t -> Result.map (fun v -> B.sign v > 0) (L.eval ~env t)
@@ -282,14 +298,15 @@ let eval_qf ~env qf =
   in
   go qf
 
-let decide f =
-  if not (Formula.is_sentence f) then
-    Error
-      (Printf.sprintf "formula has free variables: %s"
-         (String.concat ", " (Formula.free_vars f)))
-  else
-    let* qf = qe f in
-    eval_qf ~env:[] qf
+let decide ?budget f =
+  Budget.protect ?budget (fun () ->
+      if not (Formula.is_sentence f) then
+        Error
+          (Printf.sprintf "formula has free variables: %s"
+             (String.concat ", " (Formula.free_vars f)))
+      else
+        let* qf = qe_exn f in
+        eval_qf ~env:[] qf)
 
 let rec atom_count = function
   | T | F -> 0

@@ -34,15 +34,22 @@ val to_formula : qf -> Fq_logic.Formula.t
 val qf_not : qf -> qf
 val eliminate : string -> qf -> qf
 (** [eliminate x phi] is a quantifier-free [qf] equivalent (over ℤ) to
-    [∃x. phi] — one step of Cooper's algorithm. *)
+    [∃x. phi] — one step of Cooper's algorithm. Checkpoints each of the
+    δ·(1+|B|) expansion instances against the ambient {!Fq_core.Budget};
+    raises [Budget.Exhausted (Unsupported _)] when the divisor LCM δ (a
+    {!Fq_numeric.Bigint}) exceeds the native expansion range. *)
 
-val qe : Fq_logic.Formula.t -> (qf, string) result
-(** Eliminates all quantifiers of an arbitrary formula. *)
+val qe : ?budget:Fq_core.Budget.t -> Fq_logic.Formula.t -> (qf, string) result
+(** Eliminates all quantifiers of an arbitrary formula. Runs under
+    [budget] when given; governor trips come back as the structured
+    [Error] strings of {!Fq_core.Budget.error_string} (recover with
+    [failure_of_string]), never as exceptions. *)
 
 val eval_qf : env:(string * Fq_numeric.Bigint.t) list -> qf -> (bool, string) result
 
-val decide : Fq_logic.Formula.t -> (bool, string) result
-(** Truth of a sentence in [(ℤ, <, +, dvd)]. *)
+val decide : ?budget:Fq_core.Budget.t -> Fq_logic.Formula.t -> (bool, string) result
+(** Truth of a sentence in [(ℤ, <, +, dvd)]. Same budget contract as
+    {!qe}. *)
 
 val atom_count : qf -> int
 (** For benchmarks: the number of atoms in a formula. *)

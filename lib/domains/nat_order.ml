@@ -1,4 +1,5 @@
 module B = Fq_numeric.Bigint
+module Budget = Fq_core.Budget
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
 module Transform = Fq_logic.Transform
@@ -186,18 +187,29 @@ let exists_conj x lits =
           atoms
       in
       let rest = Formula.conj (List.map formula_of_atom rest_atoms) in
-      let cases = List.map (fun c -> instantiate c x_atoms) candidates in
+      (* The (K+1)·(1+|lowers|) test points are where nested eliminations
+         blow up; checkpoint each instantiation against the ambient
+         governor. *)
+      let cases =
+        List.map
+          (fun c ->
+            Budget.tick_ambient ();
+            instantiate c x_atoms)
+          candidates
+      in
       Transform.simplify (Formula.And (rest, Formula.disj cases))
     end
 
-let qe f =
-  if not (Signature.is_pure signature f) then Error "not a pure N_< formula"
-  else
-    match Transform.eliminate_quantifiers ~exists_conj f with
-    | qf -> Ok qf
-    | exception Unsupported msg -> Error ("unsupported construct: " ^ msg)
+let qe ?budget f =
+  Budget.protect ?budget (fun () ->
+      if not (Signature.is_pure signature f) then Error "not a pure N_< formula"
+      else
+        match Transform.eliminate_quantifiers ~exists_conj f with
+        | qf -> Ok qf
+        | exception Unsupported msg -> Error ("unsupported construct: " ^ msg))
 
 let decide f =
+  Budget.protect (fun () ->
   if not (Formula.is_sentence f) then
     Error
       (Printf.sprintf "formula has free variables: %s"
@@ -220,6 +232,6 @@ let decide f =
             | f -> Error (Printf.sprintf "non-ground residue: %s" (Formula.to_string f)))
           | f -> Error (Printf.sprintf "unexpected residue: %s" (Formula.to_string f))
         in
-        eval qf)
+        eval qf))
 
 let seeds _ = Seq.empty

@@ -1,4 +1,5 @@
 module B = Fq_numeric.Bigint
+module Budget = Fq_core.Budget
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
 module Transform = Fq_logic.Transform
@@ -101,6 +102,7 @@ let subst_atom x c = function
 
 (* The paper's elimination for ∃x over a conjunction of literals. *)
 let exists_conj x lits =
+  Budget.tick_ambient ();
   let atoms = List.map atom_of_literal lits in
   (* Split atoms with x on both sides: ground in the offset difference. *)
   let both, atoms =
@@ -152,14 +154,16 @@ let exists_conj x lits =
       in
       Formula.conj (List.map formula_of_atom rest)
 
-let qe f =
-  if not (Signature.is_pure signature f) then Error "not a pure N' formula"
-  else
-    match Transform.eliminate_quantifiers ~exists_conj f with
-    | qf -> Ok qf
-    | exception Unsupported msg -> Error ("unsupported construct: " ^ msg)
+let qe ?budget f =
+  Budget.protect ?budget (fun () ->
+      if not (Signature.is_pure signature f) then Error "not a pure N' formula"
+      else
+        match Transform.eliminate_quantifiers ~exists_conj f with
+        | qf -> Ok qf
+        | exception Unsupported msg -> Error ("unsupported construct: " ^ msg))
 
 let decide f =
+  Budget.protect (fun () ->
   if not (Formula.is_sentence f) then
     Error
       (Printf.sprintf "formula has free variables: %s"
@@ -179,7 +183,7 @@ let decide f =
             | f -> Error (Printf.sprintf "non-ground residue: %s" (Formula.to_string f)))
           | f -> Error (Printf.sprintf "unexpected residue: %s" (Formula.to_string f))
         in
-        eval qf)
+        eval qf))
 
 (* Offsets in the QE output stay within 2^q of the input's offsets: each
    elimination step at most doubles... conservatively, each of the q

@@ -1,4 +1,5 @@
 open Reach
+module Budget = Fq_core.Budget
 module Word = Fq_words.Word
 module Trace = Fq_tm.Trace
 module Builder = Fq_tm.Builder
@@ -41,7 +42,17 @@ let is_const_term = function Base (Const _) -> true | _ -> false
 
 (* All words over {1,-} of length exactly n (2^n of them). *)
 let words_of_length n =
-  let rec go n = if n = 0 then [ "" ] else List.concat_map (fun w -> [ w ^ "1"; w ^ "-" ]) (go (n - 1)) in
+  (* 2^n words — the exponential seat of cases W/M; one checkpoint per word
+     lets a governed caller cut the expansion short. *)
+  let rec go n =
+    if n = 0 then [ "" ]
+    else
+      List.concat_map
+        (fun w ->
+          Budget.tick_ambient ();
+          [ w ^ "1"; w ^ "-" ])
+        (go (n - 1))
+  in
   go n
 
 let neg_qf f = Reach.nnf (Not f)
@@ -381,7 +392,13 @@ let eliminate_input x xlits rest =
                norm ~pos:true a)
              !des)
     in
-    let cases = List.map case_of (words_of_length bound) in
+    let cases =
+      List.map
+        (fun p ->
+          Budget.tick_ambient ();
+          case_of p)
+        (words_of_length bound)
+    in
     Reach.simplify_bool (conj (disj cases :: rest))
 
 (* --------------------------- Case O -------------------------------- *)
@@ -630,6 +647,7 @@ let rec eliminate_exists x g =
                 DNF expansion repeats literals heavily, and the Case T-4
                 expansion is exponential in the number of distinct
                 disequalities *)
+             Budget.tick_ambient ();
              let lits = List.sort_uniq compare lits in
              let contradictory =
                List.exists
@@ -671,15 +689,16 @@ let eliminate f =
   in
   Reach.simplify_bool (go (Reach.nnf f))
 
-let decide f =
-  if not (Reach.is_sentence f) then
-    Error
-      (Printf.sprintf "formula has free variables: %s"
-         (String.concat ", " (Reach.free_vars f)))
-  else
-    match eliminate f with
-    | qf -> Reach.eval_ground (renorm qf)
-    | exception Not_canonical msg -> Error ("internal: non-canonical literal: " ^ msg)
+let decide ?budget f =
+  Budget.protect ?budget (fun () ->
+      if not (Reach.is_sentence f) then
+        Error
+          (Printf.sprintf "formula has free variables: %s"
+             (String.concat ", " (Reach.free_vars f)))
+      else
+        match eliminate f with
+        | qf -> Reach.eval_ground (renorm qf)
+        | exception Not_canonical msg -> Error ("internal: non-canonical literal: " ^ msg))
 
-let decide_formula f =
-  Result.bind (Reach.of_formula f) decide
+let decide_formula ?budget f =
+  Budget.protect ?budget (fun () -> Result.bind (Reach.of_formula f) (fun r -> decide r))

@@ -1,3 +1,4 @@
+module Budget = Fq_core.Budget
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
 module Value = Fq_db.Value
@@ -6,6 +7,10 @@ module Relation = Fq_db.Relation
 type outcome =
   | Finite of Relation.t
   | Out_of_fuel of Relation.t
+
+type budgeted =
+  | Complete of Relation.t
+  | Partial of { tuples : Relation.t; seen : int; reason : Budget.failure }
 
 let ( let* ) = Result.bind
 
@@ -85,7 +90,15 @@ let certified_complete ?cache ~domain ~state f rel =
     let more = Formula.exists_many vars (Formula.And (f', not_in_relation domain vars rel)) in
     Result.map not (decide domain more)
 
-let run ?(fuel = 10_000) ?(max_certified = 12) ?cache ~domain ~state f =
+(* A decision procedure running under the ambient budget reports
+   exhaustion through its string-error channel; recover the structure so
+   the scan can close with [Partial] instead of a hard error. *)
+let classify_error e =
+  match Budget.failure_of_string e with
+  | Some reason -> Budget.Exhausted reason
+  | None -> Failure e
+
+let run_budgeted ?(max_certified = 12) ?cache ?resume ~budget ~domain ~state f =
   let domain =
     match cache with
     | Some c -> Fq_domain.Decide_cache.domain c domain
@@ -93,64 +106,116 @@ let run ?(fuel = 10_000) ?(max_certified = 12) ?cache ~domain ~state f =
   in
   let* f' = Translate.formula ~domain ~state f in
   let vars = Formula.free_vars f in
-  if vars = [] then
-    let* holds = decide domain f' in
-    Ok (Finite (Relation.make ~arity:0 (if holds then [ [] ] else [])))
+  let exception Decide_failed of string in
+  let decide_exn g =
+    match decide domain g with
+    | Ok b -> b
+    | Error e -> (
+      match classify_error e with
+      | Budget.Exhausted _ as ex -> raise ex
+      | _ -> raise (Decide_failed e))
+  in
+  if vars = [] then begin
+    match Budget.guard budget (fun () -> decide_exn f') with
+    | Ok holds -> Ok (Complete (Relation.make ~arity:0 (if holds then [ [] ] else [])))
+    | Error reason -> Ok (Partial { tuples = Relation.empty ~arity:0; seen = 0; reason })
+    | exception Decide_failed e -> Error e
+  end
   else begin
     let arity = List.length vars in
-    let* nonempty = decide domain (Formula.exists_many vars f') in
-    if not nonempty then Ok (Finite (Relation.empty ~arity))
-    else begin
-      let (module D : Fq_domain.Domain.S) = domain in
-      (* Any enumeration order is sound; visiting the active domain first
-         finds the answers of domain-independent queries without scanning
-         far into the domain. *)
-      let adom_all = Translate.active_domain ~domain ~state f in
-      let adom = List.filter D.member adom_all in
-      let enum_with_adom () =
-        Seq.append (List.to_seq adom) (Seq.append (D.seeds adom_all) (D.enumerate ()))
-      in
-      let candidates = tuples ~arity enum_with_adom in
-      let exception Stop of (outcome, string) result in
-      let found = ref (Relation.empty ~arity) in
-      (* The completeness sentence's exclusion conjunct ⋀_{ā} ⋁ᵢ xᵢ ≠ aᵢ is
-         extended by one clause per found tuple instead of being rebuilt
-         from the whole relation each time (which is quadratic in the
-         answer size). *)
-      let excl = ref Formula.True in
-      let remaining = ref fuel in
-      let visit tuple =
-        if !remaining <= 0 then raise (Stop (Ok (Out_of_fuel !found)));
-        decr remaining;
-        match decide domain (substitute domain vars tuple f') with
-        | Error e -> raise (Stop (Error e))
-        | Ok false -> ()
-        | Ok true -> (
-          if Relation.mem tuple !found then () (* adom values repeat in the enumeration *)
-          else begin
-            found := Relation.add tuple !found;
-            let clause =
-              Formula.disj
-                (List.map2
-                   (fun v value ->
-                     Formula.neq (Term.Var v) (Term.Const (D.const_name value)))
-                   vars tuple)
-            in
-            excl := (match !excl with Formula.True -> clause | prev -> Formula.And (prev, clause));
-            (* The completeness sentence grows with every found tuple and
-               can overwhelm the decision procedure; past the certification
-               cap we stop claiming completeness. *)
-            if Relation.cardinal !found > max_certified then
-              raise (Stop (Ok (Out_of_fuel !found)));
-            let more = Formula.exists_many vars (Formula.And (f', !excl)) in
-            match decide domain more with
-            | Error e -> raise (Stop (Error e))
-            | Ok false -> raise (Stop (Ok (Finite !found)))
-            | Ok true -> ()
-          end)
-      in
-      match Seq.iter visit candidates with
-      | () -> Ok (Out_of_fuel !found) (* enumeration ran dry — cannot happen on infinite domains *)
-      | exception Stop r -> r
-    end
+    let seen0, found0 =
+      match resume with
+      | None -> (0, Relation.empty ~arity)
+      | Some (seen, rel) -> (seen, rel)
+    in
+    let seen = ref seen0 in
+    let found = ref found0 in
+    let scan () =
+      if not (decide_exn (Formula.exists_many vars f')) then Complete (Relation.empty ~arity)
+      else begin
+        let (module D : Fq_domain.Domain.S) = domain in
+        (* Any enumeration order is sound; visiting the active domain first
+           finds the answers of domain-independent queries without scanning
+           far into the domain. *)
+        let adom_all = Translate.active_domain ~domain ~state f in
+        let adom = List.filter D.member adom_all in
+        let enum_with_adom () =
+          Seq.append (List.to_seq adom) (Seq.append (D.seeds adom_all) (D.enumerate ()))
+        in
+        (* The candidate order is deterministic, so a resumed run re-enters
+           the same enumeration and just skips the consumed prefix. *)
+        let candidates = Seq.drop seen0 (tuples ~arity enum_with_adom) in
+        let exception Complete_at of Relation.t in
+        let exclusion_clause tuple =
+          Formula.disj
+            (List.map2
+               (fun v value -> Formula.neq (Term.Var v) (Term.Const (D.const_name value)))
+               vars tuple)
+        in
+        (* The completeness sentence's exclusion conjunct ⋀_{ā} ⋁ᵢ xᵢ ≠ aᵢ is
+           extended by one clause per found tuple instead of being rebuilt
+           from the whole relation each time (which is quadratic in the
+           answer size). *)
+        let excl =
+          ref
+            (match Relation.tuples found0 with
+            | [] -> Formula.True
+            | tups -> Formula.conj (List.map exclusion_clause tups))
+        in
+        let certified_done () =
+          let more = Formula.exists_many vars (Formula.And (f', !excl)) in
+          not (decide_exn more)
+        in
+        let visit tuple =
+          Budget.tick budget;
+          (* [seen] advances only once the candidate is fully decided: a
+             trip inside the decision procedure leaves the resume token
+             pointing at this candidate, so no candidate is ever skipped
+             undecided. *)
+          let sat = decide_exn (substitute domain vars tuple f') in
+          incr seen;
+          if sat then
+            if Relation.mem tuple !found then () (* adom values repeat in the enumeration *)
+            else begin
+              found := Relation.add tuple !found;
+              let clause = exclusion_clause tuple in
+              excl := (match !excl with Formula.True -> clause | prev -> Formula.And (prev, clause));
+              Budget.ensure_size budget (Relation.cardinal !found);
+              (* The completeness sentence grows with every found tuple and
+                 can overwhelm the decision procedure; past the certification
+                 cap we stop claiming completeness. *)
+              if Relation.cardinal !found > max_certified then
+                raise (Budget.Exhausted (Budget.Oversize max_certified));
+              if certified_done () then raise (Complete_at !found)
+            end
+        in
+        (* A budget trip inside the certification decide loses only the
+           certificate, not the scan position — so a resumed run with found
+           tuples re-checks completeness before consuming more candidates. *)
+        let resumed_complete =
+          seen0 > 0 && Relation.cardinal found0 > 0 && certified_done ()
+        in
+        if resumed_complete then Complete found0
+        else
+          match Seq.iter visit candidates with
+          | () ->
+            (* enumeration ran dry — cannot happen on infinite domains *)
+            Partial { tuples = !found; seen = !seen; reason = Budget.Fuel_exhausted }
+          | exception Complete_at rel -> Complete rel
+      end
+    in
+    match Budget.guard budget scan with
+    | Ok v -> Ok v
+    | Error reason -> Ok (Partial { tuples = !found; seen = !seen; reason })
+    | exception Decide_failed e -> Error e
   end
+
+let run ?(fuel = 10_000) ?budget ?(max_certified = 12) ?cache ~domain ~state f =
+  (* Without an explicit governor, [fuel] keeps its historical meaning — a
+     cap on candidates decided, with the decision procedures untouched
+     ([~share:false] keeps the budget out of the ambient slot). *)
+  let budget = match budget with Some b -> b | None -> Budget.of_fuel ~share:false fuel in
+  let* b = run_budgeted ~max_certified ?cache ~budget ~domain ~state f in
+  match b with
+  | Complete rel -> Ok (Finite rel)
+  | Partial { tuples; _ } -> Ok (Out_of_fuel tuples)

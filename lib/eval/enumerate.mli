@@ -11,6 +11,8 @@
     algorithm always stops"); a fuel bound turns divergence on infinite
     answers into an [Out_of_fuel] verdict. *)
 
+module Budget = Fq_core.Budget
+
 type outcome =
   | Finite of Fq_db.Relation.t
       (** The complete (finite) answer, certified by the decision
@@ -21,6 +23,13 @@ type outcome =
           is the (possibly undecidable, Theorem 3.3) relative safety
           problem. *)
 
+type budgeted =
+  | Complete of Fq_db.Relation.t
+  | Partial of { tuples : Fq_db.Relation.t; seen : int; reason : Budget.failure }
+      (** The governor tripped mid-scan: the tuples found so far, the
+          number of candidates consumed ([seen], a resume token for
+          {!run_budgeted}'s [?resume]), and why the scan stopped. *)
+
 val tuples : arity:int -> (unit -> Fq_db.Value.t Seq.t) -> Fq_db.Value.t list Seq.t
 (** Fair enumeration of all [arity]-tuples of an enumerable set (by
     maximal index, so every tuple appears at a finite position). Arity 0
@@ -28,6 +37,7 @@ val tuples : arity:int -> (unit -> Fq_db.Value.t Seq.t) -> Fq_db.Value.t list Se
 
 val run :
   ?fuel:int ->
+  ?budget:Budget.t ->
   ?max_certified:int ->
   ?cache:Fq_domain.Decide_cache.t ->
   domain:Fq_domain.Domain.t ->
@@ -45,7 +55,33 @@ val run :
     verdicts. Candidates are scanned active-domain-first, then along the
     domain enumeration. Errors propagate from translation or the decision
     procedure. For a {e sentence}, the answer is the 0-ary relation:
-    nonempty iff the sentence holds. *)
+    nonempty iff the sentence holds.
+
+    Passing [budget] supersedes [fuel] and runs the scan under the full
+    governor (deadline, cancellation, ambient ticking inside the decision
+    procedures); without it the fuel integer keeps its historical meaning —
+    a cap on the number of candidates decided, with the decision procedures
+    untouched. *)
+
+val run_budgeted :
+  ?max_certified:int ->
+  ?cache:Fq_domain.Decide_cache.t ->
+  ?resume:int * Fq_db.Relation.t ->
+  budget:Budget.t ->
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  (budgeted, string) result
+(** The governed scan. One budget tick per candidate; the budget is also
+    installed as the ambient budget for the scan, so budget-aware decision
+    procedures checkpoint inside their own loops, and the wall-clock
+    deadline cuts even a single long QE call's candidate loop short.
+    Budget exhaustion — in the scan or inside a decision procedure —
+    becomes [Partial] carrying everything found so far; only translation
+    and genuine decision failures surface as [Error]. [resume] (the [seen]
+    count and tuples of a previous [Partial]) skips the already-consumed
+    prefix of the candidate enumeration, so a sequence of budgeted calls
+    converges to the same answer as one unbounded call. *)
 
 val certified_complete :
   ?cache:Fq_domain.Decide_cache.t ->

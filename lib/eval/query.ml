@@ -1,0 +1,82 @@
+module Budget = Fq_core.Budget
+module Formula = Fq_logic.Formula
+module Relation = Fq_db.Relation
+module State = Fq_db.State
+module Schema = Fq_db.Schema
+
+type resume = { seen : int; found : Relation.t }
+
+type verdict =
+  | Complete of { answer : Relation.t; tier : string }
+  | Partial of { tuples : Relation.t; reason : Budget.failure; resume : resume }
+  | Failed of { reason : string }
+
+type report = {
+  verdict : verdict;
+  usage : Budget.usage;
+  attempts : (string * string) list;
+}
+
+(* A compiled tier is attempted under the budget: its own exceptions stay
+   [Error] strings, while governor trips — raised by the ambient-aware
+   engines underneath ([Relalg.eval], the QE procedures) — surface as
+   [Budget.failure] and end the whole chain in [Partial]. *)
+let attempt_tier ~budget run =
+  match Budget.guard budget run with
+  | Ok (Ok answer) -> `Answer answer
+  | Ok (Error e) -> (
+    match Budget.failure_of_string e with
+    | Some reason -> `Budget reason
+    | None -> `Tier_failed e)
+  | Error reason -> `Budget reason
+
+let eval_resilient ?budget ?max_certified ?cache ?resume ~domain ~state f =
+  let budget = match budget with Some b -> b | None -> Budget.of_fuel 10_000 in
+  let arity = List.length (Formula.free_vars f) in
+  let partial ?(tuples = Relation.empty ~arity) ?(seen = 0) reason =
+    Partial { tuples; reason; resume = { seen; found = tuples } }
+  in
+  let enumerate attempts =
+    let resume = Option.map (fun r -> (r.seen, r.found)) resume in
+    let verdict =
+      match Enumerate.run_budgeted ?max_certified ?cache ?resume ~budget ~domain ~state f with
+      | Ok (Enumerate.Complete answer) -> Complete { answer; tier = "enumerate" }
+      | Ok (Enumerate.Partial { tuples; seen; reason }) -> partial ~tuples ~seen reason
+      | Error e -> Failed { reason = e }
+    in
+    { verdict; usage = Budget.usage budget; attempts = List.rev attempts }
+  in
+  match resume with
+  | Some _ -> enumerate [] (* the prior call already fell through the compiled tiers *)
+  | None ->
+    let schema = Schema.relations (State.schema state) in
+    let finish verdict attempts =
+      { verdict; usage = Budget.usage budget; attempts = List.rev attempts }
+    in
+    (match Safe_range.check ~schema f with
+    | Safe_range.Not_safe_range why ->
+      (* active-domain compilation computes the wrong semantics here *)
+      enumerate [ ("ranf-algebra", "not safe-range: " ^ why) ]
+    | Safe_range.Safe_range -> (
+      match attempt_tier ~budget (fun () -> Ranf.run ~domain ~state f) with
+      | `Answer answer -> finish (Complete { answer; tier = "ranf-algebra" }) []
+      | `Budget reason -> finish (partial reason) []
+      | `Tier_failed e1 -> (
+        let attempts = [ ("ranf-algebra", e1) ] in
+        match attempt_tier ~budget (fun () -> Algebra_translate.run ~domain ~state f) with
+        | `Answer answer -> finish (Complete { answer; tier = "adom-algebra" }) attempts
+        | `Budget reason -> finish (partial reason) attempts
+        | `Tier_failed e2 -> enumerate (("adom-algebra", e2) :: attempts))))
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  (match r.verdict with
+  | Complete { answer; tier } ->
+    Format.fprintf fmt "complete (%s, %d tuples): %a@," tier (Relation.cardinal answer)
+      Relation.pp answer
+  | Partial { tuples; reason; resume } ->
+    Format.fprintf fmt "partial (%a after %d candidates): %d tuples so far@," Budget.pp_failure
+      reason resume.seen (Relation.cardinal tuples)
+  | Failed { reason } -> Format.fprintf fmt "failed: %s@," reason);
+  List.iter (fun (tier, why) -> Format.fprintf fmt "tier %s passed: %s@," tier why) r.attempts;
+  Format.fprintf fmt "spent: %d ticks, %.1f ms@]" r.usage.Budget.ticks r.usage.Budget.elapsed_ms

@@ -1,0 +1,50 @@
+(** Resilient query evaluation — the degradation chain.
+
+    Theorems 3.1/3.3 rule out deciding up front whether a query is finite,
+    so this front-end accepts {e any} query and always returns: it tries
+    the fast compiled engines first and falls back to governed enumeration,
+    reporting which tier answered, the resources spent, and — when the
+    budget runs dry mid-scan — a [Partial] relation with a resume token.
+
+    Tier 1 (safe-range queries only): RANF compilation to adom-free algebra
+    plans ({!Ranf}).  Tier 2: active-domain compilation
+    ({!Algebra_translate}), still exact for safe-range queries.  Tier 3:
+    the Section 1.1 enumerate-and-decide scan under the budget
+    ({!Enumerate.run_budgeted}).  Non-safe-range queries go straight to
+    tier 3, where active-domain semantics would be wrong. *)
+
+module Budget = Fq_core.Budget
+
+type resume = { seen : int; found : Fq_db.Relation.t }
+(** Opaque-ish resume token: candidates consumed and tuples found by the
+    interrupted scan.  Feed it back through [?resume] with a fresh budget
+    to continue where the previous call stopped. *)
+
+type verdict =
+  | Complete of { answer : Fq_db.Relation.t; tier : string }
+      (** [tier] is ["ranf-algebra"], ["adom-algebra"], or ["enumerate"]. *)
+  | Partial of { tuples : Fq_db.Relation.t; reason : Budget.failure; resume : resume }
+  | Failed of { reason : string }
+
+type report = {
+  verdict : verdict;
+  usage : Budget.usage;  (** ticks charged and wall-clock spent *)
+  attempts : (string * string) list;
+      (** tiers tried before the answering one, with why each passed *)
+}
+
+val eval_resilient :
+  ?budget:Budget.t ->
+  ?max_certified:int ->
+  ?cache:Fq_domain.Decide_cache.t ->
+  ?resume:resume ->
+  domain:Fq_domain.Domain.t ->
+  state:Fq_db.State.t ->
+  Fq_logic.Formula.t ->
+  report
+(** Never raises and never hangs under a finite budget.  The default
+    budget is [Budget.of_fuel 10_000], matching {!Enumerate.run}.  With
+    [?resume] the compiled tiers are skipped (the prior call already fell
+    through them) and the scan continues from the token. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,125 @@
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Transform = Fq_logic.Transform
+module Sset = Fq_logic.Formula.Sset
+
+let rec srnf_pos f =
+  match f with
+  | Formula.True | Formula.False | Formula.Atom _ | Formula.Eq _ -> f
+  | Formula.Not g -> srnf_neg g
+  | Formula.And (g, h) -> Formula.And (srnf_pos g, srnf_pos h)
+  | Formula.Or (g, h) -> Formula.Or (srnf_pos g, srnf_pos h)
+  | Formula.Imp (g, h) -> Formula.Or (srnf_neg g, srnf_pos h)
+  | Formula.Iff (g, h) ->
+    Formula.Or (Formula.And (srnf_pos g, srnf_pos h), Formula.And (srnf_neg g, srnf_neg h))
+  | Formula.Exists (v, g) -> Formula.Exists (v, srnf_pos g)
+  | Formula.Forall (v, g) -> Formula.Not (Formula.Exists (v, srnf_neg g))
+
+and srnf_neg f =
+  match f with
+  | Formula.True -> Formula.False
+  | Formula.False -> Formula.True
+  | Formula.Atom _ | Formula.Eq _ -> Formula.Not f
+  | Formula.Not g -> srnf_pos g
+  | Formula.And (g, h) -> Formula.Or (srnf_neg g, srnf_neg h)
+  | Formula.Or (g, h) -> Formula.And (srnf_neg g, srnf_neg h)
+  | Formula.Imp (g, h) -> Formula.And (srnf_pos g, srnf_neg h)
+  | Formula.Iff (g, h) ->
+    Formula.Or (Formula.And (srnf_pos g, srnf_neg h), Formula.And (srnf_neg g, srnf_pos h))
+  | Formula.Exists (v, g) -> Formula.Not (Formula.Exists (v, srnf_pos g))
+  | Formula.Forall (v, g) -> Formula.Exists (v, srnf_neg g)
+
+let srnf f = Formula.rename_bound ~avoid:Sset.empty (srnf_pos f)
+
+(* Terms that restrict a variable directly: the variable itself as an
+   argument of a database atom. *)
+let direct_vars ts =
+  List.fold_left
+    (fun acc t -> match t with Term.Var v -> Sset.add v acc | _ -> acc)
+    Sset.empty ts
+
+let is_restricting_eq = function
+  | Formula.Eq (Term.Var x, Term.Const _) | Formula.Eq (Term.Const _, Term.Var x) -> Some x
+  | _ -> None
+
+let rec range_restricted_vars ~schema f =
+  match f with
+  | Formula.True | Formula.False -> Sset.empty
+  | Formula.Atom (r, ts) when List.mem_assoc r schema -> direct_vars ts
+  | Formula.Atom _ -> Sset.empty (* domain predicates restrict nothing *)
+  | Formula.Eq _ as e -> (
+    match is_restricting_eq e with Some x -> Sset.singleton x | None -> Sset.empty)
+  | Formula.Not _ -> Sset.empty
+  | Formula.Or (g, h) ->
+    Sset.inter (range_restricted_vars ~schema g) (range_restricted_vars ~schema h)
+  | Formula.And _ ->
+    let conjuncts = Formula.conjuncts f in
+    let base =
+      List.fold_left
+        (fun acc c -> Sset.union acc (range_restricted_vars ~schema c))
+        Sset.empty conjuncts
+    in
+    (* propagate restriction through equalities between variables *)
+    let eqs =
+      List.filter_map
+        (function
+          | Formula.Eq (Term.Var x, Term.Var y) -> Some (x, y)
+          | _ -> None)
+        conjuncts
+    in
+    let rec fixpoint acc =
+      let acc' =
+        List.fold_left
+          (fun acc (x, y) ->
+            if Sset.mem x acc then Sset.add y acc
+            else if Sset.mem y acc then Sset.add x acc
+            else acc)
+          acc eqs
+      in
+      if Sset.equal acc acc' then acc else fixpoint acc'
+    in
+    fixpoint base
+  | Formula.Exists (x, g) ->
+    let r = range_restricted_vars ~schema g in
+    if Sset.mem x r then Sset.remove x r else Sset.empty
+  | Formula.Imp _ | Formula.Iff _ | Formula.Forall _ ->
+    invalid_arg "range_restricted_vars: formula is not in SRNF"
+
+type verdict =
+  | Safe_range
+  | Not_safe_range of string
+
+exception Unsafe of string
+
+(* Every quantified variable must be restricted within its scope. *)
+let rec check_quantifiers ~schema f =
+  match f with
+  | Formula.True | Formula.False | Formula.Atom _ | Formula.Eq _ -> ()
+  | Formula.Not g -> check_quantifiers ~schema g
+  | Formula.And (g, h) | Formula.Or (g, h) ->
+    check_quantifiers ~schema g;
+    check_quantifiers ~schema h
+  | Formula.Exists (x, g) ->
+    check_quantifiers ~schema g;
+    if not (Sset.mem x (range_restricted_vars ~schema g)) then
+      raise
+        (Unsafe
+           (Printf.sprintf "quantified variable %s is not range-restricted in its scope" x))
+  | Formula.Imp _ | Formula.Iff _ | Formula.Forall _ ->
+    invalid_arg "check_quantifiers: formula is not in SRNF"
+
+let check ~schema f =
+  let f = srnf f in
+  match check_quantifiers ~schema f with
+  | exception Unsafe msg -> Not_safe_range msg
+  | () ->
+    let free = Formula.free_var_set f in
+    let restricted = range_restricted_vars ~schema f in
+    let loose = Sset.diff free restricted in
+    if Sset.is_empty loose then Safe_range
+    else
+      Not_safe_range
+        (Printf.sprintf "free variable(s) %s are not range-restricted"
+           (String.concat ", " (Sset.elements loose)))
+
+let is_safe_range ~schema f = check ~schema f = Safe_range

@@ -41,7 +41,12 @@ let fresh_total_machine ~avoid =
         let w = String.make (i + 1) '1' in
         let base = i + 2 in
         let steps =
-          match Run.halts_within ~fuel:(base + 2) (Encode.decode m) w with
+          (* probe under the shared governor: a fuel-only budget of base+2
+             steps reproduces the historical halts_within probe exactly *)
+          match
+            Run.halts_within_b ~budget:(Fq_core.Budget.of_fuel ~share:false (base + 2))
+              (Encode.decode m) w
+          with
           | Some s -> if s = base then base + 1 else base
           | None -> base
         in

@@ -14,15 +14,20 @@ type evidence =
 
 let ( let* ) = Result.bind
 
-let check ?(fuel = 1_000) ~machine ~input () =
+let check ?(fuel = 1_000) ?budget ~machine ~input () =
+  (* One notion of bounded execution: the fuel default is just a fuel-only
+     budget; an explicit [budget] adds deadline/cancellation on top. *)
+  let budget =
+    match budget with Some b -> b | None -> Fq_core.Budget.of_fuel ~share:false fuel
+  in
   if not (Word.is_machine_shaped machine) then
     Error (Printf.sprintf "%S is not machine-shaped" machine)
   else if not (Word.is_input input) then
     Error (Printf.sprintf "%S is not an input word" input)
   else
     let query, state = instance ~machine ~input in
-    match Run.halts_within ~fuel (Encode.decode machine) input with
-    | Some steps ->
+    match Run.run_b ~budget (Encode.decode machine) input with
+    | Run.Done { steps; _ } ->
       (* finite side: the answer is exactly the trace set; certify it with
          the decision procedure *)
       let traces = List.of_seq (Trace.traces ~machine ~input) in
@@ -33,7 +38,8 @@ let check ?(fuel = 1_000) ~machine ~input () =
       else if Relation.cardinal answer <> steps + 1 then
         Error "internal: trace count differs from steps + 1"
       else Ok (Halts { steps; answer })
-    | None ->
-      (* diverging side: exhibit unboundedly many answer tuples *)
-      let count = Trace.count_traces_upto ~bound:fuel ~machine ~input in
+    | Run.Stopped { steps; _ } ->
+      (* diverging side: exhibit unboundedly many answer tuples — as many
+         as the budget let the simulation reach *)
+      let count = Trace.count_traces_upto ~bound:(max 1 steps) ~machine ~input in
       Ok (Diverges_beyond { trace_count = count })

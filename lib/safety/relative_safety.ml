@@ -37,14 +37,14 @@ let via_finitization ~domain ~decide ~state f =
 let via_extended_active ~state f =
   Ext_active.finite_in_state ~domain:(module Fq_domain.Nat_succ) ~state f
 
-let rec bounded ?(fuel = 2_000) ?max_certified ~domain ~state f =
+let rec bounded ?(fuel = 2_000) ?budget ?max_certified ~domain ~state f =
   (* When a complete relative-safety procedure exists for the domain, use
      it to recognize the infinite case outright; otherwise (in particular
      over T) fall back to pure enumeration. *)
   match decide_for ~domain ~state f with
   | Ok false -> Ok Infinite
   | Ok true | Error _ -> (
-    let* outcome = Fq_eval.Enumerate.run ~fuel ?max_certified ~domain ~state f in
+    let* outcome = Fq_eval.Enumerate.run ~fuel ?budget ?max_certified ~domain ~state f in
     match outcome with
     | Fq_eval.Enumerate.Finite rel -> Ok (Finite rel)
     | Fq_eval.Enumerate.Out_of_fuel partial -> Ok (Unknown partial))

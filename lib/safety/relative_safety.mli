@@ -41,6 +41,7 @@ val via_extended_active :
 
 val bounded :
   ?fuel:int ->
+  ?budget:Fq_core.Budget.t ->
   ?max_certified:int ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->

@@ -1,3 +1,4 @@
+module Budget = Fq_core.Budget
 module Formula = Fq_logic.Formula
 module Relation = Fq_db.Relation
 module State = Fq_db.State
@@ -5,7 +6,7 @@ module Schema = Fq_db.Schema
 
 type evaluation =
   | Exact of { answer : Relation.t; engine : string }
-  | Partial of { tuples : Relation.t; fuel : int }
+  | Partial of { tuples : Relation.t; spent : int; reason : Budget.failure }
   | Failed of string
 
 type t = {
@@ -15,13 +16,19 @@ type t = {
   evaluation : evaluation;
 }
 
-let enumerate ~fuel ?max_certified ~domain ~state f =
-  match Fq_eval.Enumerate.run ~fuel ?max_certified ~domain ~state f with
+let enumerate ~fuel ?budget ?max_certified ~domain ~state f =
+  match Fq_eval.Enumerate.run ~fuel ?budget ?max_certified ~domain ~state f with
   | Ok (Fq_eval.Enumerate.Finite answer) -> Exact { answer; engine = "enumerate" }
-  | Ok (Fq_eval.Enumerate.Out_of_fuel tuples) -> Partial { tuples; fuel }
+  | Ok (Fq_eval.Enumerate.Out_of_fuel tuples) ->
+    let spent, reason =
+      match budget with
+      | None -> (fuel, Budget.Fuel_exhausted)
+      | Some b -> (Budget.spent b, Option.value (Budget.check b) ~default:Budget.Fuel_exhausted)
+    in
+    Partial { tuples; spent; reason }
   | Error e -> Failed e
 
-let analyze ?(fuel = 10_000) ?max_certified ~domain ~state f =
+let analyze ?(fuel = 10_000) ?budget ?max_certified ~domain ~state f =
   let schema = Schema.relations (State.schema state) in
   let safe_range = Safe_range.check ~schema f in
   let finite_here = Relative_safety.decide_for ~domain ~state f in
@@ -33,8 +40,8 @@ let analyze ?(fuel = 10_000) ?max_certified ~domain ~state f =
     | Safe_range.Safe_range, Error _ -> (
       match Algebra_translate.run ~domain ~state f with
       | Ok answer -> Exact { answer; engine = "adom-algebra" }
-      | Error _ -> enumerate ~fuel ?max_certified ~domain ~state f)
-    | Safe_range.Not_safe_range _, _ -> enumerate ~fuel ?max_certified ~domain ~state f
+      | Error _ -> enumerate ~fuel ?budget ?max_certified ~domain ~state f)
+    | Safe_range.Not_safe_range _, _ -> enumerate ~fuel ?budget ?max_certified ~domain ~state f
   in
   { formula = f; safe_range; finite_here; evaluation }
 
@@ -51,8 +58,11 @@ let pp fmt r =
   | Exact { answer; engine } ->
     Format.fprintf fmt "answer (%s, %d tuples): %a@," engine (Relation.cardinal answer)
       Relation.pp answer
-  | Partial { tuples; fuel } ->
-    Format.fprintf fmt "partial answer after fuel %d: %d tuples so far@," fuel
+  | Partial { tuples; spent; reason = Budget.Fuel_exhausted } ->
+    Format.fprintf fmt "partial answer after fuel %d: %d tuples so far@," spent
+      (Relation.cardinal tuples)
+  | Partial { tuples; reason; _ } ->
+    Format.fprintf fmt "partial answer (%a): %d tuples so far@," Budget.pp_failure reason
       (Relation.cardinal tuples)
   | Failed e -> Format.fprintf fmt "evaluation failed: %s@," e);
   Format.fprintf fmt "@]"

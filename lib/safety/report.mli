@@ -14,8 +14,11 @@
 type evaluation =
   | Exact of { answer : Fq_db.Relation.t; engine : string }
       (** complete answer; [engine] names the evaluator used *)
-  | Partial of { tuples : Fq_db.Relation.t; fuel : int }
-      (** enumeration ran out of fuel; possibly-infinite answer *)
+  | Partial of {
+      tuples : Fq_db.Relation.t;
+      spent : int;  (** work units consumed when the governor tripped *)
+      reason : Fq_core.Budget.failure;
+    }  (** the budget ran dry; possibly-infinite answer *)
   | Failed of string
 
 type t = {
@@ -27,10 +30,14 @@ type t = {
 
 val analyze :
   ?fuel:int ->
+  ?budget:Fq_core.Budget.t ->
   ?max_certified:int ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   Fq_logic.Formula.t ->
   t
+(** [budget] supersedes [fuel] and governs the enumeration fallback with
+    the full {!Fq_core.Budget} (deadline, cancellation, ambient ticking in
+    the decision procedures). *)
 
 val pp : Format.formatter -> t -> unit

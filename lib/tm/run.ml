@@ -33,6 +33,29 @@ let run ~fuel m w =
 let halts_within ~fuel m w =
   match run ~fuel m w with Halted { steps; _ } -> Some steps | Out_of_fuel -> None
 
+type stopped =
+  | Done of { steps : int; result : string }
+  | Stopped of { steps : int; reason : Fq_core.Budget.failure }
+
+(* One budget tick per transition: with [Budget.of_fuel n] this performs
+   exactly the [run ~fuel:n] transition count, and a deadline or
+   cancellation hook additionally bounds the wall clock of the
+   simulation. *)
+let run_b ~budget m w =
+  let module B = Fq_core.Budget in
+  let rec go steps c =
+    match step m c with
+    | None -> Done { steps; result = Tape.result c.tape }
+    | Some c' -> (
+      match B.tick budget with
+      | () -> go (steps + 1) c'
+      | exception B.Exhausted reason -> Stopped { steps; reason })
+  in
+  go 0 (initial w)
+
+let halts_within_b ~budget m w =
+  match run_b ~budget m w with Done { steps; _ } -> Some steps | Stopped _ -> None
+
 let config_count_upto ~bound m w =
   match halts_within ~fuel:bound m w with
   | Some steps -> min bound (steps + 1)

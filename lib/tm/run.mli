@@ -25,6 +25,18 @@ val run : fuel:int -> Machine.t -> string -> outcome
 val halts_within : fuel:int -> Machine.t -> string -> int option
 (** [Some steps] if the machine halts within [fuel] steps. *)
 
+type stopped =
+  | Done of { steps : int; result : string }
+  | Stopped of { steps : int; reason : Fq_core.Budget.failure }
+
+val run_b : budget:Fq_core.Budget.t -> Machine.t -> string -> stopped
+(** {!run} under the unified governor: one budget tick per transition, so
+    [run_b ~budget:(Budget.of_fuel n)] performs the same transitions as
+    [run ~fuel:n], while a deadline/cancellation budget also bounds the
+    wall clock. Never raises — exhaustion is returned as [Stopped]. *)
+
+val halts_within_b : budget:Fq_core.Budget.t -> Machine.t -> string -> int option
+
 val config_count_upto : bound:int -> Machine.t -> string -> int
 (** [min(bound, number of configurations of the computation)]. The number
     of configurations is [steps + 1] for a halting computation and infinite

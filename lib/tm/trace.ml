@@ -23,6 +23,9 @@ let render_fields machine snaps =
 let snapshot_seq m input =
   Seq.mapi
     (fun i c ->
+      (* potentially infinite computation: checkpoint each snapshot so a
+         governed consumer of the trace sequence stays bounded *)
+      Fq_core.Budget.tick_ambient ();
       let st, tp, pos = Run.snapshot c in
       if i = 0 then (st, input, pos) else (st, tp, pos))
     (Run.configs m input)

@@ -40,6 +40,7 @@ Turing machines of the trace domain (Section 3):
   halts after 3 steps; result "111"
   $ ../../bin/fq.exe tm -m loop -w 1 --fuel 100
   still running after 100 steps
+  [3]
   $ ../../bin/fq.exe tm -m scan_right -w 11 --explain
   halts after 2 steps; result "11"
   trace of machine "*1**1*1" on input "11" (3 snapshots)
@@ -51,3 +52,40 @@ The Theorem 3.3 reduction:
 
   $ ../../bin/fq.exe halting -m parity -w 11
   the machine halts after 2 steps: the query P(M, @c, x) is finite in the state c = "11", with 3 certified answer tuples
+  $ ../../bin/fq.exe halting -m loop -w 1 --fuel 50
+  no halt within 50 steps: at least 50 answer tuples so far (if the machine diverges, the answer is infinite — and Theorem 3.3 says no procedure can always tell)
+  [3]
+
+The resource governor (exit codes: 0 complete, 3 partial/budget-exhausted,
+4 unsupported). An unsafe query over an infinite domain can only ever get a
+partial answer; the governor reports it and exits 3 instead of hanging:
+
+  $ ../../bin/fq.exe eval -d presburger -r "R/1=1" --fuel 8 "~R(x)"
+  fuel exhausted; partial answer (1 tuples): {(0)}
+  (the answer may be infinite — relative safety is the hard part)
+  [3]
+  $ (../../bin/fq.exe eval -d presburger -r "R/1=1" --fuel 8 --verbose "~R(x)" || echo "exit $?") | sed 's/[0-9.]* ms/MS ms/'
+  partial (fuel exhausted after 2 candidates): 1 tuples so far
+  tier ranf-algebra passed: not safe-range: free variable(s) x are not range-restricted
+  spent: 9 ticks, MS ms
+  exit 3
+
+A wall-clock deadline trips the same way (the step count depends on machine
+speed, so only its shape is checked):
+
+  $ (../../bin/fq.exe tm -m loop -w 1 --fuel 1000000000 --timeout-ms 5 || echo "exit $?") | sed 's/after [0-9]* steps/after N steps/'
+  still running after N steps
+  exit 3
+
+Inputs outside an engine's supported fragment exit 4 with a structured
+message — here Cooper's divisor-elimination would need an expansion range
+beyond the native word (three 30-bit prime divisors):
+
+  $ ../../bin/fq.exe decide -d presburger "exists x. 1000000007 | x /\ 998244353 | x /\ 1000000009 | x"
+  error: unsupported: Cooper: divisor lcm 998244368971909710889394239 exceeds the native expansion range
+  [4]
+
+Budgeted evaluations that complete give exactly the un-budgeted answer:
+
+  $ ../../bin/fq.exe eval -d equality -r "F/2=adam,cain;adam,abel" --fuel 10000 --timeout-ms 10000 "exists y z. y != z /\ F(x, y) /\ F(x, z)"
+  finite answer (1 tuples): {("adam")}

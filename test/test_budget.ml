@@ -1,0 +1,415 @@
+(* Tests for the unified resource governor (Fq_core.Budget) and its
+   integration with the evaluators: structured failures, the ambient
+   budget, the degradation chain of Fq_eval.Query, resume tokens, and the
+   monotonicity of budgeted enumeration.
+
+   The paper's Theorems 3.1/3.3 are why the governor exists: finiteness
+   of a query is undecidable in general, so an evaluator that accepts
+   arbitrary queries can only ever promise "a complete answer or a
+   structured account of why it stopped". *)
+
+module Budget = Fq_core.Budget
+module Formula = Fq_logic.Formula
+module Relation = Fq_db.Relation
+module Value = Fq_db.Value
+module State = Fq_db.State
+module Schema = Fq_db.Schema
+module Enumerate = Fq_eval.Enumerate
+module Query = Fq_eval.Query
+
+let parse = Fq_logic.Parser.formula_exn
+
+let failure =
+  Alcotest.testable Budget.pp_failure (fun a b ->
+      match (a, b) with
+      | Budget.Oversize n, Budget.Oversize m -> n = m
+      | Budget.Unsupported a, Budget.Unsupported b -> a = b
+      | a, b -> a = b)
+
+let rel = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------ core -------------------------------- *)
+
+let test_fuel () =
+  let b = Budget.of_fuel 5 in
+  for _ = 1 to 5 do
+    Budget.tick b
+  done;
+  Alcotest.(check int) "five ticks spent" 5 (Budget.spent b);
+  Alcotest.check failure "sixth tick trips"
+    Budget.Fuel_exhausted
+    (match Budget.tick b with
+    | () -> Alcotest.fail "tick beyond the fuel limit did not trip"
+    | exception Budget.Exhausted f -> f)
+
+let test_charge () =
+  let b = Budget.make ~fuel:10 () in
+  Budget.charge b 10;
+  (match Budget.charge b 1 with
+  | () -> Alcotest.fail "charge beyond the fuel limit did not trip"
+  | exception Budget.Exhausted Budget.Fuel_exhausted -> ());
+  Alcotest.(check bool) "exhausted after the trip" true (Budget.exhausted b)
+
+let test_deadline () =
+  let b = Budget.with_deadline ~timeout_ms:0 in
+  let r =
+    Budget.guard b (fun () ->
+        (* the wall clock is polled every 256 ticks *)
+        for _ = 1 to 10_000 do
+          Budget.tick b
+        done)
+  in
+  Alcotest.(check (result unit failure)) "deadline trips" (Error Budget.Deadline_exceeded) r
+
+let test_oversize () =
+  let b = Budget.make ~max_result:3 () in
+  Budget.ensure_size b 3;
+  match Budget.ensure_size b 4 with
+  | () -> Alcotest.fail "oversize did not trip"
+  | exception Budget.Exhausted (Budget.Oversize 3) -> ()
+  | exception Budget.Exhausted f ->
+    Alcotest.failf "wrong failure: %s" (Budget.error_string f)
+
+let test_cancel () =
+  let polled = ref 0 in
+  let b =
+    Budget.make
+      ~cancel:(fun () ->
+        incr polled;
+        !polled > 2)
+      ()
+  in
+  let r =
+    Budget.guard b (fun () ->
+        for _ = 1 to 100_000 do
+          Budget.tick b
+        done)
+  in
+  Alcotest.(check (result unit failure)) "cancellation trips" (Error Budget.Cancelled) r
+
+let test_unlimited () =
+  let b = Budget.unlimited () in
+  for _ = 1 to 100_000 do
+    Budget.tick b
+  done;
+  Alcotest.(check int) "ticks still counted" 100_000 (Budget.spent b);
+  Alcotest.(check bool) "never exhausted" false (Budget.exhausted b)
+
+let test_error_string_roundtrip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check (option failure))
+        (Budget.error_string f) (Some f)
+        (Budget.failure_of_string (Budget.error_string f)))
+    [ Budget.Fuel_exhausted; Budget.Deadline_exceeded; Budget.Oversize 7; Budget.Cancelled;
+      Budget.Unsupported "Cooper: too big" ];
+  Alcotest.(check (option failure)) "ordinary errors stay unstructured" None
+    (Budget.failure_of_string "parse error: unexpected token")
+
+let test_ambient_scoping () =
+  (* Budget.t holds closures, so compare physically *)
+  let installed b = match Budget.ambient () with Some x -> x == b | None -> false in
+  Alcotest.(check bool) "no ambient outside guard" true (Budget.ambient () = None);
+  (* tick_ambient with no budget installed is a no-op *)
+  Budget.tick_ambient ();
+  let b1 = Budget.make ~fuel:1_000 () in
+  let b2 = Budget.make ~fuel:1_000 () in
+  let r =
+    Budget.guard b1 (fun () ->
+        Alcotest.(check bool) "b1 installed" true (installed b1);
+        let inner =
+          Budget.guard b2 (fun () ->
+              Alcotest.(check bool) "b2 shadows" true (installed b2))
+        in
+        Alcotest.(check (result unit failure)) "inner fine" (Ok ()) inner;
+        Alcotest.(check bool) "b1 restored" true (installed b1))
+  in
+  Alcotest.(check (result unit failure)) "outer fine" (Ok ()) r;
+  Alcotest.(check bool) "slot cleared" true (Budget.ambient () = None);
+  (* a ~share:false budget is never installed: legacy fuel accounting *)
+  let legacy = Budget.of_fuel ~share:false 10 in
+  let r =
+    Budget.guard legacy (fun () ->
+        Alcotest.(check bool) "legacy budget not ambient" true (Budget.ambient () = None))
+  in
+  Alcotest.(check (result unit failure)) "legacy guard fine" (Ok ()) r
+
+let test_protect () =
+  let b = Budget.of_fuel 3 in
+  let r =
+    Budget.protect ~budget:b (fun () ->
+        for _ = 1 to 10 do
+          Budget.tick_ambient ()
+        done;
+        Ok ())
+  in
+  Alcotest.(check (result unit string)) "stable error string"
+    (Error "budget: fuel exhausted") r
+
+(* ----------------------- states and domains ------------------------- *)
+
+let nat_state =
+  State.make
+    ~schema:(Schema.make [ ("R", 1) ])
+    [ ("R", Relation.make ~arity:1 [ [ Value.int 1 ] ]) ]
+
+let nat_order : Fq_domain.Domain.t = (module Fq_domain.Nat_order)
+let presburger : Fq_domain.Domain.t = (module Fq_domain.Presburger)
+let eq_domain : Fq_domain.Domain.t = (module Fq_domain.Eq_domain)
+
+let family_state =
+  let s = Value.str in
+  State.make
+    ~schema:(Schema.make [ ("F", 2) ])
+    [ ( "F",
+        Relation.make ~arity:2
+          [ [ s "adam"; s "cain" ]; [ s "adam"; s "abel" ]; [ s "cain"; s "enoch" ] ] ) ]
+
+(* ------------------------- unsafe queries --------------------------- *)
+
+(* ¬R(x) has an infinite answer over any infinite domain: the governed
+   evaluator must always come back with Partial, whatever the budget. *)
+let test_unsafe_always_partial () =
+  let f = parse "~R(x)" in
+  List.iter
+    (fun (domain, fuel) ->
+      let budget = Budget.make ~fuel () in
+      let report = Query.eval_resilient ~budget ~domain ~state:nat_state f in
+      match report.Query.verdict with
+      | Query.Partial { reason = (Budget.Fuel_exhausted | Budget.Oversize _); _ } ->
+        (* small budgets run out of fuel; larger ones hit the certification
+           cap — either way the scan stops with a structured partial *)
+        ()
+      | Query.Partial { reason; _ } ->
+        Alcotest.failf "unexpected trip: %s" (Budget.error_string reason)
+      | Query.Complete _ -> Alcotest.fail "an infinite answer cannot be complete"
+      | Query.Failed { reason } -> Alcotest.failf "hard failure: %s" reason)
+    [ (nat_order, 5); (nat_order, 500); (presburger, 5); (presburger, 500) ]
+
+let test_unsafe_deadline () =
+  let f = parse "~R(x)" in
+  let budget = Budget.make ~timeout_ms:0 () in
+  let report =
+    Query.eval_resilient ~budget ~max_certified:1_000_000 ~domain:presburger ~state:nat_state f
+  in
+  match report.Query.verdict with
+  | Query.Partial { reason = Budget.Deadline_exceeded; _ } -> ()
+  | Query.Partial { reason; _ } ->
+    Alcotest.failf "expected a deadline trip, got %s" (Budget.error_string reason)
+  | _ -> Alcotest.fail "expected Partial under an expired deadline"
+
+(* --------------------- guarded = unguarded -------------------------- *)
+
+let test_guarded_matches_unguarded_decide () =
+  List.iter
+    (fun s ->
+      let f = parse s in
+      let plain = Fq_domain.Presburger.decide f in
+      let guarded =
+        Budget.protect
+          ~budget:(Budget.make ~fuel:1_000_000 ())
+          (fun () -> Fq_domain.Presburger.decide f)
+      in
+      Alcotest.(check (result bool string)) s plain guarded)
+    [ "forall x. exists y. x < y"; "exists x. x + x = 7"; "exists x. 4 | x /\\ 6 | x";
+      "forall x. exists y. y = x + 3 /\\ x < y" ]
+
+let test_guarded_matches_unguarded_eval () =
+  let f = parse "exists y z. y != z /\\ F(x, y) /\\ F(x, z)" in
+  let legacy =
+    match Fq_eval.Enumerate.run ~domain:eq_domain ~state:family_state f with
+    | Ok (Enumerate.Finite r) -> r
+    | Ok (Enumerate.Out_of_fuel _) -> Alcotest.fail "legacy run should complete"
+    | Error e -> Alcotest.fail e
+  in
+  let budgeted =
+    let budget = Budget.make ~fuel:100_000 ~timeout_ms:60_000 () in
+    match Query.eval_resilient ~budget ~domain:eq_domain ~state:family_state f with
+    | { Query.verdict = Query.Complete { answer; _ }; _ } -> answer
+    | { Query.verdict = Query.Partial _; _ } -> Alcotest.fail "budgeted run should complete"
+    | { Query.verdict = Query.Failed { reason }; _ } -> Alcotest.fail reason
+  in
+  Alcotest.check rel "same answer with and without the governor" legacy budgeted
+
+let test_enumeration_guarded_matches_legacy () =
+  (* not safe-range, answer finite: x < y bounded by R's members {1} *)
+  let f = parse "exists y. R(y) /\\ x < y" in
+  let legacy =
+    match Enumerate.run ~domain:nat_order ~state:nat_state f with
+    | Ok (Enumerate.Finite r) -> r
+    | Ok (Enumerate.Out_of_fuel _) -> Alcotest.fail "legacy enumeration should complete"
+    | Error e -> Alcotest.fail e
+  in
+  let budgeted =
+    match
+      Enumerate.run_budgeted ~budget:(Budget.make ~fuel:1_000_000 ()) ~domain:nat_order
+        ~state:nat_state f
+    with
+    | Ok (Enumerate.Complete r) -> r
+    | Ok (Enumerate.Partial _) -> Alcotest.fail "budgeted enumeration should complete"
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.check rel "same certified answer" legacy budgeted
+
+(* -------------------------- degradation chain ----------------------- *)
+
+let test_tiers () =
+  (* safe-range: answered by the RANF compiler, no enumeration *)
+  let f = parse "exists y. F(x, y)" in
+  (match Query.eval_resilient ~domain:eq_domain ~state:family_state f with
+  | { Query.verdict = Query.Complete { tier; _ }; attempts; _ } ->
+    Alcotest.(check string) "compiled tier answers" "ranf-algebra" tier;
+    Alcotest.(check int) "no earlier attempts" 0 (List.length attempts)
+  | _ -> Alcotest.fail "safe-range query should complete");
+  (* not safe-range: the chain records why compilation was skipped *)
+  let g = parse "~R(x)" in
+  match
+    Query.eval_resilient ~budget:(Budget.make ~fuel:10 ()) ~domain:nat_order ~state:nat_state g
+  with
+  | { Query.verdict = Query.Partial _; attempts = [ (tier, why) ]; _ } ->
+    Alcotest.(check string) "ranf tier was skipped" "ranf-algebra" tier;
+    Alcotest.(check bool) "reason mentions safe-range" true
+      (String.length why >= 14 && String.sub why 0 14 = "not safe-range")
+  | _ -> Alcotest.fail "expected Partial with one recorded attempt"
+
+let test_resume_token () =
+  (* two answers (cain, abel), so certification cannot succeed on the
+     first candidate and a 1-tick budget is guaranteed to interrupt *)
+  let f = parse "F(\"adam\", x)" in
+  let expected =
+    match Enumerate.run ~domain:eq_domain ~state:family_state f with
+    | Ok (Enumerate.Finite r) -> r
+    | _ -> Alcotest.fail "one-shot run should complete"
+  in
+  (* drip-feed the scan one candidate at a time, carrying the token *)
+  let rec go seen found rounds =
+    if rounds > 500 then Alcotest.fail "resume loop did not converge"
+    else
+      let budget = Budget.make ~fuel:1 () in
+      match
+        Enumerate.run_budgeted ~resume:(seen, found) ~budget ~domain:eq_domain
+          ~state:family_state f
+      with
+      | Ok (Enumerate.Complete r) -> (r, rounds)
+      | Ok (Enumerate.Partial { tuples; seen; _ }) -> go seen tuples (rounds + 1)
+      | Error e -> Alcotest.fail e
+  in
+  let answer, rounds = go 0 (Relation.empty ~arity:1) 0 in
+  Alcotest.check rel "resumed scan converges to the one-shot answer" expected answer;
+  Alcotest.(check bool) "the budget actually interrupted the scan" true (rounds > 0)
+
+let test_resume_via_query () =
+  let f = parse "exists y z. y != z /\\ F(x, y) /\\ F(x, z)" in
+  let rec go resume rounds =
+    if rounds > 500 then Alcotest.fail "resume loop did not converge"
+    else
+      let budget = Budget.make ~fuel:2 () in
+      let report = Query.eval_resilient ~budget ?resume ~domain:eq_domain ~state:family_state f in
+      match report.Query.verdict with
+      | Query.Complete { answer; _ } -> answer
+      | Query.Partial { resume = token; _ } -> go (Some token) (rounds + 1)
+      | Query.Failed { reason } -> Alcotest.fail reason
+  in
+  let seed = Some { Query.seen = 0; found = Relation.empty ~arity:1 } in
+  let answer = go seed 0 in
+  Alcotest.check rel "resumable front-end converges"
+    (Relation.make ~arity:1 [ [ Value.str "adam" ] ])
+    answer
+
+(* --------------------------- monotonicity --------------------------- *)
+
+let tuples_of verdict =
+  match verdict with
+  | Query.Complete { answer; _ } -> answer
+  | Query.Partial { tuples; _ } -> tuples
+  | Query.Failed { reason } -> Alcotest.fail reason
+
+let prop_monotone =
+  QCheck.Test.make ~name:"larger budget never returns fewer tuples" ~count:40
+    QCheck.(pair (int_range 1 60) (int_range 0 60))
+    (fun (fuel, extra) ->
+      let f = parse "~R(x)" in
+      let answer fuel =
+        let budget = Budget.make ~fuel () in
+        tuples_of (Query.eval_resilient ~budget ~domain:presburger ~state:nat_state f).Query.verdict
+      in
+      let small = answer fuel and big = answer (fuel + extra) in
+      List.for_all (fun t -> Relation.mem t big) (Relation.tuples small))
+
+(* ------------------------ Cooper LCM overflow ----------------------- *)
+
+(* Two 30-bit primes still multiply within a 63-bit int; three cannot.
+   The seed crashed with [failwith] here — now it is a structured
+   Unsupported failure, and small divisor systems keep working. *)
+let test_cooper_lcm_overflow () =
+  let f = parse "exists x. 1000000007 | x /\\ 998244353 | x /\\ 1000000009 | x" in
+  (match Fq_domain.Presburger.decide f with
+  | Ok _ -> Alcotest.fail "an over-range divisor LCM cannot be decided natively"
+  | Error e -> (
+    match Budget.failure_of_string e with
+    | Some (Budget.Unsupported _) -> ()
+    | _ -> Alcotest.failf "expected a structured Unsupported failure, got: %s" e));
+  (* the same shape with small divisors is decided, with and without budget *)
+  let g = parse "exists x. 4 | x /\\ 6 | x /\\ 9 | x" in
+  Alcotest.(check (result bool string)) "small lcm decides" (Ok true)
+    (Fq_domain.Presburger.decide g);
+  Alcotest.(check (result bool string)) "small lcm decides under budget" (Ok true)
+    (Budget.protect
+       ~budget:(Budget.make ~fuel:1_000_000 ())
+       (fun () -> Fq_domain.Presburger.decide g))
+
+let test_cooper_fuel_trips () =
+  (* a feasible but long expansion (δ = 9973) trips a small shared budget *)
+  let f = parse "exists x. x > 2 /\\ 9973 | x + 1" in
+  match Budget.protect ~budget:(Budget.of_fuel 100) (fun () -> Fq_domain.Presburger.decide f) with
+  | Error "budget: fuel exhausted" -> ()
+  | Ok _ -> Alcotest.fail "expected the expansion to trip the 100-tick budget"
+  | Error e -> Alcotest.failf "expected a fuel trip, got: %s" e
+
+(* --------------------------- TM governor ---------------------------- *)
+
+let test_run_b_matches_run () =
+  List.iter
+    (fun (name, input, fuel) ->
+      let e = List.find (fun e -> e.Fq_tm.Zoo.name = name) Fq_tm.Zoo.all in
+      let m = e.Fq_tm.Zoo.machine in
+      let legacy = Fq_tm.Run.run ~fuel m input in
+      let governed = Fq_tm.Run.run_b ~budget:(Budget.of_fuel ~share:false fuel) m input in
+      match (legacy, governed) with
+      | Fq_tm.Run.Halted { steps; result }, Fq_tm.Run.Done { steps = s; result = r } ->
+        Alcotest.(check int) (name ^ ": same steps") steps s;
+        Alcotest.(check string) (name ^ ": same result") result r
+      | Fq_tm.Run.Out_of_fuel, Fq_tm.Run.Stopped { steps; reason = Budget.Fuel_exhausted } ->
+        Alcotest.(check int) (name ^ ": stopped at the fuel bound") fuel steps
+      | _ -> Alcotest.failf "%s: legacy and governed runs disagree" name)
+    [ ("scan_right", "111", 100); ("loop", "1", 57); ("parity", "11", 100) ]
+
+let () =
+  Alcotest.run "budget"
+    [ ( "core",
+        [ Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "charge" `Quick test_charge;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "oversize" `Quick test_oversize;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "unlimited" `Quick test_unlimited;
+          Alcotest.test_case "error-string round trip" `Quick test_error_string_roundtrip;
+          Alcotest.test_case "ambient scoping" `Quick test_ambient_scoping;
+          Alcotest.test_case "protect" `Quick test_protect ] );
+      ( "unsafe queries",
+        [ Alcotest.test_case "always Partial, never hangs" `Quick test_unsafe_always_partial;
+          Alcotest.test_case "deadline trips the scan" `Quick test_unsafe_deadline ] );
+      ( "guarded = unguarded",
+        [ Alcotest.test_case "decision procedures" `Quick test_guarded_matches_unguarded_decide;
+          Alcotest.test_case "compiled evaluation" `Quick test_guarded_matches_unguarded_eval;
+          Alcotest.test_case "enumeration" `Quick test_enumeration_guarded_matches_legacy ] );
+      ( "degradation chain",
+        [ Alcotest.test_case "tier reporting" `Quick test_tiers;
+          Alcotest.test_case "resume token (enumerate)" `Quick test_resume_token;
+          Alcotest.test_case "resume token (query front-end)" `Quick test_resume_via_query;
+          QCheck_alcotest.to_alcotest prop_monotone ] );
+      ( "cooper",
+        [ Alcotest.test_case "LCM overflow is Unsupported" `Quick test_cooper_lcm_overflow;
+          Alcotest.test_case "long expansion trips fuel" `Quick test_cooper_fuel_trips ] );
+      ( "turing machines",
+        [ Alcotest.test_case "run_b matches run" `Quick test_run_b_matches_run ] ) ]

@@ -625,6 +625,126 @@ let governor_ablation () =
         entry "cooper_qe" cooper_plain cooper_gov ],
     worst )
 
+(* ------------------------------------------------------------------ *)
+(* PR 4 ablation: telemetry overhead on the same hot paths             *)
+(* ------------------------------------------------------------------ *)
+
+(* Three variants per workload: telemetry disabled (every instrumentation
+   point is one ref read and a branch), the no-op sink (the observation
+   path runs but discards events), and a full recording.  The workloads
+   are the PR 3 governed hot paths, so the numbers compose: governor
+   overhead from A3, telemetry overhead from here. *)
+(* One sample = [chunk] back-to-back reps inside a single clock window,
+   so the ~1us [gettimeofday] quantum is amortized well below the effect
+   size under test (on the ~40us Cooper workload, single-rep timing
+   cannot distinguish a 2% effect from one timer quantum). *)
+let chunk_us ~chunk f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to chunk do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int chunk
+
+let median a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.
+
+type triple = {
+  t_off : float;
+  t_noop : float;
+  t_rec : float;
+  noop_pct : float;
+  rec_pct : float;
+}
+
+(* All three variants run the same workload thunk; only the ambient
+   collector differs, and it is installed around a multi-repetition chunk
+   rather than a single repetition — the ablation measures the cost of
+   the instrumentation points in the engines, and the one-time cost of
+   building a collector (two hashtables) must stay amortized below the
+   effect size under test.  The estimator fights two independent noise
+   sources of a virtualized host:
+
+   - CPU steal: the host can take the vCPU for ~1ms inside any single
+     timing window, a 10-20%% spike on a ~5ms chunk.  Each round
+     interleaves off/noop/recording chunks back to back five times and
+     keeps each variant's MINIMUM, discarding the stolen windows.
+   - clock drift: the effective clock wanders by several percent over
+     timescales of 100ms+, which swamps a sub-2%% effect measured from
+     two aggregates taken seconds apart.  The overhead estimate is the
+     median over rounds of the PAIRED per-round ratio (noop/off within
+     one round, where the chunks ran a few ms apart), so the drift
+     cancels inside each ratio.
+
+   Earlier drafts used a global minimum per variant; that compares each
+   variant's single luckiest window across the whole run and was observed
+   to report the no-op sink "slower" than a full recording — physically
+   impossible. *)
+let best_triple ~rounds ~chunk f =
+  let offs = Array.make rounds 0. in
+  let noops = Array.make rounds 0. in
+  let recs = Array.make rounds 0. in
+  for r = 0 to rounds - 1 do
+    Gc.major ();
+    (* untimed warm-up: the first chunk after a major collection runs in a
+       golden GC state (empty minor heap, fresh major cycle) that no later
+       chunk sees; without burning it, whichever variant is timed first
+       reads 2-3%% faster than the identical thunk in the next slot *)
+    ignore (chunk_us ~chunk f);
+    let mo = ref infinity and mn = ref infinity and mr = ref infinity in
+    for _ = 1 to 5 do
+      mo := Float.min !mo (chunk_us ~chunk f);
+      mn := Float.min !mn (Telemetry.with_noop (fun () -> chunk_us ~chunk f));
+      mr := Float.min !mr (fst (Telemetry.record (fun () -> chunk_us ~chunk f)))
+    done;
+    offs.(r) <- !mo;
+    noops.(r) <- !mn;
+    recs.(r) <- !mr
+  done;
+  let ratio a = median (Array.init rounds (fun r -> a.(r) /. offs.(r))) in
+  { t_off = median offs;
+    t_noop = median noops;
+    t_rec = median recs;
+    noop_pct = 100. *. (ratio noops -. 1.);
+    rec_pct = 100. *. (ratio recs -. 1.) }
+
+let telemetry_ablation () =
+  let n = 1000 in
+  let st = join_state n in
+  let plan = Optimizer.optimize_for ~schema:join_schema naive_join_plan in
+  let join () = Relalg.eval ~state:st plan in
+  let join_t = best_triple ~rounds:15 ~chunk:4 join in
+  let stc = chain_state 12 in
+  let cache = Decide_cache.create () in
+  let enum () =
+    Enumerate.run ~fuel:200_000 ~max_certified:24 ~cache ~domain:eq_domain ~state:stc g_query
+  in
+  ignore (enum ());
+  let enum_t = best_triple ~rounds:15 ~chunk:4 enum in
+  let cooper_sentence = parse "forall x. exists y. x = 2 * y \\/ x = 2 * y + 1" in
+  let cooper () = Cooper.decide cooper_sentence in
+  let cooper_t = best_triple ~rounds:21 ~chunk:100 cooper in
+  let entry name t =
+    ( name,
+      `Assoc
+        [ ("disabled_us", `Float t.t_off);
+          ("noop_sink_us", `Float t.t_noop);
+          ("recording_us", `Float t.t_rec);
+          ("noop_overhead_pct", `Float t.noop_pct);
+          ("recording_overhead_pct", `Float t.rec_pct) ] )
+  in
+  let worst_noop =
+    List.fold_left Float.max neg_infinity
+      [ join_t.noop_pct; enum_t.noop_pct; cooper_t.noop_pct ]
+  in
+  ( `Assoc
+      [ entry "chain_join_n1000" join_t;
+        entry "enumerate_warm_cache" enum_t;
+        entry "cooper_qe" cooper_t ],
+    worst_noop )
+
 let ablations () =
   section "A1 (PR 1): hash-join engine vs naive product-filter (3-way chain join)";
   row "%6s %14s %14s %10s" "n" "naive(us)" "hashjoin(us)" "speedup";
@@ -654,7 +774,22 @@ let ablations () =
         | _ -> ())
       entries
   | _ -> ());
-  row "worst-case overhead: %.1f%% (acceptance: < 5%%)" worst
+  row "worst-case overhead: %.1f%% (acceptance: < 5%%)" worst;
+  section "A4 (PR 4): telemetry overhead (disabled / no-op sink / recording)";
+  let detail, worst_noop = telemetry_ablation () in
+  (match detail with
+  | `Assoc entries ->
+    row "%-24s %12s %12s %12s %10s" "path" "off(us)" "noop(us)" "record(us)" "noop-ovh";
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | `Assoc
+            [ (_, `Float off); (_, `Float noop); (_, `Float recd); (_, `Float noop_pct); _ ] ->
+          row "%-24s %12.1f %12.1f %12.1f %9.1f%%" name off noop recd noop_pct
+        | _ -> ())
+      entries
+  | _ -> ());
+  row "worst-case no-op-sink overhead: %.1f%% (acceptance: < 2%%)" worst_noop
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output (-- json)                                   *)
@@ -718,6 +853,24 @@ let json_report_pr3 () =
           `Assoc
             [ ("worst_overhead_pct", `Float worst);
               ("overhead_lt_5pct", `Bool (worst < 5.0)) ] ) ]
+  in
+  Format.printf "%a@." print_json doc
+
+let json_report_pr4 () =
+  let detail, worst_noop = telemetry_ablation () in
+  let doc =
+    `Assoc
+      [ ("pr", `Int 4);
+        ( "description",
+          `String
+            "telemetry: hierarchical spans, counters, histograms with pluggable sinks; \
+             overhead of the disabled path vs the no-op sink vs a full recording on the \
+             governed hot paths" );
+        ("telemetry_overhead", detail);
+        ( "acceptance",
+          `Assoc
+            [ ("worst_noop_overhead_pct", `Float worst_noop);
+              ("noop_overhead_lt_2pct", `Bool (worst_noop < 2.0)) ] ) ]
   in
   Format.printf "%a@." print_json doc
 
@@ -809,6 +962,7 @@ let () =
   match mode with
   | "json" -> json_report ()
   | "json-pr3" -> json_report_pr3 ()
+  | "json-pr4" -> json_report_pr4 ()
   | _ ->
     let quick = mode = "quick" in
     Format.printf

@@ -94,10 +94,65 @@ let timeout_arg =
 
 let budget_of fuel timeout_ms = Budget.make ~fuel ?timeout_ms ()
 
+(* ----------------------------- telemetry ---------------------------- *)
+
+type trace_sink = Pretty | Jsonl | Chrome of string
+
+let trace_conv =
+  let parse s =
+    match s with
+    | "pretty" -> Ok Pretty
+    | "jsonl" -> Ok Jsonl
+    | _ when String.length s > 7 && String.sub s 0 7 = "chrome:" ->
+      Ok (Chrome (String.sub s 7 (String.length s - 7)))
+    | _ ->
+      Error (`Msg (Printf.sprintf "unknown trace sink %S (pretty, jsonl, chrome:FILE)" s))
+  in
+  let print fmt = function
+    | Pretty -> Format.pp_print_string fmt "pretty"
+    | Jsonl -> Format.pp_print_string fmt "jsonl"
+    | Chrome file -> Format.fprintf fmt "chrome:%s" file
+  in
+  Arg.conv (parse, print)
+
+let trace_arg =
+  let doc =
+    "Record a span trace of the run and render it on stderr: $(b,pretty) (indented tree \
+     with tick and wall-clock attribution), $(b,jsonl) (one JSON object per line), or \
+     $(b,chrome:FILE) (Chrome trace_event JSON written to FILE, loadable in Perfetto or \
+     about://tracing)."
+  in
+  Arg.(value & opt ~vopt:(Some Pretty) (some trace_conv) None & info [ "trace" ] ~doc)
+
+let metrics_arg =
+  let doc = "Print the run's telemetry counters and histograms on stderr." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Run a command body under a recording collector when asked to; the report
+   goes to stderr so stdout stays stable for scripts and cram tests. *)
+let with_telemetry trace metrics f =
+  match (trace, metrics) with
+  | None, false -> f ()
+  | _ ->
+    let code, treport = Telemetry.record f in
+    (match trace with
+    | None -> ()
+    | Some Pretty -> Format.eprintf "%a" Telemetry.pp_pretty treport
+    | Some Jsonl -> Format.eprintf "%a" Telemetry.pp_jsonl treport
+    | Some (Chrome file) ->
+      let oc = open_out file in
+      let fmt = Format.formatter_of_out_channel oc in
+      Format.fprintf fmt "%a@?" Telemetry.pp_chrome treport;
+      close_out oc;
+      Format.eprintf "trace written to %s@." file);
+    if metrics then Format.eprintf "%a" Telemetry.pp_metrics treport;
+    code
+
 (* ------------------------------ decide ----------------------------- *)
 
 let decide_cmd =
-  let run domain fuel timeout_ms formula =
+  let run trace metrics domain fuel timeout_ms formula =
+    with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            let (module D : Domain.S) = domain in
@@ -110,7 +165,8 @@ let decide_cmd =
   in
   let doc = "Decide a pure domain sentence (the domain's decision procedure)." in
   Cmd.v (Cmd.info "decide" ~doc)
-    Term.(const run $ domain_arg $ fuel_arg ~default:1_000_000 $ timeout_arg $ formula_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ fuel_arg ~default:1_000_000
+          $ timeout_arg $ formula_arg)
 
 (* ------------------------------ safety ----------------------------- *)
 
@@ -132,7 +188,8 @@ let parse_schema_assoc specs =
   with Failure msg -> Error msg
 
 let safety_cmd =
-  let run schema formula =
+  let run trace metrics schema formula =
+    with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (parse_schema_assoc schema) (fun schema ->
            Result.map
@@ -145,12 +202,14 @@ let safety_cmd =
              (parse_formula formula)))
   in
   let doc = "Check the syntactic safe-range (range-restriction) discipline." in
-  Cmd.v (Cmd.info "safety" ~doc) Term.(const run $ schema_arg $ formula_arg)
+  Cmd.v (Cmd.info "safety" ~doc)
+    Term.(const run $ trace_arg $ metrics_arg $ schema_arg $ formula_arg)
 
 (* ------------------------------ relsafe ---------------------------- *)
 
 let relsafe_cmd =
-  let run domain rels consts fuel timeout_ms formula =
+  let run trace metrics domain rels consts fuel timeout_ms formula =
+    with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
@@ -165,13 +224,14 @@ let relsafe_cmd =
   in
   let doc = "Decide relative safety: is the query's answer finite in the given state? (Undecidable over traces — Theorem 3.3.)" in
   Cmd.v (Cmd.info "relsafe" ~doc)
-    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:1_000_000
-          $ timeout_arg $ formula_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
+          $ fuel_arg ~default:1_000_000 $ timeout_arg $ formula_arg)
 
 (* ------------------------------- eval ------------------------------ *)
 
 let eval_cmd =
-  let run domain rels consts fuel timeout_ms verbose formula =
+  let run trace metrics domain rels consts fuel timeout_ms verbose formula =
+    with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
@@ -203,13 +263,14 @@ let eval_cmd =
      enumerate-and-decide algorithm under the governor."
   in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:10_000
-          $ timeout_arg $ verbose $ formula_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
+          $ fuel_arg ~default:10_000 $ timeout_arg $ verbose $ formula_arg)
 
 (* ------------------------------ report ----------------------------- *)
 
 let report_cmd =
-  let run domain rels consts fuel timeout_ms formula =
+  let run trace metrics domain rels consts fuel timeout_ms formula =
+    with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.map
@@ -225,8 +286,8 @@ let report_cmd =
   in
   let doc = "Full analysis of a query: syntactic safety, relative safety, and the answer by the best applicable evaluator." in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:10_000
-          $ timeout_arg $ formula_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
+          $ fuel_arg ~default:10_000 $ timeout_arg $ formula_arg)
 
 (* -------------------------------- tm ------------------------------- *)
 
@@ -238,7 +299,8 @@ let machine_of_string s =
     else Error (Printf.sprintf "%S is neither a zoo machine nor a machine-shaped word" s)
 
 let tm_cmd =
-  let run machine input fuel timeout_ms show_traces explain list_zoo =
+  let run trace metrics machine input fuel timeout_ms show_traces explain list_zoo =
+    with_telemetry trace metrics @@ fun () ->
     if list_zoo then begin
       Format.printf "%-12s %-9s %s@." "name" "totality" "description";
       List.iter
@@ -298,13 +360,14 @@ let tm_cmd =
   let zoo = Arg.(value & flag & info [ "zoo" ] ~doc:"List the machine zoo and exit.") in
   let doc = "Run a Turing machine of the trace domain; inspect the zoo and traces." in
   Cmd.v (Cmd.info "tm" ~doc)
-    Term.(const run $ machine $ input $ fuel_arg ~default:10_000 $ timeout_arg $ traces
-          $ explain $ zoo)
+    Term.(const run $ trace_arg $ metrics_arg $ machine $ input $ fuel_arg ~default:10_000
+          $ timeout_arg $ traces $ explain $ zoo)
 
 (* ------------------------------- diag ------------------------------ *)
 
 let diag_cmd =
-  let run budget =
+  let run trace metrics budget =
+    with_telemetry trace metrics @@ fun () ->
     let scan = Encode.encode Zoo.scan_right in
     let syntax =
       { Syntax_class.name = "demo";
@@ -331,12 +394,13 @@ let diag_cmd =
   in
   let budget = Arg.(value & opt int 4 & info [ "budget" ] ~doc:"Search budget.") in
   let doc = "Run the Theorem 3.1 diagonalization against a demo candidate syntax." in
-  Cmd.v (Cmd.info "diag" ~doc) Term.(const run $ budget)
+  Cmd.v (Cmd.info "diag" ~doc) Term.(const run $ trace_arg $ metrics_arg $ budget)
 
 (* ------------------------------ halting ---------------------------- *)
 
 let halting_cmd =
-  let run machine input fuel timeout_ms =
+  let run trace metrics machine input fuel timeout_ms =
+    with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (machine_of_string machine) (fun m ->
            let budget =
@@ -367,7 +431,96 @@ let halting_cmd =
   let input = Arg.(value & opt string "" & info [ "w"; "input" ] ~doc:"Input word.") in
   let doc = "The Theorem 3.3 reduction: halting of (M, w) as relative safety over T." in
   Cmd.v (Cmd.info "halting" ~doc)
-    Term.(const run $ machine $ input $ fuel_arg ~default:1_000 $ timeout_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ machine $ input $ fuel_arg ~default:1_000
+          $ timeout_arg)
+
+(* ------------------------------ explain ----------------------------- *)
+
+let explain_cmd =
+  let run domain rels consts fuel timeout_ms formula =
+    report
+      (Result.bind (parse_formula formula) (fun f ->
+           Result.bind (parse_state rels consts) (fun state ->
+               let (module D : Domain.S) = domain in
+               Format.printf "query:   %a@." Formula.pp f;
+               Format.printf "domain:  %s@." D.name;
+               let schema = Schema.relations (State.schema state) in
+               let safe =
+                 match Safe_range.check ~schema f with
+                 | Safe_range.Safe_range ->
+                   Format.printf "safety:  safe-range@.";
+                   true
+                 | Safe_range.Not_safe_range why ->
+                   Format.printf "safety:  not safe-range (%s)@." why;
+                   false
+               in
+               (* the compiled plan is shown from a separate dry compile, so
+                  the span tree below reflects only the evaluation run; the
+                  compiled tiers are only in play for safe-range queries
+                  (active-domain semantics is wrong outside that fragment) *)
+               if not safe then
+                 Format.printf "plan:    enumerate-and-decide (Section 1.1)@."
+               else (
+                 match Ranf.compile ~domain ~state f with
+                 | Ok { Algebra_translate.plan; columns } ->
+                   Format.printf "plan:    %a   [ranf-algebra; columns %s]@." Relalg.pp plan
+                     (if columns = [] then "<none>" else String.concat "," columns)
+                 | Error why -> (
+                   Format.printf "plan:    ranf-algebra inapplicable: %s@." why;
+                   match Algebra_translate.compile ~domain ~state f with
+                   | Ok { Algebra_translate.plan; columns } ->
+                     Format.printf "plan:    %a   [adom-algebra; columns %s]@." Relalg.pp plan
+                       (if columns = [] then "<none>" else String.concat "," columns)
+                   | Error why ->
+                     Format.printf "plan:    adom-algebra inapplicable: %s@." why;
+                     Format.printf "plan:    enumerate-and-decide (Section 1.1)@."));
+               let budget = budget_of fuel timeout_ms in
+               let cache = Decide_cache.create () in
+               let rep, treport =
+                 Telemetry.record (fun () ->
+                     Query.eval_resilient ~budget ~cache ~domain ~state f)
+               in
+               let code =
+                 match rep.Query.verdict with
+                 | Query.Complete { answer; tier } ->
+                   Format.printf "verdict: complete via %s (%d tuples): %a@." tier
+                     (Relation.cardinal answer) Relation.pp answer;
+                   0
+                 | Query.Partial { tuples; reason; resume } ->
+                   Format.printf "verdict: partial (%a after %d candidates), %d tuples so far@."
+                     Budget.pp_failure reason resume.Query.seen (Relation.cardinal tuples);
+                   exit_partial
+                 | Query.Failed { reason } ->
+                   Format.printf "verdict: failed (%s)@." reason;
+                   exit_of_error reason
+               in
+               List.iter
+                 (fun (tier, why) -> Format.printf "tier %s passed: %s@." tier why)
+                 rep.Query.attempts;
+               Format.printf "budget:  %d ticks, %.1f ms@." rep.Query.usage.Budget.ticks
+                 rep.Query.usage.Budget.elapsed_ms;
+               Format.printf "%a" Telemetry.pp_pretty treport;
+               Format.printf "budget attribution (self ticks by span):@.";
+               List.iter
+                 (fun (name, t) -> if t > 0 then Format.printf "  %-28s %d@." name t)
+                 (Telemetry.attribution treport);
+               let s = Decide_cache.stats cache in
+               if s.Decide_cache.hits + s.Decide_cache.misses > 0 then
+                 Format.printf "decide cache: %d hits / %d lookups (%.0f%% hit rate)@."
+                   s.Decide_cache.hits
+                   (s.Decide_cache.hits + s.Decide_cache.misses)
+                   (100. *. Decide_cache.hit_rate s);
+               Format.printf "%a" Telemetry.pp_metrics treport;
+               Ok code)))
+  in
+  let doc =
+    "Explain how a query is answered: the safe-range check, the compiled algebra plan (or \
+     why compilation is inapplicable), the answering tier of the degradation chain, the \
+     recorded span tree, and the budget attribution (which engine spent the fuel)."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:10_000
+          $ timeout_arg $ formula_arg)
 
 (* ------------------------------- main ------------------------------ *)
 
@@ -377,4 +530,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; report_cmd; tm_cmd; diag_cmd; halting_cmd ]))
+          [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; explain_cmd; report_cmd; tm_cmd;
+            diag_cmd; halting_cmd ]))

@@ -21,6 +21,14 @@ let never_cancelled () = false
 
 let now () = Unix.gettimeofday ()
 
+(* Process-wide tick clock: every budget advances it alongside its own
+   [spent].  The telemetry layer reads it at span boundaries to attribute
+   fuel to the innermost open span, whichever budget (explicit, ambient, or
+   legacy [~share:false]) was charged. *)
+let total_ticks = ref 0
+
+let global_ticks () = !total_ticks
+
 let make ?fuel ?timeout_ms ?max_result ?cancel () =
   let started = now () in
   {
@@ -55,6 +63,7 @@ let slow_check b =
 let tick b =
   let n = b.spent + 1 in
   b.spent <- n;
+  incr total_ticks;
   if n > b.fuel_limit then raise (Exhausted Fuel_exhausted);
   if n land slow_mask = 0 && (b.deadline < infinity || b.cancelled != never_cancelled)
   then slow_check b
@@ -62,6 +71,7 @@ let tick b =
 let charge b n =
   if n > 0 then begin
     b.spent <- b.spent + n;
+    total_ticks := !total_ticks + n;
     if b.spent > b.fuel_limit then raise (Exhausted Fuel_exhausted);
     if b.deadline < infinity || b.cancelled != never_cancelled then slow_check b
   end

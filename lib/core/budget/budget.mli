@@ -118,3 +118,9 @@ type usage = { ticks : int; elapsed_ms : float }
 
 val usage : t -> usage
 val spent : t -> int
+
+val global_ticks : unit -> int
+(** Monotone process-wide count of work units charged across {e every}
+    budget since program start.  {!Telemetry} samples it at span open and
+    close, so fuel is attributed to the innermost open span no matter which
+    budget was charged. *)

@@ -44,8 +44,9 @@
     {2 Constraint databases} (Section 1.2)
     - {!Rat}, {!Crel}. *)
 
-(* resource governor *)
+(* resource governor and telemetry *)
 module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 
 (* numerics *)
 module Bigint = Fq_numeric.Bigint

@@ -78,16 +78,22 @@ let rec eval_cond domain_pred tup = function
 
 let eval ~state ?budget ?(domain_pred = no_domain_pred) plan =
   let module B = Fq_core.Budget in
+  let module T = Fq_core.Telemetry in
   (* Every operator charges one unit plus the cardinality it materialized,
      against the explicit budget if given, else the ambient one — so a
      governed front-end bounds even plans evaluated deep inside a compiled
-     tier.  [Budget.Exhausted] propagates; front-ends [guard]. *)
+     tier.  [Budget.Exhausted] propagates; front-ends [guard].  Telemetry
+     sees each materialization too: the per-node output-cardinality
+     histogram is what a perf PR reads to find the hot operator. *)
   let settle rel =
-    let n = 1 + Relation.cardinal rel in
+    let card = Relation.cardinal rel in
+    T.count "relalg.nodes";
+    T.observe "relalg.node_card" (float_of_int card);
+    let n = 1 + card in
     (match budget with
     | Some b ->
       B.charge b n;
-      B.ensure_size b (Relation.cardinal rel)
+      B.ensure_size b card
     | None -> B.charge_ambient n);
     rel
   in
@@ -103,7 +109,10 @@ let eval ~state ?budget ?(domain_pred = no_domain_pred) plan =
     | Union (p, q) -> settle (Relation.union (go p) (go q))
     | Diff (p, q) -> settle (Relation.diff (go p) (go q))
   in
-  go plan
+  T.with_span "relalg.eval" (fun () ->
+      let rel = go plan in
+      T.set_attr "out_card" (T.Int (Relation.cardinal rel));
+      rel)
 
 let rec size = function
   | Rel _ | Lit _ -> 1

@@ -1,5 +1,6 @@
 module B = Fq_numeric.Bigint
 module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 module L = Linear_term
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
@@ -231,12 +232,14 @@ let eliminate x phi =
       if j > delta_int then acc
       else begin
         Budget.tick_ambient ();
+        Telemetry.count "qe.cooper.steps";
         let jt = L.of_int j in
         let from_minus_inf = subst_x x jt minus_inf in
         let from_bounds =
           List.fold_left
             (fun acc b ->
               Budget.tick_ambient ();
+              Telemetry.count "qe.cooper.steps";
               disj acc (subst_x x (L.add b jt) phi1))
             F bset
         in
@@ -281,7 +284,8 @@ let qe_exn f =
   in
   go f
 
-let qe ?budget f = Budget.protect ?budget (fun () -> qe_exn f)
+let qe ?budget f =
+  Budget.protect ?budget (fun () -> Telemetry.with_span "qe.cooper" (fun () -> qe_exn f))
 
 let eval_qf ~env qf =
   let eval_atom = function
@@ -300,6 +304,7 @@ let eval_qf ~env qf =
 
 let decide ?budget f =
   Budget.protect ?budget (fun () ->
+      Telemetry.with_span "qe.cooper" @@ fun () ->
       if not (Formula.is_sentence f) then
         Error
           (Printf.sprintf "formula has free variables: %s"

@@ -31,19 +31,27 @@ let create ?(size = 256) () = { table = H.create size; cache_hits = 0; cache_mis
 
 let stats c = { hits = c.cache_hits; misses = c.cache_misses; entries = H.length c.table }
 
+let hit_rate { hits; misses; _ } =
+  if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses)
+
 let clear c =
   H.reset c.table;
   c.cache_hits <- 0;
   c.cache_misses <- 0
 
+(* The telemetry counters are the authoritative observable (they aggregate
+   across every cache in a recording); the per-instance ints survive so the
+   [stats] accessor keeps its historical meaning for existing callers. *)
 let decide c (module D : Domain.S) f =
   let key = Formula.alpha_normalize f in
   match H.find_opt c.table key with
   | Some r ->
     c.cache_hits <- c.cache_hits + 1;
+    Fq_core.Telemetry.count "decide_cache.hits";
     r
   | None ->
     c.cache_misses <- c.cache_misses + 1;
+    Fq_core.Telemetry.count "decide_cache.misses";
     let r = D.decide f in
     H.add c.table key r;
     r

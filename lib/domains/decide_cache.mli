@@ -12,7 +12,16 @@ type t
 type stats = { hits : int; misses : int; entries : int }
 
 val create : ?size:int -> unit -> t
+
 val stats : t -> stats
+(** Per-instance counts.  Hits and misses are also mirrored into the
+    telemetry counters [decide_cache.hits]/[decide_cache.misses] (which
+    aggregate across caches while a {!Fq_core.Telemetry} recording is
+    active); this accessor remains as a thin per-cache view. *)
+
+val hit_rate : stats -> float
+(** Fraction of lookups served from the cache; [0.] when no lookups. *)
+
 val clear : t -> unit
 
 val decide : t -> Domain.t -> Fq_logic.Formula.t -> (bool, string) result

@@ -3,6 +3,8 @@ module Term = Fq_logic.Term
 module Transform = Fq_logic.Transform
 module Signature = Fq_logic.Signature
 module Value = Fq_db.Value
+module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 
 let name = "equality"
 let signature = Signature.make ~name ()
@@ -27,6 +29,8 @@ let enumerate () = Seq.map Value.str (Fq_words.Word.enumerate_over printable_alp
    otherwise x is constrained only by finitely many disequalities, which an
    infinite domain always satisfies. *)
 let exists_conj x lits =
+  Budget.tick_ambient ();
+  Telemetry.count "qe.eq.steps";
   let is_x = function Term.Var v -> v = x | _ -> false in
   let rec find_eq seen = function
     | [] -> None
@@ -45,7 +49,10 @@ let exists_conj x lits =
     Formula.conj (List.filter (fun l -> not (mentions_x l)) lits)
 
 let qe f =
-  if Signature.is_pure signature f then Ok (Transform.eliminate_quantifiers ~exists_conj f)
+  if Signature.is_pure signature f then
+    Ok
+      (Telemetry.with_span "qe.eq" (fun () ->
+           Transform.eliminate_quantifiers ~exists_conj f))
   else Error "not a pure equality-domain formula"
 
 let decide f =
@@ -56,6 +63,7 @@ let decide f =
   else if not (Signature.is_pure signature f) then
     Error "not a pure equality-domain formula"
   else begin
+    Telemetry.with_span "qe.eq" @@ fun () ->
     let qf = Transform.eliminate_quantifiers ~exists_conj f in
     (* A closed quantifier-free pure-equality formula only contains ground
        equalities between constants. *)

@@ -1,5 +1,6 @@
 module B = Fq_numeric.Bigint
 module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
 module Transform = Fq_logic.Transform
@@ -194,6 +195,7 @@ let exists_conj x lits =
         List.map
           (fun c ->
             Budget.tick_ambient ();
+            Telemetry.count "qe.nat_order.steps";
             instantiate c x_atoms)
           candidates
       in
@@ -202,6 +204,7 @@ let exists_conj x lits =
 
 let qe ?budget f =
   Budget.protect ?budget (fun () ->
+      Telemetry.with_span "qe.nat_order" @@ fun () ->
       if not (Signature.is_pure signature f) then Error "not a pure N_< formula"
       else
         match Transform.eliminate_quantifiers ~exists_conj f with

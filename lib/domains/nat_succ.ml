@@ -1,5 +1,6 @@
 module B = Fq_numeric.Bigint
 module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
 module Transform = Fq_logic.Transform
@@ -103,6 +104,7 @@ let subst_atom x c = function
 (* The paper's elimination for ∃x over a conjunction of literals. *)
 let exists_conj x lits =
   Budget.tick_ambient ();
+  Telemetry.count "qe.nat_succ.steps";
   let atoms = List.map atom_of_literal lits in
   (* Split atoms with x on both sides: ground in the offset difference. *)
   let both, atoms =
@@ -156,6 +158,7 @@ let exists_conj x lits =
 
 let qe ?budget f =
   Budget.protect ?budget (fun () ->
+      Telemetry.with_span "qe.nat_succ" @@ fun () ->
       if not (Signature.is_pure signature f) then Error "not a pure N' formula"
       else
         match Transform.eliminate_quantifiers ~exists_conj f with

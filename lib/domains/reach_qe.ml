@@ -1,5 +1,6 @@
 open Reach
 module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 module Word = Fq_words.Word
 module Trace = Fq_tm.Trace
 module Builder = Fq_tm.Builder
@@ -50,6 +51,7 @@ let words_of_length n =
       List.concat_map
         (fun w ->
           Budget.tick_ambient ();
+          Telemetry.count "qe.reach.steps";
           [ w ^ "1"; w ^ "-" ])
         (go (n - 1))
   in
@@ -117,10 +119,22 @@ and norm_eq ?xcls ~pos ~x_involved t u =
     match xcls with
     | Some (x, cls) when x_involved ->
       let xt, other = if mentions_x x t then (t, u) else (u, t) in
-      if mentions_x x other then
-        (* two different x-shapes: x (a trace, if w/m apply), its input and
-           its machine lie in pairwise disjoint classes *)
-        decide false
+      if mentions_x x other then begin
+        match cls with
+        | Traces ->
+          (* two different x-shapes: a trace, its input and its machine lie
+             in pairwise disjoint classes *)
+          decide false
+        | Machines | Inputs | Others ->
+          (* w(x) and m(x) are both ε for a non-trace x, so the two shapes
+             can coincide — ε-normalize and renormalize (the recursion
+             terminates: no w/m application on x survives) *)
+          let eps = function
+            | (W_of (Var v) | M_of (Var v)) when v = x -> Base (Const "")
+            | t -> t
+          in
+          norm ?xcls ~pos (Eq (eps xt, eps other))
+      end
       else begin
         (* For a non-trace class, w(x)/m(x) were ground-normalized... they
            were not: do it here — they equal ε. *)
@@ -396,6 +410,7 @@ let eliminate_input x xlits rest =
       List.map
         (fun p ->
           Budget.tick_ambient ();
+          Telemetry.count "qe.reach.steps";
           case_of p)
         (words_of_length bound)
     in
@@ -648,6 +663,7 @@ let rec eliminate_exists x g =
                 expansion is exponential in the number of distinct
                 disequalities *)
              Budget.tick_ambient ();
+             Telemetry.count "qe.reach.steps";
              let lits = List.sort_uniq compare lits in
              let contradictory =
                List.exists
@@ -691,6 +707,7 @@ let eliminate f =
 
 let decide ?budget f =
   Budget.protect ?budget (fun () ->
+      Telemetry.with_span "qe.reach" @@ fun () ->
       if not (Reach.is_sentence f) then
         Error
           (Printf.sprintf "formula has free variables: %s"

@@ -187,6 +187,10 @@ let compile ~domain ~state ?(extra_adom = []) f =
     Ok { compiled with plan = Fq_db.Optimizer.optimize_for ~schema compiled.plan }
   | exception Unsupported msg -> Error msg
 
+(* shadowing wrapper: compilation cost shows up as its own span *)
+let compile ~domain ~state ?extra_adom f =
+  Fq_core.Telemetry.with_span "adom.compile" (fun () -> compile ~domain ~state ?extra_adom f)
+
 let run ~domain ~state ?extra_adom f =
   let (module D : Fq_domain.Domain.S) = domain in
   let* { plan; columns = _ } = compile ~domain ~state ?extra_adom f in

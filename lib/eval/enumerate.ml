@@ -1,4 +1,5 @@
 module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
 module Value = Fq_db.Value
@@ -116,7 +117,7 @@ let run_budgeted ?(max_certified = 12) ?cache ?resume ~budget ~domain ~state f =
       | _ -> raise (Decide_failed e))
   in
   if vars = [] then begin
-    match Budget.guard budget (fun () -> decide_exn f') with
+    match Budget.guard budget (fun () -> Telemetry.with_span "enumerate.sentence" (fun () -> decide_exn f')) with
     | Ok holds -> Ok (Complete (Relation.make ~arity:0 (if holds then [ [] ] else [])))
     | Error reason -> Ok (Partial { tuples = Relation.empty ~arity:0; seen = 0; reason })
     | exception Decide_failed e -> Error e
@@ -126,12 +127,18 @@ let run_budgeted ?(max_certified = 12) ?cache ?resume ~budget ~domain ~state f =
     let seen0, found0 =
       match resume with
       | None -> (0, Relation.empty ~arity)
-      | Some (seen, rel) -> (seen, rel)
+      | Some (seen, rel) ->
+        Telemetry.count "enumerate.resume_reentries";
+        (seen, rel)
     in
     let seen = ref seen0 in
     let found = ref found0 in
     let scan () =
-      if not (decide_exn (Formula.exists_many vars f')) then Complete (Relation.empty ~arity)
+      (* A resumed scan ([seen0 > 0]) necessarily passed this satisfiability
+         gate in the round that consumed its first candidate — don't pay the
+         decide again. *)
+      if seen0 = 0 && not (decide_exn (Formula.exists_many vars f')) then
+        Complete (Relation.empty ~arity)
       else begin
         let (module D : Fq_domain.Domain.S) = domain in
         (* Any enumeration order is sound; visiting the active domain first
@@ -163,11 +170,14 @@ let run_budgeted ?(max_certified = 12) ?cache ?resume ~budget ~domain ~state f =
             | tups -> Formula.conj (List.map exclusion_clause tups))
         in
         let certified_done () =
+          Telemetry.with_span "enumerate.certify" @@ fun () ->
+          Telemetry.count "enumerate.certifications";
           let more = Formula.exists_many vars (Formula.And (f', !excl)) in
           not (decide_exn more)
         in
         let visit tuple =
           Budget.tick budget;
+          Telemetry.count "enumerate.candidates";
           (* [seen] advances only once the candidate is fully decided: a
              trip inside the decision procedure leaves the resume token
              pointing at this candidate, so no candidate is ever skipped
@@ -204,7 +214,7 @@ let run_budgeted ?(max_certified = 12) ?cache ?resume ~budget ~domain ~state f =
           | exception Complete_at rel -> Complete rel
       end
     in
-    match Budget.guard budget scan with
+    match Budget.guard budget (fun () -> Telemetry.with_span "enumerate.scan" scan) with
     | Ok v -> Ok v
     | Error reason -> Ok (Partial { tuples = !found; seen = !seen; reason })
     | exception Decide_failed e -> Error e

@@ -1,4 +1,5 @@
 module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
 module Formula = Fq_logic.Formula
 module Relation = Fq_db.Relation
 module State = Fq_db.State
@@ -21,17 +22,28 @@ type report = {
    [Error] strings, while governor trips — raised by the ambient-aware
    engines underneath ([Relalg.eval], the QE procedures) — surface as
    [Budget.failure] and end the whole chain in [Partial]. *)
-let attempt_tier ~budget run =
-  match Budget.guard budget run with
-  | Ok (Ok answer) -> `Answer answer
-  | Ok (Error e) -> (
-    match Budget.failure_of_string e with
-    | Some reason -> `Budget reason
-    | None -> `Tier_failed e)
-  | Error reason -> `Budget reason
+let attempt_tier ~budget ~tier run =
+  Telemetry.with_span ("tier:" ^ tier) (fun () ->
+      let outcome =
+        match Budget.guard budget run with
+        | Ok (Ok answer) -> `Answer answer
+        | Ok (Error e) -> (
+          match Budget.failure_of_string e with
+          | Some reason -> `Budget reason
+          | None -> `Tier_failed e)
+        | Error reason -> `Budget reason
+      in
+      Telemetry.set_attr "outcome"
+        (Telemetry.Str
+           (match outcome with
+           | `Answer _ -> "answered"
+           | `Budget _ -> "budget"
+           | `Tier_failed _ -> "passed"));
+      outcome)
 
 let eval_resilient ?budget ?max_certified ?cache ?resume ~domain ~state f =
   let budget = match budget with Some b -> b | None -> Budget.of_fuel 10_000 in
+  Telemetry.with_span "query.eval_resilient" @@ fun () ->
   let arity = List.length (Formula.free_vars f) in
   let partial ?(tuples = Relation.empty ~arity) ?(seen = 0) reason =
     Partial { tuples; reason; resume = { seen; found = tuples } }
@@ -39,34 +51,49 @@ let eval_resilient ?budget ?max_certified ?cache ?resume ~domain ~state f =
   let enumerate attempts =
     let resume = Option.map (fun r -> (r.seen, r.found)) resume in
     let verdict =
-      match Enumerate.run_budgeted ?max_certified ?cache ?resume ~budget ~domain ~state f with
-      | Ok (Enumerate.Complete answer) -> Complete { answer; tier = "enumerate" }
-      | Ok (Enumerate.Partial { tuples; seen; reason }) -> partial ~tuples ~seen reason
-      | Error e -> Failed { reason = e }
+      Telemetry.with_span "tier:enumerate" (fun () ->
+          match Enumerate.run_budgeted ?max_certified ?cache ?resume ~budget ~domain ~state f with
+          | Ok (Enumerate.Complete answer) -> Complete { answer; tier = "enumerate" }
+          | Ok (Enumerate.Partial { tuples; seen; reason }) -> partial ~tuples ~seen reason
+          | Error e -> Failed { reason = e })
     in
     { verdict; usage = Budget.usage budget; attempts = List.rev attempts }
   in
-  match resume with
-  | Some _ -> enumerate [] (* the prior call already fell through the compiled tiers *)
-  | None ->
-    let schema = Schema.relations (State.schema state) in
-    let finish verdict attempts =
-      { verdict; usage = Budget.usage budget; attempts = List.rev attempts }
-    in
-    (match Safe_range.check ~schema f with
-    | Safe_range.Not_safe_range why ->
-      (* active-domain compilation computes the wrong semantics here *)
-      enumerate [ ("ranf-algebra", "not safe-range: " ^ why) ]
-    | Safe_range.Safe_range -> (
-      match attempt_tier ~budget (fun () -> Ranf.run ~domain ~state f) with
-      | `Answer answer -> finish (Complete { answer; tier = "ranf-algebra" }) []
-      | `Budget reason -> finish (partial reason) []
-      | `Tier_failed e1 -> (
-        let attempts = [ ("ranf-algebra", e1) ] in
-        match attempt_tier ~budget (fun () -> Algebra_translate.run ~domain ~state f) with
-        | `Answer answer -> finish (Complete { answer; tier = "adom-algebra" }) attempts
-        | `Budget reason -> finish (partial reason) attempts
-        | `Tier_failed e2 -> enumerate (("adom-algebra", e2) :: attempts))))
+  let annotate rep =
+    Telemetry.set_attr "verdict"
+      (Telemetry.Str
+         (match rep.verdict with
+         | Complete { tier; _ } -> "complete:" ^ tier
+         | Partial _ -> "partial"
+         | Failed _ -> "failed"));
+    Telemetry.set_attr "budget_ticks" (Telemetry.Int rep.usage.Budget.ticks);
+    rep
+  in
+  annotate
+    (match resume with
+    | Some _ -> enumerate [] (* the prior call already fell through the compiled tiers *)
+    | None ->
+      let schema = Schema.relations (State.schema state) in
+      let finish verdict attempts =
+        { verdict; usage = Budget.usage budget; attempts = List.rev attempts }
+      in
+      (match Safe_range.check ~schema f with
+      | Safe_range.Not_safe_range why ->
+        (* active-domain compilation computes the wrong semantics here *)
+        enumerate [ ("ranf-algebra", "not safe-range: " ^ why) ]
+      | Safe_range.Safe_range -> (
+        match attempt_tier ~budget ~tier:"ranf-algebra" (fun () -> Ranf.run ~domain ~state f) with
+        | `Answer answer -> finish (Complete { answer; tier = "ranf-algebra" }) []
+        | `Budget reason -> finish (partial reason) []
+        | `Tier_failed e1 -> (
+          let attempts = [ ("ranf-algebra", e1) ] in
+          match
+            attempt_tier ~budget ~tier:"adom-algebra" (fun () ->
+                Algebra_translate.run ~domain ~state f)
+          with
+          | `Answer answer -> finish (Complete { answer; tier = "adom-algebra" }) attempts
+          | `Budget reason -> finish (partial reason) attempts
+          | `Tier_failed e2 -> enumerate (("adom-algebra", e2) :: attempts)))))
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>";

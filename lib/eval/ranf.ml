@@ -344,6 +344,10 @@ let compile ~domain ~state f =
       Ok { plan = Fq_db.Optimizer.optimize_for ~schema plan; columns = free }
   | exception Not_ranf msg -> Error ("not RANF-compilable: " ^ msg)
 
+(* shadowing wrapper: compilation cost shows up as its own span *)
+let compile ~domain ~state f =
+  Fq_core.Telemetry.with_span "ranf.compile" (fun () -> compile ~domain ~state f)
+
 let run ~domain ~state f =
   let (module D : Fq_domain.Domain.S) = domain in
   let* { plan; columns = _ } = compile ~domain ~state f in

@@ -144,8 +144,18 @@ let rec dnf f =
   | Atom _ | Eq _ | Not (Atom _) | Not (Eq _) -> [ [ f ] ]
   | Or (g, h) -> dnf g @ dnf h
   | And (g, h) ->
+    (* The cross product is the exponential seat of clause normal forms —
+       checkpoint each emitted clause so a governed caller can cut the
+       expansion short instead of hanging. *)
     let dg = dnf g and dh = dnf h in
-    List.concat_map (fun cg -> List.map (fun ch -> cg @ ch) dh) dg
+    List.concat_map
+      (fun cg ->
+        List.map
+          (fun ch ->
+            Fq_core.Budget.tick_ambient ();
+            cg @ ch)
+          dh)
+      dg
   | Not _ | Imp _ | Iff _ | Exists _ | Forall _ -> bad_input "Transform.dnf"
 
 let rec cnf f =
@@ -156,7 +166,14 @@ let rec cnf f =
   | And (g, h) -> cnf g @ cnf h
   | Or (g, h) ->
     let cg = cnf g and ch = cnf h in
-    List.concat_map (fun dg -> List.map (fun dh -> dg @ dh) ch) cg
+    List.concat_map
+      (fun dg ->
+        List.map
+          (fun dh ->
+            Fq_core.Budget.tick_ambient ();
+            dg @ dh)
+          ch)
+      cg
   | Not _ | Imp _ | Iff _ | Exists _ | Forall _ -> bad_input "Transform.cnf"
 
 let of_dnf clauses = disj (List.map conj clauses)
@@ -178,7 +195,13 @@ let eliminate_quantifiers ~exists_conj f =
     if not (Sset.mem v (free_var_set g)) then g
     else
       let clauses = dnf (nnf g) in
-      let eliminated = List.map (fun lits -> exists_conj v lits) clauses in
+      let eliminated =
+        List.map
+          (fun lits ->
+            Fq_core.Budget.tick_ambient ();
+            exists_conj v lits)
+          clauses
+      in
       simplify (disj eliminated)
   in
   (* miniscoping first keeps the per-quantifier DNF matrices small *)

@@ -1,0 +1,173 @@
+The `explain` subcommand shows how a query is answered: safety check,
+compiled plan (or why compilation is inapplicable), answering tier, the
+recorded span tree with budget attribution, and the telemetry counters.
+Fuel ticks are deterministic; wall-clock is scrubbed.
+
+A safe-range query over the equality domain compiles to RANF algebra:
+
+  $ (../../bin/fq.exe explain -d equality -r "F/2=a,b;b,c;c,d" "exists y. F(x,y)" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
+  query:   exists y. F(x, y)
+  domain:  equality
+  safety:  safe-range
+  plan:    project[0](F)   [ranf-algebra; columns x]
+  verdict: complete via ranf-algebra (3 tuples): {("a"), ("b"), ("c")}
+  budget:  8 ticks, MS ms
+  spans (ticks total/self):
+    query.eval_resilient [verdict=complete:ranf-algebra budget_ticks=8]  ticks=8/0  D.Dms
+      tier:ranf-algebra [outcome=answered]  ticks=8/0  D.Dms
+        ranf.compile  ticks=0/0  D.Dms
+        relalg.eval [out_card=3]  ticks=8/8  D.Dms
+  budget attribution (self ticks by span):
+    relalg.eval                  8
+  counters:
+    relalg.nodes                             2
+  histograms (count/sum/min/max):
+    relalg.node_card                         n=2 sum=6 min=3 max=3
+
+A query with a successor-function atom defeats both compiled tiers and is
+answered by the Section 1.1 enumeration, whose budget goes to the N' QE:
+
+  $ (../../bin/fq.exe explain -d nat_succ -r "R/1=3;5" "exists y. R(y) /\ x = y'" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
+  query:   exists y. R(y) /\ x = y'
+  domain:  nat_succ
+  safety:  not safe-range (free variable(s) x are not range-restricted)
+  plan:    enumerate-and-decide (Section 1.1)
+  verdict: complete via enumerate (2 tuples): {(4), (6)}
+  tier ranf-algebra passed: not safe-range: free variable(s) x are not range-restricted
+  budget:  86 ticks, MS ms
+  spans (ticks total/self):
+    query.eval_resilient [verdict=complete:enumerate budget_ticks=86]  ticks=86/0  D.Dms
+      tier:enumerate  ticks=86/0  D.Dms
+        enumerate.scan  ticks=86/9  D.Dms
+          qe.nat_succ x8  ticks=52/52  D.Dms
+          enumerate.certify x2  ticks=25/0  D.Dms
+            qe.nat_succ x2  ticks=25/25  D.Dms
+  budget attribution (self ticks by span):
+    qe.nat_succ                  77
+    enumerate.scan               9
+  decide cache: 2 hits / 12 lookups (17% hit rate)
+  counters:
+    decide_cache.hits                        2
+    decide_cache.misses                      10
+    enumerate.candidates                     9
+    enumerate.certifications                 2
+    qe.nat_succ.steps                        26
+
+The N_< finitization example: not safe-range, but the answer is finite in
+this state because R bounds x from above:
+
+  $ (../../bin/fq.exe explain -d nat_order -r "R/1=2;5" "exists y. R(y) /\ x < y" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
+  query:   exists y. R(y) /\ x < y
+  domain:  nat_order
+  safety:  not safe-range (free variable(s) x are not range-restricted)
+  plan:    enumerate-and-decide (Section 1.1)
+  verdict: complete via enumerate (5 tuples): {(0), (1), (2), (3), (4)}
+  tier ranf-algebra passed: not safe-range: free variable(s) x are not range-restricted
+  budget:  129 ticks, MS ms
+  spans (ticks total/self):
+    query.eval_resilient [verdict=complete:enumerate budget_ticks=129]  ticks=129/0  D.Dms
+      tier:enumerate  ticks=129/0  D.Dms
+        enumerate.scan  ticks=129/7  D.Dms
+          qe.nat_order x7  ticks=32/32  D.Dms
+          enumerate.certify x5  ticks=90/0  D.Dms
+            qe.nat_order x5  ticks=90/90  D.Dms
+  budget attribution (self ticks by span):
+    qe.nat_order                 122
+    enumerate.scan               7
+  decide cache: 1 hits / 13 lookups (8% hit rate)
+  counters:
+    decide_cache.hits                        1
+    decide_cache.misses                      12
+    enumerate.candidates                     7
+    enumerate.certifications                 5
+    qe.nat_order.steps                       42
+
+An unsafe Presburger query under a tight budget stops partial (exit 3),
+and the attribution shows Cooper's procedure spent the fuel:
+
+  $ (../../bin/fq.exe explain -d presburger -r "R/1=1" --fuel 8 "~R(x)" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
+  query:   ~R(x)
+  domain:  presburger
+  safety:  not safe-range (free variable(s) x are not range-restricted)
+  plan:    enumerate-and-decide (Section 1.1)
+  verdict: partial (fuel exhausted after 2 candidates), 1 tuples so far
+  tier ranf-algebra passed: not safe-range: free variable(s) x are not range-restricted
+  budget:  9 ticks, MS ms
+  spans (ticks total/self):
+    query.eval_resilient [verdict=partial budget_ticks=9]  ticks=9/0  D.Dms
+      tier:enumerate  ticks=9/0  D.Dms
+        enumerate.scan  ticks=9/2  D.Dms
+          qe.cooper x3  ticks=3/3  D.Dms
+          enumerate.certify  ticks=4/0  D.Dms
+            qe.cooper  ticks=4/4  D.Dms
+  budget attribution (self ticks by span):
+    qe.cooper                    7
+    enumerate.scan               2
+  decide cache: 0 hits / 4 lookups (0% hit rate)
+  counters:
+    decide_cache.misses                      4
+    enumerate.candidates                     2
+    enumerate.certifications                 1
+    qe.cooper.steps                          6
+  exit 3
+
+A sentence over the trace domain is decided by the Reach QE (Theorem A.3):
+
+  $ (../../bin/fq.exe explain -d traces 'exists p. P("*1**1*1", "11", p)' || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
+  query:   exists p. P("*1**1*1", 11, p)
+  domain:  traces
+  safety:  not safe-range (quantified variable p is not range-restricted in its scope)
+  plan:    enumerate-and-decide (Section 1.1)
+  verdict: complete via enumerate (1 tuples): {()}
+  tier ranf-algebra passed: not safe-range: quantified variable p is not range-restricted in its scope
+  budget:  1 ticks, MS ms
+  spans (ticks total/self):
+    query.eval_resilient [verdict=complete:enumerate budget_ticks=1]  ticks=1/0  D.Dms
+      tier:enumerate  ticks=1/0  D.Dms
+        enumerate.sentence  ticks=1/0  D.Dms
+          qe.reach  ticks=1/1  D.Dms
+  budget attribution (self ticks by span):
+    qe.reach                     1
+  decide cache: 0 hits / 1 lookups (0% hit rate)
+  counters:
+    decide_cache.misses                      1
+    qe.reach.steps                           1
+
+The --trace and --metrics flags attach the same recording to any
+subcommand, rendered on stderr so stdout stays script-stable:
+
+  $ (../../bin/fq.exe decide -d presburger --metrics "exists x. x + x = 8") 2>&1
+  true
+  counters:
+    qe.cooper.steps                          6
+  $ (../../bin/fq.exe eval -d equality -r "F/2=a,b" "exists y. F(x,y)" --trace) 2>&1 | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g'
+  finite answer (1 tuples): {("a")}
+  spans (ticks total/self):
+    query.eval_resilient [verdict=complete:ranf-algebra budget_ticks=4]  ticks=4/0  D.Dms
+      tier:ranf-algebra [outcome=answered]  ticks=4/0  D.Dms
+        ranf.compile  ticks=0/0  D.Dms
+        relalg.eval [out_card=1]  ticks=4/4  D.Dms
+
+The jsonl sink emits one JSON object per span and counter (timings vary;
+check the shape only):
+
+  $ ../../bin/fq.exe eval -d equality -r "F/2=a,b" --trace=jsonl "exists y. F(x,y)" 2>&1 >/dev/null | sed -E 's/"(start_ms|dur_ms|self_ms)": [0-9.]+/"\1": T/g'
+  {"type": "span", "name": "query.eval_resilient", "depth": 0, "start_ms": T, "dur_ms": T, "self_ms": T, "ticks": 4, "self_ticks": 0, "attrs": {"verdict": "complete:ranf-algebra", "budget_ticks": 4}}
+  {"type": "span", "name": "tier:ranf-algebra", "depth": 1, "start_ms": T, "dur_ms": T, "self_ms": T, "ticks": 4, "self_ticks": 0, "attrs": {"outcome": "answered"}}
+  {"type": "span", "name": "ranf.compile", "depth": 2, "start_ms": T, "dur_ms": T, "self_ms": T, "ticks": 0, "self_ticks": 0, "attrs": {}}
+  {"type": "span", "name": "relalg.eval", "depth": 2, "start_ms": T, "dur_ms": T, "self_ms": T, "ticks": 4, "self_ticks": 4, "attrs": {"out_card": 1}}
+  {"type": "counter", "name": "relalg.nodes", "value": 2}
+  {"type": "histogram", "name": "relalg.node_card", "count": 2, "sum": 2, "min": 1, "max": 1}
+
+The chrome sink writes a trace_event JSON array loadable in Perfetto:
+
+  $ ../../bin/fq.exe eval -d equality -r "F/2=a,b" --trace=chrome:trace.json "exists y. F(x,y)" >/dev/null
+  trace written to trace.json
+  $ sed -E 's/"(ts|dur)": [0-9.]+/"\1": T/g' trace.json
+  [
+  {"name": "query.eval_resilient", "cat": "fq", "ph": "X", "ts": T, "dur": T, "pid": 1, "tid": 1, "args": {"ticks": 4, "self_ticks": 0, "verdict": "complete:ranf-algebra", "budget_ticks": 4}},
+  {"name": "tier:ranf-algebra", "cat": "fq", "ph": "X", "ts": T, "dur": T, "pid": 1, "tid": 1, "args": {"ticks": 4, "self_ticks": 0, "outcome": "answered"}},
+  {"name": "ranf.compile", "cat": "fq", "ph": "X", "ts": T, "dur": T, "pid": 1, "tid": 1, "args": {"ticks": 0, "self_ticks": 0}},
+  {"name": "relalg.eval", "cat": "fq", "ph": "X", "ts": T, "dur": T, "pid": 1, "tid": 1, "args": {"ticks": 4, "self_ticks": 4, "out_card": 1}},
+  {"name": "metrics", "cat": "fq", "ph": "i", "ts": T, "pid": 1, "tid": 1, "s": "g", "args": {"relalg.nodes": 2}}
+  ]

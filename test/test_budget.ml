@@ -273,8 +273,12 @@ let test_tiers () =
   | _ -> Alcotest.fail "expected Partial with one recorded attempt"
 
 let test_resume_token () =
-  (* two answers (cain, abel), so certification cannot succeed on the
-     first candidate and a 1-tick budget is guaranteed to interrupt *)
+  (* Two answers (cain, abel), so certification cannot succeed on the first
+     candidate.  The whole governed scan costs ~40 ticks, so a 24-tick
+     per-round budget is guaranteed to interrupt at least once — but it must
+     stay above the cost of the dearest single decide (the QE engines tick
+     the ambient budget), or a round could trip without advancing the
+     scan. *)
   let f = parse "F(\"adam\", x)" in
   let expected =
     match Enumerate.run ~domain:eq_domain ~state:family_state f with
@@ -285,7 +289,7 @@ let test_resume_token () =
   let rec go seen found rounds =
     if rounds > 500 then Alcotest.fail "resume loop did not converge"
     else
-      let budget = Budget.make ~fuel:1 () in
+      let budget = Budget.make ~fuel:24 () in
       match
         Enumerate.run_budgeted ~resume:(seen, found) ~budget ~domain:eq_domain
           ~state:family_state f
@@ -300,11 +304,18 @@ let test_resume_token () =
 
 let test_resume_via_query () =
   let f = parse "exists y z. y != z /\\ F(x, y) /\\ F(x, z)" in
+  (* The satisfiability and certification sentences for this query are
+     large, so each governed decide is costlier than in the bare-token test
+     above: the per-round budget must cover the dearest single decide, and
+     the shared cache amortises the decides that repeat across rounds. *)
+  let cache = Fq_domain.Decide_cache.create () in
   let rec go resume rounds =
     if rounds > 500 then Alcotest.fail "resume loop did not converge"
     else
-      let budget = Budget.make ~fuel:2 () in
-      let report = Query.eval_resilient ~budget ?resume ~domain:eq_domain ~state:family_state f in
+      let budget = Budget.make ~fuel:256 () in
+      let report =
+        Query.eval_resilient ~budget ~cache ?resume ~domain:eq_domain ~state:family_state f
+      in
       match report.Query.verdict with
       | Query.Complete { answer; _ } -> answer
       | Query.Partial { resume = token; _ } -> go (Some token) (rounds + 1)

@@ -745,6 +745,129 @@ let telemetry_ablation () =
         entry "cooper_qe" cooper_t ],
     worst_noop )
 
+(* PR 5 ablation: cost of the resilience machinery on completing hot
+   paths.  Three variants of the same workload chunk:
+
+   - plain: the shipped default — fault sites compiled into the engines
+     but no plan installed, so every [Fault.hit] is one domain-local
+     read; no supervisor in the stack.
+   - supervised: every repetition runs through [Supervisor.supervise]
+     (the per-job wrapper [fq batch] uses), succeeding on the first
+     attempt — measures the span + classification envelope.
+   - armed: a chaos plan with [permille = 0] is installed, so every
+     fault site takes the full schedule path (mutex, counter, hash)
+     without ever firing — the worst case of leaving the harness on.
+
+   The acceptance bound applies to the supervised variant; the armed
+   figure is reported so the cost of leaving injection armed in
+   production is a measured number rather than a guess. *)
+type sup_triple = {
+  s_off : float;
+  s_sup : float;
+  s_armed : float;
+  sup_pct : float;
+  armed_pct : float;
+}
+
+let bench_policy = { Supervisor.default_policy with Supervisor.sleep = (fun _ -> ()) }
+
+let supervised f () =
+  let r = Supervisor.supervise ~policy:bench_policy ~name:"bench" (fun _ -> f ()) in
+  match r.Supervisor.outcome with
+  | Supervisor.Value v -> v
+  | Supervisor.Crashed c -> failwith c.Supervisor.reason
+
+let best_sup_triple ~rounds ~chunk f =
+  let armed = Fault.chaos ~permille:0 ~seed:0 () in
+  let offs = Array.make rounds 0. in
+  let sups = Array.make rounds 0. in
+  let arms = Array.make rounds 0. in
+  for r = 0 to rounds - 1 do
+    Gc.major ();
+    ignore (chunk_us ~chunk f);
+    let mo = ref infinity and ms = ref infinity and ma = ref infinity in
+    for _ = 1 to 5 do
+      mo := Float.min !mo (chunk_us ~chunk f);
+      ms := Float.min !ms (chunk_us ~chunk (supervised f));
+      ma := Float.min !ma (Fault.with_plan armed (fun () -> chunk_us ~chunk f))
+    done;
+    offs.(r) <- !mo;
+    sups.(r) <- !ms;
+    arms.(r) <- !ma
+  done;
+  let ratio a = median (Array.init rounds (fun r -> a.(r) /. offs.(r))) in
+  { s_off = median offs;
+    s_sup = median sups;
+    s_armed = median arms;
+    sup_pct = 100. *. (ratio sups -. 1.);
+    armed_pct = 100. *. (ratio arms -. 1.) }
+
+let supervision_ablation () =
+  let n = 1000 in
+  let st = join_state n in
+  let plan = Optimizer.optimize_for ~schema:join_schema naive_join_plan in
+  let join () = Relalg.eval ~state:st plan in
+  let join_t = best_sup_triple ~rounds:15 ~chunk:4 join in
+  let stc = chain_state 12 in
+  let cache = Decide_cache.create () in
+  let enum () =
+    Enumerate.run ~fuel:200_000 ~max_certified:24 ~cache ~domain:eq_domain ~state:stc g_query
+  in
+  ignore (enum ());
+  let enum_t = best_sup_triple ~rounds:15 ~chunk:4 enum in
+  let cooper_sentence = parse "forall x. exists y. x = 2 * y \\/ x = 2 * y + 1" in
+  let cooper () = Cooper.decide cooper_sentence in
+  let cooper_t = best_sup_triple ~rounds:21 ~chunk:100 cooper in
+  let entry name t =
+    ( name,
+      `Assoc
+        [ ("plain_us", `Float t.s_off);
+          ("supervised_us", `Float t.s_sup);
+          ("armed_plan_us", `Float t.s_armed);
+          ("supervised_overhead_pct", `Float t.sup_pct);
+          ("armed_plan_overhead_pct", `Float t.armed_pct) ] )
+  in
+  let worst sel =
+    List.fold_left Float.max neg_infinity (List.map sel [ join_t; enum_t; cooper_t ])
+  in
+  ( `Assoc
+      [ entry "chain_join_n1000" join_t;
+        entry "enumerate_warm_cache" enum_t;
+        entry "cooper_qe" cooper_t ],
+    worst (fun t -> t.sup_pct),
+    worst (fun t -> t.armed_pct) )
+
+(* PR 5 correctness half: the batch query set evaluated through the
+   supervised 4-way worker pool (shared decide cache, one supervise
+   envelope per job, as [fq batch --jobs 4] does) must agree tuple for
+   tuple with plain sequential evaluation. *)
+let batch_agreement () =
+  let order_domain : Domain.t = (module Nat_order) in
+  let specs =
+    [| (eq_domain, family_state, m_query);
+       (eq_domain, family_state, parse "exists y. F(x, y)");
+       (eq_domain, family_state, parse "F(\"adam\", x)");
+       (order_domain, nat_state, parse "exists y. R(y) /\\ x < y");
+       (presburger, nat_state, parse "exists y. R(y) /\\ x + x = y + 1") |]
+  in
+  let eval cache (d, st, q) =
+    match Enumerate.run ~fuel:500_000 ?cache ~domain:d ~state:st q with
+    | Ok (Enumerate.Finite r) -> Some r
+    | _ -> None
+  in
+  let seq = Array.map (eval None) specs in
+  let cache = Decide_cache.create () in
+  let par =
+    Supervisor.parallel_map ~jobs:4 (fun spec -> supervised (fun () -> eval (Some cache) spec) ()) specs
+  in
+  Array.for_all2
+    (fun a b ->
+      match (a, b) with
+      | Some r1, Some r2 -> Relation.equal r1 r2
+      | None, None -> true
+      | _ -> false)
+    seq par
+
 let ablations () =
   section "A1 (PR 1): hash-join engine vs naive product-filter (3-way chain join)";
   row "%6s %14s %14s %10s" "n" "naive(us)" "hashjoin(us)" "speedup";
@@ -789,7 +912,25 @@ let ablations () =
         | _ -> ())
       entries
   | _ -> ());
-  row "worst-case no-op-sink overhead: %.1f%% (acceptance: < 2%%)" worst_noop
+  row "worst-case no-op-sink overhead: %.1f%% (acceptance: < 2%%)" worst_noop;
+  section "A5 (PR 5): supervision overhead (plain / supervised / armed fault plan)";
+  let detail, worst_sup, worst_armed = supervision_ablation () in
+  (match detail with
+  | `Assoc entries ->
+    row "%-24s %12s %12s %12s %10s" "path" "plain(us)" "superv(us)" "armed(us)" "sup-ovh";
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | `Assoc
+            [ (_, `Float plain); (_, `Float sup); (_, `Float armed); (_, `Float sup_pct); _ ]
+          ->
+          row "%-24s %12.1f %12.1f %12.1f %9.1f%%" name plain sup armed sup_pct
+        | _ -> ())
+      entries
+  | _ -> ());
+  row "worst-case supervised overhead: %.1f%% (acceptance: <= 2%%); armed plan: %.1f%%"
+    worst_sup worst_armed;
+  row "4-way supervised batch agrees with sequential: %b" (batch_agreement ())
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output (-- json)                                   *)
@@ -871,6 +1012,28 @@ let json_report_pr4 () =
           `Assoc
             [ ("worst_noop_overhead_pct", `Float worst_noop);
               ("noop_overhead_lt_2pct", `Bool (worst_noop < 2.0)) ] ) ]
+  in
+  Format.printf "%a@." print_json doc
+
+let json_report_pr5 () =
+  let detail, worst_sup, worst_armed = supervision_ablation () in
+  let agree = batch_agreement () in
+  let doc =
+    `Assoc
+      [ ("pr", `Int 5);
+        ( "description",
+          `String
+            "fault injection + supervised parallel batch: overhead of the per-job \
+             supervise envelope and of an armed-but-silent chaos plan on the governed \
+             hot paths, plus agreement of the supervised 4-way worker pool with \
+             sequential evaluation" );
+        ("supervision_overhead", detail);
+        ( "acceptance",
+          `Assoc
+            [ ("parallel_batch_agrees", `Bool agree);
+              ("worst_supervised_overhead_pct", `Float worst_sup);
+              ("worst_armed_plan_overhead_pct", `Float worst_armed);
+              ("supervised_overhead_le_2pct", `Bool (worst_sup <= 2.0)) ] ) ]
   in
   Format.printf "%a@." print_json doc
 
@@ -963,6 +1126,7 @@ let () =
   | "json" -> json_report ()
   | "json-pr3" -> json_report_pr3 ()
   | "json-pr4" -> json_report_pr4 ()
+  | "json-pr5" -> json_report_pr5 ()
   | _ ->
     let quick = mode = "quick" in
     Format.printf

@@ -5,6 +5,7 @@
      fq safety   — syntactic safe-range check of a query
      fq relsafe  — relative safety of a query in a state
      fq eval     — answer a query in a state (Section 1.1 algorithm)
+     fq batch    — supervised parallel evaluation of many queries
      fq tm       — run a Turing machine / list the zoo / show traces
      fq diag     — the Theorem 3.1 diagonalization demo
      fq halting  — the Theorem 3.3 reduction on an instance *)
@@ -134,13 +135,26 @@ let with_telemetry trace metrics f =
   match (trace, metrics) with
   | None, false -> f ()
   | _ ->
+    (* A chrome sink is opened before the run: an unwritable FILE is a
+       usage error diagnosed up front with the structured exit code, not a
+       raw [Sys_error] crash that discards a finished run's results. *)
+    let chrome_sink =
+      match trace with
+      | Some (Chrome file) -> (
+        match open_out file with
+        | oc -> Some (file, oc)
+        | exception Sys_error msg ->
+          Format.eprintf "error: unsupported: trace sink: %s@." msg;
+          exit exit_unsupported)
+      | _ -> None
+    in
     let code, treport = Telemetry.record f in
     (match trace with
     | None -> ()
     | Some Pretty -> Format.eprintf "%a" Telemetry.pp_pretty treport
     | Some Jsonl -> Format.eprintf "%a" Telemetry.pp_jsonl treport
-    | Some (Chrome file) ->
-      let oc = open_out file in
+    | Some (Chrome _) ->
+      let file, oc = Option.get chrome_sink in
       let fmt = Format.formatter_of_out_channel oc in
       Format.fprintf fmt "%a@?" Telemetry.pp_chrome treport;
       close_out oc;
@@ -522,6 +536,248 @@ let explain_cmd =
     Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:10_000
           $ timeout_arg $ formula_arg)
 
+(* ------------------------------- batch ------------------------------ *)
+
+(* Supervised parallel batch evaluation.  Each (domain, formula) job runs
+   crash-isolated under the supervisor: injected or genuine engine crashes
+   become structured per-job outcomes, transient faults and budget-tripped
+   partial verdicts retry with exponential backoff on a fair share of the
+   job's remaining fuel (carrying the resume token forward), and a
+   persistently failing decision procedure trips a per-domain circuit
+   breaker that sends later jobs down the degradation chain instead of
+   hammering it. *)
+
+type batch_outcome =
+  | B_complete
+  | B_partial
+  | B_failed
+
+type batch_result = { line : string; outcome : batch_outcome; retried : int }
+
+let batch_job ~state ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx
+    (domain_name, (domain : Domain.t), text) =
+  let breaker =
+    match Hashtbl.find_opt breakers domain_name with
+    | Some b -> b
+    | None -> assert false (* populated for every distinct domain up front *)
+  in
+  (* Breaker outside the cache: a cached verdict answers even while the
+     circuit is open, and the circuit-open error itself never enters the
+     cache (it describes the breaker's state, not the formula). *)
+  let cached = Decide_cache.domain cache domain in
+  let (module C : Domain.S) = cached in
+  let guarded =
+    Domain.with_decide cached (fun f ->
+        if not (Supervisor.Breaker.allow breaker) then
+          Error
+            (Printf.sprintf "unsupported: circuit open: %s decision procedure cooling down"
+               domain_name)
+        else
+          match C.decide f with
+          | Ok _ as r ->
+            Supervisor.Breaker.success breaker;
+            r
+          | Error e as r ->
+            (* A budget trip is the governor's verdict on this run, not
+               evidence the procedure is broken. *)
+            (match Budget.failure_of_string e with
+            | Some (Budget.Unsupported _) | None -> Supervisor.Breaker.failure breaker
+            | Some _ -> ());
+            r
+          | exception e ->
+            Supervisor.Breaker.failure breaker;
+            raise e)
+  in
+  let plan =
+    (* One plan per job, seeded from the job index: the per-site hit
+       numbering stays reproducible whatever --jobs is, and counters
+       persist across the job's attempts so flaky faults are retryable. *)
+    match chaos with
+    | None -> None
+    | Some (seed, permille) -> Some (Fault.chaos ~permille ~seed:(seed + (1000 * idx)) ())
+  in
+  let spent = ref 0 in
+  let resume = ref None in
+  let attempt k =
+    match parse_formula text with
+    | Error reason ->
+      { Query.verdict = Query.Failed { reason };
+        usage = { Budget.ticks = 0; elapsed_ms = 0. };
+        attempts = [] }
+    | Ok f ->
+      let fuel_k =
+        Supervisor.fair_share ~total:fuel ~spent:!spent ~attempt:k ~max_attempts:retries
+      in
+      let budget = Budget.make ~fuel:fuel_k ?timeout_ms () in
+      let work () = Query.eval_resilient ~budget ?resume:!resume ~domain:guarded ~state f in
+      let rep = match plan with Some p -> Fault.with_plan p work | None -> work () in
+      spent := !spent + rep.Query.usage.Budget.ticks;
+      (match rep.Query.verdict with
+      | Query.Partial { resume = r; _ } -> resume := Some r
+      | _ -> ());
+      rep
+  in
+  let policy = { Supervisor.default_policy with max_attempts = retries } in
+  let run =
+    Supervisor.supervise ~policy
+      ~retry_value:(fun rep ->
+        match rep.Query.verdict with
+        | Query.Partial { reason = Budget.Fuel_exhausted | Budget.Deadline_exceeded; _ } ->
+          Some "partial verdict, fuel remaining"
+        | _ -> None)
+      ~name:(Printf.sprintf "job%d:%s" idx domain_name)
+      attempt
+  in
+  let retried = run.Supervisor.retried in
+  let suffix = if retried > 0 then Printf.sprintf " (retried %d)" retried else "" in
+  match run.Supervisor.outcome with
+  | Supervisor.Value rep -> (
+    match rep.Query.verdict with
+    | Query.Complete { answer; tier } ->
+      { line =
+          Format.asprintf "[%d] complete via %s (%d tuples): %a%s" idx tier
+            (Relation.cardinal answer) Relation.pp answer suffix;
+        outcome = B_complete;
+        retried }
+    | Query.Partial { tuples; reason; resume = r } ->
+      { line =
+          Format.asprintf "[%d] partial after %d candidates (%a), %d tuples so far%s" idx
+            r.Query.seen Budget.pp_failure reason (Relation.cardinal tuples) suffix;
+        outcome = B_partial;
+        retried }
+    | Query.Failed { reason } ->
+      { line = Printf.sprintf "[%d] failed: %s%s" idx reason suffix;
+        outcome = B_failed;
+        retried })
+  | Supervisor.Crashed { reason; _ } ->
+    { line = Printf.sprintf "[%d] crashed: %s%s" idx reason suffix;
+      outcome = B_failed;
+      retried }
+
+let batch_cmd =
+  let run trace metrics domain rels consts fuel timeout_ms jobs retries chaos_seed
+      chaos_permille file formulas =
+    with_telemetry trace metrics @@ fun () ->
+    report
+      (Result.bind (parse_state rels consts) @@ fun state ->
+       let default_name =
+         let (module D : Domain.S) = domain in
+         D.name
+       in
+       let resolve spec =
+         (* a line is either "FORMULA" (the --domain default) or
+            "DOMAIN<TAB>FORMULA" *)
+         match String.index_opt spec '\t' with
+         | None -> Ok (default_name, domain, spec)
+         | Some i -> (
+           let dname = String.sub spec 0 i in
+           let text = String.sub spec (i + 1) (String.length spec - i - 1) in
+           match List.assoc_opt dname domains with
+           | Some d ->
+             let (module D : Domain.S) = d in
+             Ok (D.name, d, text)
+           | None -> Error (Printf.sprintf "batch: unknown domain %S in %S" dname spec))
+       in
+       let file_lines =
+         match file with
+         | None -> Ok []
+         | Some path -> (
+           match open_in path with
+           | exception Sys_error msg -> Error (Printf.sprintf "batch file: %s" msg)
+           | ic ->
+             let rec go acc =
+               match input_line ic with
+               | line ->
+                 let line = String.trim line in
+                 if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+               | exception End_of_file ->
+                 close_in ic;
+                 List.rev acc
+             in
+             Ok (go []))
+       in
+       Result.bind file_lines @@ fun file_lines ->
+       let rec resolve_all = function
+         | [] -> Ok []
+         | spec :: rest ->
+           Result.bind (resolve spec) (fun j ->
+               Result.map (fun js -> j :: js) (resolve_all rest))
+       in
+       Result.bind (resolve_all (formulas @ file_lines)) @@ fun job_list ->
+       if job_list = [] then Error "batch: no formulas (positional FORMULA... or --file FILE)"
+       else begin
+         let cache = Decide_cache.create () in
+         let breakers = Hashtbl.create 8 in
+         List.iter
+           (fun (name, _, _) ->
+             if not (Hashtbl.mem breakers name) then
+               Hashtbl.add breakers name (Supervisor.Breaker.create ()))
+           job_list;
+         let chaos =
+           match chaos_seed with None -> None | Some s -> Some (s, chaos_permille)
+         in
+         let worker (idx, job) =
+           batch_job ~state ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx job
+         in
+         let indexed = Array.of_list (List.mapi (fun i j -> (i, j)) job_list) in
+         let results = Supervisor.parallel_map ~jobs worker indexed in
+         Array.iter (fun r -> Format.printf "%s@." r.line) results;
+         let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+         let completed = count (fun r -> r.outcome = B_complete) in
+         let partial = count (fun r -> r.outcome = B_partial) in
+         let failed = count (fun r -> r.outcome = B_failed) in
+         let retries_total = Array.fold_left (fun n r -> n + r.retried) 0 results in
+         let trips =
+           Hashtbl.fold (fun _ b n -> n + Supervisor.Breaker.trips b) breakers 0
+         in
+         Format.printf
+           "batch: %d jobs, %d complete, %d partial, %d failed, %d retries, %d breaker trips@."
+           (Array.length results) completed partial failed retries_total trips;
+         Ok (if failed > 0 then 1 else if partial > 0 then exit_partial else 0)
+       end)
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains evaluating jobs in parallel (OCaml 5 domain pool).")
+  in
+  let retries =
+    Arg.(value & opt int 3
+         & info [ "retries" ]
+             ~doc:"Maximum attempts per job (first try included). Transient faults and \
+                   budget-tripped partial verdicts retry with exponential backoff; the \
+                   resume token carries the scan position across attempts.")
+  in
+  let chaos_seed =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-seed" ]
+             ~doc:"Enable deterministic fault injection, seeding job $(i,i)'s schedule with \
+                   SEED + 1000i. Identical runs replay identical faults regardless of \
+                   $(b,--jobs).")
+  in
+  let chaos_permille =
+    Arg.(value & opt int 20
+         & info [ "chaos-permille" ] ~doc:"Per-site injection probability, in permille.")
+  in
+  let file =
+    Arg.(value & opt (some string) None
+         & info [ "f"; "file" ]
+             ~doc:"Read jobs from FILE: one FORMULA per line (or DOMAIN<TAB>FORMULA); blank \
+                   lines and # comments skipped.")
+  in
+  let formulas =
+    Arg.(value & pos_all string [] & info [] ~docv:"FORMULA" ~doc:"Formulas to evaluate.")
+  in
+  let doc =
+    "Evaluate many queries under supervision: a parallel worker pool with per-job budgets, \
+     crash isolation, retry with backoff, per-domain circuit breakers, a shared decision \
+     cache — and an optional deterministic chaos schedule for fault drills."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
+          $ fuel_arg ~default:10_000 $ timeout_arg $ jobs $ retries $ chaos_seed
+          $ chaos_permille $ file $ formulas)
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -530,5 +786,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; explain_cmd; report_cmd; tm_cmd;
-            diag_cmd; halting_cmd ]))
+          [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; explain_cmd; report_cmd;
+            batch_cmd; tm_cmd; diag_cmd; halting_cmd ]))

@@ -21,13 +21,17 @@ let never_cancelled () = false
 
 let now () = Unix.gettimeofday ()
 
-(* Process-wide tick clock: every budget advances it alongside its own
+(* Per-domain tick clock: every budget advances it alongside its own
    [spent].  The telemetry layer reads it at span boundaries to attribute
    fuel to the innermost open span, whichever budget (explicit, ambient, or
-   legacy [~share:false]) was charged. *)
-let total_ticks = ref 0
+   legacy [~share:false]) was charged.  The clock is domain-local
+   ([Domain.DLS]) rather than a process-global ref: the supervised batch
+   runner evaluates queries on a pool of OCaml 5 domains, and a shared
+   counter would both race (lost increments) and corrupt every worker's
+   span attribution with the other workers' ticks. *)
+let ticks_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
-let global_ticks () = !total_ticks
+let global_ticks () = !(Domain.DLS.get ticks_key)
 
 let make ?fuel ?timeout_ms ?max_result ?cancel () =
   let started = now () in
@@ -63,7 +67,7 @@ let slow_check b =
 let tick b =
   let n = b.spent + 1 in
   b.spent <- n;
-  incr total_ticks;
+  incr (Domain.DLS.get ticks_key);
   if n > b.fuel_limit then raise (Exhausted Fuel_exhausted);
   if n land slow_mask = 0 && (b.deadline < infinity || b.cancelled != never_cancelled)
   then slow_check b
@@ -71,7 +75,8 @@ let tick b =
 let charge b n =
   if n > 0 then begin
     b.spent <- b.spent + n;
-    total_ticks := !total_ticks + n;
+    let t = Domain.DLS.get ticks_key in
+    t := !t + n;
     if b.spent > b.fuel_limit then raise (Exhausted Fuel_exhausted);
     if b.deadline < infinity || b.cancelled != never_cancelled then slow_check b
   end
@@ -89,26 +94,30 @@ let exhausted b = Option.is_some (check b)
 let unsupported msg = raise (Exhausted (Unsupported msg))
 
 (* Ambient (dynamically-scoped) budget, so decision procedures behind the
-   fixed [Domain.S.decide] signature can still checkpoint. *)
-let current : t option ref = ref None
+   fixed [Domain.S.decide] signature can still checkpoint.  The slot is
+   domain-local: with a process-global ref, a [guard] in one worker domain
+   of the batch pool would install its budget into every other worker's
+   decision procedures (and the save/restore discipline would reinstate a
+   foreign budget on exit). *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let ambient () = !current
+let ambient () = Domain.DLS.get current_key
 
 let tick_ambient () =
-  match !current with
+  match Domain.DLS.get current_key with
   | None -> ()
   | Some b -> tick b
 
 let charge_ambient n =
-  match !current with
+  match Domain.DLS.get current_key with
   | None -> ()
   | Some b -> charge b n
 
 let guard b f =
-  let saved = !current in
-  if b.shared then current := Some b;
+  let saved = Domain.DLS.get current_key in
+  if b.shared then Domain.DLS.set current_key (Some b);
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> Domain.DLS.set current_key saved)
     (fun () -> match f () with v -> Ok v | exception Exhausted fl -> Error fl)
 
 let pp_failure ppf = function

@@ -79,7 +79,9 @@ val unsupported : string -> 'a
     [Fq_domain.Domain.S.decide] signature, which cannot carry a budget
     argument.  [guard] therefore installs its budget in a dynamically-scoped
     slot that the QE inner loops poll with {!tick_ambient}; the slot is
-    restored on exit, so nesting is safe. *)
+    restored on exit, so nesting is safe.  The slot is domain-local
+    ([Domain.DLS]), so concurrent workers of a {!Supervisor} pool cannot
+    observe (or charge) each other's budgets. *)
 
 val tick_ambient : unit -> unit
 (** {!tick} against the ambient budget; no-op when none is installed. *)
@@ -120,7 +122,9 @@ val usage : t -> usage
 val spent : t -> int
 
 val global_ticks : unit -> int
-(** Monotone process-wide count of work units charged across {e every}
-    budget since program start.  {!Telemetry} samples it at span open and
-    close, so fuel is attributed to the innermost open span no matter which
-    budget was charged. *)
+(** Monotone {e domain-local} count of work units charged across every
+    budget this domain has ticked since it started.  {!Telemetry} samples
+    it at span open and close, so fuel is attributed to the innermost open
+    span no matter which budget was charged.  Like the ambient slot, the
+    clock lives in [Domain.DLS]: each worker of a parallel batch attributes
+    only its own work. *)

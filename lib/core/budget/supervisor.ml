@@ -1,0 +1,181 @@
+type crash = { transient : bool; reason : string }
+
+type policy = {
+  max_attempts : int;
+  base_backoff_ms : float;
+  backoff_factor : float;
+  max_backoff_ms : float;
+  sleep : float -> unit;
+  classify : exn -> crash;
+}
+
+let default_classify = function
+  | Fault.Injected { site; transient; reason; _ } ->
+    { transient; reason = Printf.sprintf "fault at %s: %s" site reason }
+  | Budget.Exhausted fl -> { transient = false; reason = Budget.error_string fl }
+  | e -> { transient = false; reason = Printexc.to_string e }
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_backoff_ms = 1.0;
+    backoff_factor = 2.0;
+    max_backoff_ms = 100.0;
+    sleep = (fun ms -> Unix.sleepf (ms /. 1000.));
+    classify = default_classify;
+  }
+
+type 'a outcome = Value of 'a | Crashed of crash
+
+type 'a run = {
+  outcome : 'a outcome;
+  attempts : int;
+  retried : int;
+  backoffs_ms : float list;
+}
+
+let backoff_for policy retry =
+  (* [retry] counts from 1: the pause before the first retry is the base. *)
+  Float.min policy.max_backoff_ms
+    (policy.base_backoff_ms *. (policy.backoff_factor ** float_of_int (retry - 1)))
+
+let supervise ?(policy = default_policy) ?retry_value ~name f =
+  let max_attempts = max 1 policy.max_attempts in
+  let backoffs = ref [] in
+  let pause attempt =
+    let ms = backoff_for policy attempt in
+    backoffs := ms :: !backoffs;
+    Telemetry.count "supervisor.retries";
+    if ms > 0. then policy.sleep ms
+  in
+  let finish attempt outcome =
+    { outcome; attempts = attempt; retried = attempt - 1; backoffs_ms = List.rev !backoffs }
+  in
+  let attempt_once attempt =
+    Telemetry.with_span "supervisor.attempt"
+      ~attrs:[ ("name", Telemetry.Str name); ("attempt", Telemetry.Int attempt) ]
+      (fun () -> match f attempt with v -> Ok v | exception e -> Error (policy.classify e))
+  in
+  let rec go attempt =
+    match attempt_once attempt with
+    | Ok v -> (
+      match retry_value with
+      | Some should when attempt < max_attempts -> (
+        match should v with
+        | Some _why ->
+          pause attempt;
+          go (attempt + 1)
+        | None -> finish attempt (Value v))
+      | _ -> finish attempt (Value v))
+    | Error crash ->
+      Telemetry.count "supervisor.crashes";
+      if crash.transient && attempt < max_attempts then begin
+        pause attempt;
+        go (attempt + 1)
+      end
+      else finish attempt (Crashed crash)
+  in
+  go 1
+
+let fair_share ~total ~spent ~attempt ~max_attempts =
+  let left = max 1 (max_attempts - attempt + 1) in
+  max 1 ((max 0 (total - spent) + left - 1) / left)
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type t = {
+    threshold : int;
+    cooldown_ms : float;
+    now_ms : unit -> float;
+    lock : Mutex.t;
+    mutable st : state;
+    mutable consecutive : int;
+    mutable opened_at : float;
+    mutable trips : int;
+  }
+
+  let create ?(threshold = 3) ?(cooldown_ms = 100.) ?now_ms () =
+    let now_ms =
+      match now_ms with Some f -> f | None -> fun () -> Unix.gettimeofday () *. 1000.
+    in
+    {
+      threshold = max 1 threshold;
+      cooldown_ms;
+      now_ms;
+      lock = Mutex.create ();
+      st = Closed;
+      consecutive = 0;
+      opened_at = 0.;
+      trips = 0;
+    }
+
+  let locked b f =
+    Mutex.lock b.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock b.lock) f
+
+  let state b = locked b (fun () -> b.st)
+  let trips b = locked b (fun () -> b.trips)
+
+  let allow b =
+    locked b (fun () ->
+        match b.st with
+        | Closed | Half_open -> true
+        | Open ->
+          if b.now_ms () -. b.opened_at >= b.cooldown_ms then begin
+            b.st <- Half_open;
+            true
+          end
+          else false)
+
+  let success b =
+    locked b (fun () ->
+        b.consecutive <- 0;
+        b.st <- Closed)
+
+  let trip b =
+    b.st <- Open;
+    b.opened_at <- b.now_ms ();
+    b.trips <- b.trips + 1;
+    b.consecutive <- 0;
+    Telemetry.count "supervisor.breaker_trips"
+
+  let failure b =
+    locked b (fun () ->
+        match b.st with
+        | Half_open -> trip b
+        | Closed | Open ->
+          b.consecutive <- b.consecutive + 1;
+          if b.st = Closed && b.consecutive >= b.threshold then trip b)
+end
+
+let parallel_map ~jobs f arr =
+  let n = Array.length arr in
+  let jobs = min (max 1 jobs) n in
+  if jobs <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            errors.(i) <- Some (e, bt));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.iter
+      (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

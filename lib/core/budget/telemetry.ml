@@ -56,11 +56,16 @@ type collector = {
   histos : (string, hcell) Hashtbl.t;
 }
 
-(* Exactly one collector is ambient at a time; [record]/[with_noop] nest by
-   save/restore, like the ambient budget. *)
-let active : collector option ref = ref None
+(* Exactly one collector is ambient at a time per domain; [record] and
+   [with_noop] nest by save/restore, like the ambient budget.  The slot is
+   domain-local ([Domain.DLS]): a collector is single-threaded mutable
+   state, so each worker of a parallel batch records (or stays silent)
+   independently instead of racing on one frame stack. *)
+let active_key : collector option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let enabled () = Option.is_some !active
+let active () = Domain.DLS.get active_key
+
+let enabled () = Option.is_some (active ())
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
@@ -89,7 +94,7 @@ let close c fr =
   | [] -> c.roots <- sp :: c.roots
 
 let with_span ?(attrs = []) name f =
-  match !active with
+  match active () with
   | None -> f ()
   | Some c -> (
     match c.mode with
@@ -115,12 +120,12 @@ let with_span ?(attrs = []) name f =
       end)
 
 let set_attr k v =
-  match !active with
+  match active () with
   | Some { mode = Record; stack = fr :: _; _ } -> fr.f_attrs <- (k, v) :: fr.f_attrs
   | _ -> ()
 
 let count ?(n = 1) name =
-  match !active with
+  match active () with
   | Some ({ mode = Record; _ } as c) -> (
     match Hashtbl.find_opt c.counters name with
     | Some r -> r := !r + n
@@ -128,7 +133,7 @@ let count ?(n = 1) name =
   | _ -> ()
 
 let observe name v =
-  match !active with
+  match active () with
   | Some ({ mode = Record; _ } as c) -> (
     match Hashtbl.find_opt c.histos name with
     | Some h ->
@@ -153,9 +158,9 @@ let make_collector mode max_spans =
     histos = Hashtbl.create 16 }
 
 let run_with c f =
-  let saved = !active in
-  active := Some c;
-  Fun.protect ~finally:(fun () -> active := saved) f
+  let saved = active () in
+  Domain.DLS.set active_key (Some c);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set active_key saved) f
 
 let snapshot c =
   let sorted_assoc fold project tbl =

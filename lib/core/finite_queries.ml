@@ -30,10 +30,14 @@
       safe-range fragment; {!Query} — the resilient front-end with the
       RANF → active-domain → budgeted-enumeration degradation chain.
 
-    {2 Resource governor}
+    {2 Resource governor and supervision}
     - {!Budget} — step fuel, wall-clock deadline, cardinality cap, and
       cooperative cancellation unified behind one structured failure type;
       threaded through every long-running engine.
+    - {!Fault} — deterministic chaos harness: named injection sites in the
+      engine hot paths fire on a pure [(seed, site, hit)] schedule.
+    - {!Supervisor} — crash isolation, retry with exponential backoff,
+      circuit breaking, and the OCaml 5 domain pool behind [fq batch].
 
     {2 Safety}
     - {!Safe_range}, {!Finitization} (Theorem 2.2), {!Ext_active}
@@ -44,9 +48,11 @@
     {2 Constraint databases} (Section 1.2)
     - {!Rat}, {!Crel}. *)
 
-(* resource governor and telemetry *)
+(* resource governor, telemetry, chaos harness, supervision *)
 module Budget = Fq_core.Budget
 module Telemetry = Fq_core.Telemetry
+module Fault = Fq_core.Fault
+module Supervisor = Fq_core.Supervisor
 
 (* numerics *)
 module Bigint = Fq_numeric.Bigint

@@ -86,6 +86,7 @@ let eval ~state ?budget ?(domain_pred = no_domain_pred) plan =
      sees each materialization too: the per-node output-cardinality
      histogram is what a perf PR reads to find the hot operator. *)
   let settle rel =
+    Fq_core.Fault.hit "relalg.node";
     let card = Relation.cardinal rel in
     T.count "relalg.nodes";
     T.observe "relalg.node_card" (float_of_int card);

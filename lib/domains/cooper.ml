@@ -1,5 +1,6 @@
 module B = Fq_numeric.Bigint
 module Budget = Fq_core.Budget
+module Fault = Fq_core.Fault
 module Telemetry = Fq_core.Telemetry
 module L = Linear_term
 module Formula = Fq_logic.Formula
@@ -232,6 +233,7 @@ let eliminate x phi =
       if j > delta_int then acc
       else begin
         Budget.tick_ambient ();
+        Fault.hit "qe.cooper";
         Telemetry.count "qe.cooper.steps";
         let jt = L.of_int j in
         let from_minus_inf = subst_x x jt minus_inf in
@@ -239,6 +241,7 @@ let eliminate x phi =
           List.fold_left
             (fun acc b ->
               Budget.tick_ambient ();
+              Fault.hit "qe.cooper";
               Telemetry.count "qe.cooper.steps";
               disj acc (subst_x x (L.add b jt) phi1))
             F bset

@@ -23,37 +23,76 @@ type stats = { hits : int; misses : int; entries : int }
 
 type t = {
   table : (bool, string) result H.t;
+  lock : Mutex.t;
   mutable cache_hits : int;
   mutable cache_misses : int;
 }
 
-let create ?(size = 256) () = { table = H.create size; cache_hits = 0; cache_misses = 0 }
+let create ?(size = 256) () =
+  { table = H.create size; lock = Mutex.create (); cache_hits = 0; cache_misses = 0 }
 
-let stats c = { hits = c.cache_hits; misses = c.cache_misses; entries = H.length c.table }
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let stats c =
+  locked c (fun () ->
+      { hits = c.cache_hits; misses = c.cache_misses; entries = H.length c.table })
 
 let hit_rate { hits; misses; _ } =
   if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses)
 
 let clear c =
-  H.reset c.table;
-  c.cache_hits <- 0;
-  c.cache_misses <- 0
+  locked c (fun () ->
+      H.reset c.table;
+      c.cache_hits <- 0;
+      c.cache_misses <- 0)
+
+(* A verdict is cacheable when it depends only on the domain's theory:
+   [Ok _] and "this formula is outside the fragment" are eternal truths,
+   but a budget trip ([Budget.Exhausted] escaping through the string-error
+   channel) reflects the budget that happened to be ambient at the time.
+   Caching one would poison the table — a later, better-funded run (a
+   resumed scan, a retry with a fresh fair share) would keep hitting the
+   stale trip forever. *)
+let cacheable = function
+  | Ok _ -> true
+  | Error e -> (
+    match Fq_core.Budget.failure_of_string e with
+    | Some (Fuel_exhausted | Deadline_exceeded | Cancelled | Oversize _) -> false
+    | Some (Unsupported _) | None -> true)
 
 (* The telemetry counters are the authoritative observable (they aggregate
    across every cache in a recording); the per-instance ints survive so the
-   [stats] accessor keeps its historical meaning for existing callers. *)
+   [stats] accessor keeps its historical meaning for existing callers.
+
+   Concurrency: the table is consulted and filled under the mutex, but the
+   underlying [D.decide] runs outside it — decisions can be slow (that is
+   why they are cached), and holding the lock across one would serialize a
+   whole worker pool on the slowest decide.  The price is that two workers
+   missing on the same key may both run the decision; both writes store
+   the same theory-determined verdict, so last-write-wins is sound. *)
 let decide c (module D : Domain.S) f =
   let key = Formula.alpha_normalize f in
-  match H.find_opt c.table key with
+  Fq_core.Fault.hit "decide_cache.lookup";
+  let cached =
+    locked c (fun () ->
+        match H.find_opt c.table key with
+        | Some r ->
+          c.cache_hits <- c.cache_hits + 1;
+          Some r
+        | None ->
+          c.cache_misses <- c.cache_misses + 1;
+          None)
+  in
+  match cached with
   | Some r ->
-    c.cache_hits <- c.cache_hits + 1;
     Fq_core.Telemetry.count "decide_cache.hits";
     r
   | None ->
-    c.cache_misses <- c.cache_misses + 1;
     Fq_core.Telemetry.count "decide_cache.misses";
     let r = D.decide f in
-    H.add c.table key r;
+    if cacheable r then locked c (fun () -> H.replace c.table key r);
     r
 
 (* A domain whose [decide] consults the cache; every other component is

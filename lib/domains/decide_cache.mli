@@ -4,8 +4,17 @@
 
     Caching is sound because a domain's theory is fixed: a sentence's
     truth value never changes, and alpha-equivalent sentences have the
-    same truth value. Errors are cached too (a formula outside the
-    domain's language stays outside it). *)
+    same truth value. Fragment errors are cached too (a formula outside
+    the domain's language stays outside it) — but budget trips escaping
+    through the string-error channel are {e not}: they describe the
+    ambient budget at the time, not the formula, and caching one would
+    poison every later retry or resumed scan with a stale failure.
+
+    A cache is safe to share between the worker domains of a
+    {!Fq_core.Supervisor} pool: the table is mutex-guarded, while the
+    underlying decision runs outside the lock (two workers may race on
+    the same miss; both compute the same theory-determined verdict, so
+    the duplicate work is bounded and the result is unchanged). *)
 
 type t
 

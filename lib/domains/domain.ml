@@ -80,6 +80,20 @@ let holds_qf (module D : S) ~env f =
   in
   go f
 
+let with_decide (module D : S) decide : t =
+  (module struct
+    let name = D.name
+    let signature = D.signature
+    let member = D.member
+    let constant = D.constant
+    let const_name = D.const_name
+    let eval_fun = D.eval_fun
+    let eval_pred = D.eval_pred
+    let enumerate = D.enumerate
+    let seeds = D.seeds
+    let decide = decide
+  end)
+
 let check_pure_sentence (module D : S) f =
   if not (Formula.is_sentence f) then
     Error (Printf.sprintf "formula has free variables: %s" (String.concat ", " (Formula.free_vars f)))

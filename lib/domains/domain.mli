@@ -71,6 +71,12 @@ val holds_qf : t -> env:(string * Fq_db.Value.t) list -> Fq_logic.Formula.t -> (
     "recursiveness" side of the domain: no decision procedure involved.
     [Error] on quantifiers, database atoms, or unknown symbols. *)
 
+val with_decide : t -> (Fq_logic.Formula.t -> (bool, string) result) -> t
+(** [with_decide d decide] is [d] with its decision procedure replaced;
+    every other component forwards.  The hook for wrapping a domain in a
+    cache, a circuit breaker ({!Fq_core.Supervisor.Breaker}), or a fault
+    shim without touching the domain itself. *)
+
 val check_pure_sentence : t -> Fq_logic.Formula.t -> (unit, string) result
 (** The precondition of {!S.decide}: a sentence over the domain signature
     with no database relations or scheme constants. *)

@@ -4,6 +4,7 @@ module Transform = Fq_logic.Transform
 module Signature = Fq_logic.Signature
 module Value = Fq_db.Value
 module Budget = Fq_core.Budget
+module Fault = Fq_core.Fault
 module Telemetry = Fq_core.Telemetry
 
 let name = "equality"
@@ -30,6 +31,7 @@ let enumerate () = Seq.map Value.str (Fq_words.Word.enumerate_over printable_alp
    infinite domain always satisfies. *)
 let exists_conj x lits =
   Budget.tick_ambient ();
+  Fault.hit "qe.eq";
   Telemetry.count "qe.eq.steps";
   let is_x = function Term.Var v -> v = x | _ -> false in
   let rec find_eq seen = function

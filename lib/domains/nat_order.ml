@@ -1,5 +1,6 @@
 module B = Fq_numeric.Bigint
 module Budget = Fq_core.Budget
+module Fault = Fq_core.Fault
 module Telemetry = Fq_core.Telemetry
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
@@ -195,6 +196,7 @@ let exists_conj x lits =
         List.map
           (fun c ->
             Budget.tick_ambient ();
+            Fault.hit "qe.nat_order";
             Telemetry.count "qe.nat_order.steps";
             instantiate c x_atoms)
           candidates

@@ -1,5 +1,6 @@
 module B = Fq_numeric.Bigint
 module Budget = Fq_core.Budget
+module Fault = Fq_core.Fault
 module Telemetry = Fq_core.Telemetry
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
@@ -104,6 +105,7 @@ let subst_atom x c = function
 (* The paper's elimination for ∃x over a conjunction of literals. *)
 let exists_conj x lits =
   Budget.tick_ambient ();
+  Fault.hit "qe.nat_succ";
   Telemetry.count "qe.nat_succ.steps";
   let atoms = List.map atom_of_literal lits in
   (* Split atoms with x on both sides: ground in the offset difference. *)

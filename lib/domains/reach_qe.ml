@@ -1,5 +1,6 @@
 open Reach
 module Budget = Fq_core.Budget
+module Fault = Fq_core.Fault
 module Telemetry = Fq_core.Telemetry
 module Word = Fq_words.Word
 module Trace = Fq_tm.Trace
@@ -51,6 +52,7 @@ let words_of_length n =
       List.concat_map
         (fun w ->
           Budget.tick_ambient ();
+          Fault.hit "qe.reach";
           Telemetry.count "qe.reach.steps";
           [ w ^ "1"; w ^ "-" ])
         (go (n - 1))
@@ -410,6 +412,7 @@ let eliminate_input x xlits rest =
       List.map
         (fun p ->
           Budget.tick_ambient ();
+          Fault.hit "qe.reach";
           Telemetry.count "qe.reach.steps";
           case_of p)
         (words_of_length bound)
@@ -663,6 +666,7 @@ let rec eliminate_exists x g =
                 expansion is exponential in the number of distinct
                 disequalities *)
              Budget.tick_ambient ();
+             Fault.hit "qe.reach";
              Telemetry.count "qe.reach.steps";
              let lits = List.sort_uniq compare lits in
              let contradictory =

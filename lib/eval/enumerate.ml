@@ -1,4 +1,5 @@
 module Budget = Fq_core.Budget
+module Fault = Fq_core.Fault
 module Telemetry = Fq_core.Telemetry
 module Formula = Fq_logic.Formula
 module Term = Fq_logic.Term
@@ -75,6 +76,7 @@ let not_in_relation domain vars rel =
        (Relation.tuples rel))
 
 let decide domain f =
+  Fault.hit "decide";
   let (module D : Fq_domain.Domain.S) = domain in
   D.decide f
 
@@ -134,6 +136,7 @@ let run_budgeted ?(max_certified = 12) ?cache ?resume ~budget ~domain ~state f =
     let seen = ref seen0 in
     let found = ref found0 in
     let scan () =
+      if seen0 > 0 then Fault.hit "enumerate.resume";
       (* A resumed scan ([seen0 > 0]) necessarily passed this satisfiability
          gate in the round that consumed its first candidate — don't pay the
          decide again. *)
@@ -171,12 +174,14 @@ let run_budgeted ?(max_certified = 12) ?cache ?resume ~budget ~domain ~state f =
         in
         let certified_done () =
           Telemetry.with_span "enumerate.certify" @@ fun () ->
+          Fault.hit "enumerate.certify";
           Telemetry.count "enumerate.certifications";
           let more = Formula.exists_many vars (Formula.And (f', !excl)) in
           not (decide_exn more)
         in
         let visit tuple =
           Budget.tick budget;
+          Fault.hit "enumerate.scan";
           Telemetry.count "enumerate.candidates";
           (* [seen] advances only once the candidate is fully decided: a
              trip inside the decision procedure leaves the resume token

@@ -327,6 +327,43 @@ let test_resume_via_query () =
     (Relation.make ~arity:1 [ [ Value.str "adam" ] ])
     answer
 
+(* Satellite of the fault harness (see test_fault.ml for the full chaos
+   property): a scan killed mid-flight by an {e injected} deadline — not a
+   real clock, so the kill point is exact and reproducible — hands back a
+   resume token that finishes to the same relation as an undisturbed run. *)
+let test_resume_after_injected_deadline () =
+  let module Fault = Fq_core.Fault in
+  let f = parse "F(\"adam\", x)" in
+  let expected =
+    match Enumerate.run ~domain:eq_domain ~state:family_state f with
+    | Ok (Enumerate.Finite r) -> r
+    | _ -> Alcotest.fail "clean run should complete"
+  in
+  let plan =
+    Fault.plan
+      ~rules:
+        [ Fault.At
+            { site = "enumerate.scan"; hits = [ 2 ];
+              action = Fault.Trip Budget.Deadline_exceeded } ]
+      ~seed:0 ()
+  in
+  let first =
+    Fault.with_plan plan (fun () ->
+        Enumerate.run_budgeted ~budget:(Budget.make ()) ~domain:eq_domain ~state:family_state f)
+  in
+  match first with
+  | Ok (Enumerate.Partial { tuples; seen; reason = Budget.Deadline_exceeded }) ->
+    Alcotest.(check int) "killed at the second candidate" 1 seen;
+    (match
+       Enumerate.run_budgeted ~resume:(seen, tuples) ~budget:(Budget.make ()) ~domain:eq_domain
+         ~state:family_state f
+     with
+    | Ok (Enumerate.Complete r) -> Alcotest.check rel "resumed run equals the clean one" expected r
+    | _ -> Alcotest.fail "resumed run should complete")
+  | Ok (Enumerate.Partial { reason; _ }) ->
+    Alcotest.failf "wrong trip: %s" (Budget.error_string reason)
+  | _ -> Alcotest.fail "the injected deadline should interrupt the scan"
+
 (* --------------------------- monotonicity --------------------------- *)
 
 let tuples_of verdict =
@@ -418,6 +455,8 @@ let () =
         [ Alcotest.test_case "tier reporting" `Quick test_tiers;
           Alcotest.test_case "resume token (enumerate)" `Quick test_resume_token;
           Alcotest.test_case "resume token (query front-end)" `Quick test_resume_via_query;
+          Alcotest.test_case "resume after an injected deadline" `Quick
+            test_resume_after_injected_deadline;
           QCheck_alcotest.to_alcotest prop_monotone ] );
       ( "cooper",
         [ Alcotest.test_case "LCM overflow is Unsupported" `Quick test_cooper_lcm_overflow;

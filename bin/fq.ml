@@ -60,6 +60,115 @@ let constant_arg =
 let parse_state rel_specs const_specs =
   Codec.parse_state ~relations:rel_specs ~constants:const_specs
 
+(* ------------------------------ engine ------------------------------ *)
+
+let engine_conv =
+  let parse = function
+    | "row" -> Ok Relalg.Row_engine
+    | "columnar" -> Ok Relalg.Columnar_engine
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (row, columnar)" s))
+  in
+  let print fmt = function
+    | Relalg.Row_engine -> Format.pp_print_string fmt "row"
+    | Relalg.Columnar_engine -> Format.pp_print_string fmt "columnar"
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  let doc =
+    "Execution engine for compiled algebra plans: $(b,columnar) (batch-at-a-time over \
+     dictionary-encoded columns, the default) or $(b,row) (tuple-at-a-time). Both produce \
+     identical answers and budget verdicts."
+  in
+  Arg.(value & opt engine_conv !Relalg.default_engine & info [ "engine" ] ~doc)
+
+let set_engine e = Relalg.default_engine := e
+
+(* --------------------------- stats profiles ------------------------- *)
+
+(* A stats profile file has one "FINGERPRINT COUNT MEAN" line per plan
+   node (blank lines and # comments skipped) — the format `fq explain
+   --stats-out` writes from the relalg.node_card.<fp> histograms of a
+   run. Feeding it back with --stats gives the cost-based optimizer
+   observed cardinalities in place of its textbook estimates. *)
+let read_profile path =
+  match open_in path with
+  | exception Sys_error msg -> Error (Printf.sprintf "stats file: %s" msg)
+  | ic ->
+    let rec go acc lineno =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        Ok (List.rev acc)
+      | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc (lineno + 1)
+        else
+          match
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+          with
+          | [ fp; _count; mean ] -> (
+            match float_of_string_opt mean with
+            | Some m -> go ((fp, m) :: acc) (lineno + 1)
+            | None ->
+              close_in ic;
+              Error (Printf.sprintf "stats file %s, line %d: bad mean %S" path lineno mean))
+          | _ ->
+            close_in ic;
+            Error
+              (Printf.sprintf
+                 "stats file %s, line %d: expected \"FINGERPRINT COUNT MEAN\"" path lineno))
+    in
+    go [] 1
+
+(* state cardinalities + the file's observed-cardinality profile *)
+let load_stats state = function
+  | None -> Ok None
+  | Some path ->
+    Result.map
+      (fun entries ->
+        Some (Optimizer.Stats.with_profile entries (Optimizer.Stats.of_state state)))
+      (read_profile path)
+
+let stats_arg =
+  let doc =
+    "Feed the cost-based optimizer a stats profile (FINGERPRINT COUNT MEAN lines, as \
+     written by $(b,fq explain --stats-out)): profiled nodes use their observed output \
+     cardinality instead of the textbook estimate."
+  in
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE" ~doc)
+
+let write_profile path (treport : Telemetry.report) =
+  let prefix = Relalg.card_metric ^ "." in
+  let plen = String.length prefix in
+  let oc = open_out path in
+  output_string oc
+    "# fq stats profile: FINGERPRINT COUNT MEAN (relalg node output cardinality)\n";
+  List.iter
+    (fun (name, (h : Telemetry.histogram)) ->
+      if String.length name > plen && String.sub name 0 plen = prefix && h.Telemetry.count > 0
+      then
+        Printf.fprintf oc "%s %d %g\n"
+          (String.sub name plen (String.length name - plen))
+          h.Telemetry.count
+          (h.Telemetry.sum /. float_of_int h.Telemetry.count))
+    treport.Telemetry.histograms;
+  close_out oc
+
+(* one-word operator label for the explain cost table *)
+let node_label = function
+  | Relalg.Rel r -> "rel " ^ r
+  | Relalg.Lit r -> Printf.sprintf "lit/%d" (Relation.arity r)
+  | Relalg.Select _ -> "select"
+  | Relalg.Project (cols, _) ->
+    Printf.sprintf "project[%s]" (String.concat "," (List.map string_of_int cols))
+  | Relalg.Product _ -> "product"
+  | Relalg.Join (pairs, _, _) ->
+    Printf.sprintf "join[%s]"
+      (String.concat "," (List.map (fun (i, j) -> Printf.sprintf "%d=%d" i j) pairs))
+  | Relalg.Union _ -> "union"
+  | Relalg.Diff _ -> "diff"
+
 (* --------------------------- resource governor ---------------------- *)
 
 (* Exit codes: 0 = complete answer, 3 = partial (budget exhausted),
@@ -244,13 +353,15 @@ let relsafe_cmd =
 (* ------------------------------- eval ------------------------------ *)
 
 let eval_cmd =
-  let run trace metrics domain rels consts fuel timeout_ms verbose formula =
+  let run trace metrics domain engine stats_file rels consts fuel timeout_ms verbose formula =
+    set_engine engine;
     with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
+               Result.bind (load_stats state stats_file) (fun stats ->
                let budget = budget_of fuel timeout_ms in
-               let rep = Query.eval_resilient ~budget ~domain ~state f in
+               let rep = Query.eval_resilient ~budget ?stats ~domain ~state f in
                if verbose then Format.printf "%a@." Query.pp rep;
                match rep.Query.verdict with
                | Query.Complete { answer; _ } ->
@@ -265,7 +376,7 @@ let eval_cmd =
                       relative safety is the hard part)@."
                      Budget.pp_failure reason (Relation.cardinal tuples) Relation.pp tuples;
                  Ok exit_partial
-               | Query.Failed { reason } -> Error reason)))
+               | Query.Failed { reason } -> Error reason))))
   in
   let verbose =
     Arg.(value & flag
@@ -277,8 +388,9 @@ let eval_cmd =
      enumerate-and-decide algorithm under the governor."
   in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
-          $ fuel_arg ~default:10_000 $ timeout_arg $ verbose $ formula_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ engine_arg $ stats_arg
+          $ relation_arg $ constant_arg $ fuel_arg ~default:10_000 $ timeout_arg $ verbose
+          $ formula_arg)
 
 (* ------------------------------ report ----------------------------- *)
 
@@ -451,13 +563,19 @@ let halting_cmd =
 (* ------------------------------ explain ----------------------------- *)
 
 let explain_cmd =
-  let run domain rels consts fuel timeout_ms formula =
+  let run domain engine stats_file stats_out rels consts fuel timeout_ms formula =
+    set_engine engine;
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
+               Result.bind (load_stats state stats_file) (fun stats ->
                let (module D : Domain.S) = domain in
                Format.printf "query:   %a@." Formula.pp f;
                Format.printf "domain:  %s@." D.name;
+               Format.printf "engine:  %s@."
+                 (match engine with
+                 | Relalg.Row_engine -> "row"
+                 | Relalg.Columnar_engine -> "columnar");
                let schema = Schema.relations (State.schema state) in
                let safe =
                  match Safe_range.check ~schema f with
@@ -472,27 +590,35 @@ let explain_cmd =
                   the span tree below reflects only the evaluation run; the
                   compiled tiers are only in play for safe-range queries
                   (active-domain semantics is wrong outside that fragment) *)
-               if not safe then
-                 Format.printf "plan:    enumerate-and-decide (Section 1.1)@."
-               else (
-                 match Ranf.compile ~domain ~state f with
-                 | Ok { Algebra_translate.plan; columns } ->
-                   Format.printf "plan:    %a   [ranf-algebra; columns %s]@." Relalg.pp plan
-                     (if columns = [] then "<none>" else String.concat "," columns)
-                 | Error why -> (
-                   Format.printf "plan:    ranf-algebra inapplicable: %s@." why;
-                   match Algebra_translate.compile ~domain ~state f with
+               let compiled =
+                 if not safe then (
+                   Format.printf "plan:    enumerate-and-decide (Section 1.1)@.";
+                   None)
+                 else
+                   match Ranf.compile ?stats ~domain ~state f with
                    | Ok { Algebra_translate.plan; columns } ->
-                     Format.printf "plan:    %a   [adom-algebra; columns %s]@." Relalg.pp plan
-                       (if columns = [] then "<none>" else String.concat "," columns)
-                   | Error why ->
-                     Format.printf "plan:    adom-algebra inapplicable: %s@." why;
-                     Format.printf "plan:    enumerate-and-decide (Section 1.1)@."));
+                     Format.printf "plan:    %a   [ranf-algebra; columns %s]@." Relalg.pp
+                       plan
+                       (if columns = [] then "<none>" else String.concat "," columns);
+                     Some plan
+                   | Error why -> (
+                     Format.printf "plan:    ranf-algebra inapplicable: %s@." why;
+                     match Algebra_translate.compile ?stats ~domain ~state f with
+                     | Ok { Algebra_translate.plan; columns } ->
+                       Format.printf "plan:    %a   [adom-algebra; columns %s]@." Relalg.pp
+                         plan
+                         (if columns = [] then "<none>" else String.concat "," columns);
+                       Some plan
+                     | Error why ->
+                       Format.printf "plan:    adom-algebra inapplicable: %s@." why;
+                       Format.printf "plan:    enumerate-and-decide (Section 1.1)@.";
+                       None)
+               in
                let budget = budget_of fuel timeout_ms in
                let cache = Decide_cache.create () in
                let rep, treport =
                  Telemetry.record (fun () ->
-                     Query.eval_resilient ~budget ~cache ~domain ~state f)
+                     Query.eval_resilient ~budget ~cache ?stats ~domain ~state f)
                in
                let code =
                  match rep.Query.verdict with
@@ -518,23 +644,94 @@ let explain_cmd =
                List.iter
                  (fun (name, t) -> if t > 0 then Format.printf "  %-28s %d@." name t)
                  (Telemetry.attribution treport);
+               (match compiled with
+               | None -> ()
+               | Some plan ->
+                 let arity_of = Schema.arity (State.schema state) in
+                 let st =
+                   match stats with Some s -> s | None -> Optimizer.Stats.of_state state
+                 in
+                 let rec leaves = function
+                   | Relalg.Join (_, p, q) | Relalg.Product (p, q) -> leaves p @ leaves q
+                   | Relalg.Select (_, p) | Relalg.Project (_, p) -> leaves p
+                   | Relalg.Rel r -> [ r ]
+                   | Relalg.Lit _ -> [ "<lit>" ]
+                   | Relalg.Union _ | Relalg.Diff _ -> []
+                 in
+                 (match leaves plan with
+                 | _ :: _ :: _ as names ->
+                   Format.printf "join order: %s (left-deep: the prefix probes, each new \
+                                  factor builds)@."
+                     (String.concat ", " names)
+                 | _ -> ());
+                 Format.printf "cost model (estimated vs observed output cardinality):@.";
+                 let seen = Hashtbl.create 16 in
+                 let rec walk node =
+                   let fp = Relalg.fingerprint node in
+                   if not (Hashtbl.mem seen fp) then begin
+                     Hashtbl.add seen fp ();
+                     let est =
+                       match Optimizer.estimate st ~arity_of node with
+                       | e -> Printf.sprintf "%.1f" e
+                       | exception _ -> "?"
+                     in
+                     let actual =
+                       match
+                         List.assoc_opt (Relalg.node_metric fp) treport.Telemetry.histograms
+                       with
+                       | Some h when h.Telemetry.count > 0 ->
+                         Printf.sprintf "%.0f" (h.Telemetry.sum /. float_of_int h.Telemetry.count)
+                       | _ -> "-"
+                     in
+                     Format.printf "  %-8s  est %-9s actual %-6s %s@." fp est actual
+                       (node_label node)
+                   end;
+                   match node with
+                   | Relalg.Rel _ | Relalg.Lit _ -> ()
+                   | Relalg.Select (_, p) | Relalg.Project (_, p) -> walk p
+                   | Relalg.Product (p, q)
+                   | Relalg.Join (_, p, q)
+                   | Relalg.Union (p, q)
+                   | Relalg.Diff (p, q) ->
+                     walk p;
+                     walk q
+                 in
+                 walk plan);
                let s = Decide_cache.stats cache in
                if s.Decide_cache.hits + s.Decide_cache.misses > 0 then
-                 Format.printf "decide cache: %d hits / %d lookups (%.0f%% hit rate)@."
+                 Format.printf "decide cache: %d hits / %d lookups (%.0f%% hit rate)%s@."
                    s.Decide_cache.hits
                    (s.Decide_cache.hits + s.Decide_cache.misses)
-                   (100. *. Decide_cache.hit_rate s);
+                   (100. *. Decide_cache.hit_rate s)
+                   (if s.Decide_cache.evictions > 0 then
+                      Printf.sprintf ", %d evictions" s.Decide_cache.evictions
+                    else "");
                Format.printf "%a" Telemetry.pp_metrics treport;
-               Ok code)))
+               (match stats_out with
+               | None -> ()
+               | Some path ->
+                 write_profile path treport;
+                 Format.printf "stats profile written to %s@." path);
+               Ok code))))
   in
   let doc =
     "Explain how a query is answered: the safe-range check, the compiled algebra plan (or \
      why compilation is inapplicable), the answering tier of the degradation chain, the \
-     recorded span tree, and the budget attribution (which engine spent the fuel)."
+     recorded span tree, the budget attribution (which engine spent the fuel), and the \
+     cost model's estimated vs observed cardinality per plan node. With $(b,--stats-out) \
+     the observed cardinalities become a stats profile that $(b,--stats) feeds back into \
+     the cost-based optimizer on later runs."
+  in
+  let stats_out =
+    let doc =
+      "Write the run's observed per-node output cardinalities (the relalg.node_card \
+       histograms) to FILE in stats-profile format, ready to feed back via $(b,--stats)."
+    in
+    Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ domain_arg $ relation_arg $ constant_arg $ fuel_arg ~default:10_000
-          $ timeout_arg $ formula_arg)
+    Term.(const run $ domain_arg $ engine_arg $ stats_arg $ stats_out $ relation_arg
+          $ constant_arg $ fuel_arg ~default:10_000 $ timeout_arg $ formula_arg)
 
 (* ------------------------------- batch ------------------------------ *)
 
@@ -655,8 +852,9 @@ let batch_job ~state ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx
       retried }
 
 let batch_cmd =
-  let run trace metrics domain rels consts fuel timeout_ms jobs retries chaos_seed
+  let run trace metrics domain engine rels consts fuel timeout_ms jobs retries chaos_seed
       chaos_permille file formulas =
+    set_engine engine;
     with_telemetry trace metrics @@ fun () ->
     report
       (Result.bind (parse_state rels consts) @@ fun state ->
@@ -774,9 +972,9 @@ let batch_cmd =
      cache — and an optional deterministic chaos schedule for fault drills."
   in
   Cmd.v (Cmd.info "batch" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
-          $ fuel_arg ~default:10_000 $ timeout_arg $ jobs $ retries $ chaos_seed
-          $ chaos_permille $ file $ formulas)
+    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ engine_arg $ relation_arg
+          $ constant_arg $ fuel_arg ~default:10_000 $ timeout_arg $ jobs $ retries
+          $ chaos_seed $ chaos_permille $ file $ formulas)
 
 (* ------------------------------- main ------------------------------ *)
 

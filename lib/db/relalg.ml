@@ -76,42 +76,296 @@ let rec eval_cond domain_pred tup = function
   | And_c (a, b) -> eval_cond domain_pred tup a && eval_cond domain_pred tup b
   | Or_c (a, b) -> eval_cond domain_pred tup a || eval_cond domain_pred tup b
 
-let eval ~state ?budget ?(domain_pred = no_domain_pred) plan =
-  let module B = Fq_core.Budget in
-  let module T = Fq_core.Telemetry in
-  (* Every operator charges one unit plus the cardinality it materialized,
-     against the explicit budget if given, else the ambient one — so a
-     governed front-end bounds even plans evaluated deep inside a compiled
-     tier.  [Budget.Exhausted] propagates; front-ends [guard].  Telemetry
-     sees each materialization too: the per-node output-cardinality
-     histogram is what a perf PR reads to find the hot operator. *)
-  let settle rel =
-    Fq_core.Fault.hit "relalg.node";
-    let card = Relation.cardinal rel in
-    T.count "relalg.nodes";
-    T.observe "relalg.node_card" (float_of_int card);
-    let n = 1 + card in
-    (match budget with
-    | Some b ->
-      B.charge b n;
-      B.ensure_size b card
-    | None -> B.charge_ambient n);
+(* ------------------------------------------------------------------ *)
+(* Plan fingerprints                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pp_arg_fp buf = function
+  | Col i -> Buffer.add_string buf (Printf.sprintf "#%d" i)
+  | Const v -> Buffer.add_string buf (Value.to_string v)
+
+let rec pp_cond_fp buf = function
+  | Eq (a, b) ->
+    pp_arg_fp buf a;
+    Buffer.add_char buf '=';
+    pp_arg_fp buf b
+  | Domain_pred (p, args) ->
+    Buffer.add_string buf p;
+    Buffer.add_char buf '(';
+    List.iter
+      (fun a ->
+        pp_arg_fp buf a;
+        Buffer.add_char buf ',')
+      args;
+    Buffer.add_char buf ')'
+  | Not c ->
+    Buffer.add_char buf '~';
+    pp_cond_fp buf c
+  | And_c (a, b) ->
+    Buffer.add_char buf '(';
+    pp_cond_fp buf a;
+    Buffer.add_char buf '&';
+    pp_cond_fp buf b;
+    Buffer.add_char buf ')'
+  | Or_c (a, b) ->
+    Buffer.add_char buf '(';
+    pp_cond_fp buf a;
+    Buffer.add_char buf '|';
+    pp_cond_fp buf b;
+    Buffer.add_char buf ')'
+
+let cond_fp c =
+  let buf = Buffer.create 32 in
+  pp_cond_fp buf c;
+  Buffer.contents buf
+
+let lit_fp r =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (Printf.sprintf "%d:%d" (Relation.arity r) (Relation.cardinal r));
+  Array.iter (fun row -> Buffer.add_string buf (string_of_int (Row.hash row))) (Relation.rows r);
+  Buffer.contents buf
+
+(* Structural digest, computed bottom-up so a whole plan is linear in its
+   size.  [annotate] returns one (node, fingerprint) pair per node so an
+   evaluator can attribute telemetry to post-optimization plan nodes. *)
+let annotate plan =
+  let acc = ref [] in
+  let rec go p =
+    let d =
+      match p with
+      | Rel name -> Digest.string ("R:" ^ name)
+      | Lit r -> Digest.string ("L:" ^ lit_fp r)
+      | Select (c, q) -> Digest.string ("S:" ^ cond_fp c ^ go q)
+      | Project (cols, q) ->
+        Digest.string ("P:" ^ String.concat "," (List.map string_of_int cols) ^ ":" ^ go q)
+      | Product (q, r) ->
+        let dq = go q in
+        let dr = go r in
+        Digest.string ("X:" ^ dq ^ dr)
+      | Join (pairs, q, r) ->
+        let dq = go q in
+        let dr = go r in
+        Digest.string
+          ("J:"
+          ^ String.concat "," (List.map (fun (i, j) -> Printf.sprintf "%d=%d" i j) pairs)
+          ^ ":" ^ dq ^ dr)
+      | Union (q, r) ->
+        let dq = go q in
+        let dr = go r in
+        Digest.string ("U:" ^ dq ^ dr)
+      | Diff (q, r) ->
+        let dq = go q in
+        let dr = go r in
+        Digest.string ("D:" ^ dq ^ dr)
+    in
+    acc := (p, String.sub (Digest.to_hex d) 0 8) :: !acc;
+    d
+  in
+  ignore (go plan);
+  !acc
+
+let fingerprint plan =
+  match annotate plan with
+  | (_, fp) :: _ -> fp
+  | [] -> assert false
+
+let card_metric = "relalg.node_card"
+let node_metric fp = card_metric ^ "." ^ fp
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type engine = Row_engine | Columnar_engine
+
+let default_engine = ref Columnar_engine
+
+module B = Fq_core.Budget
+module T = Fq_core.Telemetry
+
+(* Every operator charges one unit plus the cardinality it materialized,
+   against the explicit budget if given, else the ambient one — so a
+   governed front-end bounds even plans evaluated deep inside a compiled
+   tier.  [Budget.Exhausted] propagates; front-ends [guard].  Telemetry
+   sees each materialization too: the per-node output-cardinality
+   histograms (aggregate, and keyed by the post-optimization node
+   fingerprint while a recording is active) are what the cost model's
+   stats profile is built from.  Both engines settle each operator with
+   the same fault site, charge and observations, so fault schedules,
+   budget verdicts and recorded statistics agree across engines. *)
+let make_settle ~budget ~fps node card =
+  Fq_core.Fault.hit "relalg.node";
+  T.count "relalg.nodes";
+  T.observe card_metric (float_of_int card);
+  (match fps with
+  | [] -> ()
+  | _ -> (
+    match List.assq_opt node fps with
+    | Some fp -> T.observe (node_metric fp) (float_of_int card)
+    | None -> ()));
+  let n = 1 + card in
+  match budget with
+  | Some b ->
+    B.charge b n;
+    B.ensure_size b card
+  | None -> B.charge_ambient n
+
+let eval_rows ~state ~settle ~domain_pred plan =
+  let rec go node =
+    let rel =
+      match node with
+      | Rel name -> (
+        try State.relation state name
+        with Not_found -> invalid_arg (Printf.sprintf "Relalg.eval: unknown relation %s" name))
+      | Lit r -> r
+      | Select (cond, p) -> Relation.filter (fun tup -> eval_cond domain_pred tup cond) (go p)
+      | Project (cols, p) -> Relation.map_project cols (go p)
+      | Product (p, q) -> Relation.product (go p) (go q)
+      | Join (pairs, p, q) -> Relation.equijoin pairs (go p) (go q)
+      | Union (p, q) -> Relation.union (go p) (go q)
+      | Diff (p, q) -> Relation.diff (go p) (go q)
+    in
+    settle node (Relation.cardinal rel);
     rel
   in
-  let rec go = function
-    | Rel name -> (
-      try settle (State.relation state name)
-      with Not_found -> invalid_arg (Printf.sprintf "Relalg.eval: unknown relation %s" name))
-    | Lit r -> settle r
-    | Select (cond, p) -> settle (Relation.filter (fun tup -> eval_cond domain_pred tup cond) (go p))
-    | Project (cols, p) -> settle (Relation.map_project cols (go p))
-    | Product (p, q) -> settle (Relation.product (go p) (go q))
-    | Join (pairs, p, q) -> settle (Relation.equijoin pairs (go p) (go q))
-    | Union (p, q) -> settle (Relation.union (go p) (go q))
-    | Diff (p, q) -> settle (Relation.diff (go p) (go q))
+  go plan
+
+(* The state's columnar image — its dictionary (rank-ordered over the
+   active domain) and every base relation encoded through it — is built
+   once and memoized on the state via its engine-private slot.  The exn
+   is the extensible carrier {!State} asks for; the payload is frozen
+   after publication (evaluations only read it through overlays). *)
+exception Columnar_image of Columnar.Dict.t * (string, Columnar.t) Hashtbl.t
+
+let columnar_image state =
+  match State.memo state with
+  | Some (Columnar_image (dict, batches)) -> (dict, batches)
+  | Some _ | None ->
+    let dict = Columnar.Dict.of_sorted_values (State.active_domain state) in
+    let batches = Hashtbl.create 8 in
+    List.iter
+      (fun (name, _) ->
+        Hashtbl.add batches name (Columnar.of_relation dict (State.relation state name)))
+      (Schema.relations (State.schema state));
+    (* fully built before the single-word publish: a concurrent reader
+       sees either nothing or a complete image *)
+    State.set_memo state (Columnar_image (dict, batches));
+    (dict, batches)
+
+let eval_columnar ~state ~settle ~domain_pred plan =
+  let module C = Columnar in
+  let base_dict, batches = columnar_image state in
+  (* Plan literals get encoded into a per-evaluation overlay, keeping
+     the shared image frozen.  Condition constants are never inserted:
+     a [find] miss means the value occurs nowhere in the data, so the
+     equality is uniformly false.  Literal-free plans (the common case)
+     use the shared dictionary directly — no layer indirection on the
+     decode path. *)
+  let rec has_lit = function
+    | Rel _ -> false
+    | Lit _ -> true
+    | Select (_, p) | Project (_, p) -> has_lit p
+    | Product (p, q) | Join (_, p, q) | Union (p, q) | Diff (p, q) -> has_lit p || has_lit q
   in
+  let dict = if has_lit plan then C.Dict.overlay base_dict else base_dict in
+  let batch_of name =
+    match Hashtbl.find_opt batches name with
+    | Some b -> b
+    | None ->
+      (* every scheme relation is in the image, so this name is outside
+         the scheme — same error as the row engine *)
+      invalid_arg (Printf.sprintf "Relalg.eval: unknown relation %s" name)
+  in
+  (* compile a condition to a predicate over the batch's logical rows *)
+  let compile_cond cond (b : C.t) =
+    let log = match b.C.sel with None -> fun i -> i | Some s -> fun i -> s.(i) in
+    let col i =
+      if i < 0 || i >= b.C.arity then
+        invalid_arg (Printf.sprintf "Relalg.eval: condition column %d of arity %d" i b.C.arity)
+      else b.C.cols.(i)
+    in
+    let rec comp = function
+      | Eq (Col i, Col j) ->
+        let ci = col i and cj = col j in
+        fun r ->
+          let p = log r in
+          ci.(p) = cj.(p)
+      | Eq (Col i, Const v) | Eq (Const v, Col i) -> (
+        let ci = col i in
+        match C.Dict.find dict v with
+        | Some code -> fun r -> ci.(log r) = code
+        | None -> fun _ -> false)
+      | Eq (Const u, Const v) ->
+        let x = Value.equal u v in
+        fun _ -> x
+      | Domain_pred (p, args) ->
+        let evs =
+          List.map
+            (function
+              | Col i ->
+                let ci = col i in
+                fun r -> C.Dict.decode dict ci.(log r)
+              | Const v -> fun _ -> v)
+            args
+        in
+        fun r -> domain_pred p (List.map (fun f -> f r) evs)
+      | Not c ->
+        let f = comp c in
+        fun r -> not (f r)
+      | And_c (a, b) ->
+        let fa = comp a and fb = comp b in
+        fun r -> fa r && fb r
+      | Or_c (a, b) ->
+        let fa = comp a and fb = comp b in
+        fun r -> fa r || fb r
+    in
+    comp cond
+  in
+  (* children are evaluated right-to-left, matching the row engine's
+     argument order, so the per-site fault hit sequence is identical *)
+  let rec go node =
+    let out =
+      match node with
+      | Rel name -> batch_of name
+      | Lit r -> C.of_relation dict r
+      | Select (cond, p) ->
+        let b = go p in
+        C.filter (compile_cond cond b) b
+      | Project (cols, p) -> C.project (Array.of_list cols) (go p)
+      | Product (p, q) ->
+        let bq = go q in
+        let bp = go p in
+        C.product bp bq
+      | Join (pairs, p, q) ->
+        let bq = go q in
+        let bp = go p in
+        C.equijoin pairs bp bq
+      | Union (p, q) ->
+        let bq = go q in
+        let bp = go p in
+        C.union bp bq
+      | Diff (p, q) ->
+        let bq = go q in
+        let bp = go p in
+        C.diff bp bq
+    in
+    settle node (C.nrows out);
+    out
+  in
+  C.to_relation dict (go plan)
+
+let eval ~state ?budget ?engine ?(domain_pred = no_domain_pred) plan =
+  let engine = match engine with Some e -> e | None -> !default_engine in
   T.with_span "relalg.eval" (fun () ->
-      let rel = go plan in
+      (* per-node attribution only while a collector is installed: the
+         disabled path stays a single ref read per settle *)
+      let fps = if T.enabled () then annotate plan else [] in
+      let settle = make_settle ~budget ~fps in
+      let rel =
+        match engine with
+        | Row_engine -> eval_rows ~state ~settle ~domain_pred plan
+        | Columnar_engine -> eval_columnar ~state ~settle ~domain_pred plan
+      in
       T.set_attr "out_card" (T.Int (Relation.cardinal rel));
       rel)
 

@@ -41,9 +41,18 @@ val arity_check : schema:Schema.t -> t -> (int, string) result
     ill-formed node (unknown relation, column out of range, arity
     mismatch in [Union]/[Diff]). *)
 
+type engine =
+  | Row_engine  (** tuple-at-a-time over sorted {!Row.t} arrays (the PR 1 engine) *)
+  | Columnar_engine  (** batch-at-a-time over dictionary-encoded {!Columnar} batches *)
+
+val default_engine : engine ref
+(** Engine used when {!eval} gets no explicit [?engine]; [Columnar_engine]
+    unless overridden (e.g. by the CLI's [--engine=row]). *)
+
 val eval :
   state:State.t ->
   ?budget:Fq_core.Budget.t ->
+  ?engine:engine ->
   ?domain_pred:(string -> Value.t list -> bool) ->
   t ->
   Relation.t
@@ -53,9 +62,32 @@ val eval :
     cardinality of its result to [budget] — or, when no explicit budget is
     given, to the ambient {!Fq_core.Budget} if one is installed — and an
     explicit budget's cardinality cap applies to every intermediate.
+
+    Both engines produce the same canonical {!Relation}, settle each
+    operator at the same fault site ([relalg.node]) in the same order and
+    charge identical amounts (one unit plus the operator's output
+    cardinality — per batch in the columnar engine), so verdicts under a
+    shared budget and deterministic fault schedules agree across engines
+    (property-tested in [test/test_columnar.ml]).
     @raise Invalid_argument on an ill-formed plan (see {!arity_check}).
     @raise Fq_core.Budget.Exhausted when the governing budget runs dry;
     front-ends recover with {!Fq_core.Budget.guard}. *)
+
+val fingerprint : t -> string
+(** Stable 8-hex-digit structural digest of a plan, computed bottom-up
+    over operators, conditions and literal contents. While a telemetry
+    recording is active, {!eval} records each node's output cardinality
+    into the histogram [relalg.node_card.<fingerprint subplan>] — keyed by
+    the {e post-optimization} node, which is what the optimizer's stats
+    profile matches against. *)
+
+val card_metric : string
+(** ["relalg.node_card"] — the aggregate per-node output-cardinality
+    histogram. *)
+
+val node_metric : string -> string
+(** [node_metric fp] is the histogram name attributing output cardinality
+    to the plan node with fingerprint [fp]. *)
 
 val size : t -> int
 (** Number of operator nodes, for benchmarks and tests. *)

@@ -79,4 +79,10 @@ val of_rows : arity:int -> Row.t array -> t
 val mem_row : Row.t -> t -> bool
 (** Binary search over the sorted rows. *)
 
+val of_sorted_rows : arity:int -> Row.t array -> t
+(** Adopts an array the caller guarantees is already sorted ascending by
+    [Row.compare] and duplicate-free — the engines' fast path out of an
+    order-preserving pipeline (no check is performed; a violated
+    precondition breaks {!equal} and {!mem}). *)
+
 val pp : Format.formatter -> t -> unit

@@ -7,11 +7,14 @@ type t = { cells : Value.t array; hash : int }
 
 (* A multiplicative mix (FNV-style) over the per-value hashes. *)
 let combine h v = (h * 0x01000193) lxor v
+let combine_hash = combine
+let seed_hash = 0x811c9dc5
 
 let hash_cells cells =
-  Array.fold_left (fun h v -> combine h (Value.hash v)) 0x811c9dc5 cells land max_int
+  Array.fold_left (fun h v -> combine h (Value.hash v)) seed_hash cells land max_int
 
 let of_array cells = { cells; hash = hash_cells cells }
+let of_array_hashed cells hash = { cells; hash }
 let of_list tup = of_array (Array.of_list tup)
 let to_list r = Array.to_list r.cells
 let cells r = r.cells

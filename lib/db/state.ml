@@ -2,6 +2,13 @@ type t = {
   schema : Schema.t;
   relations : (string * Relation.t) list;
   constants : (string * Value.t) list;  (* names without the @ prefix *)
+  (* One engine-private memo slot (the [exn] is an extensible carrier so
+     this module stays ignorant of the engine's types): the columnar
+     engine stores the state's dictionary-encoded image here, built once
+     and reused by every evaluation over this state.  A single word,
+     written atomically; racing builders both produce valid caches and
+     last-write-wins. *)
+  mutable memo : exn option;
 }
 
 let strip_at c =
@@ -29,9 +36,11 @@ let make ~schema ?(constants = []) relations =
       if not (List.mem_assoc c constants) then
         invalid_arg (Printf.sprintf "State: scheme constant %s is uninterpreted" c))
     (Schema.constants schema);
-  { schema; relations; constants }
+  { schema; relations; constants; memo = None }
 
 let schema st = st.schema
+let memo st = st.memo
+let set_memo st e = st.memo <- Some e
 
 let relation st name =
   match List.assoc_opt name st.relations with
@@ -53,7 +62,8 @@ let active_domain st =
 
 let with_relation st name rel =
   check_relation st.schema (name, rel);
-  { st with relations = (name, rel) :: List.remove_assoc name st.relations }
+  (* the memo describes the old relation set — never carry it over *)
+  { st with relations = (name, rel) :: List.remove_assoc name st.relations; memo = None }
 
 let pp fmt st =
   Format.fprintf fmt "@[<v>";

@@ -33,4 +33,14 @@ val active_domain : t -> Value.t list
 val with_relation : t -> string -> Relation.t -> t
 (** Functional update. @raise Invalid_argument as in {!make}. *)
 
+val memo : t -> exn option
+(** Engine-private memo slot (see {!set_memo}); [None] on a fresh or
+    functionally-updated state. *)
+
+val set_memo : t -> exn -> unit
+(** Stores an engine's derived image of this state (an [exn] as an
+    extensible carrier, so this module needs no knowledge of engine
+    types). The value must be derivable from the state alone: racing
+    writers are resolved by last-write-wins. *)
+
 val pp : Format.formatter -> t -> unit

@@ -19,25 +19,78 @@ end
 
 module H = Hashtbl.Make (Key)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
+
+(* intrusive doubly-linked recency list: head = most recently used *)
+type node = {
+  key : Formula.t;
+  mutable value : (bool, string) result;
+  mutable prev : node option;
+  mutable next : node option;
+}
 
 type t = {
-  table : (bool, string) result H.t;
+  table : node H.t;
+  mutable head : node option;
+  mutable tail : node option;
+  capacity : int;  (* <= 0 means unbounded *)
   lock : Mutex.t;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
-let create ?(size = 256) () =
-  { table = H.create size; lock = Mutex.create (); cache_hits = 0; cache_misses = 0 }
+let create ?(size = 256) ?(capacity = 4096) () =
+  { table = H.create size;
+    head = None;
+    tail = None;
+    capacity;
+    lock = Mutex.create ();
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0 }
 
 let locked c f =
   Mutex.lock c.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
 
+(* list surgery; all under the cache lock *)
+let unlink c n =
+  (match n.prev with Some p -> p.next <- n.next | None -> c.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> c.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front c n =
+  n.next <- c.head;
+  (match c.head with Some h -> h.prev <- Some n | None -> c.tail <- Some n);
+  c.head <- Some n
+
+let touch c n =
+  match c.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink c n;
+    push_front c n
+
+let evict_excess c =
+  if c.capacity > 0 then
+    while H.length c.table > c.capacity do
+      match c.tail with
+      | None -> assert false (* length > 0 implies a tail *)
+      | Some lru ->
+        unlink c lru;
+        H.remove c.table lru.key;
+        c.cache_evictions <- c.cache_evictions + 1;
+        Fq_core.Telemetry.count "decide_cache.evictions"
+    done
+
 let stats c =
   locked c (fun () ->
-      { hits = c.cache_hits; misses = c.cache_misses; entries = H.length c.table })
+      { hits = c.cache_hits;
+        misses = c.cache_misses;
+        entries = H.length c.table;
+        evictions = c.cache_evictions })
 
 let hit_rate { hits; misses; _ } =
   if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses)
@@ -45,8 +98,11 @@ let hit_rate { hits; misses; _ } =
 let clear c =
   locked c (fun () ->
       H.reset c.table;
+      c.head <- None;
+      c.tail <- None;
       c.cache_hits <- 0;
-      c.cache_misses <- 0)
+      c.cache_misses <- 0;
+      c.cache_evictions <- 0)
 
 (* A verdict is cacheable when it depends only on the domain's theory:
    [Ok _] and "this formula is outside the fragment" are eternal truths,
@@ -78,9 +134,10 @@ let decide c (module D : Domain.S) f =
   let cached =
     locked c (fun () ->
         match H.find_opt c.table key with
-        | Some r ->
+        | Some n ->
           c.cache_hits <- c.cache_hits + 1;
-          Some r
+          touch c n;
+          Some n.value
         | None ->
           c.cache_misses <- c.cache_misses + 1;
           None)
@@ -92,7 +149,18 @@ let decide c (module D : Domain.S) f =
   | None ->
     Fq_core.Telemetry.count "decide_cache.misses";
     let r = D.decide f in
-    if cacheable r then locked c (fun () -> H.replace c.table key r);
+    if cacheable r then
+      locked c (fun () ->
+          (match H.find_opt c.table key with
+          | Some n ->
+            (* a racing worker filled it first; verdicts agree *)
+            n.value <- r;
+            touch c n
+          | None ->
+            let n = { key; value = r; prev = None; next = None } in
+            H.replace c.table key n;
+            push_front c n);
+          evict_excess c);
     r
 
 (* A domain whose [decide] consults the cache; every other component is

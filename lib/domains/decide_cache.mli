@@ -18,15 +18,22 @@
 
 type t
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
-val create : ?size:int -> unit -> t
+val create : ?size:int -> ?capacity:int -> unit -> t
+(** [size] is the initial hash-table size hint; [capacity] (default
+    [4096]) bounds the number of {e retained} entries — the least
+    recently used entry is evicted when an insertion would exceed it.  A
+    non-positive [capacity] disables eviction (the pre-LRU unbounded
+    behavior).  Lookups count as uses, so hot sentences survive long
+    enumerations even when the candidate stream churns the tail. *)
 
 val stats : t -> stats
-(** Per-instance counts.  Hits and misses are also mirrored into the
-    telemetry counters [decide_cache.hits]/[decide_cache.misses] (which
-    aggregate across caches while a {!Fq_core.Telemetry} recording is
-    active); this accessor remains as a thin per-cache view. *)
+(** Per-instance counts.  Hits, misses and evictions are also mirrored
+    into the telemetry counters [decide_cache.hits]/[decide_cache.misses]
+    /[decide_cache.evictions] (which aggregate across caches while a
+    {!Fq_core.Telemetry} recording is active); this accessor remains as a
+    thin per-cache view. *)
 
 val hit_rate : stats -> float
 (** Fraction of lookups served from the cache; [0.] when no lookups. *)

@@ -27,9 +27,12 @@ let col_of cols x =
 let dedup xs =
   List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs |> List.rev
 
-let compile ~domain ~state ?(extra_adom = []) f =
+let compile ?stats ~domain ~state ?(extra_adom = []) f =
   let (module D : Fq_domain.Domain.S) = domain in
   let schema = State.schema state in
+  let stats =
+    match stats with Some s -> s | None -> Fq_db.Optimizer.Stats.of_state state
+  in
   let interpret_const c =
     if Term.is_scheme_const c then
       match State.constant state c with
@@ -184,16 +187,17 @@ let compile ~domain ~state ?(extra_adom = []) f =
   in
   match go f with
   | compiled ->
-    Ok { compiled with plan = Fq_db.Optimizer.optimize_for ~schema compiled.plan }
+    Ok { compiled with plan = Fq_db.Optimizer.optimize_for ~stats ~schema compiled.plan }
   | exception Unsupported msg -> Error msg
 
 (* shadowing wrapper: compilation cost shows up as its own span *)
-let compile ~domain ~state ?extra_adom f =
-  Fq_core.Telemetry.with_span "adom.compile" (fun () -> compile ~domain ~state ?extra_adom f)
+let compile ?stats ~domain ~state ?extra_adom f =
+  Fq_core.Telemetry.with_span "adom.compile" (fun () ->
+      compile ?stats ~domain ~state ?extra_adom f)
 
-let run ~domain ~state ?extra_adom f =
+let run ?stats ~domain ~state ?extra_adom f =
   let (module D : Fq_domain.Domain.S) = domain in
-  let* { plan; columns = _ } = compile ~domain ~state ?extra_adom f in
+  let* { plan; columns = _ } = compile ?stats ~domain ~state ?extra_adom f in
   let domain_pred p values =
     match D.eval_pred p values with
     | Some b -> b

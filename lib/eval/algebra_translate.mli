@@ -23,6 +23,7 @@ type compiled = {
 }
 
 val compile :
+  ?stats:Fq_db.Optimizer.Stats.t ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   ?extra_adom:Fq_db.Value.t list ->
@@ -31,9 +32,11 @@ val compile :
 (** Compiles against the given state's schema and active domain (the
     query's own constants are added automatically; [extra_adom] can add
     more). The plan embeds the active domain as a literal relation, so it
-    is specific to the state. *)
+    is specific to the state.  [?stats] feeds the cost-based optimizer
+    passes; default {!Fq_db.Optimizer.Stats.of_state}. *)
 
 val run :
+  ?stats:Fq_db.Optimizer.Stats.t ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   ?extra_adom:Fq_db.Value.t list ->

@@ -41,7 +41,7 @@ let attempt_tier ~budget ~tier run =
            | `Tier_failed _ -> "passed"));
       outcome)
 
-let eval_resilient ?budget ?max_certified ?cache ?resume ~domain ~state f =
+let eval_resilient ?budget ?max_certified ?cache ?resume ?stats ~domain ~state f =
   let budget = match budget with Some b -> b | None -> Budget.of_fuel 10_000 in
   Telemetry.with_span "query.eval_resilient" @@ fun () ->
   let arity = List.length (Formula.free_vars f) in
@@ -82,14 +82,16 @@ let eval_resilient ?budget ?max_certified ?cache ?resume ~domain ~state f =
         (* active-domain compilation computes the wrong semantics here *)
         enumerate [ ("ranf-algebra", "not safe-range: " ^ why) ]
       | Safe_range.Safe_range -> (
-        match attempt_tier ~budget ~tier:"ranf-algebra" (fun () -> Ranf.run ~domain ~state f) with
+        match
+          attempt_tier ~budget ~tier:"ranf-algebra" (fun () -> Ranf.run ?stats ~domain ~state f)
+        with
         | `Answer answer -> finish (Complete { answer; tier = "ranf-algebra" }) []
         | `Budget reason -> finish (partial reason) []
         | `Tier_failed e1 -> (
           let attempts = [ ("ranf-algebra", e1) ] in
           match
             attempt_tier ~budget ~tier:"adom-algebra" (fun () ->
-                Algebra_translate.run ~domain ~state f)
+                Algebra_translate.run ?stats ~domain ~state f)
           with
           | `Answer answer -> finish (Complete { answer; tier = "adom-algebra" }) attempts
           | `Budget reason -> finish (partial reason) attempts

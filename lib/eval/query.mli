@@ -38,6 +38,7 @@ val eval_resilient :
   ?max_certified:int ->
   ?cache:Fq_domain.Decide_cache.t ->
   ?resume:resume ->
+  ?stats:Fq_db.Optimizer.Stats.t ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   Fq_logic.Formula.t ->
@@ -45,6 +46,9 @@ val eval_resilient :
 (** Never raises and never hangs under a finite budget.  The default
     budget is [Budget.of_fuel 10_000], matching {!Enumerate.run}.  With
     [?resume] the compiled tiers are skipped (the prior call already fell
-    through them) and the scan continues from the token. *)
+    through them) and the scan continues from the token.  [?stats] feeds
+    the compiled tiers' cost-based optimizer (e.g. a telemetry profile
+    via {!Fq_db.Optimizer.Stats.with_profile}); by default each tier
+    derives base-cardinality statistics from the state. *)
 
 val pp : Format.formatter -> report -> unit

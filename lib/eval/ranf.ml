@@ -62,9 +62,12 @@ type compiled = Algebra_translate.compiled = {
   columns : string list;
 }
 
-let compile ~domain ~state f =
+let compile ?stats ~domain ~state f =
   let (module D : Fq_domain.Domain.S) = domain in
   let schema = State.schema state in
+  let stats =
+    match stats with Some s -> s | None -> Fq_db.Optimizer.Stats.of_state state
+  in
   let interpret_const c =
     if Term.is_scheme_const c then
       match State.constant state c with
@@ -341,16 +344,16 @@ let compile ~domain ~state f =
            (String.concat "," compiled.columns))
     else
       let plan = Relalg.Project (List.map (col_of compiled.columns) free, compiled.plan) in
-      Ok { plan = Fq_db.Optimizer.optimize_for ~schema plan; columns = free }
+      Ok { plan = Fq_db.Optimizer.optimize_for ~stats ~schema plan; columns = free }
   | exception Not_ranf msg -> Error ("not RANF-compilable: " ^ msg)
 
 (* shadowing wrapper: compilation cost shows up as its own span *)
-let compile ~domain ~state f =
-  Fq_core.Telemetry.with_span "ranf.compile" (fun () -> compile ~domain ~state f)
+let compile ?stats ~domain ~state f =
+  Fq_core.Telemetry.with_span "ranf.compile" (fun () -> compile ?stats ~domain ~state f)
 
-let run ~domain ~state f =
+let run ?stats ~domain ~state f =
   let (module D : Fq_domain.Domain.S) = domain in
-  let* { plan; columns = _ } = compile ~domain ~state f in
+  let* { plan; columns = _ } = compile ?stats ~domain ~state f in
   let domain_pred p values =
     match D.eval_pred p values with
     | Some b -> b

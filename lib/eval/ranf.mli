@@ -21,16 +21,21 @@ val to_ranf : Fq_logic.Formula.t -> Fq_logic.Formula.t
     translation below applies. Preserves logical equivalence. *)
 
 val compile :
+  ?stats:Fq_db.Optimizer.Stats.t ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   Fq_logic.Formula.t ->
   (Algebra_translate.compiled, string) result
 (** Fails (rather than falling back) when the formula is not safe-range —
     use {!Algebra_translate} for the general active-domain semantics. The
-    state is used only to interpret scheme constants; the plan contains no
-    active-domain literal. *)
+    state is used only to interpret scheme constants and derive optimizer
+    statistics; the plan contains no active-domain literal.  [?stats]
+    feeds the cost-based optimizer passes (join ordering, predicate
+    placement) — by default {!Fq_db.Optimizer.Stats.of_state}, i.e. base
+    cardinalities without an observed profile. *)
 
 val run :
+  ?stats:Fq_db.Optimizer.Stats.t ->
   domain:Fq_domain.Domain.t ->
   state:Fq_db.State.t ->
   Fq_logic.Formula.t ->

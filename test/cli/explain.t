@@ -8,6 +8,7 @@ A safe-range query over the equality domain compiles to RANF algebra:
   $ (../../bin/fq.exe explain -d equality -r "F/2=a,b;b,c;c,d" "exists y. F(x,y)" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
   query:   exists y. F(x, y)
   domain:  equality
+  engine:  columnar
   safety:  safe-range
   plan:    project[0](F)   [ranf-algebra; columns x]
   verdict: complete via ranf-algebra (3 tuples): {("a"), ("b"), ("c")}
@@ -19,10 +20,15 @@ A safe-range query over the equality domain compiles to RANF algebra:
         relalg.eval [out_card=3]  ticks=8/8  D.Dms
   budget attribution (self ticks by span):
     relalg.eval                  8
+  cost model (estimated vs observed output cardinality):
+    8032a54a  est 3.0       actual 3      project[0]
+    93b882fc  est 3.0       actual 3      rel F
   counters:
     relalg.nodes                             2
   histograms (count/sum/min/max):
     relalg.node_card                         n=2 sum=6 min=3 max=3
+    relalg.node_card.8032a54a                n=1 sum=3 min=3 max=3
+    relalg.node_card.93b882fc                n=1 sum=3 min=3 max=3
 
 A query with a successor-function atom defeats both compiled tiers and is
 answered by the Section 1.1 enumeration, whose budget goes to the N' QE:
@@ -30,6 +36,7 @@ answered by the Section 1.1 enumeration, whose budget goes to the N' QE:
   $ (../../bin/fq.exe explain -d nat_succ -r "R/1=3;5" "exists y. R(y) /\ x = y'" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
   query:   exists y. R(y) /\ x = y'
   domain:  nat_succ
+  engine:  columnar
   safety:  not safe-range (free variable(s) x are not range-restricted)
   plan:    enumerate-and-decide (Section 1.1)
   verdict: complete via enumerate (2 tuples): {(4), (6)}
@@ -59,6 +66,7 @@ this state because R bounds x from above:
   $ (../../bin/fq.exe explain -d nat_order -r "R/1=2;5" "exists y. R(y) /\ x < y" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
   query:   exists y. R(y) /\ x < y
   domain:  nat_order
+  engine:  columnar
   safety:  not safe-range (free variable(s) x are not range-restricted)
   plan:    enumerate-and-decide (Section 1.1)
   verdict: complete via enumerate (5 tuples): {(0), (1), (2), (3), (4)}
@@ -88,6 +96,7 @@ and the attribution shows Cooper's procedure spent the fuel:
   $ (../../bin/fq.exe explain -d presburger -r "R/1=1" --fuel 8 "~R(x)" || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
   query:   ~R(x)
   domain:  presburger
+  engine:  columnar
   safety:  not safe-range (free variable(s) x are not range-restricted)
   plan:    enumerate-and-decide (Section 1.1)
   verdict: partial (fuel exhausted after 2 candidates), 1 tuples so far
@@ -116,6 +125,7 @@ A sentence over the trace domain is decided by the Reach QE (Theorem A.3):
   $ (../../bin/fq.exe explain -d traces 'exists p. P("*1**1*1", "11", p)' || echo "exit $?") | sed -E 's/[0-9]+\.[0-9]+ms/D.Dms/g; s/[0-9.]+ ms/MS ms/g'
   query:   exists p. P("*1**1*1", 11, p)
   domain:  traces
+  engine:  columnar
   safety:  not safe-range (quantified variable p is not range-restricted in its scope)
   plan:    enumerate-and-decide (Section 1.1)
   verdict: complete via enumerate (1 tuples): {()}
@@ -158,6 +168,8 @@ check the shape only):
   {"type": "span", "name": "relalg.eval", "depth": 2, "start_ms": T, "dur_ms": T, "self_ms": T, "ticks": 4, "self_ticks": 4, "attrs": {"out_card": 1}}
   {"type": "counter", "name": "relalg.nodes", "value": 2}
   {"type": "histogram", "name": "relalg.node_card", "count": 2, "sum": 2, "min": 1, "max": 1}
+  {"type": "histogram", "name": "relalg.node_card.8032a54a", "count": 1, "sum": 1, "min": 1, "max": 1}
+  {"type": "histogram", "name": "relalg.node_card.93b882fc", "count": 1, "sum": 1, "min": 1, "max": 1}
 
 The chrome sink writes a trace_event JSON array loadable in Perfetto:
 

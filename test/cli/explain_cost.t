@@ -1,0 +1,50 @@
+The cost model in `explain`: per plan node, the optimizer's estimated
+output cardinality next to the cardinality the run actually observed
+(the relalg.node_card.<fingerprint> histograms). The join-order line
+shows the left-deep spine the evaluator executes.
+
+On the grandfather self-join the textbook estimate divides |F ⋈ F| = 16
+by the larger distinct count of the key columns (4), overshooting the
+true output (2):
+
+  $ ../../bin/fq.exe explain -d equality -r "F/2=adam,cain;adam,abel;cain,enoch;enoch,irad" "exists y. F(x,y) /\ F(y,z)" --stats-out prof.txt | grep -E "join order|cost model|est|profile"
+  join order: F, F (left-deep: the prefix probes, each new factor builds)
+  cost model (estimated vs observed output cardinality):
+    4563cbcb  est 4.0       actual 2      project[0,3]
+    76744e9f  est 4.0       actual 2      join[1=0]
+    93b882fc  est 4.0       actual 4      rel F
+  stats profile written to prof.txt
+
+The profile it wrote is FINGERPRINT COUNT MEAN, one line per node:
+
+  $ cat prof.txt
+  # fq stats profile: FINGERPRINT COUNT MEAN (relalg node output cardinality)
+  4563cbcb 1 2
+  76744e9f 1 2
+  93b882fc 2 4
+
+Feeding the profile back closes the loop: profiled nodes now estimate
+their observed cardinality, correcting the overshoot:
+
+  $ ../../bin/fq.exe explain -d equality -r "F/2=adam,cain;adam,abel;cain,enoch;enoch,irad" --stats prof.txt "exists y. F(x,y) /\ F(y,z)" | grep -E "  est|cost model"
+  cost model (estimated vs observed output cardinality):
+    4563cbcb  est 2.0       actual 2      project[0,3]
+    76744e9f  est 2.0       actual 2      join[1=0]
+    93b882fc  est 4.0       actual 4      rel F
+
+A malformed profile is a diagnosed error, not a crash:
+
+  $ printf 'deadbeef not-a-count\n' > bad.txt
+  $ ../../bin/fq.exe eval -d equality -r "F/2=a,b" --stats bad.txt "F(x,y)"
+  error: stats file bad.txt, line 1: expected "FINGERPRINT COUNT MEAN"
+  [1]
+
+Both engines answer identically; --engine selects which one runs the
+compiled plan (the span's out_card and ticks agree across engines):
+
+  $ ../../bin/fq.exe eval -d equality --engine=columnar -r "F/2=a,b;b,c" "exists y. F(x,y)"
+  finite answer (2 tuples): {("a"), ("b")}
+  $ ../../bin/fq.exe eval -d equality --engine=row -r "F/2=a,b;b,c" "exists y. F(x,y)"
+  finite answer (2 tuples): {("a"), ("b")}
+  $ ../../bin/fq.exe explain -d equality --engine=row -r "F/2=a,b;b,c" "exists y. F(x,y)" | grep engine
+  engine:  row

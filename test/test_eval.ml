@@ -138,6 +138,45 @@ let test_decide_cache () =
   Alcotest.(check bool) "rerun hits the cache" true (warm.DC.hits > cold.DC.hits);
   Alcotest.(check int) "rerun adds no entries" cold.DC.entries warm.DC.entries
 
+(* the LRU bound: decisions on distinct sentences evict the least
+   recently used entries, and a lookup refreshes recency *)
+let test_decide_cache_lru () =
+  let module DC = Fq_domain.Decide_cache in
+  let sentence i = parse (Printf.sprintf "exists x. x = \"v%d\"" i) in
+  let cache = DC.create ~capacity:2 () in
+  let decide i =
+    match DC.decide cache eq_domain (sentence i) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  in
+  decide 0;
+  decide 1;
+  let s = DC.stats cache in
+  Alcotest.(check int) "two entries, none evicted" 0 s.DC.evictions;
+  decide 2;
+  let s = DC.stats cache in
+  Alcotest.(check int) "third entry evicts the LRU" 1 s.DC.evictions;
+  Alcotest.(check int) "entries stay at capacity" 2 s.DC.entries;
+  (* 1 and 2 are resident; touching 1 makes 2 the LRU, so deciding 0
+     again must evict 2, not 1 *)
+  decide 1;
+  let hits_before = (DC.stats cache).DC.hits in
+  decide 0;
+  decide 1;
+  let s = DC.stats cache in
+  Alcotest.(check bool) "touched entry survived the eviction" true (s.DC.hits > hits_before);
+  Alcotest.(check int) "re-inserting 0 evicted the untouched 2" 2 s.DC.evictions;
+  (* unbounded mode never evicts *)
+  let unbounded = DC.create ~capacity:0 () in
+  for i = 0 to 9 do
+    match DC.decide unbounded eq_domain (sentence i) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  let s = DC.stats unbounded in
+  Alcotest.(check int) "capacity 0 retains everything" 10 s.DC.entries;
+  Alcotest.(check int) "capacity 0 never evicts" 0 s.DC.evictions
+
 let test_certified_complete () =
   let f = parse "exists y z. y != z /\\ F(x, y) /\\ F(x, z)" in
   let answer = Relation.make ~arity:1 [ [ s "adam" ] ] in
@@ -190,5 +229,6 @@ let () =
           Alcotest.test_case "unsafe out of fuel" `Quick test_unsafe_runs_out_of_fuel;
           Alcotest.test_case "unsafe union (intro)" `Quick test_mixed_unsafe_union;
           Alcotest.test_case "decide cache" `Quick test_decide_cache;
+          Alcotest.test_case "decide cache LRU" `Quick test_decide_cache_lru;
           Alcotest.test_case "certified completeness" `Quick test_certified_complete ] );
       ("nat_order", [ Alcotest.test_case "queries over N_<" `Quick test_nat_order_queries ]) ]

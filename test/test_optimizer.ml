@@ -133,6 +133,26 @@ let prop_optimize_wellformed =
       | Ok a, Ok b -> a = b
       | _ -> false)
 
+let prop_optimize_with_stats_preserves_semantics =
+  QCheck.Test.make
+    ~name:"cost-based optimize preserves semantics (stats from the state)" ~count:600
+    (QCheck.make ~print:print_scenario gen_scenario)
+    (fun (plan, state) ->
+      let stats = Optimizer.Stats.of_state state in
+      let before = Relalg.eval ~state plan in
+      let after = Relalg.eval ~state (Optimizer.optimize_for ~stats ~schema plan) in
+      Relation.equal before after)
+
+let prop_optimize_with_stats_wellformed =
+  QCheck.Test.make ~name:"cost-based optimize preserves static arity" ~count:600
+    (QCheck.make ~print:print_scenario gen_scenario)
+    (fun (plan, state) ->
+      let stats = Optimizer.Stats.of_state state in
+      let opt = Optimizer.optimize_for ~stats ~schema plan in
+      match (Relalg.arity_check ~schema plan, Relalg.arity_check ~schema opt) with
+      | Ok a, Ok b -> a = b
+      | _ -> false)
+
 let gen_join_case =
   QCheck.Gen.(
     int_range 1 2 >>= fun a1 ->
@@ -220,6 +240,76 @@ let test_identity_project_pruned () =
     "identity projection removed" true
     (Optimizer.optimize_for ~schema plan = Relalg.Rel "B")
 
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arity_of = Schema.arity schema
+
+let test_estimate_uses_state_cards () =
+  let a = Relation.make ~arity:1 (List.init 7 (fun i -> [ vi i ])) in
+  let state =
+    State.make ~schema
+      [ ("A", a); ("B", Relation.empty ~arity:2); ("C", Relation.empty ~arity:3) ]
+  in
+  let stats = Optimizer.Stats.of_state state in
+  Alcotest.(check (float 0.001))
+    "leaf estimate is the exact base cardinality" 7.
+    (Optimizer.estimate stats ~arity_of (Relalg.Rel "A"));
+  (* a point selection divides by the column's distinct count *)
+  Alcotest.(check (float 0.001))
+    "point selection keeps 1/distinct" 1.
+    (Optimizer.estimate stats ~arity_of
+       Relalg.(Select (Eq (Col 0, Const (vi 3)), Rel "A")))
+
+let test_estimate_profile_overrides () =
+  let plan = Relalg.Rel "A" in
+  let fp = Relalg.fingerprint plan in
+  let stats = Optimizer.Stats.of_profile [ (fp, 42.) ] in
+  Alcotest.(check (float 0.001))
+    "profiled cardinality wins over the formula" 42.
+    (Optimizer.estimate stats ~arity_of plan);
+  Alcotest.(check (float 0.001))
+    "unprofiled node falls back to the default" 100.
+    (Optimizer.estimate stats ~arity_of (Relalg.Rel "B"))
+
+(* the greedy reorder must start the spine from the largest factor: the
+   accumulated prefix is the probe side, each added factor a hash build *)
+let rec leftmost_leaf = function
+  | Relalg.Join (_, p, _) | Relalg.Product (p, _) -> leftmost_leaf p
+  | Relalg.Select (_, p) | Relalg.Project (_, p) -> leftmost_leaf p
+  | Relalg.Rel r -> Some r
+  | Relalg.Lit _ | Relalg.Union _ | Relalg.Diff _ -> None
+
+let test_stats_reorder_probes_largest () =
+  let a = Relation.make ~arity:1 (List.init 2 (fun i -> [ vi i ])) in
+  let b = Relation.make ~arity:2 (List.init 30 (fun i -> [ vi (i mod 2); vi i ])) in
+  let c =
+    Relation.make ~arity:3 (List.init 50 (fun i -> [ vi (i mod 30); vi i; vi i ]))
+  in
+  let state = State.make ~schema [ ("A", a); ("B", b); ("C", c) ] in
+  let stats = Optimizer.Stats.of_state state in
+  (* (A × B) ⋈ C as written: the unconnected A × B cross product comes
+     first, while both A and B connect to C. The greedy reorder starts
+     from the 50-row C (the probe side of every later join) and adds B
+     then A along join predicates — never materializing the product. *)
+  let plan =
+    Relalg.(
+      Join ([ (0, 0); (2, 1) ], Product (Rel "A", Rel "B"), Rel "C"))
+  in
+  let plain = Optimizer.optimize_for ~schema plan in
+  Alcotest.(check (option string))
+    "without stats the written order survives" (Some "A") (leftmost_leaf plain);
+  let opt = Optimizer.optimize_for ~stats ~schema plan in
+  Alcotest.(check (option string))
+    "with stats the largest factor probes" (Some "C") (leftmost_leaf opt);
+  Alcotest.(check int)
+    "the cross product is gone" 0
+    (count_nodes is_product opt);
+  Alcotest.(check bool)
+    "reordered plan evaluates identically" true
+    (Relation.equal (Relalg.eval ~state plan) (Relalg.eval ~state opt))
+
 let test_malformed_plan_unchanged () =
   (* a plan the optimizer cannot type must be returned untouched *)
   let plan = Relalg.(Select (Eq (Col 7, Col 0), Rel "Nope")) in
@@ -232,6 +322,8 @@ let () =
     [ ( "properties",
         [ QCheck_alcotest.to_alcotest prop_optimize_preserves_semantics;
           QCheck_alcotest.to_alcotest prop_optimize_wellformed;
+          QCheck_alcotest.to_alcotest prop_optimize_with_stats_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_optimize_with_stats_wellformed;
           QCheck_alcotest.to_alcotest prop_join_is_select_product ] );
       ( "rewrites",
         [ Alcotest.test_case "select-over-product becomes hash join" `Quick
@@ -241,4 +333,11 @@ let () =
           Alcotest.test_case "identity projection pruned" `Quick
             test_identity_project_pruned;
           Alcotest.test_case "ill-formed plan left unchanged" `Quick
-            test_malformed_plan_unchanged ] ) ]
+            test_malformed_plan_unchanged ] );
+      ( "cost model",
+        [ Alcotest.test_case "estimates read state cardinalities" `Quick
+            test_estimate_uses_state_cards;
+          Alcotest.test_case "profile overrides the formula" `Quick
+            test_estimate_profile_overrides;
+          Alcotest.test_case "reorder probes the largest factor" `Quick
+            test_stats_reorder_probes_largest ] ) ]

@@ -173,7 +173,7 @@ let test_cache_counters_match_stats () =
 
 let test_hit_rate_empty () =
   Alcotest.(check (float 1e-9)) "no lookups -> 0" 0.0
-    (Decide_cache.hit_rate { Decide_cache.hits = 0; misses = 0; entries = 0 })
+    (Decide_cache.hit_rate { Decide_cache.hits = 0; misses = 0; entries = 0; evictions = 0 })
 
 (* --------------------- observation is pure (QCheck) ------------------ *)
 

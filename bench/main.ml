@@ -1051,6 +1051,120 @@ let ablations () =
   row "4-way supervised batch agrees with sequential: %b" (batch_agreement ())
 
 (* ------------------------------------------------------------------ *)
+(* A7: fq serve - snapshot warm start and wire overhead                *)
+(* ------------------------------------------------------------------ *)
+
+(* QE-heavy Presburger sentences: each costs a full quantifier
+   elimination cold and a hash lookup warm. *)
+let serve_qe_sentences =
+  List.map parse
+    [ "forall x. exists y. x = 2 * y \\/ x = 2 * y + 1";
+      "forall x y. x < y -> exists z. x < z /\\ z <= y";
+      "forall x. exists y. x < y /\\ exists z. y < z /\\ z = 2 * y";
+      "forall x. exists y z. x < y /\\ y < z /\\ z = x + 3";
+      "exists x. forall y. x < y \\/ x = y \\/ y < x";
+      "forall x y z. x < y /\\ y < z -> x < z";
+      "forall x. exists y. y = 3 * x + 1 /\\ x < y";
+      "forall x y. exists z. x + y < z /\\ z = 2 * x + 2 * y + 1" ]
+
+let serve_ablation () =
+  (* (a) first-query decide cost, cold cache vs snapshot-loaded cache *)
+  let decide_pass cache =
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun f -> ignore (Decide_cache.decide cache presburger f)) serve_qe_sentences;
+    (Unix.gettimeofday () -. t0) *. 1e6
+  in
+  let snapshot = Filename.temp_file "fq_bench_snap" ".fq" in
+  let seed = Decide_cache.create () in
+  ignore (decide_pass seed);
+  (match Decide_cache.save seed snapshot with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve ablation: snapshot save: " ^ e));
+  let passes = 5 in
+  let cold_total = ref 0.0 and warm_total = ref 0.0 in
+  for _ = 1 to passes do
+    cold_total := !cold_total +. decide_pass (Decide_cache.create ());
+    let warm = Decide_cache.create () in
+    (match Decide_cache.load warm snapshot with
+    | Ok _ -> ()
+    | Error e -> failwith ("serve ablation: snapshot load: " ^ e));
+    warm_total := !warm_total +. decide_pass warm
+  done;
+  Sys.remove snapshot;
+  let cold_us = !cold_total /. float_of_int passes in
+  let warm_us = !warm_total /. float_of_int passes in
+  let warm_speedup = cold_us /. Float.max warm_us 1e-9 in
+  (* (b) per-request wire overhead: the same query through a live
+     in-process server (socket + JSON + admission + dispatch) vs a
+     direct eval_resilient call *)
+  let sock = Filename.temp_file "fq_bench_serve" ".sock" in
+  Sys.remove sock;
+  let addr = Server.Unix_path sock in
+  let cfg =
+    { (Server.default_config ~state:family_state addr) with
+      Server.jobs = 2;
+      log = (fun _ -> ()) }
+  in
+  let server_result = ref (Error "server never returned") in
+  let th = Thread.create (fun () -> server_result := Server.run cfg) () in
+  let client =
+    match Client.connect ~retries:200 ~delay_ms:25 addr with
+    | Ok c -> c
+    | Error e -> failwith ("serve ablation: " ^ e)
+  in
+  let formula = "exists y. F(x, y)" in
+  let request i =
+    match
+      Client.request client
+        (Protocol.Eval
+           { id = string_of_int i; domain = None; formula; fuel = None;
+             timeout_ms = None; resume = None })
+    with
+    | Ok (_, Protocol.R_outcome _) -> ()
+    | Ok _ -> failwith "serve ablation: unexpected reply"
+    | Error e -> failwith ("serve ablation: " ^ e)
+  in
+  request 0;
+  let n = 300 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    request i
+  done;
+  let serve_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int n in
+  (match Client.request client (Protocol.Shutdown { id = "bye" }) with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve ablation: shutdown: " ^ e));
+  Client.close client;
+  Thread.join th;
+  (match !server_result with
+  | Ok 0 -> ()
+  | Ok c -> failwith (Printf.sprintf "serve ablation: server exited %d" c)
+  | Error e -> failwith ("serve ablation: " ^ e));
+  let parsed = parse formula in
+  let direct () =
+    ignore (Query.eval_resilient ~domain:presburger ~state:family_state parsed)
+  in
+  direct ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    direct ()
+  done;
+  let direct_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int n in
+  let detail =
+    `Assoc
+      [ ("qe_sentences", `Int (List.length serve_qe_sentences));
+        ("timing_passes", `Int passes);
+        ("cold_first_query_us", `Float cold_us);
+        ("warm_first_query_us", `Float warm_us);
+        ("warm_start_speedup", `Float warm_speedup);
+        ("serve_requests", `Int n);
+        ("serve_request_us", `Float serve_us);
+        ("direct_eval_us", `Float direct_us);
+        ("wire_overhead_us", `Float (serve_us -. direct_us)) ]
+  in
+  (detail, (warm_speedup, serve_us, direct_us))
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output (-- json)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1179,6 +1293,26 @@ let json_report_pr6 () =
               ("governed_overhead_le_5pct", `Bool (gov_pct <= 5.0)) ] ) ]
   in
   Format.printf "%a@." print_json doc
+let json_report_pr7 () =
+  let detail, (warm_speedup, serve_us, direct_us) = serve_ablation () in
+  let doc =
+    `Assoc
+      [ ("pr", `Int 7);
+        ( "description",
+          `String
+            "fq serve: decide-cache snapshot warm start (first-query QE cost, cold vs \
+             snapshot-loaded) and per-request wire overhead of the NDJSON daemon vs a \
+             direct eval_resilient call on the same state" );
+        ("serve_ablation", detail);
+        ( "acceptance",
+          `Assoc
+            [ ("warm_start_speedup", `Float warm_speedup);
+              ("warm_start_speedup_ge_5x", `Bool (warm_speedup >= 5.0));
+              ("serve_request_us", `Float serve_us);
+              ("direct_eval_us", `Float direct_us) ] ) ]
+  in
+  Format.printf "%a@." print_json doc
+
 (* Downsized CI gate: fails (exit 1) if the columnar engine regresses
    below the row engine on the chain join, or the engines disagree. *)
 let smoke_pr6 () =
@@ -1293,6 +1427,7 @@ let () =
   | "json-pr4" -> json_report_pr4 ()
   | "json-pr5" -> json_report_pr5 ()
   | "json-pr6" -> json_report_pr6 ()
+  | "json-pr7" -> json_report_pr7 ()
   | "smoke-pr6" -> smoke_pr6 ()
   | _ ->
     let quick = mode = "quick" in

@@ -6,6 +6,8 @@
      fq relsafe  — relative safety of a query in a state
      fq eval     — answer a query in a state (Section 1.1 algorithm)
      fq batch    — supervised parallel evaluation of many queries
+                   (local domain pool, or --connect to a running server)
+     fq serve    — persistent query service on a Unix/TCP socket
      fq tm       — run a Turing machine / list the zoo / show traces
      fq diag     — the Theorem 3.1 diagonalization demo
      fq halting  — the Theorem 3.3 reduction on an instance *)
@@ -15,10 +17,8 @@ open Cmdliner
 
 (* ------------------------- shared arguments ------------------------ *)
 
-let domains : (string * Domain.t) list =
-  [ ("equality", (module Eq_domain)); ("nat_order", (module Nat_order));
-    ("nat_succ", (module Nat_succ)); ("presburger", (module Presburger));
-    ("arithmetic", (module Arithmetic)); ("traces", (module Traces)) ]
+(* the one domain registry, shared with the serve protocol *)
+let domains = Protocol.domains
 
 let domain_conv =
   let parse s =
@@ -172,15 +172,11 @@ let node_label = function
 (* --------------------------- resource governor ---------------------- *)
 
 (* Exit codes: 0 = complete answer, 3 = partial (budget exhausted),
-   4 = input outside the supported fragment, 1 = any other error. *)
-let exit_partial = 3
-let exit_unsupported = 4
-
-let exit_of_error msg =
-  match Budget.failure_of_string msg with
-  | Some (Budget.Unsupported _) -> exit_unsupported
-  | Some _ -> exit_partial
-  | None -> 1
+   4 = input outside the supported fragment, 1 = any other error.
+   The mapping lives in Outcome so eval, batch and serve agree. *)
+let exit_partial = Outcome.exit_partial
+let exit_unsupported = Outcome.exit_unsupported
+let exit_of_error = Outcome.exit_of_error
 
 let report = function
   | Ok code -> code
@@ -271,15 +267,43 @@ let with_telemetry trace metrics f =
     if metrics then Format.eprintf "%a" Telemetry.pp_metrics treport;
     code
 
+(* --------------------------- common options ------------------------- *)
+
+(* Every subcommand takes the same options record through one shared
+   Cmdliner term — no subcommand defines its own copy of --fuel,
+   --timeout-ms, --trace, --metrics, --engine or --stats.  Only the fuel
+   default varies per command. *)
+type common = {
+  trace : trace_sink option;
+  metrics : bool;
+  fuel : int;
+  timeout_ms : int option;
+  engine : Relalg.engine;
+  stats_file : string option;
+}
+
+let common_opts ~default_fuel =
+  let make trace metrics fuel timeout_ms engine stats_file =
+    { trace; metrics; fuel; timeout_ms; engine; stats_file }
+  in
+  Term.(const make $ trace_arg $ metrics_arg $ fuel_arg ~default:default_fuel
+        $ timeout_arg $ engine_arg $ stats_arg)
+
+let with_common c f =
+  set_engine c.engine;
+  with_telemetry c.trace c.metrics f
+
+let budget_of_common c = budget_of c.fuel c.timeout_ms
+
 (* ------------------------------ decide ----------------------------- *)
 
 let decide_cmd =
-  let run trace metrics domain fuel timeout_ms formula =
-    with_telemetry trace metrics @@ fun () ->
+  let run common domain formula =
+    with_common common @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            let (module D : Domain.S) = domain in
-           let budget = budget_of fuel timeout_ms in
+           let budget = budget_of_common common in
            Result.map
              (fun b ->
                Format.printf "%b@." b;
@@ -288,8 +312,7 @@ let decide_cmd =
   in
   let doc = "Decide a pure domain sentence (the domain's decision procedure)." in
   Cmd.v (Cmd.info "decide" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ fuel_arg ~default:1_000_000
-          $ timeout_arg $ formula_arg)
+    Term.(const run $ common_opts ~default_fuel:1_000_000 $ domain_arg $ formula_arg)
 
 (* ------------------------------ safety ----------------------------- *)
 
@@ -311,8 +334,8 @@ let parse_schema_assoc specs =
   with Failure msg -> Error msg
 
 let safety_cmd =
-  let run trace metrics schema formula =
-    with_telemetry trace metrics @@ fun () ->
+  let run common schema formula =
+    with_common common @@ fun () ->
     report
       (Result.bind (parse_schema_assoc schema) (fun schema ->
            Result.map
@@ -326,17 +349,17 @@ let safety_cmd =
   in
   let doc = "Check the syntactic safe-range (range-restriction) discipline." in
   Cmd.v (Cmd.info "safety" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ schema_arg $ formula_arg)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ schema_arg $ formula_arg)
 
 (* ------------------------------ relsafe ---------------------------- *)
 
 let relsafe_cmd =
-  let run trace metrics domain rels consts fuel timeout_ms formula =
-    with_telemetry trace metrics @@ fun () ->
+  let run common domain rels consts formula =
+    with_common common @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
-               let budget = budget_of fuel timeout_ms in
+               let budget = budget_of_common common in
                Result.map
                  (fun b ->
                    Format.printf "%s@."
@@ -347,36 +370,48 @@ let relsafe_cmd =
   in
   let doc = "Decide relative safety: is the query's answer finite in the given state? (Undecidable over traces — Theorem 3.3.)" in
   Cmd.v (Cmd.info "relsafe" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
-          $ fuel_arg ~default:1_000_000 $ timeout_arg $ formula_arg)
+    Term.(const run $ common_opts ~default_fuel:1_000_000 $ domain_arg $ relation_arg
+          $ constant_arg $ formula_arg)
 
 (* ------------------------------- eval ------------------------------ *)
 
+let json_arg =
+  let doc =
+    "Print the outcome as one JSON object on stdout (the stable Outcome schema shared by \
+     $(b,fq eval), $(b,fq batch) and $(b,fq serve)) and derive the exit code from it."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let eval_cmd =
-  let run trace metrics domain engine stats_file rels consts fuel timeout_ms verbose formula =
-    set_engine engine;
-    with_telemetry trace metrics @@ fun () ->
+  let run common domain rels consts verbose json formula =
+    with_common common @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
-               Result.bind (load_stats state stats_file) (fun stats ->
-               let budget = budget_of fuel timeout_ms in
+               Result.bind (load_stats state common.stats_file) (fun stats ->
+               let budget = budget_of_common common in
                let rep = Query.eval_resilient ~budget ?stats ~domain ~state f in
-               if verbose then Format.printf "%a@." Query.pp rep;
-               match rep.Query.verdict with
-               | Query.Complete { answer; _ } ->
-                 if not verbose then
-                   Format.printf "finite answer (%d tuples): %a@." (Relation.cardinal answer)
-                     Relation.pp answer;
-                 Ok 0
-               | Query.Partial { tuples; reason; _ } ->
-                 if not verbose then
-                   Format.printf
-                     "%a; partial answer (%d tuples): %a@.(the answer may be infinite — \
-                      relative safety is the hard part)@."
-                     Budget.pp_failure reason (Relation.cardinal tuples) Relation.pp tuples;
-                 Ok exit_partial
-               | Query.Failed { reason } -> Error reason))))
+               if json then begin
+                 print_endline (Json.to_string (Outcome.to_json rep));
+                 Ok (Outcome.exit_code rep)
+               end
+               else begin
+                 if verbose then Format.printf "%a@." Query.pp rep;
+                 match rep.Query.verdict with
+                 | Query.Complete { answer; _ } ->
+                   if not verbose then
+                     Format.printf "finite answer (%d tuples): %a@."
+                       (Relation.cardinal answer) Relation.pp answer;
+                   Ok 0
+                 | Query.Partial { tuples; reason; _ } ->
+                   if not verbose then
+                     Format.printf
+                       "%a; partial answer (%d tuples): %a@.(the answer may be infinite — \
+                        relative safety is the hard part)@."
+                       Budget.pp_failure reason (Relation.cardinal tuples) Relation.pp tuples;
+                   Ok exit_partial
+                 | Query.Failed { reason } -> Error reason
+               end))))
   in
   let verbose =
     Arg.(value & flag
@@ -388,21 +423,20 @@ let eval_cmd =
      enumerate-and-decide algorithm under the governor."
   in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ engine_arg $ stats_arg
-          $ relation_arg $ constant_arg $ fuel_arg ~default:10_000 $ timeout_arg $ verbose
-          $ formula_arg)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
+          $ constant_arg $ verbose $ json_arg $ formula_arg)
 
 (* ------------------------------ report ----------------------------- *)
 
 let report_cmd =
-  let run trace metrics domain rels consts fuel timeout_ms formula =
-    with_telemetry trace metrics @@ fun () ->
+  let run common domain rels consts formula =
+    with_common common @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.map
              (fun state ->
-               let budget = budget_of fuel timeout_ms in
-               let r = Report.analyze ~fuel ~budget ~domain ~state f in
+               let budget = budget_of_common common in
+               let r = Report.analyze ~fuel:common.fuel ~budget ~domain ~state f in
                Format.printf "%a@." Report.pp r;
                match r.Report.evaluation with
                | Report.Exact _ -> 0
@@ -412,8 +446,8 @@ let report_cmd =
   in
   let doc = "Full analysis of a query: syntactic safety, relative safety, and the answer by the best applicable evaluator." in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ relation_arg $ constant_arg
-          $ fuel_arg ~default:10_000 $ timeout_arg $ formula_arg)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
+          $ constant_arg $ formula_arg)
 
 (* -------------------------------- tm ------------------------------- *)
 
@@ -425,8 +459,8 @@ let machine_of_string s =
     else Error (Printf.sprintf "%S is neither a zoo machine nor a machine-shaped word" s)
 
 let tm_cmd =
-  let run trace metrics machine input fuel timeout_ms show_traces explain list_zoo =
-    with_telemetry trace metrics @@ fun () ->
+  let run common machine input show_traces explain list_zoo =
+    with_common common @@ fun () ->
     if list_zoo then begin
       Format.printf "%-12s %-9s %s@." "name" "totality" "description";
       List.iter
@@ -448,7 +482,7 @@ let tm_cmd =
                Error (Printf.sprintf "%S is not an input word over {1,-}" input)
              else begin
                let code =
-                 match Run.run_b ~budget:(budget_of fuel timeout_ms) (Encode.decode m) input with
+                 match Run.run_b ~budget:(budget_of_common common) (Encode.decode m) input with
                  | Run.Done { steps; result } ->
                    Format.printf "halts after %d steps; result %S@." steps result;
                    0
@@ -486,14 +520,14 @@ let tm_cmd =
   let zoo = Arg.(value & flag & info [ "zoo" ] ~doc:"List the machine zoo and exit.") in
   let doc = "Run a Turing machine of the trace domain; inspect the zoo and traces." in
   Cmd.v (Cmd.info "tm" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ machine $ input $ fuel_arg ~default:10_000
-          $ timeout_arg $ traces $ explain $ zoo)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ machine $ input $ traces
+          $ explain $ zoo)
 
 (* ------------------------------- diag ------------------------------ *)
 
 let diag_cmd =
-  let run trace metrics budget =
-    with_telemetry trace metrics @@ fun () ->
+  let run common budget =
+    with_common common @@ fun () ->
     let scan = Encode.encode Zoo.scan_right in
     let syntax =
       { Syntax_class.name = "demo";
@@ -520,19 +554,19 @@ let diag_cmd =
   in
   let budget = Arg.(value & opt int 4 & info [ "budget" ] ~doc:"Search budget.") in
   let doc = "Run the Theorem 3.1 diagonalization against a demo candidate syntax." in
-  Cmd.v (Cmd.info "diag" ~doc) Term.(const run $ trace_arg $ metrics_arg $ budget)
+  Cmd.v (Cmd.info "diag" ~doc) Term.(const run $ common_opts ~default_fuel:10_000 $ budget)
 
 (* ------------------------------ halting ---------------------------- *)
 
 let halting_cmd =
-  let run trace metrics machine input fuel timeout_ms =
-    with_telemetry trace metrics @@ fun () ->
+  let run common machine input =
+    with_common common @@ fun () ->
     report
       (Result.bind (machine_of_string machine) (fun m ->
            let budget =
-             match timeout_ms with
-             | None -> Budget.of_fuel ~share:false fuel
-             | Some t -> Budget.make ~fuel ~timeout_ms:t ()
+             match common.timeout_ms with
+             | None -> Budget.of_fuel ~share:false common.fuel
+             | Some t -> Budget.make ~fuel:common.fuel ~timeout_ms:t ()
            in
            Result.map
              (function
@@ -547,7 +581,7 @@ let halting_cmd =
                    "no halt within %d steps: at least %d answer tuples so far (if the \
                     machine diverges, the answer is infinite — and Theorem 3.3 says no \
                     procedure can always tell)@."
-                   fuel trace_count;
+                   common.fuel trace_count;
                  exit_partial)
              (Halting_reduction.check ~budget ~machine:m ~input ())))
   in
@@ -557,23 +591,22 @@ let halting_cmd =
   let input = Arg.(value & opt string "" & info [ "w"; "input" ] ~doc:"Input word.") in
   let doc = "The Theorem 3.3 reduction: halting of (M, w) as relative safety over T." in
   Cmd.v (Cmd.info "halting" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ machine $ input $ fuel_arg ~default:1_000
-          $ timeout_arg)
+    Term.(const run $ common_opts ~default_fuel:1_000 $ machine $ input)
 
 (* ------------------------------ explain ----------------------------- *)
 
 let explain_cmd =
-  let run domain engine stats_file stats_out rels consts fuel timeout_ms formula =
-    set_engine engine;
+  let run common stats_out domain rels consts formula =
+    with_common common @@ fun () ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
-               Result.bind (load_stats state stats_file) (fun stats ->
+               Result.bind (load_stats state common.stats_file) (fun stats ->
                let (module D : Domain.S) = domain in
                Format.printf "query:   %a@." Formula.pp f;
                Format.printf "domain:  %s@." D.name;
                Format.printf "engine:  %s@."
-                 (match engine with
+                 (match common.engine with
                  | Relalg.Row_engine -> "row"
                  | Relalg.Columnar_engine -> "columnar");
                let schema = Schema.relations (State.schema state) in
@@ -614,7 +647,7 @@ let explain_cmd =
                        Format.printf "plan:    enumerate-and-decide (Section 1.1)@.";
                        None)
                in
-               let budget = budget_of fuel timeout_ms in
+               let budget = budget_of_common common in
                let cache = Decide_cache.create () in
                let rep, treport =
                  Telemetry.record (fun () ->
@@ -730,8 +763,8 @@ let explain_cmd =
     Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ domain_arg $ engine_arg $ stats_arg $ stats_out $ relation_arg
-          $ constant_arg $ fuel_arg ~default:10_000 $ timeout_arg $ formula_arg)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ stats_out $ domain_arg
+          $ relation_arg $ constant_arg $ formula_arg)
 
 (* ------------------------------- batch ------------------------------ *)
 
@@ -749,9 +782,33 @@ type batch_outcome =
   | B_partial
   | B_failed
 
-type batch_result = { line : string; outcome : batch_outcome; retried : int }
+type batch_result = { rep : Outcome.t; crashed : bool; retried : int }
 
-let batch_job ~state ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx
+let failed_outcome reason =
+  { Outcome.verdict = Outcome.Failed { reason };
+    usage = { Budget.ticks = 0; elapsed_ms = 0. };
+    attempts = [] }
+
+let batch_outcome_of r =
+  match r.rep.Outcome.verdict with
+  | Outcome.Complete _ -> B_complete
+  | Outcome.Partial _ -> B_partial
+  | Outcome.Failed _ -> B_failed
+
+let batch_line idx r =
+  let suffix = if r.retried > 0 then Printf.sprintf " (retried %d)" r.retried else "" in
+  match r.rep.Outcome.verdict with
+  | Outcome.Complete { answer; tier } ->
+    Format.asprintf "[%d] complete via %s (%d tuples): %a%s" idx tier
+      (Relation.cardinal answer) Relation.pp answer suffix
+  | Outcome.Partial { tuples; reason; resume } ->
+    Format.asprintf "[%d] partial after %d candidates (%a), %d tuples so far%s" idx
+      resume.Outcome.seen Budget.pp_failure reason (Relation.cardinal tuples) suffix
+  | Outcome.Failed { reason } ->
+    Printf.sprintf "[%d] %s: %s%s" idx (if r.crashed then "crashed" else "failed") reason
+      suffix
+
+let batch_job ~state ~stats ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx
     (domain_name, (domain : Domain.t), text) =
   let breaker =
     match Hashtbl.find_opt breakers domain_name with
@@ -806,7 +863,9 @@ let batch_job ~state ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx
         Supervisor.fair_share ~total:fuel ~spent:!spent ~attempt:k ~max_attempts:retries
       in
       let budget = Budget.make ~fuel:fuel_k ?timeout_ms () in
-      let work () = Query.eval_resilient ~budget ?resume:!resume ~domain:guarded ~state f in
+      let work () =
+        Query.eval_resilient ~budget ?resume:!resume ~stats ~domain:guarded ~state f
+      in
       let rep = match plan with Some p -> Fault.with_plan p work | None -> work () in
       spent := !spent + rep.Query.usage.Budget.ticks;
       (match rep.Query.verdict with
@@ -826,36 +885,93 @@ let batch_job ~state ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx
       attempt
   in
   let retried = run.Supervisor.retried in
-  let suffix = if retried > 0 then Printf.sprintf " (retried %d)" retried else "" in
   match run.Supervisor.outcome with
-  | Supervisor.Value rep -> (
-    match rep.Query.verdict with
-    | Query.Complete { answer; tier } ->
-      { line =
-          Format.asprintf "[%d] complete via %s (%d tuples): %a%s" idx tier
-            (Relation.cardinal answer) Relation.pp answer suffix;
-        outcome = B_complete;
-        retried }
-    | Query.Partial { tuples; reason; resume = r } ->
-      { line =
-          Format.asprintf "[%d] partial after %d candidates (%a), %d tuples so far%s" idx
-            r.Query.seen Budget.pp_failure reason (Relation.cardinal tuples) suffix;
-        outcome = B_partial;
-        retried }
-    | Query.Failed { reason } ->
-      { line = Printf.sprintf "[%d] failed: %s%s" idx reason suffix;
-        outcome = B_failed;
-        retried })
-  | Supervisor.Crashed { reason; _ } ->
-    { line = Printf.sprintf "[%d] crashed: %s%s" idx reason suffix;
-      outcome = B_failed;
-      retried }
+  | Supervisor.Value rep -> { rep; crashed = false; retried }
+  | Supervisor.Crashed { reason; _ } -> { rep = failed_outcome reason; crashed = true; retried }
+
+(* --connect ADDR: unix:PATH, tcp:PORT, a bare PORT, or a bare PATH *)
+let addr_conv =
+  let parse s =
+    let prefixed p =
+      String.length s > String.length p && String.sub s 0 (String.length p) = p
+    in
+    let after p = String.sub s (String.length p) (String.length s - String.length p) in
+    if prefixed "unix:" then Ok (Server.Unix_path (after "unix:"))
+    else if prefixed "tcp:" then
+      match int_of_string_opt (after "tcp:") with
+      | Some port -> Ok (Server.Tcp port)
+      | None -> Error (`Msg (Printf.sprintf "bad port in %S" s))
+    else
+      match int_of_string_opt s with
+      | Some port -> Ok (Server.Tcp port)
+      | None -> Ok (Server.Unix_path s)
+  in
+  Arg.conv (parse, Server.pp_addr)
+
+(* Remote batch: pipeline every job onto one connection to a running
+   fq serve, then collect the interleaved responses by id.  A rejected
+   request (admission control) waits out the server's retry_after_ms hint
+   and resends, carrying the reject's resume token. *)
+let batch_remote ~common ~addr job_list =
+  let jobs_arr = Array.of_list job_list in
+  let n = Array.length jobs_arr in
+  Result.bind (Client.connect ~retries:100 ~delay_ms:50 addr) @@ fun c ->
+  let send_job idx resume =
+    let name, _, text = jobs_arr.(idx) in
+    Client.send c
+      (Protocol.Eval
+         { id = string_of_int idx;
+           domain = Some name;
+           formula = text;
+           fuel = Some common.fuel;
+           timeout_ms = common.timeout_ms;
+           resume })
+  in
+  let results =
+    Array.map (fun _ -> { rep = failed_outcome "no reply"; crashed = false; retried = 0 })
+      jobs_arr
+  in
+  let rec send_all i =
+    if i >= n then Ok () else Result.bind (send_job i None) (fun () -> send_all (i + 1))
+  in
+  let rec drain remaining =
+    if remaining = 0 then Ok ()
+    else
+      Result.bind (Client.recv c) @@ fun (id, reply) ->
+      match int_of_string_opt id with
+      | Some idx when idx >= 0 && idx < n -> (
+        match reply with
+        | Protocol.R_outcome rep ->
+          results.(idx) <- { (results.(idx)) with rep };
+          drain (remaining - 1)
+        | Protocol.R_rejected { retry_after_ms; resume; _ } ->
+          Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.);
+          results.(idx) <- { (results.(idx)) with retried = results.(idx).retried + 1 };
+          Result.bind (send_job idx resume) (fun () -> drain remaining)
+        | Protocol.R_malformed reason ->
+          results.(idx) <- { (results.(idx)) with rep = failed_outcome reason };
+          drain (remaining - 1)
+        | Protocol.R_ok _ -> drain remaining)
+      | _ -> drain remaining
+  in
+  Result.bind (send_all 0) @@ fun () ->
+  Result.bind (drain n) @@ fun () ->
+  (* the shared cache lives server-side; ask it for the eviction count *)
+  let evictions =
+    match Client.request c (Protocol.Metrics { id = "batch-metrics" }) with
+    | Ok (_, Protocol.R_ok j) ->
+      Option.value ~default:0
+        (Option.bind (Json.member "decide_cache" j) (fun dc ->
+             Option.bind (Json.member "evictions" dc) Json.to_int_opt))
+    | _ -> 0
+  in
+  Client.close c;
+  Ok (results, 0, evictions)
 
 let batch_cmd =
-  let run trace metrics domain engine rels consts fuel timeout_ms jobs retries chaos_seed
-      chaos_permille file formulas =
-    set_engine engine;
-    with_telemetry trace metrics @@ fun () ->
+  let run common domain rels consts jobs retries chaos_seed chaos_permille file formulas
+      connect json =
+    with_common common @@ fun () ->
     report
       (Result.bind (parse_state rels consts) @@ fun state ->
        let default_name =
@@ -904,33 +1020,56 @@ let batch_cmd =
        Result.bind (resolve_all (formulas @ file_lines)) @@ fun job_list ->
        if job_list = [] then Error "batch: no formulas (positional FORMULA... or --file FILE)"
        else begin
-         let cache = Decide_cache.create () in
-         let breakers = Hashtbl.create 8 in
-         List.iter
-           (fun (name, _, _) ->
-             if not (Hashtbl.mem breakers name) then
-               Hashtbl.add breakers name (Supervisor.Breaker.create ()))
-           job_list;
-         let chaos =
-           match chaos_seed with None -> None | Some s -> Some (s, chaos_permille)
+         let ran =
+           match connect with
+           | Some addr -> batch_remote ~common ~addr job_list
+           | None ->
+             (* one mutex-safe stats instance per run, shared by every
+                worker domain (profile file included when --stats given) *)
+             Result.bind (load_stats state common.stats_file) @@ fun stats ->
+             let stats =
+               match stats with Some s -> s | None -> Optimizer.Stats.of_state state
+             in
+             let cache = Decide_cache.create () in
+             let breakers = Hashtbl.create 8 in
+             List.iter
+               (fun (name, _, _) ->
+                 if not (Hashtbl.mem breakers name) then
+                   Hashtbl.add breakers name (Supervisor.Breaker.create ()))
+               job_list;
+             let chaos =
+               match chaos_seed with None -> None | Some s -> Some (s, chaos_permille)
+             in
+             let worker (idx, job) =
+               batch_job ~state ~stats ~cache ~breakers ~fuel:common.fuel
+                 ~timeout_ms:common.timeout_ms ~retries ~chaos idx job
+             in
+             let indexed = Array.of_list (List.mapi (fun i j -> (i, j)) job_list) in
+             let results = Supervisor.parallel_map ~jobs worker indexed in
+             let trips =
+               Hashtbl.fold (fun _ b n -> n + Supervisor.Breaker.trips b) breakers 0
+             in
+             Ok (results, trips, (Decide_cache.stats cache).Decide_cache.evictions)
          in
-         let worker (idx, job) =
-           batch_job ~state ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos idx job
-         in
-         let indexed = Array.of_list (List.mapi (fun i j -> (i, j)) job_list) in
-         let results = Supervisor.parallel_map ~jobs worker indexed in
-         Array.iter (fun r -> Format.printf "%s@." r.line) results;
+         Result.bind ran @@ fun (results, trips, evictions) ->
+         Array.iteri
+           (fun idx r ->
+             if json then print_endline (Json.to_string (Outcome.to_json r.rep))
+             else Format.printf "%s@." (batch_line idx r))
+           results;
          let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
-         let completed = count (fun r -> r.outcome = B_complete) in
-         let partial = count (fun r -> r.outcome = B_partial) in
-         let failed = count (fun r -> r.outcome = B_failed) in
+         let completed = count (fun r -> batch_outcome_of r = B_complete) in
+         let partial = count (fun r -> batch_outcome_of r = B_partial) in
+         let failed = count (fun r -> batch_outcome_of r = B_failed) in
          let retries_total = Array.fold_left (fun n r -> n + r.retried) 0 results in
-         let trips =
-           Hashtbl.fold (fun _ b n -> n + Supervisor.Breaker.trips b) breakers 0
+         let summary =
+           Printf.sprintf
+             "batch: %d jobs, %d complete, %d partial, %d failed, %d retries, %d breaker \
+              trips, %d evictions"
+             (Array.length results) completed partial failed retries_total trips evictions
          in
-         Format.printf
-           "batch: %d jobs, %d complete, %d partial, %d failed, %d retries, %d breaker trips@."
-           (Array.length results) completed partial failed retries_total trips;
+         (* in --json mode stdout carries only outcome objects *)
+         if json then Format.eprintf "%s@." summary else Format.printf "%s@." summary;
          Ok (if failed > 0 then 1 else if partial > 0 then exit_partial else 0)
        end)
   in
@@ -966,15 +1105,149 @@ let batch_cmd =
   let formulas =
     Arg.(value & pos_all string [] & info [] ~docv:"FORMULA" ~doc:"Formulas to evaluate.")
   in
+  let connect =
+    Arg.(value & opt (some addr_conv) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Send the jobs to a running $(b,fq serve) at ADDR (unix:PATH, tcp:PORT, \
+                   or a bare PATH/PORT) over one pipelined connection instead of a local \
+                   pool. Admission rejects wait out the server's retry hint and resend \
+                   with the returned resume token.")
+  in
   let doc =
     "Evaluate many queries under supervision: a parallel worker pool with per-job budgets, \
      crash isolation, retry with backoff, per-domain circuit breakers, a shared decision \
-     cache — and an optional deterministic chaos schedule for fault drills."
+     cache — and an optional deterministic chaos schedule for fault drills. With \
+     $(b,--connect), the same jobs run against a live $(b,fq serve) instead."
   in
   Cmd.v (Cmd.info "batch" ~doc)
-    Term.(const run $ trace_arg $ metrics_arg $ domain_arg $ engine_arg $ relation_arg
-          $ constant_arg $ fuel_arg ~default:10_000 $ timeout_arg $ jobs $ retries
-          $ chaos_seed $ chaos_permille $ file $ formulas)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
+          $ constant_arg $ jobs $ retries $ chaos_seed $ chaos_permille $ file $ formulas
+          $ connect $ json_arg)
+
+(* ------------------------------- serve ------------------------------ *)
+
+let serve_cmd =
+  let run common domain rels consts socket port serve_jobs max_inflight client_share
+      snapshot =
+    with_common common @@ fun () ->
+    report
+      (Result.bind (parse_state rels consts) @@ fun state ->
+       Result.bind
+         (match (socket, port) with
+         | Some path, None -> Ok (Server.Unix_path path)
+         | None, Some port -> Ok (Server.Tcp port)
+         | Some _, Some _ -> Error "serve: give either --socket or --port, not both"
+         | None, None -> Error "serve: an address is required (--socket PATH or --port PORT)")
+       @@ fun addr ->
+       Result.bind (load_stats state common.stats_file) @@ fun stats ->
+       let (module D : Domain.S) = domain in
+       let base = Server.default_config ~state addr in
+       let cfg =
+         { base with
+           Server.jobs = serve_jobs;
+           max_inflight;
+           client_share;
+           snapshot;
+           default_fuel = common.fuel;
+           max_fuel = max base.Server.max_fuel common.fuel;
+           default_timeout_ms = common.timeout_ms;
+           default_domain = D.name;
+           stats = (match stats with Some s -> s | None -> base.Server.stats) }
+       in
+       Server.run cfg)
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix socket at PATH.")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP 127.0.0.1:PORT.")
+  in
+  let serve_jobs =
+    Arg.(value & opt int 4
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains evaluating admitted requests (OCaml 5 domain pool).")
+  in
+  let max_inflight =
+    Arg.(value & opt int 256
+         & info [ "max-inflight" ]
+             ~doc:"Server-wide cap on admitted-but-unfinished requests; requests over the \
+                   cap are rejected with a resume token and a retry hint, never queued \
+                   unboundedly.")
+  in
+  let client_share =
+    Arg.(value & opt int 64
+         & info [ "client-share" ]
+             ~doc:"Per-connection in-flight cap: one client cannot occupy the whole \
+                   admission budget.")
+  in
+  let snapshot =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:"Decide-cache snapshot: loaded at boot if FILE exists (warm start), \
+                   written on graceful shutdown, on SIGUSR1, and on a $(b,snapshot) \
+                   request.")
+  in
+  let doc =
+    "Serve queries persistently: a daemon on a Unix or TCP socket speaking \
+     newline-delimited JSON (the Outcome schema of $(b,fq eval --json)), with bounded \
+     admission, per-client fair share, per-domain circuit breakers, per-request budgets, \
+     a shared decide cache with snapshot warm-start, and live metrics/explain."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
+          $ constant_arg $ socket $ port $ serve_jobs $ max_inflight $ client_share
+          $ snapshot)
+
+(* -------------------------------- ctl ------------------------------- *)
+
+let ctl_cmd =
+  let run common addr op formula =
+    with_common common @@ fun () ->
+    report
+      (Result.bind
+         (match op with
+         | "ping" -> Ok (Protocol.Ping { id = "ctl" })
+         | "metrics" -> Ok (Protocol.Metrics { id = "ctl" })
+         | "snapshot" -> Ok (Protocol.Snapshot { id = "ctl" })
+         | "shutdown" -> Ok (Protocol.Shutdown { id = "ctl" })
+         | "explain" -> (
+           match formula with
+           | Some f -> Ok (Protocol.Explain { id = "ctl"; domain = None; formula = f })
+           | None -> Error "ctl: explain needs a FORMULA argument")
+         | op ->
+           Error
+             (Printf.sprintf "ctl: unknown op %S (ping, metrics, snapshot, shutdown, explain)"
+                op))
+       @@ fun req ->
+       Result.bind (Client.connect ~retries:100 ~delay_ms:50 addr) @@ fun c ->
+       let reply = Result.bind (Client.send c req) (fun () -> Client.recv_json c) in
+       Client.close c;
+       Result.map
+         (fun j ->
+           print_endline (Json.to_string j);
+           0)
+         reply)
+  in
+  let addr =
+    Arg.(required & pos 0 (some addr_conv) None
+         & info [] ~docv:"ADDR" ~doc:"Server address (unix:PATH, tcp:PORT, PATH, or PORT).")
+  in
+  let op =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OP" ~doc:"One of ping, metrics, snapshot, shutdown, explain.")
+  in
+  let formula =
+    Arg.(value & pos 2 (some string) None
+         & info [] ~docv:"FORMULA" ~doc:"Formula, for the explain op.")
+  in
+  let doc =
+    "Send one control request to a running $(b,fq serve) (retrying the connection while \
+     the server boots) and print its raw JSON reply."
+  in
+  Cmd.v (Cmd.info "ctl" ~doc)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ addr $ op $ formula)
 
 (* ------------------------------- main ------------------------------ *)
 
@@ -985,4 +1258,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; explain_cmd; report_cmd;
-            batch_cmd; tm_cmd; diag_cmd; halting_cmd ]))
+            batch_cmd; serve_cmd; ctl_cmd; tm_cmd; diag_cmd; halting_cmd ]))

@@ -1,0 +1,49 @@
+(** Minimal JSON — the wire substrate of the {!Fq_eval.Outcome} schema
+    and the [fq serve] newline-delimited protocol.
+
+    The tree is deliberately small: no streaming, no floats-vs-decimals
+    cleverness beyond what the library itself needs.  Numbers wider than
+    the native word round-trip through {!Intlit} (the decimal literal is
+    kept verbatim), so [Bigint]-valued database tuples survive
+    serialization exactly.
+
+    The printer emits one line (no newlines, minimal spaces) — a printed
+    value is a valid NDJSON record as-is.  The parser accepts standard
+    JSON (insignificant whitespace, escapes, nested structures) and
+    rejects trailing garbage, so a protocol peer cannot smuggle a second
+    message inside one line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Intlit of string  (** integer literal wider than the native word *)
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering with full string escaping. *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON value (surrounding whitespace allowed);
+    [Error] carries a position-annotated message. *)
+
+(** {1 Accessors} — total, [option]-valued, for protocol decoding. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or a missing key. *)
+
+val to_int_opt : t -> int option
+(** [Int] directly; [Intlit]/[Float] when exactly representable. *)
+
+val to_float_opt : t -> float option
+
+val to_str_opt : t -> string option
+
+val to_bool_opt : t -> bool option
+
+val to_list_opt : t -> t list option

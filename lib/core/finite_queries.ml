@@ -39,6 +39,14 @@
     - {!Supervisor} — crash isolation, retry with exponential backoff,
       circuit breaking, and the OCaml 5 domain pool behind [fq batch].
 
+    {2 Query service}
+    - {!Json} — a small JSON tree with a parser and printer;
+    - {!Outcome} — the Complete/Partial/Unsupported query-outcome
+      taxonomy with its stable JSON codec and exit-code mapping, shared
+      by [fq eval], [fq batch] and [fq serve];
+    - {!Protocol}, {!Server}, {!Client} — the [fq serve] NDJSON wire
+      protocol, the persistent daemon, and a blocking client.
+
     {2 Safety}
     - {!Safe_range}, {!Finitization} (Theorem 2.2), {!Ext_active}
       (Theorems 2.6/2.7), {!Relative_safety} (Theorem 2.5 / 3.3),
@@ -50,6 +58,7 @@
 
 (* resource governor, telemetry, chaos harness, supervision *)
 module Budget = Fq_core.Budget
+module Json = Fq_core.Json
 module Telemetry = Fq_core.Telemetry
 module Fault = Fq_core.Fault
 module Supervisor = Fq_core.Supervisor
@@ -109,7 +118,13 @@ module Enumerate = Fq_eval.Enumerate
 module Safe_range = Fq_eval.Safe_range
 module Algebra_translate = Fq_eval.Algebra_translate
 module Ranf = Fq_eval.Ranf
+module Outcome = Fq_eval.Outcome
 module Query = Fq_eval.Query
+
+(* the fq serve daemon and its wire protocol *)
+module Protocol = Fq_server.Protocol
+module Server = Fq_server.Server
+module Client = Fq_server.Client
 
 (* safety *)
 module Finitization = Fq_safety.Finitization

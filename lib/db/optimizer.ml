@@ -242,9 +242,19 @@ module Stats = struct
       profile = Hashtbl.create 1 }
 
   let of_state state =
+    (* One Stats value is shared across a whole batch run (and across the
+       requests of a serve session), so the memo tables are consulted and
+       filled under a mutex; the distinct count itself is computed outside
+       the lock — two workers racing on the same cold column both count,
+       both store the same number. *)
+    let lock = Mutex.create () in
+    let locked f =
+      Mutex.lock lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+    in
     let cards = Hashtbl.create 8 and distincts = Hashtbl.create 8 in
     let card_of name =
-      match Hashtbl.find_opt cards name with
+      match locked (fun () -> Hashtbl.find_opt cards name) with
       | Some c -> c
       | None ->
         let c =
@@ -252,11 +262,11 @@ module Stats = struct
           | r -> Some (float_of_int (Array.length (Relation.rows r)))
           | exception Not_found -> None
         in
-        Hashtbl.add cards name c;
+        locked (fun () -> Hashtbl.replace cards name c);
         c
     in
     let distinct_of name col =
-      match Hashtbl.find_opt distincts (name, col) with
+      match locked (fun () -> Hashtbl.find_opt distincts (name, col)) with
       | Some d -> d
       | None ->
         let d =
@@ -268,7 +278,7 @@ module Stats = struct
             Array.iter (fun row -> Hashtbl.replace seen (Row.get row col) ()) (Relation.rows r);
             Some (float_of_int (Hashtbl.length seen))
         in
-        Hashtbl.add distincts (name, col) d;
+        locked (fun () -> Hashtbl.replace distincts (name, col) d);
         d
     in
     { card_of; distinct_of; profile = Hashtbl.create 8 }

@@ -29,7 +29,10 @@ module Stats : sig
 
   val of_state : State.t -> t
   (** Exact base cardinalities and (lazily counted, memoized) per-column
-      distinct values of the state's relations; empty profile. *)
+      distinct values of the state's relations; empty profile.  The memo
+      tables are mutex-guarded, so one instance is safe to share across
+      the worker domains of a batch run or the requests of a serve
+      session. *)
 
   val with_profile : (string * float) list -> t -> t
   (** Add [(fingerprint, observed cardinality)] entries (later entries

@@ -163,6 +163,162 @@ let decide c (module D : Domain.S) f =
           evict_excess c);
     r
 
+(* ----------------------------- snapshots ---------------------------- *)
+
+(* Versioned text format, one cached verdict per line, MRU first:
+
+     fq-decide-cache 1
+     ok	BOOL	FORMULA
+     err	ESCAPED_MESSAGE	FORMULA
+
+   The formula is the alpha-normalized cache key printed in the concrete
+   syntax (print/parse is a tested roundtrip), rendered on an
+   infinite-margin formatter so it stays on one line; error messages are
+   String.escaped so tabs/newlines cannot break the framing.  Only
+   theory-determined verdicts are in the table (budget trips are never
+   cached), so every entry is eternally valid — a snapshot taken today
+   warms a server booted next month. *)
+
+let snapshot_magic = "fq-decide-cache"
+let snapshot_version = 1
+
+(* Cache keys are alpha-normalized, and [Formula.alpha_normalize] names
+   bound variables with a '%' prefix the lexer cannot read back.  Print
+   them under a parseable capture-avoiding renaming instead: [load]
+   re-normalizes every key, so any such renaming round-trips to the
+   identical key. *)
+let parseable_bound f =
+  let module T = Fq_logic.Term in
+  let free = Formula.free_vars f in
+  let starts_with p v =
+    String.length v >= String.length p && String.sub v 0 (String.length p) = p
+  in
+  let rec grow p = if List.exists (starts_with p) free then grow (p ^ "v") else p in
+  let prefix = grow "v" in
+  let rec term env t =
+    match t with
+    | T.Var v -> ( match List.assoc_opt v env with Some w -> T.Var w | None -> t)
+    | T.Const _ -> t
+    | T.App (fn, ts) -> T.App (fn, List.map (term env) ts)
+  in
+  let rec go env depth f =
+    match f with
+    | Formula.True | Formula.False -> f
+    | Formula.Atom (p, ts) -> Formula.Atom (p, List.map (term env) ts)
+    | Formula.Eq (t, u) -> Formula.Eq (term env t, term env u)
+    | Formula.Not g -> Formula.Not (go env depth g)
+    | Formula.And (g, h) -> Formula.And (go env depth g, go env depth h)
+    | Formula.Or (g, h) -> Formula.Or (go env depth g, go env depth h)
+    | Formula.Imp (g, h) -> Formula.Imp (go env depth g, go env depth h)
+    | Formula.Iff (g, h) -> Formula.Iff (go env depth g, go env depth h)
+    | Formula.Exists (v, g) ->
+      let w = prefix ^ string_of_int depth in
+      Formula.Exists (w, go ((v, w) :: env) (depth + 1) g)
+    | Formula.Forall (v, g) ->
+      let w = prefix ^ string_of_int depth in
+      Formula.Forall (w, go ((v, w) :: env) (depth + 1) g)
+  in
+  go [] 0 f
+
+let formula_line f =
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt max_int;
+  Format.fprintf fmt "%a@?" Formula.pp (parseable_bound f);
+  Buffer.contents buf
+
+let save c path =
+  let entries =
+    (* under the lock: walk MRU -> LRU; render outside any I/O failure *)
+    locked c (fun () ->
+        let rec walk acc = function
+          | None -> List.rev acc
+          | Some n -> walk ((n.key, n.value) :: acc) n.next
+        in
+        walk [] c.head)
+  in
+  let tmp = path ^ ".tmp" in
+  match open_out tmp with
+  | exception Sys_error msg -> Error (Printf.sprintf "snapshot: %s" msg)
+  | oc -> (
+    match
+      Printf.fprintf oc "%s %d\n" snapshot_magic snapshot_version;
+      List.iter
+        (fun (key, value) ->
+          match value with
+          | Ok b -> Printf.fprintf oc "ok\t%b\t%s\n" b (formula_line key)
+          | Error e -> Printf.fprintf oc "err\t%s\t%s\n" (String.escaped e) (formula_line key))
+        entries;
+      close_out oc;
+      Sys.rename tmp path
+    with
+    | () -> Ok (List.length entries)
+    | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "snapshot: %s" msg))
+
+(* Insert one restored entry at the front of the recency list.  The
+   loader feeds entries LRU-first, so after the last insertion the
+   snapshot's recency order is restored exactly; the capacity bound
+   applies as usual (an over-capacity snapshot keeps its MRU prefix). *)
+let restore c key value =
+  locked c (fun () ->
+      (match H.find_opt c.table key with
+      | Some n ->
+        n.value <- value;
+        touch c n
+      | None ->
+        let n = { key; value; prev = None; next = None } in
+        H.replace c.table key n;
+        push_front c n);
+      evict_excess c)
+
+let load c path =
+  match open_in path with
+  | exception Sys_error msg -> Error (Printf.sprintf "snapshot: %s" msg)
+  | ic ->
+    let finally () = close_in_noerr ic in
+    Fun.protect ~finally @@ fun () ->
+    (match input_line ic with
+    | exception End_of_file -> Error "snapshot: empty file"
+    | header -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | [ magic; version ] when magic = snapshot_magic ->
+        if int_of_string_opt version = Some snapshot_version then Ok ()
+        else Error (Printf.sprintf "snapshot: unsupported version %s (want %d)" version snapshot_version)
+      | _ -> Error (Printf.sprintf "snapshot: bad header %S" header)))
+    |> Fun.flip Result.bind @@ fun () ->
+    let parse_entry lineno line =
+      match String.split_on_char '\t' line with
+      | [ "ok"; b; formula ] -> (
+        match (bool_of_string_opt b, Fq_logic.Parser.formula formula) with
+        | Some b, Ok f -> Ok (Formula.alpha_normalize f, Ok b)
+        | None, _ -> Error (Printf.sprintf "snapshot: line %d: bad verdict %S" lineno b)
+        | _, Error e -> Error (Printf.sprintf "snapshot: line %d: %s" lineno e))
+      | [ "err"; msg; formula ] -> (
+        match Fq_logic.Parser.formula formula with
+        | Ok f -> (
+          match Scanf.unescaped msg with
+          | msg -> Ok (Formula.alpha_normalize f, Error msg)
+          | exception Scanf.Scan_failure _ ->
+            Error (Printf.sprintf "snapshot: line %d: bad escape" lineno))
+        | Error e -> Error (Printf.sprintf "snapshot: line %d: %s" lineno e))
+      | _ -> Error (Printf.sprintf "snapshot: line %d: expected ok/err entry" lineno)
+    in
+    let rec read acc lineno =
+      match input_line ic with
+      | exception End_of_file -> Ok acc (* accumulated in reverse: LRU first *)
+      | line ->
+        let line = String.trim line in
+        if line = "" then read acc (lineno + 1)
+        else Result.bind (parse_entry lineno line) (fun e -> read (e :: acc) (lineno + 1))
+    in
+    Result.map
+      (fun entries ->
+        List.iter (fun (key, value) -> if cacheable value then restore c key value) entries;
+        List.length entries)
+      (read [] 2)
+
 (* A domain whose [decide] consults the cache; every other component is
    forwarded. Lets cache-oblivious code (Enumerate, Relative_safety, the
    finitization check) benefit by a plain domain swap. *)

@@ -40,6 +40,29 @@ val hit_rate : stats -> float
 
 val clear : t -> unit
 
+(** {1 Snapshots} — warm-start serialization for [fq serve].
+
+    A snapshot is a versioned text file ([fq-decide-cache 1]) holding
+    every cached verdict, MRU first: the alpha-normalized key formula in
+    concrete syntax plus its [Ok]/fragment-error verdict.  Budget trips
+    are never in the table, so every snapshot entry is a
+    theory-determined eternal truth — loading one into a fresh cache is
+    sound for the same domain theory, and a restarted server answers
+    previously-seen sentences without re-paying quantifier
+    elimination. *)
+
+val save : t -> string -> (int, string) result
+(** [save c path] writes the snapshot atomically (temp file + rename) and
+    returns the number of entries written. *)
+
+val load : t -> string -> (int, string) result
+(** [load c path] parses a snapshot and merges it into [c], restoring the
+    saved recency order (existing entries are refreshed in place); the
+    capacity bound applies, so an over-capacity snapshot keeps its
+    most-recently-used prefix.  Returns the number of entries read;
+    [Error] on a missing file, a version mismatch, or a malformed
+    line. *)
+
 val decide : t -> Domain.t -> Fq_logic.Formula.t -> (bool, string) result
 (** [decide cache d f] returns the cached verdict for any sentence
     alpha-equivalent to [f], calling [D.decide] on a miss. *)

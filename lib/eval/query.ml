@@ -5,14 +5,14 @@ module Relation = Fq_db.Relation
 module State = Fq_db.State
 module Schema = Fq_db.Schema
 
-type resume = { seen : int; found : Relation.t }
+type resume = Outcome.resume = { seen : int; found : Relation.t }
 
-type verdict =
+type verdict = Outcome.verdict =
   | Complete of { answer : Relation.t; tier : string }
   | Partial of { tuples : Relation.t; reason : Budget.failure; resume : resume }
   | Failed of { reason : string }
 
-type report = {
+type report = Outcome.t = {
   verdict : verdict;
   usage : Budget.usage;
   attempts : (string * string) list;
@@ -97,15 +97,4 @@ let eval_resilient ?budget ?max_certified ?cache ?resume ?stats ~domain ~state f
           | `Budget reason -> finish (partial reason) attempts
           | `Tier_failed e2 -> enumerate (("adom-algebra", e2) :: attempts)))))
 
-let pp fmt r =
-  Format.fprintf fmt "@[<v>";
-  (match r.verdict with
-  | Complete { answer; tier } ->
-    Format.fprintf fmt "complete (%s, %d tuples): %a@," tier (Relation.cardinal answer)
-      Relation.pp answer
-  | Partial { tuples; reason; resume } ->
-    Format.fprintf fmt "partial (%a after %d candidates): %d tuples so far@," Budget.pp_failure
-      reason resume.seen (Relation.cardinal tuples)
-  | Failed { reason } -> Format.fprintf fmt "failed: %s@," reason);
-  List.iter (fun (tier, why) -> Format.fprintf fmt "tier %s passed: %s@," tier why) r.attempts;
-  Format.fprintf fmt "spent: %d ticks, %.1f ms@]" r.usage.Budget.ticks r.usage.Budget.elapsed_ms
+let pp = Outcome.pp

@@ -15,23 +15,27 @@
 
 module Budget = Fq_core.Budget
 
-type resume = { seen : int; found : Fq_db.Relation.t }
-(** Opaque-ish resume token: candidates consumed and tuples found by the
-    interrupted scan.  Feed it back through [?resume] with a fresh budget
-    to continue where the previous call stopped. *)
+type resume = Outcome.resume = { seen : int; found : Fq_db.Relation.t }
+(** Resume token: candidates consumed and tuples found by the interrupted
+    scan.  Feed it back through [?resume] with a fresh budget to continue
+    where the previous call stopped.  The type (and its JSON form) lives
+    in {!Outcome}; this equation keeps historical [Query.resume] callers
+    compiling. *)
 
-type verdict =
+type verdict = Outcome.verdict =
   | Complete of { answer : Fq_db.Relation.t; tier : string }
       (** [tier] is ["ranf-algebra"], ["adom-algebra"], or ["enumerate"]. *)
   | Partial of { tuples : Fq_db.Relation.t; reason : Budget.failure; resume : resume }
   | Failed of { reason : string }
 
-type report = {
+type report = Outcome.t = {
   verdict : verdict;
   usage : Budget.usage;  (** ticks charged and wall-clock spent *)
   attempts : (string * string) list;
       (** tiers tried before the answering one, with why each passed *)
 }
+(** An evaluation report {e is} an {!Outcome.t} — serialize it with
+    {!Outcome.to_json}, map it to an exit code with {!Outcome.exit_code}. *)
 
 val eval_resilient :
   ?budget:Budget.t ->

@@ -3,6 +3,9 @@ module Formula = Fq_logic.Formula
 module Relation = Fq_db.Relation
 module State = Fq_db.State
 module Schema = Fq_db.Schema
+module Safe_range = Fq_eval.Safe_range
+module Ranf = Fq_eval.Ranf
+module Algebra_translate = Fq_eval.Algebra_translate
 
 type evaluation =
   | Exact of { answer : Relation.t; engine : string }

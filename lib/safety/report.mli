@@ -23,7 +23,7 @@ type evaluation =
 
 type t = {
   formula : Fq_logic.Formula.t;
-  safe_range : Safe_range.verdict;
+  safe_range : Fq_eval.Safe_range.verdict;
   finite_here : (bool, string) result;
   evaluation : evaluation;
 }

@@ -14,7 +14,7 @@ let of_filter ~name ~description ~vocabulary accepts =
 let safe_range ~schema ~vocabulary =
   of_filter ~name:"safe-range"
     ~description:"range-restricted formulas (domain-independent syntax)" ~vocabulary
-    (fun f -> Safe_range.is_safe_range ~schema f)
+    (fun f -> Fq_eval.Safe_range.is_safe_range ~schema f)
 
 let finitizations ~vocabulary =
   { name = "finitizations";

@@ -1,0 +1,59 @@
+module Json = Fq_core.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel; lock : Mutex.t }
+
+let sockaddr = function
+  | Server.Unix_path path -> Unix.ADDR_UNIX path
+  | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let socket_family = function
+  | Server.Unix_path _ -> Unix.PF_UNIX
+  | Server.Tcp _ -> Unix.PF_INET
+
+let connect ?(retries = 0) ?(delay_ms = 50) addr =
+  let rec go attempts_left =
+    let fd = Unix.socket (socket_family addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (sockaddr addr) with
+    | () ->
+      Ok
+        { fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          lock = Mutex.create () }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempts_left > 0 then begin
+        Unix.sleepf (float_of_int delay_ms /. 1000.);
+        go (attempts_left - 1)
+      end
+      else
+        Error
+          (Format.asprintf "cannot connect to %a: %s" Server.pp_addr addr
+             (Unix.error_message e))
+  in
+  go (max 0 retries)
+
+let send c req =
+  try
+    output_string c.oc (Json.to_string (Protocol.request_to_json req));
+    output_char c.oc '\n';
+    flush c.oc;
+    Ok ()
+  with Sys_error e | Unix.Unix_error (_, e, _) -> Error ("send failed: " ^ e)
+
+let recv_json c =
+  match input_line c.ic with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error e -> Error ("recv failed: " ^ e)
+  | line -> Json.parse line
+
+let recv c = Result.bind (recv_json c) Protocol.classify_reply
+
+let request c req =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) @@ fun () ->
+  Result.bind (send c req) (fun () -> recv c)
+
+let close c =
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try close_in c.ic with Sys_error _ -> ()

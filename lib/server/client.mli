@@ -1,0 +1,27 @@
+(** A blocking NDJSON client for {!Server}.
+
+    One connection, safe to share across threads: {!request} holds the
+    connection lock around its send/recv pair, while the split
+    {!send}/{!recv} calls let a single owner pipeline many requests and
+    collect the interleaved responses (correlate by id). *)
+
+type t
+
+val connect : ?retries:int -> ?delay_ms:int -> Server.addr -> (t, string) result
+(** Connect, retrying a refused or not-yet-bound socket [retries] more
+    times with [delay_ms] (default 50) between attempts — for clients
+    racing a server that is still booting. *)
+
+val send : t -> Protocol.request -> (unit, string) result
+
+val recv : t -> (string * Protocol.reply, string) result
+(** Next response line, as [(id, reply)].  [Error] on EOF or on a line
+    that is not a protocol response. *)
+
+val recv_json : t -> (Protocol.Json.t, string) result
+(** Next response line as raw JSON, unclassified. *)
+
+val request : t -> Protocol.request -> (string * Protocol.reply, string) result
+(** [send] then [recv], atomically w.r.t. other {!request} callers. *)
+
+val close : t -> unit

@@ -1,0 +1,154 @@
+(* Wire protocol: NDJSON requests/responses over a Unix or TCP socket. *)
+
+module Json = Fq_core.Json
+module Outcome = Fq_eval.Outcome
+
+let domains : (string * Fq_domain.Domain.t) list =
+  [ ("equality", (module Fq_domain.Eq_domain));
+    ("nat_order", (module Fq_domain.Nat_order));
+    ("nat_succ", (module Fq_domain.Nat_succ));
+    ("presburger", (module Fq_domain.Presburger));
+    ("arithmetic", (module Fq_domain.Arithmetic));
+    ("traces", (module Fq_domain.Traces)) ]
+
+let find_domain name = List.assoc_opt name domains
+
+type request =
+  | Eval of {
+      id : string;
+      domain : string option;
+      formula : string;
+      fuel : int option;
+      timeout_ms : int option;
+      resume : Outcome.resume option;
+    }
+  | Explain of { id : string; domain : string option; formula : string }
+  | Metrics of { id : string }
+  | Ping of { id : string }
+  | Snapshot of { id : string }
+  | Shutdown of { id : string }
+
+let request_id = function
+  | Eval { id; _ } | Explain { id; _ } | Metrics { id } | Ping { id } | Snapshot { id }
+  | Shutdown { id } ->
+    id
+
+(* ----------------------------- requests ----------------------------- *)
+
+let parse_request line =
+  Result.bind (Json.parse line) @@ fun j ->
+  let str name = Option.bind (Json.member name j) Json.to_str_opt in
+  let int name = Option.bind (Json.member name j) Json.to_int_opt in
+  let id =
+    (* a numeric id is accepted and canonicalized to its decimal string *)
+    match Json.member "id" j with
+    | Some (Json.Str s) -> s
+    | Some (Json.Int n) -> string_of_int n
+    | _ -> ""
+  in
+  let with_formula k =
+    match str "formula" with
+    | Some formula -> k formula
+    | None -> Error "protocol: missing formula"
+  in
+  match str "op" with
+  | Some "eval" ->
+    with_formula @@ fun formula ->
+    Result.map
+      (fun resume ->
+        Eval
+          { id;
+            domain = str "domain";
+            formula;
+            fuel = int "fuel";
+            timeout_ms = int "timeout_ms";
+            resume })
+      (match Json.member "resume" j with
+      | None | Some Json.Null -> Ok None
+      | Some r -> Result.map Option.some (Outcome.resume_of_json r))
+  | Some "explain" ->
+    with_formula @@ fun formula -> Ok (Explain { id; domain = str "domain"; formula })
+  | Some "metrics" -> Ok (Metrics { id })
+  | Some "ping" -> Ok (Ping { id })
+  | Some "snapshot" -> Ok (Snapshot { id })
+  | Some "shutdown" -> Ok (Shutdown { id })
+  | Some op -> Error (Printf.sprintf "protocol: unknown op %S" op)
+  | None -> Error "protocol: missing op"
+
+let request_to_json req =
+  let base op id rest = Json.Obj (("op", Json.Str op) :: ("id", Json.Str id) :: rest) in
+  let opt name v f rest = match v with None -> rest | Some v -> (name, f v) :: rest in
+  match req with
+  | Eval { id; domain; formula; fuel; timeout_ms; resume } ->
+    base "eval" id
+      (("formula", Json.Str formula)
+      :: opt "domain" domain
+           (fun d -> Json.Str d)
+           (opt "fuel" fuel
+              (fun n -> Json.Int n)
+              (opt "timeout_ms" timeout_ms
+                 (fun n -> Json.Int n)
+                 (opt "resume" resume Outcome.resume_to_json []))))
+  | Explain { id; domain; formula } ->
+    base "explain" id
+      (("formula", Json.Str formula) :: opt "domain" domain (fun d -> Json.Str d) [])
+  | Metrics { id } -> base "metrics" id []
+  | Ping { id } -> base "ping" id []
+  | Snapshot { id } -> base "snapshot" id []
+  | Shutdown { id } -> base "shutdown" id []
+
+(* ----------------------------- responses ---------------------------- *)
+
+let with_id id fields = Json.Obj (("id", Json.Str id) :: fields)
+
+let outcome_response ~id outcome =
+  match Outcome.to_json outcome with
+  | Json.Obj fields -> with_id id fields
+  | j -> with_id id [ ("outcome", j) ] (* unreachable: to_json builds an object *)
+
+let reject_response ~id ~reason ~retry_after_ms ~resume =
+  with_id id
+    [ ("status", Json.Str "rejected");
+      ("reason", Json.Str reason);
+      ("retry_after_ms", Json.Int retry_after_ms);
+      ("resume", Outcome.resume_to_json resume) ]
+
+let malformed_response ~id reason =
+  with_id id [ ("status", Json.Str "malformed"); ("reason", Json.Str reason) ]
+
+let ok_response ~id fields = with_id id (("ok", Json.Bool true) :: fields)
+
+type reply =
+  | R_outcome of Outcome.t
+  | R_rejected of { reason : string; retry_after_ms : int; resume : Outcome.resume option }
+  | R_malformed of string
+  | R_ok of Json.t
+
+let classify_reply j =
+  let id =
+    match Option.bind (Json.member "id" j) Json.to_str_opt with Some s -> s | None -> ""
+  in
+  let reason () =
+    match Option.bind (Json.member "reason" j) Json.to_str_opt with
+    | Some r -> r
+    | None -> "unknown"
+  in
+  match Option.bind (Json.member "status" j) Json.to_str_opt with
+  | Some "rejected" ->
+    let retry_after_ms =
+      match Option.bind (Json.member "retry_after_ms" j) Json.to_int_opt with
+      | Some n -> n
+      | None -> 0
+    in
+    let resume =
+      match Json.member "resume" j with
+      | None -> None
+      | Some r -> Result.to_option (Outcome.resume_of_json r)
+    in
+    Ok (id, R_rejected { reason = reason (); retry_after_ms; resume })
+  | Some "malformed" -> Ok (id, R_malformed (reason ()))
+  | Some _ -> Result.map (fun o -> (id, R_outcome o)) (Outcome.of_json j)
+  | None -> (
+    match Json.member "ok" j with
+    | Some _ -> Ok (id, R_ok j)
+    | None -> Error ("protocol: unclassifiable reply " ^ Json.to_string j))

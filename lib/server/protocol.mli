@@ -1,0 +1,83 @@
+(** The [fq serve] wire protocol: newline-delimited JSON.
+
+    A client writes one JSON object per line; the server answers each
+    with one JSON object per line, correlated by the client-chosen
+    ["id"].  Responses to pipelined requests may interleave in completion
+    order — the id is the only correlation.
+
+    {b Requests}
+    {v
+    {"op":"eval","id":ID,"formula":F,
+     "domain":D?,"fuel":N?,"timeout_ms":N?,"resume":RESUME?}
+    {"op":"explain","id":ID,"formula":F,"domain":D?}
+    {"op":"metrics","id":ID}     {"op":"ping","id":ID}
+    {"op":"snapshot","id":ID}    {"op":"shutdown","id":ID}
+    v}
+
+    {b Responses.}  An [eval] answer is the stable {!Fq_eval.Outcome}
+    JSON object with an ["id"] field prepended — byte-identical to
+    [fq eval --json] / [fq batch --json] output once the id is dropped.
+    Admission-controlled requests that the server will not take are
+    answered immediately with
+    {v
+    {"id":ID,"status":"rejected","reason":R,"retry_after_ms":N,
+     "resume":RESUME}
+    v}
+    — a structured reject carrying the request's resume evidence (the
+    token it sent, or a fresh zero-progress token), so over-admission
+    never queues unboundedly and never loses client progress.  Malformed
+    input is answered with [{"id":ID,"status":"malformed","reason":R}]. *)
+
+module Json = Fq_core.Json
+module Outcome = Fq_eval.Outcome
+
+val domains : (string * Fq_domain.Domain.t) list
+(** The built-in domain registry, by CLI/protocol name. *)
+
+val find_domain : string -> Fq_domain.Domain.t option
+
+type request =
+  | Eval of {
+      id : string;
+      domain : string option;  (** [None]: the server's default domain *)
+      formula : string;
+      fuel : int option;  (** capped by the server's per-request ceiling *)
+      timeout_ms : int option;
+      resume : Outcome.resume option;  (** continue an interrupted scan *)
+    }
+  | Explain of { id : string; domain : string option; formula : string }
+  | Metrics of { id : string }
+  | Ping of { id : string }
+  | Snapshot of { id : string }
+  | Shutdown of { id : string }
+
+val request_id : request -> string
+
+val parse_request : string -> (request, string) result
+(** Parse one request line. *)
+
+val request_to_json : request -> Json.t
+(** The client-side encoder; [parse_request] inverts it. *)
+
+(** {1 Response builders} *)
+
+val outcome_response : id:string -> Outcome.t -> Json.t
+
+val reject_response :
+  id:string -> reason:string -> retry_after_ms:int -> resume:Outcome.resume -> Json.t
+
+val malformed_response : id:string -> string -> Json.t
+
+val ok_response : id:string -> (string * Json.t) list -> Json.t
+(** [{"id":ID,"ok":true, ...fields}] — ping/snapshot/shutdown acks. *)
+
+(** {1 Response classification (client side)} *)
+
+type reply =
+  | R_outcome of Outcome.t
+  | R_rejected of { reason : string; retry_after_ms : int; resume : Outcome.resume option }
+  | R_malformed of string
+  | R_ok of Json.t  (** ping/metrics/snapshot/shutdown payload *)
+
+val classify_reply : Json.t -> (string * reply, string) result
+(** Split a response line into its id and payload. *)

@@ -1,0 +1,576 @@
+(* The fq serve daemon.
+
+   Thread/domain layout: the main thread owns the listening socket and
+   accepts connections; each connection gets a reader thread (cheap,
+   blocking I/O) that parses request lines, answers control ops inline,
+   and admits eval/explain work into a bounded queue; a fixed pool of
+   OCaml 5 worker domains drains the queue, evaluates under per-request
+   budgets, and writes each response back under the connection's write
+   lock (pipelined responses interleave in completion order, correlated
+   by id).  Admission over the global or per-connection cap is answered
+   immediately with a structured reject carrying resume evidence — the
+   queue is the only buffer and it is bounded by [max_inflight]. *)
+
+module Budget = Fq_core.Budget
+module Telemetry = Fq_core.Telemetry
+module Supervisor = Fq_core.Supervisor
+module Json = Fq_core.Json
+module Formula = Fq_logic.Formula
+module Parser = Fq_logic.Parser
+module Relation = Fq_db.Relation
+module State = Fq_db.State
+module Schema = Fq_db.Schema
+module Relalg = Fq_db.Relalg
+module Optimizer = Fq_db.Optimizer
+module Decide_cache = Fq_domain.Decide_cache
+module Query = Fq_eval.Query
+module Outcome = Fq_eval.Outcome
+
+type addr = Unix_path of string | Tcp of int
+
+let pp_addr fmt = function
+  | Unix_path p -> Format.fprintf fmt "unix:%s" p
+  | Tcp port -> Format.fprintf fmt "tcp:127.0.0.1:%d" port
+
+type config = {
+  addr : addr;
+  jobs : int;
+  max_inflight : int;
+  client_share : int;
+  default_fuel : int;
+  max_fuel : int;
+  default_timeout_ms : int option;
+  snapshot : string option;
+  default_domain : string;
+  state : State.t;
+  stats : Optimizer.Stats.t;
+  log : string -> unit;
+}
+
+let default_config ~state addr =
+  { addr;
+    jobs = 4;
+    max_inflight = 256;
+    client_share = 64;
+    default_fuel = 10_000;
+    max_fuel = 1_000_000;
+    default_timeout_ms = None;
+    snapshot = None;
+    default_domain = "presburger";
+    state;
+    stats = Optimizer.Stats.of_state state;
+    log = (fun line -> Printf.eprintf "%s\n%!" line) }
+
+(* -------------------------- metrics registry ------------------------ *)
+
+(* Server-wide aggregate of the per-request telemetry reports plus the
+   service counters.  The per-request Telemetry.record collectors are
+   domain-local; this registry is the cross-domain rendezvous behind the
+   protocol's metrics op. *)
+
+type hist = { mutable h_count : int; mutable h_sum : float; mutable h_min : float; mutable h_max : float }
+
+type registry = {
+  r_lock : Mutex.t;
+  r_counters : (string, int ref) Hashtbl.t;
+  r_hists : (string, hist) Hashtbl.t;
+}
+
+let registry_create () =
+  { r_lock = Mutex.create (); r_counters = Hashtbl.create 32; r_hists = Hashtbl.create 16 }
+
+let reg_locked reg f =
+  Mutex.lock reg.r_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.r_lock) f
+
+let reg_count_unlocked reg name n =
+  match Hashtbl.find_opt reg.r_counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add reg.r_counters name (ref n)
+
+let reg_observe_unlocked reg name v =
+  match Hashtbl.find_opt reg.r_hists name with
+  | Some h ->
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  | None -> Hashtbl.add reg.r_hists name { h_count = 1; h_sum = v; h_min = v; h_max = v }
+
+let reg_count reg ?(n = 1) name = reg_locked reg (fun () -> reg_count_unlocked reg name n)
+let reg_observe reg name v = reg_locked reg (fun () -> reg_observe_unlocked reg name v)
+
+let reg_get reg name =
+  reg_locked reg (fun () ->
+      match Hashtbl.find_opt reg.r_counters name with Some r -> !r | None -> 0)
+
+let merge_report reg (t : Telemetry.report) =
+  reg_locked reg (fun () ->
+      List.iter (fun (name, n) -> reg_count_unlocked reg name n) t.Telemetry.counters;
+      List.iter
+        (fun (name, (h : Telemetry.histogram)) ->
+          match Hashtbl.find_opt reg.r_hists name with
+          | Some agg ->
+            agg.h_count <- agg.h_count + h.Telemetry.count;
+            agg.h_sum <- agg.h_sum +. h.Telemetry.sum;
+            if h.Telemetry.min < agg.h_min then agg.h_min <- h.Telemetry.min;
+            if h.Telemetry.max > agg.h_max then agg.h_max <- h.Telemetry.max
+          | None ->
+            Hashtbl.add reg.r_hists name
+              { h_count = h.Telemetry.count;
+                h_sum = h.Telemetry.sum;
+                h_min = h.Telemetry.min;
+                h_max = h.Telemetry.max })
+        t.Telemetry.histograms)
+
+let registry_json reg =
+  reg_locked reg (fun () ->
+      let counters =
+        Hashtbl.fold (fun name r acc -> (name, Json.Int !r) :: acc) reg.r_counters []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let hists =
+        Hashtbl.fold
+          (fun name h acc ->
+            ( name,
+              Json.Obj
+                [ ("count", Json.Int h.h_count);
+                  ("sum", Json.Float h.h_sum);
+                  ("min", Json.Float h.h_min);
+                  ("max", Json.Float h.h_max);
+                  ("mean",
+                   Json.Float (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count))
+                ] )
+            :: acc)
+          reg.r_hists []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      (counters, hists))
+
+(* ------------------------------ plumbing ---------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_oc : out_channel;
+  c_olock : Mutex.t;
+  mutable c_inflight : int;  (* guarded by the server lock *)
+  mutable c_closed : bool;  (* guarded by c_olock *)
+}
+
+type job = { j_req : Protocol.request; j_conn : conn }
+
+type t = {
+  cfg : config;
+  cache : Decide_cache.t;
+  breakers : (string, Supervisor.Breaker.t) Hashtbl.t;
+  queue : job Queue.t;
+  lock : Mutex.t;  (* guards queue, inflight, conn inflights, stopping *)
+  nonempty : Condition.t;
+  mutable inflight : int;
+  mutable stopping : bool;
+  reg : registry;
+  usr1 : bool Atomic.t;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let send srv conn json =
+  Mutex.lock conn.c_olock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.c_olock) @@ fun () ->
+  if not conn.c_closed then
+    try
+      output_string conn.c_oc (Json.to_string json);
+      output_char conn.c_oc '\n';
+      flush conn.c_oc
+    with Sys_error _ | Unix.Unix_error _ ->
+      (* the peer went away mid-write; the reader thread will see EOF *)
+      conn.c_closed <- true;
+      reg_count srv.reg "serve.send_failures"
+
+(* ----------------------------- evaluation --------------------------- *)
+
+(* Mirrors the fq batch worker: breaker outside the cache, budget trips
+   never counted against the breaker, crash isolation via the supervisor
+   (one attempt — retrying is the client's decision, it owns the resume
+   token). *)
+let eval_outcome srv ~domain_name ~domain ~fuel ~timeout_ms ~resume text =
+  match Parser.formula text with
+  | Error e ->
+    { Outcome.verdict = Outcome.Failed { reason = "parse error: " ^ e };
+      usage = { Budget.ticks = 0; elapsed_ms = 0. };
+      attempts = [] }
+  | Ok f ->
+    let breaker =
+      match Hashtbl.find_opt srv.breakers domain_name with
+      | Some b -> b
+      | None -> assert false (* populated for every registry domain at boot *)
+    in
+    let cached = Decide_cache.domain srv.cache domain in
+    let (module C : Fq_domain.Domain.S) = cached in
+    let guarded =
+      Fq_domain.Domain.with_decide cached (fun g ->
+          if not (Supervisor.Breaker.allow breaker) then
+            Error
+              (Printf.sprintf "unsupported: circuit open: %s decision procedure cooling down"
+                 domain_name)
+          else
+            match C.decide g with
+            | Ok _ as r ->
+              Supervisor.Breaker.success breaker;
+              r
+            | Error e as r ->
+              (match Budget.failure_of_string e with
+              | Some (Budget.Unsupported _) | None -> Supervisor.Breaker.failure breaker
+              | Some _ -> ());
+              r
+            | exception e ->
+              Supervisor.Breaker.failure breaker;
+              raise e)
+    in
+    let fuel = min (max 1 (Option.value fuel ~default:srv.cfg.default_fuel)) srv.cfg.max_fuel in
+    let timeout_ms =
+      match timeout_ms with Some _ as t -> t | None -> srv.cfg.default_timeout_ms
+    in
+    let attempt _ =
+      let budget = Budget.make ~fuel ?timeout_ms () in
+      Query.eval_resilient ~budget ?resume ~stats:srv.cfg.stats ~domain:guarded
+        ~state:srv.cfg.state f
+    in
+    let run =
+      Supervisor.supervise
+        ~policy:{ Supervisor.default_policy with max_attempts = 1 }
+        ~name:("serve:" ^ domain_name) attempt
+    in
+    (match run.Supervisor.outcome with
+    | Supervisor.Value rep -> rep
+    | Supervisor.Crashed { reason; _ } ->
+      { Outcome.verdict = Outcome.Failed { reason = "crashed: " ^ reason };
+        usage = { Budget.ticks = 0; elapsed_ms = 0. };
+        attempts = [] })
+
+let resolve_domain srv = function
+  | None -> Ok (srv.cfg.default_domain, List.assoc srv.cfg.default_domain Protocol.domains)
+  | Some name -> (
+    match Protocol.find_domain name with
+    | Some d -> Ok (name, d)
+    | None ->
+      Error
+        (Printf.sprintf "unknown domain %S (try: %s)" name
+           (String.concat ", " (List.map fst Protocol.domains))))
+
+let handle_eval srv ~id ~domain ~formula ~fuel ~timeout_ms ~resume =
+  match resolve_domain srv domain with
+  | Error e -> Protocol.malformed_response ~id e
+  | Ok (domain_name, dom) ->
+    let started = now_ms () in
+    let rep, treport =
+      Telemetry.record (fun () ->
+          eval_outcome srv ~domain_name ~domain:dom ~fuel ~timeout_ms ~resume formula)
+    in
+    merge_report srv.reg treport;
+    reg_count srv.reg "serve.requests";
+    reg_count srv.reg ("serve.eval." ^ Outcome.status rep);
+    reg_observe srv.reg "serve.latency_ms" (now_ms () -. started);
+    reg_observe srv.reg "serve.ticks" (float_of_int rep.Outcome.usage.Budget.ticks);
+    Protocol.outcome_response ~id rep
+
+(* A dry compile, as in fq explain: which tier will answer, and with
+   what plan — without spending the budget. *)
+let handle_explain srv ~id ~domain ~formula =
+  match resolve_domain srv domain with
+  | Error e -> Protocol.malformed_response ~id e
+  | Ok (domain_name, dom) -> (
+    match Parser.formula formula with
+    | Error e -> Protocol.malformed_response ~id ("parse error: " ^ e)
+    | Ok f ->
+      reg_count srv.reg "serve.requests";
+      reg_count srv.reg "serve.explain";
+      let schema = Schema.relations (State.schema srv.cfg.state) in
+      let safety, safe =
+        match Fq_eval.Safe_range.check ~schema f with
+        | Fq_eval.Safe_range.Safe_range -> ("safe-range", true)
+        | Fq_eval.Safe_range.Not_safe_range why -> ("not safe-range: " ^ why, false)
+      in
+      let plan_string p = Format.asprintf "%a" Relalg.pp p in
+      let tier, plan =
+        if not safe then ("enumerate", None)
+        else
+          match
+            Fq_eval.Ranf.compile ~stats:srv.cfg.stats ~domain:dom ~state:srv.cfg.state f
+          with
+          | Ok { Fq_eval.Algebra_translate.plan; _ } -> ("ranf-algebra", Some (plan_string plan))
+          | Error _ -> (
+            match
+              Fq_eval.Algebra_translate.compile ~stats:srv.cfg.stats ~domain:dom
+                ~state:srv.cfg.state f
+            with
+            | Ok { Fq_eval.Algebra_translate.plan; _ } ->
+              ("adom-algebra", Some (plan_string plan))
+            | Error _ -> ("enumerate", None))
+      in
+      Protocol.ok_response ~id
+        ([ ("domain", Json.Str domain_name); ("safety", Json.Str safety);
+           ("tier", Json.Str tier) ]
+        @ match plan with None -> [] | Some p -> [ ("plan", Json.Str p) ]))
+
+let metrics_response srv ~id =
+  let counters, hists = registry_json srv.reg in
+  let cache = Decide_cache.stats srv.cache in
+  let inflight = Mutex.protect srv.lock (fun () -> srv.inflight) in
+  Protocol.ok_response ~id
+    [ ("counters", Json.Obj counters);
+      ("histograms", Json.Obj hists);
+      ( "decide_cache",
+        Json.Obj
+          [ ("hits", Json.Int cache.Decide_cache.hits);
+            ("misses", Json.Int cache.Decide_cache.misses);
+            ("entries", Json.Int cache.Decide_cache.entries);
+            ("evictions", Json.Int cache.Decide_cache.evictions) ] );
+      ("inflight", Json.Int inflight) ]
+
+(* ------------------------------ snapshots --------------------------- *)
+
+let save_snapshot srv =
+  match srv.cfg.snapshot with
+  | None -> Ok 0
+  | Some path -> Decide_cache.save srv.cache path
+
+let save_snapshot_logged srv ~why =
+  match save_snapshot srv with
+  | Ok 0 when srv.cfg.snapshot = None -> ()
+  | Ok n ->
+    srv.cfg.log
+      (Printf.sprintf "fq serve: snapshot written (%d entries, %s) to %s" n why
+         (Option.get srv.cfg.snapshot))
+  | Error e -> srv.cfg.log (Printf.sprintf "fq serve: snapshot failed: %s" e)
+
+(* ------------------------------ admission --------------------------- *)
+
+(* The resume evidence a rejected request walks away with: whatever it
+   sent, or a fresh zero-progress token at the query's arity. *)
+let reject_resume ~resume ~formula =
+  match resume with
+  | Some r -> Ok r
+  | None ->
+    Result.map
+      (fun f ->
+        { Outcome.seen = 0;
+          found = Relation.empty ~arity:(List.length (Formula.free_vars f)) })
+      (Result.map_error (fun e -> "parse error: " ^ e) (Parser.formula formula))
+
+let admit srv conn req =
+  let verdict =
+    Mutex.protect srv.lock (fun () ->
+        if srv.stopping then `Reject "shutting down"
+        else if srv.inflight >= srv.cfg.max_inflight then
+          `Reject
+            (Printf.sprintf "server over capacity (%d requests in flight)" srv.inflight)
+        else if conn.c_inflight >= srv.cfg.client_share then
+          `Reject
+            (Printf.sprintf "client over fair share (%d requests in flight)" conn.c_inflight)
+        else begin
+          srv.inflight <- srv.inflight + 1;
+          conn.c_inflight <- conn.c_inflight + 1;
+          Queue.push { j_req = req; j_conn = conn } srv.queue;
+          Condition.signal srv.nonempty;
+          `Admitted
+        end)
+  in
+  match verdict with
+  | `Admitted -> ()
+  | `Reject reason ->
+    reg_count srv.reg "serve.rejected";
+    let id = Protocol.request_id req in
+    let resume, formula =
+      match req with
+      | Protocol.Eval { resume; formula; _ } -> (resume, formula)
+      | Protocol.Explain { formula; _ } -> (None, formula)
+      | _ -> (None, "")
+    in
+    (match reject_resume ~resume ~formula with
+    | Ok resume -> send srv conn (Protocol.reject_response ~id ~reason ~retry_after_ms:25 ~resume)
+    | Error e -> send srv conn (Protocol.malformed_response ~id e))
+
+(* ------------------------------- workers ---------------------------- *)
+
+let handle srv = function
+  | Protocol.Eval { id; domain; formula; fuel; timeout_ms; resume } ->
+    handle_eval srv ~id ~domain ~formula ~fuel ~timeout_ms ~resume
+  | Protocol.Explain { id; domain; formula } -> handle_explain srv ~id ~domain ~formula
+  | Protocol.Metrics _ | Protocol.Ping _ | Protocol.Snapshot _ | Protocol.Shutdown _ ->
+    assert false (* control ops are answered inline by the reader thread *)
+
+let rec worker srv =
+  Mutex.lock srv.lock;
+  while Queue.is_empty srv.queue && not srv.stopping do
+    Condition.wait srv.nonempty srv.lock
+  done;
+  if Queue.is_empty srv.queue then Mutex.unlock srv.lock (* stopping, drained: exit *)
+  else begin
+    let job = Queue.pop srv.queue in
+    Mutex.unlock srv.lock;
+    let response = handle srv job.j_req in
+    send srv job.j_conn response;
+    Mutex.protect srv.lock (fun () ->
+        srv.inflight <- srv.inflight - 1;
+        job.j_conn.c_inflight <- job.j_conn.c_inflight - 1);
+    worker srv
+  end
+
+(* ------------------------------ connections ------------------------- *)
+
+let initiate_shutdown srv =
+  Mutex.protect srv.lock (fun () ->
+      srv.stopping <- true;
+      Condition.broadcast srv.nonempty)
+
+let conn_loop srv conn =
+  let ic = Unix.in_channel_of_descr conn.c_fd in
+  reg_count srv.reg "serve.connections";
+  let rec go () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+      let line = String.trim line in
+      if line = "" then go ()
+      else begin
+        (match Protocol.parse_request line with
+        | Error e ->
+          reg_count srv.reg "serve.malformed";
+          send srv conn (Protocol.malformed_response ~id:"" e)
+        | Ok (Protocol.Ping { id }) -> send srv conn (Protocol.ok_response ~id [])
+        | Ok (Protocol.Metrics { id }) ->
+          reg_count srv.reg "serve.requests";
+          send srv conn (metrics_response srv ~id)
+        | Ok (Protocol.Snapshot { id }) -> (
+          reg_count srv.reg "serve.requests";
+          match save_snapshot srv with
+          | Ok n -> send srv conn (Protocol.ok_response ~id [ ("entries", Json.Int n) ])
+          | Error e -> send srv conn (Protocol.malformed_response ~id e))
+        | Ok (Protocol.Shutdown { id }) ->
+          reg_count srv.reg "serve.requests";
+          send srv conn (Protocol.ok_response ~id [ ("draining", Json.Bool true) ]);
+          initiate_shutdown srv
+        | Ok (Protocol.Eval _ as req) | Ok (Protocol.Explain _ as req) -> admit srv conn req);
+        go ()
+      end
+  in
+  go ();
+  Mutex.protect conn.c_olock (fun () -> conn.c_closed <- true)
+
+(* -------------------------------- boot ------------------------------ *)
+
+let bind_socket = function
+  | Unix_path path ->
+    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64;
+       Ok fd
+     with Unix.Unix_error (e, _, _) ->
+       Unix.close fd;
+       Error (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e)))
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       Unix.listen fd 64;
+       Ok fd
+     with Unix.Unix_error (e, _, _) ->
+       Unix.close fd;
+       Error (Printf.sprintf "cannot bind port %d: %s" port (Unix.error_message e)))
+
+let run_bound cfg =
+  (match Sys.os_type with
+  | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+  | _ -> ());
+  let srv =
+    { cfg;
+      cache = Decide_cache.create ();
+      breakers = Hashtbl.create 8;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      inflight = 0;
+      stopping = false;
+      reg = registry_create ();
+      usr1 = Atomic.make false }
+  in
+  List.iter
+    (fun (name, _) -> Hashtbl.replace srv.breakers name (Supervisor.Breaker.create ()))
+    Protocol.domains;
+  (try
+     Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Atomic.set srv.usr1 true))
+   with Invalid_argument _ -> ());
+  let snapshot_boot =
+    match cfg.snapshot with
+    | Some path when Sys.file_exists path -> (
+      match Decide_cache.load srv.cache path with
+      | Ok n -> Ok (Some n)
+      | Error e -> Error e)
+    | _ -> Ok None
+  in
+  Result.bind snapshot_boot @@ fun loaded ->
+  Result.bind (bind_socket cfg.addr) @@ fun listen_fd ->
+  (match loaded with
+  | Some n -> cfg.log (Printf.sprintf "fq serve: warm start, %d cached verdicts loaded" n)
+  | None -> ());
+  cfg.log
+    (Format.asprintf "fq serve: listening on %a (%d workers, %d in-flight cap)" pp_addr
+       cfg.addr cfg.jobs cfg.max_inflight);
+  let workers = Array.init (max 1 cfg.jobs) (fun _ -> Stdlib.Domain.spawn (fun () -> worker srv)) in
+  let conns = ref [] in
+  let stopping () = Mutex.protect srv.lock (fun () -> srv.stopping) in
+  while not (stopping ()) do
+    if Atomic.exchange srv.usr1 false then save_snapshot_logged srv ~why:"SIGUSR1";
+    match Unix.select [ listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        let conn =
+          { c_fd = fd;
+            c_oc = Unix.out_channel_of_descr fd;
+            c_olock = Mutex.create ();
+            c_inflight = 0;
+            c_closed = false }
+        in
+        let thread = Thread.create (fun () -> conn_loop srv conn) () in
+        conns := (conn, thread) :: !conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* graceful shutdown: stop accepting, drain admitted work, snapshot,
+     then unblock the reader threads and close every connection *)
+  Array.iter Stdlib.Domain.join workers;
+  save_snapshot_logged srv ~why:"shutdown";
+  List.iter
+    (fun (conn, thread) ->
+      (try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      Thread.join thread;
+      (try Unix.close conn.c_fd with Unix.Unix_error _ -> ()))
+    !conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match cfg.addr with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  let served = reg_get srv.reg "serve.requests" in
+  let rejected = reg_get srv.reg "serve.rejected" in
+  cfg.log
+    (Printf.sprintf
+       "fq serve: shutdown complete — %d requests served (%d complete, %d partial, %d \
+        unsupported, %d error), %d rejected"
+       served
+       (reg_get srv.reg "serve.eval.complete")
+       (reg_get srv.reg "serve.eval.partial")
+       (reg_get srv.reg "serve.eval.unsupported")
+       (reg_get srv.reg "serve.eval.error")
+       rejected);
+  Ok 0
+
+let run cfg =
+  match Protocol.find_domain cfg.default_domain with
+  | None -> Error (Printf.sprintf "unknown default domain %S" cfg.default_domain)
+  | Some _ -> run_bound cfg

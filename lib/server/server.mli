@@ -1,0 +1,59 @@
+(** The [fq serve] daemon: a persistent query service.
+
+    Accepts connections on a Unix or TCP socket and speaks the
+    newline-delimited JSON {!Protocol}.  Evaluation requests are
+    dispatched onto a pool of OCaml 5 domains (the {!Fq_core.Supervisor}
+    substrate) through a {e bounded} admission queue:
+
+    - {b admission control} — at most [max_inflight] admitted-but-
+      unfinished requests server-wide and [client_share] per connection;
+      a request over either cap is answered immediately with a structured
+      reject carrying its resume evidence and a [retry_after_ms] hint,
+      never queued unboundedly;
+    - {b per-request budgets} — each eval runs under its own
+      [Budget.make] governor, fuel capped by [max_fuel], so one hostile
+      query cannot starve the pool;
+    - {b circuit breakers} — a per-domain {!Fq_core.Supervisor.Breaker}
+      around the decision procedure, exactly as in [fq batch];
+    - {b warm start} — one shared {!Fq_domain.Decide_cache} serves every
+      request; with [snapshot] set it is loaded at boot and written back
+      on graceful shutdown and on [SIGUSR1] (and on a [snapshot]
+      request), so a restarted server does not re-pay QE;
+    - {b shared statistics} — one mutex-safe {!Fq_db.Optimizer.Stats}
+      instance feeds the cost-based optimizer across all requests;
+    - {b observability} — every request runs under a
+      {!Fq_core.Telemetry} recording whose counters and histograms are
+      merged into a server-wide registry served by [metrics] requests,
+      alongside request/latency/rejection counters and the cache stats. *)
+
+type addr = Unix_path of string | Tcp of int  (** TCP binds 127.0.0.1 *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type config = {
+  addr : addr;
+  jobs : int;  (** worker domains evaluating admitted requests *)
+  max_inflight : int;  (** server-wide admission cap (bounded queue) *)
+  client_share : int;  (** per-connection in-flight cap (fair share) *)
+  default_fuel : int;  (** fuel when the request names none *)
+  max_fuel : int;  (** per-request fuel ceiling *)
+  default_timeout_ms : int option;
+  snapshot : string option;  (** decide-cache snapshot path *)
+  default_domain : string;  (** for requests that name no domain *)
+  state : Fq_db.State.t;  (** the database served by this process *)
+  stats : Fq_db.Optimizer.Stats.t;  (** shared cost-model statistics *)
+  log : string -> unit;  (** server log lines (stderr in the CLI) *)
+}
+
+val default_config : state:Fq_db.State.t -> addr -> config
+(** [jobs = 4], [max_inflight = 256], [client_share = 64],
+    [default_fuel = 10_000], [max_fuel = 1_000_000], no timeout, no
+    snapshot, default domain ["presburger"], [Stats.of_state state],
+    logging to [stderr]. *)
+
+val run : config -> (int, string) result
+(** Boot and serve until a [shutdown] request: binds the socket, loads
+    the snapshot if one exists, prints a ["listening on ..."] log line,
+    and blocks.  Graceful shutdown drains admitted requests, answers
+    them, writes the snapshot, and returns [Ok 0].  [Error] covers boot
+    failures (unbindable socket, corrupt snapshot). *)

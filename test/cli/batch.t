@@ -8,7 +8,7 @@ worker pool, with per-job budgets, crash isolation, and retries.
   [0] complete via ranf-algebra (2 tuples): {("adam"), ("cain")}
   [1] complete via ranf-algebra (1 tuples): {("adam")}
   [2] complete via ranf-algebra (2 tuples): {("abel"), ("cain")}
-  batch: 3 jobs, 3 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips
+  batch: 3 jobs, 3 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
 
 The output is ordered and identical whatever --jobs is:
 
@@ -19,7 +19,7 @@ The output is ordered and identical whatever --jobs is:
   [0] complete via ranf-algebra (2 tuples): {("adam"), ("cain")}
   [1] complete via ranf-algebra (1 tuples): {("adam")}
   [2] complete via ranf-algebra (2 tuples): {("abel"), ("cain")}
-  batch: 3 jobs, 3 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips
+  batch: 3 jobs, 3 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
 
 Jobs can come from a file, one per line, optionally DOMAIN<TAB>FORMULA;
 blank lines and # comments are skipped:
@@ -28,14 +28,14 @@ blank lines and # comments are skipped:
   $ ../../bin/fq.exe batch -d equality -r "F/2=adam,cain" -r "R/1=2" --file fleet.txt
   [0] complete via ranf-algebra (1 tuples): {("adam")}
   [1] complete via enumerate (2 tuples): {(0), (1)}
-  batch: 2 jobs, 2 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips
+  batch: 2 jobs, 2 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
 
 An unsafe query on a small budget ends partial: the whole batch exits 3,
 and the retries spent the job's fair fuel shares before giving up.
 
   $ ../../bin/fq.exe batch -d nat_order -r "R/1=1" --fuel 40 "~R(x)"
   [0] partial after 6 candidates (fuel exhausted), 4 tuples so far (retried 2)
-  batch: 1 jobs, 0 complete, 1 partial, 0 failed, 2 retries, 0 breaker trips
+  batch: 1 jobs, 0 complete, 1 partial, 0 failed, 2 retries, 0 breaker trips, 0 evictions
   [3]
 
 A malformed job is an isolated failure, not a batch abort:
@@ -43,7 +43,7 @@ A malformed job is an isolated failure, not a batch abort:
   $ ../../bin/fq.exe batch -d equality -r "F/1=a;b" "F(x" "F(x)"
   [0] failed: parse error: expected ')' closing the argument list but found end of input (token 3)
   [1] complete via ranf-algebra (2 tuples): {("a"), ("b")}
-  batch: 2 jobs, 1 complete, 0 partial, 1 failed, 0 retries, 0 breaker trips
+  batch: 2 jobs, 1 complete, 0 partial, 1 failed, 0 retries, 0 breaker trips, 0 evictions
   [1]
 
 Deterministic fault drills: --chaos-seed injects faults on a schedule
@@ -55,7 +55,7 @@ answer the clean run gives.
   $ ../../bin/fq.exe batch --chaos-seed 19 --chaos-permille 100 --retries 4 --fuel 40000 \
   >   -d equality -r "F/2=adam,cain;adam,abel" "exists y z. y != z /\ F(x, y) /\ F(x, z)"
   [0] complete via enumerate (1 tuples): {("adam")} (retried 3)
-  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 3 retries, 0 breaker trips
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 3 retries, 0 breaker trips, 0 evictions
 
 Seed 7 is a hard injected crash: contained, classified, reported — the
 run never sees a raw exception.
@@ -63,7 +63,7 @@ run never sees a raw exception.
   $ ../../bin/fq.exe batch --chaos-seed 7 --chaos-permille 100 --retries 4 --fuel 40000 \
   >   -d equality -r "F/2=adam,cain;adam,abel" "exists y z. y != z /\ F(x, y) /\ F(x, z)"
   [0] crashed: fault at relalg.node: injected crash
-  batch: 1 jobs, 0 complete, 0 partial, 1 failed, 0 retries, 0 breaker trips
+  batch: 1 jobs, 0 complete, 0 partial, 1 failed, 0 retries, 0 breaker trips, 0 evictions
   [1]
 
 An unwritable chrome trace sink is a structured usage error (exit 4),

@@ -1,0 +1,85 @@
+fq serve: a persistent query service over a Unix socket, speaking
+newline-delimited JSON.  Boot one over a small family database, with a
+decide-cache snapshot for warm restarts:
+
+  $ ../../bin/fq.exe serve --socket fq.sock --snapshot snap.fq \
+  >   -d equality -r "F/2=adam,cain;adam,abel;cain,enoch" 2> server.log &
+
+fq ctl retries the connection while the server boots, so the ping
+doubles as the readiness barrier:
+
+  $ ../../bin/fq.exe ctl fq.sock ping
+  {"id":"ctl","ok":true}
+
+Round-trip: fq batch --connect sends its jobs to the live server over
+one pipelined connection, output identical to a local pool run:
+
+  $ ../../bin/fq.exe batch --connect fq.sock -d equality \
+  >   "exists y. F(x,y)" 'F("adam", x)'
+  [0] complete via ranf-algebra (2 tuples): {("adam"), ("cain")}
+  [1] complete via ranf-algebra (2 tuples): {("abel"), ("cain")}
+  batch: 2 jobs, 2 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+A query that exhausts its budget comes back partial, with resume
+evidence, and the client exits 3 (the one Outcome exit-code mapping):
+
+  $ ../../bin/fq.exe batch --connect fq.sock --json -d equality --fuel 5 \
+  >   "~F(x, y)" > partial.json
+  batch: 1 jobs, 0 complete, 1 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+  [3]
+  $ sed -E 's/"elapsed_ms":[0-9.e+-]*/"elapsed_ms":MS/' partial.json
+  {"status":"partial","reason":"budget: fuel exhausted","tuples":{"arity":2,"rows":[]},"resume":{"seen":0,"found":{"arity":2,"rows":[]}},"usage":{"ticks":6,"elapsed_ms":MS},"attempts":[{"tier":"ranf-algebra","reason":"not safe-range: free variable(s) x, y are not range-restricted"}]}
+
+A decidable sentence warms the shared decide cache:
+
+  $ ../../bin/fq.exe batch --connect fq.sock -d presburger \
+  >   "forall x. exists y. x < y"
+  [0] complete via enumerate (1 tuples): {()}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+The served Outcome JSON is byte-identical to fq eval --json on the same
+state (the schema is defined once, in Outcome):
+
+  $ ../../bin/fq.exe eval --json -d equality -r "F/2=adam,cain;adam,abel;cain,enoch" \
+  >   "exists y. F(x,y)" \
+  >   | sed -E 's/"elapsed_ms":[0-9.e+-]*/"elapsed_ms":MS/' > eval.scrub
+  $ ../../bin/fq.exe batch --connect fq.sock --json -d equality "exists y. F(x,y)" 2> /dev/null \
+  >   | sed -E 's/"elapsed_ms":[0-9.e+-]*/"elapsed_ms":MS/' > batch.scrub
+  $ diff eval.scrub batch.scrub && cat eval.scrub
+  {"status":"complete","tier":"ranf-algebra","answer":{"arity":1,"rows":[["adam"],["cain"]]},"usage":{"ticks":7,"elapsed_ms":MS},"attempts":[]}
+
+Live metrics, explain, and an on-demand snapshot:
+
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep -o '"serve.eval.complete":[0-9]*'
+  "serve.eval.complete":4
+  $ ../../bin/fq.exe ctl fq.sock explain "exists y. F(x,y)"
+  {"id":"ctl","ok":true,"domain":"equality","safety":"safe-range","tier":"ranf-algebra","plan":"project[0](F)"}
+  $ ../../bin/fq.exe ctl fq.sock snapshot
+  {"id":"ctl","ok":true,"entries":1}
+
+Graceful shutdown drains, answers, writes the snapshot, and logs a
+summary:
+
+  $ ../../bin/fq.exe ctl fq.sock shutdown
+  {"id":"ctl","ok":true,"draining":true}
+  $ wait
+  $ cat server.log
+  fq serve: listening on unix:fq.sock (4 workers, 256 in-flight cap)
+  fq serve: snapshot written (1 entries, shutdown) to snap.fq
+  fq serve: shutdown complete — 13 requests served (4 complete, 1 partial, 0 unsupported, 0 error), 0 rejected
+  $ cat snap.fq
+  fq-decide-cache 1
+  ok	true	forall v0. exists v1. v0 < v1
+
+A restarted server loads the snapshot and starts warm — previously seen
+sentences never re-pay quantifier elimination:
+
+  $ ../../bin/fq.exe serve --socket fq.sock --snapshot snap.fq \
+  >   -d equality -r "F/2=adam,cain" 2> server2.log &
+  $ ../../bin/fq.exe ctl fq.sock ping
+  {"id":"ctl","ok":true}
+  $ ../../bin/fq.exe ctl fq.sock shutdown
+  {"id":"ctl","ok":true,"draining":true}
+  $ wait
+  $ head -1 server2.log
+  fq serve: warm start, 1 cached verdicts loaded

@@ -32,12 +32,12 @@ let smokers = Relation.make ~arity:1 [ [ s "cain" ]; [ s "irad" ] ]
 let state = State.make ~schema [ ("F", family); ("S", smokers) ]
 
 let ranf_run f =
-  match Fq_safety.Ranf.run ~domain:eq_domain ~state (parse f) with
+  match Fq_eval.Ranf.run ~domain:eq_domain ~state (parse f) with
   | Ok r -> r
   | Error e -> Alcotest.failf "ranf %s: %s" f e
 
 let adom_run f =
-  match Fq_safety.Algebra_translate.run ~domain:eq_domain ~state (parse f) with
+  match Fq_eval.Algebra_translate.run ~domain:eq_domain ~state (parse f) with
   | Ok r -> r
   | Error e -> Alcotest.failf "adom %s: %s" f e
 
@@ -64,7 +64,7 @@ let test_ranf_basic () =
 let test_ranf_rejects_unsafe () =
   List.iter
     (fun f ->
-      match Fq_safety.Ranf.compile ~domain:eq_domain ~state (parse f) with
+      match Fq_eval.Ranf.compile ~domain:eq_domain ~state (parse f) with
       | Ok _ -> Alcotest.failf "%s should be rejected" f
       | Error _ -> ())
     [ "~F(x, y)"; "x = y"; "F(x, x) \\/ S(y)" ]
@@ -72,7 +72,7 @@ let test_ranf_rejects_unsafe () =
 let test_ranf_no_adom_literal () =
   (* RANF plans never embed the active domain: every literal is tiny *)
   let check_plan f =
-    match Fq_safety.Ranf.compile ~domain:eq_domain ~state (parse f) with
+    match Fq_eval.Ranf.compile ~domain:eq_domain ~state (parse f) with
     | Error e -> Alcotest.failf "%s: %s" f e
     | Ok { plan; _ } ->
       let rec max_lit = function
@@ -137,14 +137,14 @@ let arb_sr_case =
 let prop_three_evaluators_agree =
   QCheck.Test.make ~name:"enumerate = adom-algebra = ranf-algebra on safe-range queries"
     ~count:120 arb_sr_case (fun (f, st) ->
-      QCheck.assume (Fq_safety.Safe_range.is_safe_range ~schema:schema_assoc f);
+      QCheck.assume (Fq_eval.Safe_range.is_safe_range ~schema:schema_assoc f);
       let adom =
-        match Fq_safety.Algebra_translate.run ~domain:eq_domain ~state:st f with
+        match Fq_eval.Algebra_translate.run ~domain:eq_domain ~state:st f with
         | Ok r -> r
         | Error e -> QCheck.Test.fail_reportf "adom: %s" e
       in
       let ranf =
-        match Fq_safety.Ranf.run ~domain:eq_domain ~state:st f with
+        match Fq_eval.Ranf.run ~domain:eq_domain ~state:st f with
         | Ok r -> r
         | Error e -> QCheck.Test.fail_reportf "ranf: %s" e
       in

@@ -5,6 +5,8 @@
 
 open Fq_db
 open Fq_safety
+module Safe_range = Fq_eval.Safe_range
+module Algebra_translate = Fq_eval.Algebra_translate
 module Formula = Fq_logic.Formula
 
 let parse = Fq_logic.Parser.formula_exn

@@ -1,0 +1,361 @@
+(* fq serve: wire-protocol codecs, Outcome JSON stability, the
+   snapshot warm-start property, and an in-process end-to-end run of
+   the daemon (boot, round-trip, deterministic reject, graceful
+   shutdown). *)
+
+module Json = Fq_core.Json
+module Budget = Fq_core.Budget
+module Formula = Fq_logic.Formula
+module Term = Fq_logic.Term
+module Relation = Fq_db.Relation
+module State = Fq_db.State
+module Schema = Fq_db.Schema
+module Value = Fq_db.Value
+module Outcome = Fq_eval.Outcome
+module Decide_cache = Fq_domain.Decide_cache
+module Protocol = Fq_server.Protocol
+module Server = Fq_server.Server
+module Client = Fq_server.Client
+
+let presburger : Fq_domain.Domain.t = (module Fq_domain.Presburger)
+
+(* ------------------------- JSON roundtrips ------------------------- *)
+
+let json_samples =
+  [ {|null|}; {|true|}; {|[1,-2,0]|}; {|"a\"b\\c\nd"|};
+    {|{"k":[{"x":1.5},"s"],"m":{}}|}; {|123456789012345678901234567890|} ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok j ->
+        let s' = Json.to_string j in
+        (match Json.parse s' with
+        | Error e -> Alcotest.failf "reparse %s: %s" s' e
+        | Ok j' ->
+          Alcotest.(check string) ("roundtrip " ^ s) s' (Json.to_string j')))
+    json_samples
+
+(* ---------------------- Outcome JSON stability --------------------- *)
+
+let usage = { Budget.ticks = 42; elapsed_ms = 1.5 }
+
+let rel rows = Relation.make ~arity:2 (List.map (List.map Value.str) rows)
+
+let sample_outcomes =
+  [ ( "complete", 0,
+      { Outcome.verdict = Complete { answer = rel [ [ "a"; "b" ] ]; tier = "ranf-algebra" };
+        usage;
+        attempts = [ ("ranf-algebra", "not safe-range") ] } );
+    ( "partial", 3,
+      { Outcome.verdict =
+          Partial
+            { tuples = rel [ [ "a"; "b" ]; [ "c"; "d" ] ];
+              reason = Budget.Fuel_exhausted;
+              resume = { seen = 17; found = rel [ [ "a"; "b" ] ] } };
+        usage;
+        attempts = [] } );
+    ( "unsupported", 4,
+      { Outcome.verdict = Failed { reason = Budget.error_string (Budget.Unsupported "qe over words") };
+        usage;
+        attempts = [] } );
+    ( "error", 1,
+      { Outcome.verdict = Failed { reason = "parse error: unexpected token" };
+        usage;
+        attempts = [] } ) ]
+
+let test_outcome_roundtrip () =
+  List.iter
+    (fun (status, code, o) ->
+      Alcotest.(check string) "status" status (Outcome.status o);
+      Alcotest.(check int) "exit code" code (Outcome.exit_code o);
+      let j = Outcome.to_json o in
+      match Outcome.of_json j with
+      | Error e -> Alcotest.failf "of_json (%s): %s" status e
+      | Ok o' ->
+        Alcotest.(check string)
+          ("json roundtrip " ^ status)
+          (Json.to_string j)
+          (Json.to_string (Outcome.to_json o'));
+        (match Json.parse (Json.to_string j) with
+        | Error e -> Alcotest.failf "reparse (%s): %s" status e
+        | Ok j' ->
+          Alcotest.(check string)
+            ("print/parse " ^ status)
+            (Json.to_string j) (Json.to_string j')))
+    sample_outcomes
+
+(* ----------------------- Protocol roundtrips ----------------------- *)
+
+let sample_requests =
+  [ Protocol.Eval
+      { id = "q1"; domain = Some "presburger"; formula = "exists y. E(x,y)";
+        fuel = Some 500; timeout_ms = Some 100;
+        resume = Some { seen = 3; found = rel [ [ "a"; "b" ] ] } };
+    Protocol.Eval
+      { id = "q2"; domain = None; formula = "S(x)"; fuel = None;
+        timeout_ms = None; resume = None };
+    Protocol.Explain { id = "e"; domain = None; formula = "S(x)" };
+    Protocol.Metrics { id = "m" };
+    Protocol.Ping { id = "p" };
+    Protocol.Snapshot { id = "s" };
+    Protocol.Shutdown { id = "x" } ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let line = Json.to_string (Protocol.request_to_json req) in
+      match Protocol.parse_request line with
+      | Error e -> Alcotest.failf "parse_request %s: %s" line e
+      | Ok req' ->
+        Alcotest.(check string)
+          ("request roundtrip " ^ Protocol.request_id req)
+          line
+          (Json.to_string (Protocol.request_to_json req')))
+    sample_requests
+
+let test_reply_classify () =
+  let out = List.assoc "partial" (List.map (fun (s, _, o) -> (s, o)) sample_outcomes) in
+  (match Protocol.classify_reply (Protocol.outcome_response ~id:"a" out) with
+  | Ok ("a", Protocol.R_outcome o) ->
+    Alcotest.(check string) "outcome status" "partial" (Outcome.status o)
+  | Ok _ -> Alcotest.fail "expected R_outcome"
+  | Error e -> Alcotest.fail e);
+  (match
+     Protocol.classify_reply
+       (Protocol.reject_response ~id:"b" ~reason:"server saturated" ~retry_after_ms:25
+          ~resume:{ seen = 0; found = Relation.empty ~arity:1 })
+   with
+  | Ok ("b", Protocol.R_rejected { retry_after_ms = 25; resume = Some r; _ }) ->
+    Alcotest.(check int) "fresh resume" 0 r.Outcome.seen
+  | Ok _ -> Alcotest.fail "expected R_rejected"
+  | Error e -> Alcotest.fail e);
+  (match Protocol.classify_reply (Protocol.malformed_response ~id:"c" "bad json") with
+  | Ok ("c", Protocol.R_malformed _) -> ()
+  | Ok _ -> Alcotest.fail "expected R_malformed"
+  | Error e -> Alcotest.fail e);
+  match Protocol.classify_reply (Protocol.ok_response ~id:"d" [ ("pong", Json.Bool true) ]) with
+  | Ok ("d", Protocol.R_ok _) -> ()
+  | Ok _ -> Alcotest.fail "expected R_ok"
+  | Error e -> Alcotest.fail e
+
+(* ------------------ snapshot warm-start property -------------------
+   save -> load -> decide agrees with the cold cache, and the warm
+   cache never re-runs the decision procedure (its decide is poisoned). *)
+
+let gen_sentence : Formula.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y" ] in
+  let term =
+    oneof
+      [ map (fun v -> Term.Var v) var;
+        map (fun n -> Term.Const (string_of_int n)) (int_bound 4);
+        map2
+          (fun v n -> Term.App ("+", [ Term.Var v; Term.Const (string_of_int n) ]))
+          var (int_bound 3) ]
+  in
+  let atom =
+    oneof
+      [ map2 (fun t u -> Formula.Atom ("<", [ t; u ])) term term;
+        map2 (fun t u -> Formula.Eq (t, u)) term term;
+        map2
+          (fun d t -> Formula.Atom ("dvd", [ Term.Const (string_of_int (d + 1)); t ]))
+          (int_bound 3) term ]
+  in
+  let qf =
+    fix
+      (fun self n ->
+        if n <= 0 then atom
+        else
+          oneof
+            [ atom;
+              map (fun f -> Formula.Not f) (self (n - 1));
+              map2 (fun f g -> Formula.And (f, g)) (self (n / 2)) (self (n / 2));
+              map2 (fun f g -> Formula.Or (f, g)) (self (n / 2)) (self (n / 2)) ])
+      4
+  in
+  map (fun f -> Formula.Exists ("x", Formula.Forall ("y", f))) qf
+
+let poisoned =
+  Fq_domain.Domain.with_decide presburger (fun f ->
+      Error ("poisoned: warm cache missed " ^ Formula.to_string f))
+
+let snapshot_path = Filename.temp_file "fq_snapshot_prop" ".fq"
+
+let pp_verdict = function
+  | Ok b -> string_of_bool b
+  | Error e -> "error: " ^ e
+
+let prop_snapshot_agrees =
+  QCheck.Test.make ~name:"snapshot save/load/decide agrees with cold cache" ~count:200
+    (QCheck.make ~print:Formula.to_string gen_sentence)
+    (fun f ->
+      let cold = Decide_cache.create () in
+      let cold_verdict = Decide_cache.decide cold presburger f in
+      (match Decide_cache.save cold snapshot_path with
+      | Ok n when n >= 1 -> ()
+      | Ok n -> QCheck.Test.fail_reportf "snapshot wrote %d entries" n
+      | Error e -> QCheck.Test.fail_reportf "save: %s" e);
+      let warm = Decide_cache.create () in
+      (match Decide_cache.load warm snapshot_path with
+      | Ok n when n >= 1 -> ()
+      | Ok n -> QCheck.Test.fail_reportf "snapshot read %d entries" n
+      | Error e -> QCheck.Test.fail_reportf "load: %s" e);
+      let warm_verdict = Decide_cache.decide warm poisoned f in
+      if warm_verdict <> cold_verdict then
+        QCheck.Test.fail_reportf "cold %s <> warm %s" (pp_verdict cold_verdict)
+          (pp_verdict warm_verdict);
+      true)
+
+(* ------------------------ end-to-end daemon ------------------------ *)
+
+let schema = Schema.make [ ("E", 2); ("S", 1) ]
+
+let served_state =
+  State.make ~schema
+    [ ( "E",
+        Relation.make ~arity:2
+          [ [ Value.str "1"; Value.str "2" ]; [ Value.str "2"; Value.str "3" ] ] );
+      ("S", Relation.make ~arity:1 [ [ Value.str "1" ] ]) ]
+
+let fresh_addr =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Server.Unix_path
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "fq_test_%d_%d.sock" (Unix.getpid ()) !n))
+
+let with_server cfg k =
+  let result = ref (Error "server never returned") in
+  let th = Thread.create (fun () -> result := Server.run cfg) () in
+  let c =
+    match Client.connect ~retries:200 ~delay_ms:25 cfg.Server.addr with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect: %s" e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.request c (Protocol.Shutdown { id = "bye" }) with
+      | Ok (_, Protocol.R_ok _) -> ()
+      | Ok _ -> Alcotest.fail "shutdown: expected ok ack"
+      | Error e -> Alcotest.failf "shutdown: %s" e);
+      Client.close c;
+      Thread.join th;
+      match !result with
+      | Ok 0 -> ()
+      | Ok n -> Alcotest.failf "server exited %d" n
+      | Error e -> Alcotest.failf "server: %s" e)
+    (fun () -> k c)
+
+let base_config addr =
+  { (Server.default_config ~state:served_state addr) with
+    jobs = 2;
+    log = ignore }
+
+let test_serve_roundtrip () =
+  with_server (base_config (fresh_addr ())) @@ fun c ->
+  (match Client.request c (Protocol.Ping { id = "p" }) with
+  | Ok ("p", Protocol.R_ok _) -> ()
+  | Ok _ -> Alcotest.fail "ping: expected ok"
+  | Error e -> Alcotest.failf "ping: %s" e);
+  (match
+     Client.request c
+       (Protocol.Eval
+          { id = "q"; domain = None; formula = "exists y. E(x,y)"; fuel = None;
+            timeout_ms = None; resume = None })
+   with
+  | Ok ("q", Protocol.R_outcome { verdict = Complete { answer; tier }; _ }) ->
+    Alcotest.(check string) "tier" "ranf-algebra" tier;
+    Alcotest.(check int) "answer size" 2 (Relation.cardinal answer)
+  | Ok ("q", Protocol.R_outcome o) ->
+    Alcotest.failf "eval: expected complete, got %s" (Outcome.status o)
+  | Ok _ -> Alcotest.fail "eval: expected outcome"
+  | Error e -> Alcotest.failf "eval: %s" e);
+  (match
+     Client.request c
+       (Protocol.Eval
+          { id = "bad"; domain = None; formula = "exists y. E(x,"; fuel = None;
+            timeout_ms = None; resume = None })
+   with
+  | Ok ("bad", Protocol.R_outcome o) ->
+    Alcotest.(check string) "parse failure is a structured error" "error"
+      (Outcome.status o)
+  | Ok _ -> Alcotest.fail "bad eval: expected outcome"
+  | Error e -> Alcotest.failf "bad eval: %s" e);
+  match Client.request c (Protocol.Metrics { id = "m" }) with
+  | Ok ("m", Protocol.R_ok j) ->
+    (match Json.member "counters" j with
+    | Some counters ->
+      (match Option.bind (Json.member "serve.requests" counters) Json.to_int_opt with
+      | Some n when n >= 2 -> ()
+      | Some n -> Alcotest.failf "metrics: serve.requests = %d" n
+      | None -> Alcotest.fail "metrics: no serve.requests counter")
+    | None -> Alcotest.fail "metrics: no counters object")
+  | Ok _ -> Alcotest.fail "metrics: expected ok payload"
+  | Error e -> Alcotest.failf "metrics: %s" e
+
+let test_serve_reject () =
+  (* client_share = 0: every eval is over the per-connection fair share,
+     so admission control must answer with a structured reject carrying
+     resume evidence — never queue it. *)
+  with_server { (base_config (fresh_addr ())) with client_share = 0 } @@ fun c ->
+  match
+    Client.request c
+      (Protocol.Eval
+         { id = "q"; domain = None; formula = "exists y. E(x,y)"; fuel = None;
+           timeout_ms = None; resume = None })
+  with
+  | Ok ("q", Protocol.R_rejected { retry_after_ms; resume = Some r; _ }) ->
+    Alcotest.(check bool) "retry hint" true (retry_after_ms > 0);
+    Alcotest.(check int) "zero-progress resume" 0 r.Outcome.seen;
+    Alcotest.(check int) "resume arity matches free vars" 1
+      (Relation.arity r.Outcome.found)
+  | Ok ("q", Protocol.R_rejected { resume = None; _ }) ->
+    Alcotest.fail "reject lost the resume token"
+  | Ok _ -> Alcotest.fail "expected a structured reject"
+  | Error e -> Alcotest.failf "reject: %s" e
+
+let test_serve_snapshot_warm () =
+  let snap = Filename.temp_file "fq_serve_snap" ".fq" in
+  Sys.remove snap;
+  let addr = fresh_addr () in
+  let cfg = { (base_config addr) with snapshot = Some snap } in
+  with_server cfg (fun c ->
+      match
+        Client.request c
+          (Protocol.Eval
+             { id = "q"; domain = Some "presburger";
+               formula = "forall x. exists y. x < y"; fuel = None;
+               timeout_ms = None; resume = None })
+      with
+      | Ok ("q", Protocol.R_outcome { verdict = Complete _; _ }) -> ()
+      | Ok _ -> Alcotest.fail "warmup eval failed"
+      | Error e -> Alcotest.failf "warmup eval: %s" e);
+  (* graceful shutdown wrote the snapshot; a second boot loads it *)
+  Alcotest.(check bool) "snapshot written on shutdown" true (Sys.file_exists snap);
+  with_server cfg (fun c ->
+      match Client.request c (Protocol.Snapshot { id = "s" }) with
+      | Ok ("s", Protocol.R_ok j) ->
+        (match Option.bind (Json.member "entries" j) Json.to_int_opt with
+        | Some n when n >= 1 -> ()
+        | _ -> Alcotest.fail "snapshot ack lacks an entry count")
+      | Ok _ -> Alcotest.fail "snapshot: expected ok ack"
+      | Error e -> Alcotest.failf "snapshot: %s" e);
+  Sys.remove snap
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "server"
+    [ ( "codecs",
+        [ Alcotest.test_case "json print/parse roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "outcome json roundtrip" `Quick test_outcome_roundtrip;
+          Alcotest.test_case "request json roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "reply classification" `Quick test_reply_classify ] );
+      ("snapshot", [ qt prop_snapshot_agrees ]);
+      ( "daemon",
+        [ Alcotest.test_case "boot, eval, metrics, shutdown" `Quick test_serve_roundtrip;
+          Alcotest.test_case "admission reject carries resume" `Quick test_serve_reject;
+          Alcotest.test_case "snapshot warm start" `Quick test_serve_snapshot_warm ] ) ]

@@ -1164,6 +1164,193 @@ let serve_ablation () =
   in
   (detail, (warm_speedup, serve_us, direct_us))
 
+(* PR 8: cost of crash-safe journaling on the decide fill path.  Every
+   sentence is distinct, so every verdict is a fresh cacheable fill —
+   the worst case for the journal hook, which renders the entry and
+   appends one CRC-framed record (write syscall, no fsync) per fill.
+
+   The acceptance number is measured at the fill path itself, through
+   the production hook wiring (Decide_cache.set_on_insert -> journal
+   mutex -> entry_to_line -> Journal.append), on a worker domain: QE +
+   cache insert with the hook vs without.  An end-to-end serve
+   comparison is reported alongside for context, but a socket round
+   trip costs O(100us) of thread/domain scheduling with comparable
+   variance, which drowns a ~5us mechanism — it does not gate. *)
+let journal_fill_sentences n =
+  (* four QE shapes, parametrized to distinct sentences *)
+  List.init n (fun i ->
+      let k = (i / 4) + 2 in
+      match i mod 4 with
+      | 0 -> Printf.sprintf "forall x. exists y. x < y /\\ y < x + %d" k
+      | 1 -> Printf.sprintf "forall x. exists y. y = %d * x + 1 /\\ x < y" k
+      | 2 -> Printf.sprintf "forall x y. x < y -> exists z. x < z /\\ z < y + %d" k
+      | _ -> Printf.sprintf "exists x. forall y. x < y \\/ x = y \\/ y < x + %d" k)
+  |> List.map parse
+
+let journal_fill_pass ~journal sentences =
+  let jstate =
+    match journal with
+    | false -> None
+    | true ->
+      let p = Filename.temp_file "fq_bench_fill" ".j" in
+      Sys.remove p;
+      (match Journal.open_append p with
+      | Ok j -> Some (j, p, Mutex.create ())
+      | Error e -> failwith ("journal ablation: " ^ e))
+  in
+  let cache = Decide_cache.create () in
+  (match jstate with
+  | Some (j, _, lock) ->
+    Decide_cache.set_on_insert cache
+      (Some
+         (fun key value ->
+           Mutex.lock lock;
+           Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+           match Journal.append j (Decide_cache.entry_to_line key value) with
+           | Ok () -> ()
+           | Error e -> failwith ("journal ablation: append: " ^ e)))
+  | None -> ());
+  let us =
+    Stdlib.Domain.join
+      (Stdlib.Domain.spawn (fun () ->
+           let t0 = Unix.gettimeofday () in
+           List.iter (fun f -> ignore (Decide_cache.decide cache presburger f)) sentences;
+           (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int (List.length sentences)))
+  in
+  (match jstate with
+  | Some (j, p, _) ->
+    Journal.close j;
+    Sys.remove p
+  | None -> ());
+  us
+
+let journal_ablation () =
+  let n = 120 and passes = 6 in
+  let sentences = journal_fill_sentences 200 in
+  let fill_on = ref infinity and fill_off = ref infinity in
+  for p = 1 to passes do
+    if p mod 2 = 1 then begin
+      fill_off := Float.min !fill_off (journal_fill_pass ~journal:false sentences);
+      fill_on := Float.min !fill_on (journal_fill_pass ~journal:true sentences)
+    end
+    else begin
+      fill_on := Float.min !fill_on (journal_fill_pass ~journal:true sentences);
+      fill_off := Float.min !fill_off (journal_fill_pass ~journal:false sentences)
+    end
+  done;
+  let fill_overhead_pct = (!fill_on -. !fill_off) /. Float.max !fill_off 1e-9 *. 100.0 in
+  let texts =
+    Array.init n (fun i ->
+        Printf.sprintf "forall x. exists y. x < y /\\ y < x + %d" (i + 2))
+  in
+  let run_pass ~journal =
+    let sock = Filename.temp_file "fq_bench_jserve" ".sock" in
+    Sys.remove sock;
+    let jpath =
+      if journal then begin
+        let p = Filename.temp_file "fq_bench_journal" ".j" in
+        Sys.remove p;
+        Some p
+      end
+      else None
+    in
+    let addr = Server.Unix_path sock in
+    let cfg =
+      { (Server.default_config ~state:family_state addr) with
+        Server.jobs = 2;
+        journal = jpath;
+        log = (fun _ -> ()) }
+    in
+    let server_result = ref (Error "server never returned") in
+    let th = Thread.create (fun () -> server_result := Server.run cfg) () in
+    let client =
+      match Client.connect ~retries:200 ~delay_ms:25 addr with
+      | Ok c -> c
+      | Error e -> failwith ("journal ablation: " ^ e)
+    in
+    let request id text =
+      match
+        Client.request client
+          (Protocol.Eval
+             { id; domain = Some "presburger"; formula = text; fuel = None;
+               timeout_ms = None; resume = None })
+      with
+      | Ok (_, Protocol.R_outcome _) -> ()
+      | Ok _ -> failwith "journal ablation: unexpected reply"
+      | Error e -> failwith ("journal ablation: " ^ e)
+    in
+    request "warm" "forall x. exists y. x < y";
+    let t0 = Unix.gettimeofday () in
+    Array.iteri (fun i t -> request (string_of_int i) t) texts;
+    let us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int n in
+    (match Client.request client (Protocol.Shutdown { id = "bye" }) with
+    | Ok _ -> ()
+    | Error e -> failwith ("journal ablation: shutdown: " ^ e));
+    Client.close client;
+    Thread.join th;
+    (match !server_result with
+    | Ok 0 -> ()
+    | Ok c -> failwith (Printf.sprintf "journal ablation: server exited %d" c)
+    | Error e -> failwith ("journal ablation: " ^ e));
+    (us, jpath)
+  in
+  (* QE dominates each request (~200us) while the append is ~3us, so the
+     delta drowns in scheduler/allocator noise on any single pass: take
+     the best pass per configuration (min is the standard robust latency
+     estimator), alternating run order so neither side benefits from
+     machine warm-up. *)
+  let on_best = ref infinity and off_best = ref infinity in
+  let recovered = ref 0 and recovery_us = ref 0.0 in
+  for p = 1 to passes do
+    let measure ~journal =
+      let us, jpath = run_pass ~journal in
+      (match jpath with
+      | None -> ()
+      | Some jp ->
+        (* no snapshot is configured, so the journal still holds every
+           record after the graceful shutdown — replay and time it *)
+        let count = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        (match Journal.recover jp ~f:(fun _ -> incr count) with
+        | Ok _ -> ()
+        | Error e -> failwith ("journal ablation: recover: " ^ e));
+        if p = passes then begin
+          recovered := !count;
+          recovery_us := (Unix.gettimeofday () -. t0) *. 1e6
+        end;
+        Sys.remove jp);
+      us
+    in
+    if p mod 2 = 1 then begin
+      off_best := Float.min !off_best (measure ~journal:false);
+      on_best := Float.min !on_best (measure ~journal:true)
+    end
+    else begin
+      on_best := Float.min !on_best (measure ~journal:true);
+      off_best := Float.min !off_best (measure ~journal:false)
+    end
+  done;
+  let off_us = !off_best in
+  let on_us = !on_best in
+  let e2e_delta_us = on_us -. off_us in
+  let detail =
+    `Assoc
+      [ ("fill_sentences", `Int (List.length sentences));
+        ("timing_passes", `Int passes);
+        ("fill_us_journal_off", `Float !fill_off);
+        ("fill_us_journal_on", `Float !fill_on);
+        ("fill_overhead_pct", `Float fill_overhead_pct);
+        ("e2e_requests", `Int n);
+        ("e2e_request_us_journal_off", `Float off_us);
+        ("e2e_request_us_journal_on", `Float on_us);
+        ("e2e_delta_us", `Float e2e_delta_us);
+        ("records_recovered", `Int !recovered);
+        ("recovery_total_us", `Float !recovery_us);
+        ( "recovery_us_per_record",
+          `Float (!recovery_us /. Float.max (float_of_int !recovered) 1.0) ) ]
+  in
+  (detail, (fill_overhead_pct, !recovered))
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output (-- json)                                   *)
 (* ------------------------------------------------------------------ *)
@@ -1313,6 +1500,28 @@ let json_report_pr7 () =
   in
   Format.printf "%a@." print_json doc
 
+let json_report_pr8 () =
+  let detail, (overhead_pct, recovered) = journal_ablation () in
+  let doc =
+    `Assoc
+      [ ("pr", `Int 8);
+        ( "description",
+          `String
+            "crash-safe serving: overhead of the decide-cache journal hook on the fill \
+             path (QE + cache insert + CRC-framed append per fresh verdict, through the \
+             production set_on_insert wiring, on a worker domain) vs the same fills \
+             unjournaled; an end-to-end serve comparison and a full recovery replay of \
+             the journal a serve run produced are reported for context" );
+        ("journal_ablation", detail);
+        ( "acceptance",
+          `Assoc
+            [ ("fill_overhead_pct", `Float overhead_pct);
+              ("fill_overhead_le_5pct", `Bool (overhead_pct <= 5.0));
+              ("records_recovered", `Int recovered);
+              ("recovery_complete", `Bool (recovered > 0)) ] ) ]
+  in
+  Format.printf "%a@." print_json doc
+
 (* Downsized CI gate: fails (exit 1) if the columnar engine regresses
    below the row engine on the chain join, or the engines disagree. *)
 let smoke_pr6 () =
@@ -1428,6 +1637,7 @@ let () =
   | "json-pr5" -> json_report_pr5 ()
   | "json-pr6" -> json_report_pr6 ()
   | "json-pr7" -> json_report_pr7 ()
+  | "json-pr8" -> json_report_pr8 ()
   | "smoke-pr6" -> smoke_pr6 ()
   | _ ->
     let quick = mode = "quick" in

@@ -1128,10 +1128,14 @@ let batch_cmd =
 
 let serve_cmd =
   let run common domain rels consts socket port serve_jobs max_inflight client_share
-      snapshot =
+      snapshot journal state_file =
     with_common common @@ fun () ->
     report
-      (Result.bind (parse_state rels consts) @@ fun state ->
+      (Result.bind
+         (match state_file with
+         | Some path -> Codec.load_state path
+         | None -> parse_state rels consts)
+       @@ fun state ->
        Result.bind
          (match (socket, port) with
          | Some path, None -> Ok (Server.Unix_path path)
@@ -1148,6 +1152,8 @@ let serve_cmd =
            max_inflight;
            client_share;
            snapshot;
+           journal;
+           state_file;
            default_fuel = common.fuel;
            max_fuel = max base.Server.max_fuel common.fuel;
            default_timeout_ms = common.timeout_ms;
@@ -1189,39 +1195,67 @@ let serve_cmd =
                    written on graceful shutdown, on SIGUSR1, and on a $(b,snapshot) \
                    request.")
   in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Decide-cache journal: every fresh verdict is appended as a CRC-framed \
+                   record the moment it lands, and recovered (torn tails truncated, \
+                   corrupt records skipped) at the next boot — so a crash loses at most \
+                   one record, not the warm cache. Defaults to SNAPSHOT.journal when \
+                   $(b,--snapshot) is set.")
+  in
+  let state_file =
+    Arg.(value & opt (some string) None
+         & info [ "state-file" ] ~docv:"FILE"
+             ~doc:"Load the served database from FILE (one NAME/ARITY=... or NAME=VALUE \
+                   spec per line) instead of $(b,-r)/$(b,-c), and re-read it on SIGHUP \
+                   or a pathless $(b,fq ctl ADDR reload) — a zero-downtime state swap: \
+                   in-flight requests finish on the old database, new admissions see \
+                   the new one.")
+  in
   let doc =
     "Serve queries persistently: a daemon on a Unix or TCP socket speaking \
      newline-delimited JSON (the Outcome schema of $(b,fq eval --json)), with bounded \
      admission, per-client fair share, per-domain circuit breakers, per-request budgets, \
-     a shared decide cache with snapshot warm-start, and live metrics/explain."
+     a shared decide cache with snapshot warm-start and crash-safe journaling, hot state \
+     reload (SIGHUP / $(b,fq ctl reload)), overload shedding, and live \
+     metrics/health/explain."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
           $ constant_arg $ socket $ port $ serve_jobs $ max_inflight $ client_share
-          $ snapshot)
+          $ snapshot $ journal $ state_file)
 
 (* -------------------------------- ctl ------------------------------- *)
 
 let ctl_cmd =
-  let run common addr op formula =
+  let run common addr op arg =
     with_common common @@ fun () ->
     report
       (Result.bind
          (match op with
          | "ping" -> Ok (Protocol.Ping { id = "ctl" })
          | "metrics" -> Ok (Protocol.Metrics { id = "ctl" })
+         | "health" -> Ok (Protocol.Health { id = "ctl" })
          | "snapshot" -> Ok (Protocol.Snapshot { id = "ctl" })
          | "shutdown" -> Ok (Protocol.Shutdown { id = "ctl" })
+         | "reload" -> Ok (Protocol.Reload { id = "ctl"; path = arg })
          | "explain" -> (
-           match formula with
+           match arg with
            | Some f -> Ok (Protocol.Explain { id = "ctl"; domain = None; formula = f })
            | None -> Error "ctl: explain needs a FORMULA argument")
          | op ->
            Error
-             (Printf.sprintf "ctl: unknown op %S (ping, metrics, snapshot, shutdown, explain)"
+             (Printf.sprintf
+                "ctl: unknown op %S (ping, metrics, health, snapshot, shutdown, reload, \
+                 explain)"
                 op))
        @@ fun req ->
-       Result.bind (Client.connect ~retries:100 ~delay_ms:50 addr) @@ fun c ->
+       (* --timeout-ms bounds the whole interaction: the boot-retry loop
+          stops at the deadline, and reads/writes against a wedged server
+          time out at the OS level — exit 4, never a hang. *)
+       Result.bind (Client.connect ~retries:100 ~delay_ms:50 ?timeout_ms:common.timeout_ms addr)
+       @@ fun c ->
        let reply = Result.bind (Client.send c req) (fun () -> Client.recv_json c) in
        Client.close c;
        Result.map
@@ -1236,18 +1270,22 @@ let ctl_cmd =
   in
   let op =
     Arg.(required & pos 1 (some string) None
-         & info [] ~docv:"OP" ~doc:"One of ping, metrics, snapshot, shutdown, explain.")
+         & info [] ~docv:"OP"
+             ~doc:"One of ping, metrics, health, snapshot, shutdown, reload, explain.")
   in
-  let formula =
+  let arg =
     Arg.(value & pos 2 (some string) None
-         & info [] ~docv:"FORMULA" ~doc:"Formula, for the explain op.")
+         & info [] ~docv:"ARG"
+             ~doc:"Formula for the explain op; server-side state file for the reload op \
+                   (omit to re-read the server's --state-file).")
   in
   let doc =
     "Send one control request to a running $(b,fq serve) (retrying the connection while \
-     the server boots) and print its raw JSON reply."
+     the server boots) and print its raw JSON reply. With $(b,--timeout-ms), a wedged \
+     server yields exit 4 instead of a hang."
   in
   Cmd.v (Cmd.info "ctl" ~doc)
-    Term.(const run $ common_opts ~default_fuel:10_000 $ addr $ op $ formula)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ addr $ op $ arg)
 
 (* ------------------------------- main ------------------------------ *)
 

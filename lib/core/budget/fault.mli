@@ -27,6 +27,13 @@
     - ["qe.cooper"], ["qe.nat_succ"], ["qe.nat_order"], ["qe.reach"],
       ["qe.eq"] — the quantifier-elimination rewrite loops.
 
+    File-I/O sites on the serve persistence path (PR 8):
+    - ["journal.append"] — before each decide-cache journal record write
+      (models a short write / ENOSPC; the record is simply lost, the
+      journal prefix stays valid),
+    - ["journal.rotate"] — before the compaction temp+rename (models a
+      torn rename; the pre-compaction journal survives intact).
+
     When no plan is installed (the production configuration) a site costs
     one domain-local read and a branch — the same class of overhead as a
     disabled telemetry counter.  The ambient plan is domain-local

@@ -44,8 +44,9 @@
     - {!Outcome} — the Complete/Partial/Unsupported query-outcome
       taxonomy with its stable JSON codec and exit-code mapping, shared
       by [fq eval], [fq batch] and [fq serve];
-    - {!Protocol}, {!Server}, {!Client} — the [fq serve] NDJSON wire
-      protocol, the persistent daemon, and a blocking client.
+    - {!Protocol}, {!Server}, {!Client}, {!Journal} — the [fq serve]
+      NDJSON wire protocol, the persistent daemon, a blocking client,
+      and the crash-safe decide-cache journal.
 
     {2 Safety}
     - {!Safe_range}, {!Finitization} (Theorem 2.2), {!Ext_active}
@@ -125,6 +126,7 @@ module Query = Fq_eval.Query
 module Protocol = Fq_server.Protocol
 module Server = Fq_server.Server
 module Client = Fq_server.Client
+module Journal = Fq_server.Journal
 
 (* safety *)
 module Finitization = Fq_safety.Finitization

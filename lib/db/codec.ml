@@ -53,6 +53,34 @@ let parse_state ~relations ~constants =
   | state -> Ok state
   | exception Invalid_argument msg -> Error msg
 
+(* A state file is the same specs, one per line: a '/' before the first
+   '=' marks a relation line, anything else is a constant.  '#' comments
+   and blank lines are skipped, so served databases can be annotated. *)
+let load_state path =
+  match open_in path with
+  | exception Sys_error msg -> Error (Printf.sprintf "state file: %s" msg)
+  | ic ->
+    let finally () = close_in_noerr ic in
+    Fun.protect ~finally @@ fun () ->
+    let rec read rels consts lineno =
+      match input_line ic with
+      | exception End_of_file ->
+        parse_state ~relations:(List.rev rels) ~constants:(List.rev consts)
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then read rels consts (lineno + 1)
+        else
+          let is_relation =
+            match (String.index_opt line '/', String.index_opt line '=') with
+            | Some slash, Some eq -> slash < eq
+            | Some _, None -> true
+            | None, _ -> false
+          in
+          if is_relation then read (line :: rels) consts (lineno + 1)
+          else read rels (line :: consts) (lineno + 1)
+    in
+    Result.map_error (fun e -> Printf.sprintf "state file %s: %s" path e) (read [] [] 1)
+
 let value_to_string = function
   | Value.Int n -> Fq_numeric.Bigint.to_string n
   | Value.Str s -> s

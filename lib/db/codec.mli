@@ -18,6 +18,13 @@ val parse_state :
   relations:string list -> constants:string list -> (State.t, string) result
 (** Builds the scheme from the specs themselves. *)
 
+val load_state : string -> (State.t, string) result
+(** [load_state path] reads one spec per line — a ['/'] before the first
+    ['='] marks a relation line, anything else is a constant; blank
+    lines and ['#'] comments are skipped — and builds the state via
+    {!parse_state}.  The file format behind [fq serve]'s hot reload
+    ([fq ctl ADDR reload FILE] / SIGHUP). *)
+
 val relation_to_string : string -> Relation.t -> string
 (** Inverse of {!parse_relation} for string/int-valued relations. *)
 

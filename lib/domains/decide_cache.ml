@@ -38,6 +38,7 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable insert_hook : (Formula.t -> (bool, string) result -> unit) option;
 }
 
 let create ?(size = 256) ?(capacity = 4096) () =
@@ -48,7 +49,10 @@ let create ?(size = 256) ?(capacity = 4096) () =
     lock = Mutex.create ();
     cache_hits = 0;
     cache_misses = 0;
-    cache_evictions = 0 }
+    cache_evictions = 0;
+    insert_hook = None }
+
+let set_on_insert c hook = c.insert_hook <- hook
 
 let locked c f =
   Mutex.lock c.lock;
@@ -149,18 +153,33 @@ let decide c (module D : Domain.S) f =
   | None ->
     Fq_core.Telemetry.count "decide_cache.misses";
     let r = D.decide f in
-    if cacheable r then
-      locked c (fun () ->
-          (match H.find_opt c.table key with
-          | Some n ->
-            (* a racing worker filled it first; verdicts agree *)
-            n.value <- r;
-            touch c n
-          | None ->
-            let n = { key; value = r; prev = None; next = None } in
-            H.replace c.table key n;
-            push_front c n);
-          evict_excess c);
+    if cacheable r then begin
+      let fresh =
+        locked c (fun () ->
+            let fresh =
+              match H.find_opt c.table key with
+              | Some n ->
+                (* a racing worker filled it first; verdicts agree *)
+                n.value <- r;
+                touch c n;
+                false
+              | None ->
+                let n = { key; value = r; prev = None; next = None } in
+                H.replace c.table key n;
+                push_front c n;
+                true
+            in
+            evict_excess c;
+            fresh)
+      in
+      (* Fire the insert hook outside the lock (it may do file I/O —
+         the server's journal append) and only for the first fill of a
+         key: hits, racing refills and snapshot restores are already
+         durable or redundant. *)
+      match (fresh, c.insert_hook) with
+      | true, Some hook -> hook key r
+      | _ -> ()
+    end;
     r
 
 (* ----------------------------- snapshots ---------------------------- *)
@@ -227,6 +246,32 @@ let formula_line f =
   Format.fprintf fmt "%a@?" Formula.pp (parseable_bound f);
   Buffer.contents buf
 
+(* One cached verdict as a single line (no trailing newline) — the unit
+   shared by snapshot files and the server's journal records.  The
+   formula is the alpha-normalized key in concrete syntax on an
+   infinite-margin formatter; error messages are String.escaped, so a
+   rendered entry can never contain '\n'. *)
+let entry_to_line key value =
+  match value with
+  | Ok b -> Printf.sprintf "ok\t%b\t%s" b (formula_line key)
+  | Error e -> Printf.sprintf "err\t%s\t%s" (String.escaped e) (formula_line key)
+
+let entry_of_line line =
+  match String.split_on_char '\t' line with
+  | [ "ok"; b; formula ] -> (
+    match (bool_of_string_opt b, Fq_logic.Parser.formula formula) with
+    | Some b, Ok f -> Ok (Formula.alpha_normalize f, Ok b)
+    | None, _ -> Error (Printf.sprintf "bad verdict %S" b)
+    | _, Error e -> Error e)
+  | [ "err"; msg; formula ] -> (
+    match Fq_logic.Parser.formula formula with
+    | Ok f -> (
+      match Scanf.unescaped msg with
+      | msg -> Ok (Formula.alpha_normalize f, Error msg)
+      | exception Scanf.Scan_failure _ -> Error "bad escape")
+    | Error e -> Error e)
+  | _ -> Error "expected ok/err entry"
+
 let save c path =
   let entries =
     (* under the lock: walk MRU -> LRU; render outside any I/O failure *)
@@ -244,10 +289,7 @@ let save c path =
     match
       Printf.fprintf oc "%s %d\n" snapshot_magic snapshot_version;
       List.iter
-        (fun (key, value) ->
-          match value with
-          | Ok b -> Printf.fprintf oc "ok\t%b\t%s\n" b (formula_line key)
-          | Error e -> Printf.fprintf oc "err\t%s\t%s\n" (String.escaped e) (formula_line key))
+        (fun (key, value) -> Printf.fprintf oc "%s\n" (entry_to_line key value))
         entries;
       close_out oc;
       Sys.rename tmp path
@@ -289,21 +331,9 @@ let load c path =
       | _ -> Error (Printf.sprintf "snapshot: bad header %S" header)))
     |> Fun.flip Result.bind @@ fun () ->
     let parse_entry lineno line =
-      match String.split_on_char '\t' line with
-      | [ "ok"; b; formula ] -> (
-        match (bool_of_string_opt b, Fq_logic.Parser.formula formula) with
-        | Some b, Ok f -> Ok (Formula.alpha_normalize f, Ok b)
-        | None, _ -> Error (Printf.sprintf "snapshot: line %d: bad verdict %S" lineno b)
-        | _, Error e -> Error (Printf.sprintf "snapshot: line %d: %s" lineno e))
-      | [ "err"; msg; formula ] -> (
-        match Fq_logic.Parser.formula formula with
-        | Ok f -> (
-          match Scanf.unescaped msg with
-          | msg -> Ok (Formula.alpha_normalize f, Error msg)
-          | exception Scanf.Scan_failure _ ->
-            Error (Printf.sprintf "snapshot: line %d: bad escape" lineno))
-        | Error e -> Error (Printf.sprintf "snapshot: line %d: %s" lineno e))
-      | _ -> Error (Printf.sprintf "snapshot: line %d: expected ok/err entry" lineno)
+      Result.map_error
+        (fun e -> Printf.sprintf "snapshot: line %d: %s" lineno e)
+        (entry_of_line line)
     in
     let rec read acc lineno =
       match input_line ic with

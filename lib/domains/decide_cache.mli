@@ -40,6 +40,15 @@ val hit_rate : stats -> float
 
 val clear : t -> unit
 
+val set_on_insert : t -> (Fq_logic.Formula.t -> (bool, string) result -> unit) option -> unit
+(** [set_on_insert c (Some hook)] makes {!decide} call
+    [hook key verdict] once per {e fresh} cacheable fill — after the
+    cache lock is released, and never for hits, racing refills, or
+    {!restore}/{!load}.  This is the durability tap: [fq serve] hooks a
+    journal append here, so every verdict the cache learns is on disk
+    before the crash that would otherwise forfeit it.  The hook runs on
+    the deciding thread and must not call back into the cache. *)
+
 (** {1 Snapshots} — warm-start serialization for [fq serve].
 
     A snapshot is a versioned text file ([fq-decide-cache 1]) holding
@@ -62,6 +71,23 @@ val load : t -> string -> (int, string) result
     most-recently-used prefix.  Returns the number of entries read;
     [Error] on a missing file, a version mismatch, or a malformed
     line. *)
+
+val entry_to_line : Fq_logic.Formula.t -> (bool, string) result -> string
+(** One cached verdict rendered as a single snapshot-format line (no
+    trailing newline): [ok\tBOOL\tFORMULA] or [err\tESCAPED\tFORMULA].
+    Guaranteed newline-free, so it doubles as the payload of a
+    {!Fq_server.Journal} record. *)
+
+val entry_of_line : string -> (Fq_logic.Formula.t * (bool, string) result, string) result
+(** Parse an {!entry_to_line} rendering back into an (alpha-normalized
+    key, verdict) pair. *)
+
+val restore : t -> Fq_logic.Formula.t -> (bool, string) result -> unit
+(** [restore c key value] inserts one entry at the MRU front (refreshing
+    it in place if present) without firing the {!set_on_insert} hook —
+    the replay primitive for snapshot loading and journal recovery.
+    [key] must already be alpha-normalized ({!entry_of_line} output
+    is). *)
 
 val decide : t -> Domain.t -> Fq_logic.Formula.t -> (bool, string) result
 (** [decide cache d f] returns the cached verdict for any sentence

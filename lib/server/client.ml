@@ -10,9 +10,29 @@ let socket_family = function
   | Server.Unix_path _ -> Unix.PF_UNIX
   | Server.Tcp _ -> Unix.PF_INET
 
-let connect ?(retries = 0) ?(delay_ms = 50) addr =
+(* With a timeout, SO_RCVTIMEO/SO_SNDTIMEO bound every read and write on
+   the socket, and the connect-retry loop is additionally bounded by a
+   wall-clock deadline — a client against a wedged server gets a
+   classified error instead of hanging forever.  The "unsupported:"
+   prefix routes the error to exit code 4 through Outcome.exit_of_error,
+   distinct from 1 (evaluation error) and 3 (partial). *)
+let connect ?(retries = 0) ?(delay_ms = 50) ?timeout_ms addr =
+  let deadline =
+    Option.map (fun t -> Unix.gettimeofday () +. (float_of_int t /. 1000.)) timeout_ms
+  in
+  let expired () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
   let rec go attempts_left =
     let fd = Unix.socket (socket_family addr) Unix.SOCK_STREAM 0 in
+    (match timeout_ms with
+    | Some t ->
+      let s = float_of_int (max 1 t) /. 1000. in
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+       with Unix.Unix_error _ -> ())
+    | None -> ());
     match Unix.connect fd (sockaddr addr) with
     | () ->
       Ok
@@ -22,10 +42,13 @@ let connect ?(retries = 0) ?(delay_ms = 50) addr =
           lock = Mutex.create () }
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      if attempts_left > 0 then begin
+      if attempts_left > 0 && not (expired ()) then begin
         Unix.sleepf (float_of_int delay_ms /. 1000.);
         go (attempts_left - 1)
       end
+      else if expired () then
+        Error
+          (Format.asprintf "unsupported: timed out connecting to %a" Server.pp_addr addr)
       else
         Error
           (Format.asprintf "cannot connect to %a: %s" Server.pp_addr addr
@@ -41,10 +64,23 @@ let send c req =
     Ok ()
   with Sys_error e | Unix.Unix_error (_, e, _) -> Error ("send failed: " ^ e)
 
+(* A socket read timeout surfaces as EAGAIN, which the channel layer
+   wraps in Sys_error — classify it as a deadline, not a protocol
+   failure. *)
+let timed_out_msg e =
+  let has_sub needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  has_sub "Resource temporarily unavailable" e || has_sub "Operation timed out" e
+
 let recv_json c =
   match input_line c.ic with
   | exception End_of_file -> Error "connection closed by server"
-  | exception Sys_error e -> Error ("recv failed: " ^ e)
+  | exception Sys_error e ->
+    if timed_out_msg e then Error "unsupported: timed out waiting for server reply"
+    else Error ("recv failed: " ^ e)
   | line -> Json.parse line
 
 let recv c = Result.bind (recv_json c) Protocol.classify_reply

@@ -7,10 +7,16 @@
 
 type t
 
-val connect : ?retries:int -> ?delay_ms:int -> Server.addr -> (t, string) result
+val connect :
+  ?retries:int -> ?delay_ms:int -> ?timeout_ms:int -> Server.addr -> (t, string) result
 (** Connect, retrying a refused or not-yet-bound socket [retries] more
     times with [delay_ms] (default 50) between attempts — for clients
-    racing a server that is still booting. *)
+    racing a server that is still booting.  With [timeout_ms], the retry
+    loop is bounded by that wall-clock deadline and every subsequent
+    socket read/write carries it as an OS-level timeout
+    (SO_RCVTIMEO/SO_SNDTIMEO), so a wedged server yields an
+    ["unsupported: timed out ..."] error (exit code 4 through
+    {!Fq_eval.Outcome.exit_of_error}) instead of a hang. *)
 
 val send : t -> Protocol.request -> (unit, string) result
 

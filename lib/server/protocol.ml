@@ -27,10 +27,12 @@ type request =
   | Ping of { id : string }
   | Snapshot of { id : string }
   | Shutdown of { id : string }
+  | Reload of { id : string; path : string option }
+  | Health of { id : string }
 
 let request_id = function
   | Eval { id; _ } | Explain { id; _ } | Metrics { id } | Ping { id } | Snapshot { id }
-  | Shutdown { id } ->
+  | Shutdown { id } | Reload { id; _ } | Health { id } ->
     id
 
 (* ----------------------------- requests ----------------------------- *)
@@ -72,6 +74,8 @@ let parse_request line =
   | Some "ping" -> Ok (Ping { id })
   | Some "snapshot" -> Ok (Snapshot { id })
   | Some "shutdown" -> Ok (Shutdown { id })
+  | Some "reload" -> Ok (Reload { id; path = str "path" })
+  | Some "health" -> Ok (Health { id })
   | Some op -> Error (Printf.sprintf "protocol: unknown op %S" op)
   | None -> Error "protocol: missing op"
 
@@ -96,6 +100,8 @@ let request_to_json req =
   | Ping { id } -> base "ping" id []
   | Snapshot { id } -> base "snapshot" id []
   | Shutdown { id } -> base "shutdown" id []
+  | Reload { id; path } -> base "reload" id (opt "path" path (fun p -> Json.Str p) [])
+  | Health { id } -> base "health" id []
 
 (* ----------------------------- responses ---------------------------- *)
 

@@ -12,6 +12,7 @@
     {"op":"explain","id":ID,"formula":F,"domain":D?}
     {"op":"metrics","id":ID}     {"op":"ping","id":ID}
     {"op":"snapshot","id":ID}    {"op":"shutdown","id":ID}
+    {"op":"reload","id":ID,"path":PATH?}    {"op":"health","id":ID}
     v}
 
     {b Responses.}  An [eval] answer is the stable {!Fq_eval.Outcome}
@@ -50,6 +51,17 @@ type request =
   | Ping of { id : string }
   | Snapshot of { id : string }
   | Shutdown of { id : string }
+  | Reload of { id : string; path : string option }
+      (** Hot-swap the served database from a {e server-side} state file
+          (one {!Fq_db.Codec} spec per line); [None] re-reads the file
+          the server was configured with (the SIGHUP semantics).
+          Answered with [{"ok":true,"epoch":N}] once the new epoch is
+          live; in-flight requests finish on the epoch they were admitted
+          under. *)
+  | Health of { id : string }
+      (** Liveness triage: answered inline (never queued) with epoch,
+          queue depth, inflight, brownout flag, estimated queue wait,
+          per-domain breaker states, and the journal record count. *)
 
 val request_id : request -> string
 

@@ -9,7 +9,21 @@
    lock (pipelined responses interleave in completion order, correlated
    by id).  Admission over the global or per-connection cap is answered
    immediately with a structured reject carrying resume evidence — the
-   queue is the only buffer and it is bounded by [max_inflight]. *)
+   queue is the only buffer and it is bounded by [max_inflight].
+
+   Crash safety and hot reload (PR 8): every fresh decide-cache verdict
+   is appended to a CRC-framed journal before the response leaves the
+   building, so a kill -9 loses at most the record being written; the
+   accept loop periodically compacts the journal into the snapshot.  The
+   served database lives behind an epoch pointer — [reload]/SIGHUP build
+   a new epoch (state + optimizer stats + fresh breakers) and swap it in
+   one pointer write; a job is pinned to the epoch current at admission,
+   so in-flight work finishes on the old state while new admissions see
+   the new one, and no connection drops.  Overload is met at admission
+   (deadline-aware shedding against an EMA queue-wait estimate, brownout
+   fuel reduction under sustained queue pressure) and behind it (a
+   watchdog that cancels and, past a grace period, recycles a worker
+   domain wedged beyond its request deadline). *)
 
 module Budget = Fq_core.Budget
 module Telemetry = Fq_core.Telemetry
@@ -41,6 +55,14 @@ type config = {
   max_fuel : int;
   default_timeout_ms : int option;
   snapshot : string option;
+  journal : string option;
+  state_file : string option;
+  max_line_bytes : int;
+  journal_compact_every : int;
+  brownout_queue : int;
+  brownout_fuel_divisor : int;
+  watchdog_grace_ms : int;
+  extra_domains : (string * Fq_domain.Domain.t) list;
   default_domain : string;
   state : State.t;
   stats : Optimizer.Stats.t;
@@ -56,10 +78,26 @@ let default_config ~state addr =
     max_fuel = 1_000_000;
     default_timeout_ms = None;
     snapshot = None;
+    journal = None;
+    state_file = None;
+    max_line_bytes = 1 lsl 20;
+    journal_compact_every = 512;
+    brownout_queue = 32;
+    brownout_fuel_divisor = 4;
+    watchdog_grace_ms = 1000;
+    extra_domains = [];
     default_domain = "presburger";
     state;
     stats = Optimizer.Stats.of_state state;
     log = (fun line -> Printf.eprintf "%s\n%!" line) }
+
+(* The journal rides with the snapshot unless given its own path: both
+   files describe the same cache, and compaction folds one into the
+   other. *)
+let journal_path cfg =
+  match cfg.journal with
+  | Some p -> Some p
+  | None -> Option.map (fun s -> s ^ ".journal") cfg.snapshot
 
 (* -------------------------- metrics registry ------------------------ *)
 
@@ -157,22 +195,72 @@ type conn = {
   mutable c_closed : bool;  (* guarded by c_olock *)
 }
 
-type job = { j_req : Protocol.request; j_conn : conn }
+(* The database and everything derived from it, swapped as one unit by a
+   reload.  Jobs capture the epoch current at admission, so the reader
+   thread's line order decides which database answers which request —
+   requests admitted before the swap finish on the old epoch even if a
+   worker picks them up after it. *)
+type epoch = {
+  ep_id : int;
+  ep_state : State.t;
+  ep_stats : Optimizer.Stats.t;
+  ep_breakers : (string, Supervisor.Breaker.t) Hashtbl.t;
+}
+
+type job = {
+  j_req : Protocol.request;
+  j_conn : conn;
+  j_epoch : epoch;
+  j_brownout : bool;  (* admitted under queue pressure: shrink its fuel *)
+  j_cancel : bool Atomic.t;  (* set by the watchdog past the deadline *)
+  mutable j_done : bool;  (* guarded by the server lock; see complete_job *)
+}
+
+(* One worker domain's seat.  The generation number lets the watchdog
+   disown a wedged domain: it bumps [s_gen], hands the seat to a freshly
+   spawned domain, and the zombie — if it ever returns — sees the
+   mismatch and exits without touching the seat. *)
+type slot = {
+  s_idx : int;
+  mutable s_dom : unit Stdlib.Domain.t option;  (* guarded by the server lock *)
+  mutable s_gen : int;  (* guarded by the server lock *)
+  mutable s_job : job option;  (* guarded by the server lock *)
+  mutable s_deadline : float;  (* ms timestamp; 0. = no deadline *)
+}
 
 type t = {
   cfg : config;
   cache : Decide_cache.t;
-  breakers : (string, Supervisor.Breaker.t) Hashtbl.t;
   queue : job Queue.t;
-  lock : Mutex.t;  (* guards queue, inflight, conn inflights, stopping *)
+  lock : Mutex.t;  (* guards queue, inflight, conn inflights, stopping,
+                      current epoch, state_path, ema_ms, slot fields *)
   nonempty : Condition.t;
   mutable inflight : int;
   mutable stopping : bool;
+  mutable current : epoch;
+  mutable state_path : string option;  (* source for pathless reload/SIGHUP *)
+  mutable ema_ms : float;  (* EMA of request latency; 0. until first sample *)
+  slots : slot array;
+  jlock : Mutex.t;  (* guards journal handle + append/reset sequencing *)
+  mutable journal : Journal.t option;  (* guarded by jlock *)
+  japps : int Atomic.t;  (* appends since the last compaction *)
+  needs_compact : bool Atomic.t;
   reg : registry;
   usr1 : bool Atomic.t;
+  hup : bool Atomic.t;
 }
 
 let now_ms () = Unix.gettimeofday () *. 1000.
+
+let all_domains cfg = Protocol.domains @ cfg.extra_domains
+
+let make_epoch cfg ~id state =
+  let breakers = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) -> Hashtbl.replace breakers name (Supervisor.Breaker.create ()))
+    (all_domains cfg);
+  { ep_id = id; ep_state = state; ep_stats = Optimizer.Stats.of_state state;
+    ep_breakers = breakers }
 
 let send srv conn json =
   Mutex.lock conn.c_olock;
@@ -187,13 +275,44 @@ let send srv conn json =
       conn.c_closed <- true;
       reg_count srv.reg "serve.send_failures"
 
+(* ------------------------------ journal ----------------------------- *)
+
+(* Called from the decide-cache insert hook, i.e. on a worker domain
+   with the cache lock already released.  Errors are counted and the
+   record dropped — persistence degrades, serving does not. *)
+let journal_record srv key value =
+  Mutex.lock srv.jlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.jlock) @@ fun () ->
+  match srv.journal with
+  | None -> ()
+  | Some j -> (
+    match Journal.append j (Decide_cache.entry_to_line key value) with
+    | Ok () ->
+      let n = Atomic.fetch_and_add srv.japps 1 + 1 in
+      if n >= srv.cfg.journal_compact_every && srv.cfg.snapshot <> None then
+        Atomic.set srv.needs_compact true
+    | Error _ -> reg_count srv.reg "serve.journal_errors")
+
+let reset_journal srv =
+  Mutex.lock srv.jlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.jlock) @@ fun () ->
+  match srv.journal with
+  | None -> ()
+  | Some j -> (
+    match Journal.reset j with
+    | Ok () -> Atomic.set srv.japps 0
+    | Error e ->
+      reg_count srv.reg "serve.journal_errors";
+      srv.cfg.log (Printf.sprintf "fq serve: journal reset failed: %s" e))
+
 (* ----------------------------- evaluation --------------------------- *)
 
 (* Mirrors the fq batch worker: breaker outside the cache, budget trips
    never counted against the breaker, crash isolation via the supervisor
    (one attempt — retrying is the client's decision, it owns the resume
    token). *)
-let eval_outcome srv ~domain_name ~domain ~fuel ~timeout_ms ~resume text =
+let eval_outcome srv ep ~domain_name ~domain ~fuel ~timeout_ms ~resume ~cancel ~brownout
+    text =
   match Parser.formula text with
   | Error e ->
     { Outcome.verdict = Outcome.Failed { reason = "parse error: " ^ e };
@@ -201,9 +320,9 @@ let eval_outcome srv ~domain_name ~domain ~fuel ~timeout_ms ~resume text =
       attempts = [] }
   | Ok f ->
     let breaker =
-      match Hashtbl.find_opt srv.breakers domain_name with
+      match Hashtbl.find_opt ep.ep_breakers domain_name with
       | Some b -> b
-      | None -> assert false (* populated for every registry domain at boot *)
+      | None -> assert false (* populated for every registry domain per epoch *)
     in
     let cached = Decide_cache.domain srv.cache domain in
     let (module C : Fq_domain.Domain.S) = cached in
@@ -228,13 +347,16 @@ let eval_outcome srv ~domain_name ~domain ~fuel ~timeout_ms ~resume text =
               raise e)
     in
     let fuel = min (max 1 (Option.value fuel ~default:srv.cfg.default_fuel)) srv.cfg.max_fuel in
+    let fuel =
+      if brownout then max 1 (fuel / max 1 srv.cfg.brownout_fuel_divisor) else fuel
+    in
     let timeout_ms =
       match timeout_ms with Some _ as t -> t | None -> srv.cfg.default_timeout_ms
     in
     let attempt _ =
-      let budget = Budget.make ~fuel ?timeout_ms () in
-      Query.eval_resilient ~budget ?resume ~stats:srv.cfg.stats ~domain:guarded
-        ~state:srv.cfg.state f
+      let budget = Budget.make ~fuel ?timeout_ms ~cancel:(fun () -> Atomic.get cancel) () in
+      Query.eval_resilient ~budget ?resume ~stats:ep.ep_stats ~domain:guarded
+        ~state:ep.ep_state f
     in
     let run =
       Supervisor.supervise
@@ -249,23 +371,25 @@ let eval_outcome srv ~domain_name ~domain ~fuel ~timeout_ms ~resume text =
         attempts = [] })
 
 let resolve_domain srv = function
-  | None -> Ok (srv.cfg.default_domain, List.assoc srv.cfg.default_domain Protocol.domains)
+  | None ->
+    Ok (srv.cfg.default_domain, List.assoc srv.cfg.default_domain (all_domains srv.cfg))
   | Some name -> (
-    match Protocol.find_domain name with
+    match List.assoc_opt name (all_domains srv.cfg) with
     | Some d -> Ok (name, d)
     | None ->
       Error
         (Printf.sprintf "unknown domain %S (try: %s)" name
            (String.concat ", " (List.map fst Protocol.domains))))
 
-let handle_eval srv ~id ~domain ~formula ~fuel ~timeout_ms ~resume =
+let handle_eval srv job ~id ~domain ~formula ~fuel ~timeout_ms ~resume =
   match resolve_domain srv domain with
   | Error e -> Protocol.malformed_response ~id e
   | Ok (domain_name, dom) ->
     let started = now_ms () in
     let rep, treport =
       Telemetry.record (fun () ->
-          eval_outcome srv ~domain_name ~domain:dom ~fuel ~timeout_ms ~resume formula)
+          eval_outcome srv job.j_epoch ~domain_name ~domain:dom ~fuel ~timeout_ms ~resume
+            ~cancel:job.j_cancel ~brownout:job.j_brownout formula)
     in
     merge_report srv.reg treport;
     reg_count srv.reg "serve.requests";
@@ -276,7 +400,8 @@ let handle_eval srv ~id ~domain ~formula ~fuel ~timeout_ms ~resume =
 
 (* A dry compile, as in fq explain: which tier will answer, and with
    what plan — without spending the budget. *)
-let handle_explain srv ~id ~domain ~formula =
+let handle_explain srv job ~id ~domain ~formula =
+  let ep = job.j_epoch in
   match resolve_domain srv domain with
   | Error e -> Protocol.malformed_response ~id e
   | Ok (domain_name, dom) -> (
@@ -285,7 +410,7 @@ let handle_explain srv ~id ~domain ~formula =
     | Ok f ->
       reg_count srv.reg "serve.requests";
       reg_count srv.reg "serve.explain";
-      let schema = Schema.relations (State.schema srv.cfg.state) in
+      let schema = Schema.relations (State.schema ep.ep_state) in
       let safety, safe =
         match Fq_eval.Safe_range.check ~schema f with
         | Fq_eval.Safe_range.Safe_range -> ("safe-range", true)
@@ -296,13 +421,13 @@ let handle_explain srv ~id ~domain ~formula =
         if not safe then ("enumerate", None)
         else
           match
-            Fq_eval.Ranf.compile ~stats:srv.cfg.stats ~domain:dom ~state:srv.cfg.state f
+            Fq_eval.Ranf.compile ~stats:ep.ep_stats ~domain:dom ~state:ep.ep_state f
           with
           | Ok { Fq_eval.Algebra_translate.plan; _ } -> ("ranf-algebra", Some (plan_string plan))
           | Error _ -> (
             match
-              Fq_eval.Algebra_translate.compile ~stats:srv.cfg.stats ~domain:dom
-                ~state:srv.cfg.state f
+              Fq_eval.Algebra_translate.compile ~stats:ep.ep_stats ~domain:dom
+                ~state:ep.ep_state f
             with
             | Ok { Fq_eval.Algebra_translate.plan; _ } ->
               ("adom-algebra", Some (plan_string plan))
@@ -316,7 +441,7 @@ let handle_explain srv ~id ~domain ~formula =
 let metrics_response srv ~id =
   let counters, hists = registry_json srv.reg in
   let cache = Decide_cache.stats srv.cache in
-  let inflight = Mutex.protect srv.lock (fun () -> srv.inflight) in
+  let inflight, epoch = Mutex.protect srv.lock (fun () -> (srv.inflight, srv.current.ep_id)) in
   Protocol.ok_response ~id
     [ ("counters", Json.Obj counters);
       ("histograms", Json.Obj hists);
@@ -326,7 +451,41 @@ let metrics_response srv ~id =
             ("misses", Json.Int cache.Decide_cache.misses);
             ("entries", Json.Int cache.Decide_cache.entries);
             ("evictions", Json.Int cache.Decide_cache.evictions) ] );
-      ("inflight", Json.Int inflight) ]
+      ("inflight", Json.Int inflight);
+      ("epoch", Json.Int epoch) ]
+
+(* The one-line triage view: is the server keeping up, which breakers
+   are open, which epoch is live, is persistence healthy. *)
+let health_response srv ~id =
+  let depth, inflight, epoch, ema, breakers =
+    Mutex.protect srv.lock (fun () ->
+        ( Queue.length srv.queue,
+          srv.inflight,
+          srv.current.ep_id,
+          srv.ema_ms,
+          Hashtbl.fold
+            (fun name b acc -> (name, Supervisor.Breaker.state b) :: acc)
+            srv.current.ep_breakers [] ))
+  in
+  let est_wait = float_of_int depth *. ema /. float_of_int (max 1 srv.cfg.jobs) in
+  let state_str = function
+    | Supervisor.Breaker.Closed -> "closed"
+    | Supervisor.Breaker.Open -> "open"
+    | Supervisor.Breaker.Half_open -> "half_open"
+  in
+  let breakers =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) breakers
+    |> List.map (fun (name, st) -> (name, Json.Str (state_str st)))
+  in
+  let journal_records = Atomic.get srv.japps in
+  Protocol.ok_response ~id
+    [ ("epoch", Json.Int epoch);
+      ("queue_depth", Json.Int depth);
+      ("inflight", Json.Int inflight);
+      ("brownout", Json.Bool (depth >= srv.cfg.brownout_queue));
+      ("est_wait_ms", Json.Int (int_of_float est_wait));
+      ("breakers", Json.Obj breakers);
+      ("journal_records", Json.Int journal_records) ]
 
 (* ------------------------------ snapshots --------------------------- *)
 
@@ -335,14 +494,67 @@ let save_snapshot srv =
   | None -> Ok 0
   | Some path -> Decide_cache.save srv.cache path
 
+(* A successful snapshot subsumes the journal: reset it so recovery
+   never replays records the snapshot already holds (replaying them
+   would be idempotent, just wasted boot time). *)
 let save_snapshot_logged srv ~why =
   match save_snapshot srv with
   | Ok 0 when srv.cfg.snapshot = None -> ()
   | Ok n ->
+    reset_journal srv;
     srv.cfg.log
       (Printf.sprintf "fq serve: snapshot written (%d entries, %s) to %s" n why
          (Option.get srv.cfg.snapshot))
   | Error e -> srv.cfg.log (Printf.sprintf "fq serve: snapshot failed: %s" e)
+
+let compact srv =
+  match save_snapshot srv with
+  | Ok _ when srv.cfg.snapshot <> None ->
+    reset_journal srv;
+    reg_count srv.reg "serve.compactions"
+  | Ok _ -> ()
+  | Error e ->
+    reg_count srv.reg "serve.journal_errors";
+    srv.cfg.log (Printf.sprintf "fq serve: compaction failed: %s" e)
+
+(* ------------------------------ reload ------------------------------ *)
+
+let swap_epoch srv state ~source =
+  let ep =
+    Mutex.protect srv.lock (fun () ->
+        let ep = make_epoch srv.cfg ~id:(srv.current.ep_id + 1) state in
+        srv.current <- ep;
+        srv.state_path <- (match source with Some _ -> source | None -> srv.state_path);
+        ep)
+  in
+  reg_count srv.reg "serve.reloads";
+  let schema = State.schema ep.ep_state in
+  srv.cfg.log
+    (Printf.sprintf "fq serve: epoch %d: state reloaded%s (%d relations, %d constants)"
+       ep.ep_id
+       (match source with Some p -> " from " ^ p | None -> "")
+       (List.length (Schema.relations schema))
+       (List.length (State.constants ep.ep_state)));
+  ep.ep_id
+
+(* [path = None] means "re-read the configured state file" — the SIGHUP
+   semantics.  The file is parsed before any pointer moves, so a broken
+   file leaves the old epoch serving. *)
+let do_reload srv ~path =
+  let source =
+    match path with
+    | Some p -> Ok p
+    | None -> (
+      match Mutex.protect srv.lock (fun () -> srv.state_path) with
+      | Some p -> Ok p
+      | None -> Error "no state file configured (start with --state-file or name one)")
+  in
+  Result.bind source @@ fun p ->
+  match Fq_db.Codec.load_state p with
+  | Error e ->
+    reg_count srv.reg "serve.reload_failures";
+    Error e
+  | Ok state -> Ok (swap_epoch srv state ~source:(Some p))
 
 (* ------------------------------ admission --------------------------- *)
 
@@ -358,28 +570,56 @@ let reject_resume ~resume ~formula =
           found = Relation.empty ~arity:(List.length (Formula.free_vars f)) })
       (Result.map_error (fun e -> "parse error: " ^ e) (Parser.formula formula))
 
+(* Deadline-aware shedding: when the queue is long enough that this
+   request would blow its own deadline just waiting, reject now with an
+   honest retry hint instead of admitting work we already know we will
+   abandon.  The estimate is queue depth x EMA latency / workers — crude
+   but self-correcting, and 0 until the first completion. *)
+let estimated_wait_ms srv =
+  (* srv.lock held *)
+  float_of_int (Queue.length srv.queue) *. srv.ema_ms /. float_of_int (max 1 srv.cfg.jobs)
+
 let admit srv conn req =
+  let deadline_ms =
+    match req with
+    | Protocol.Eval { timeout_ms; _ } -> (
+      match timeout_ms with Some _ as t -> t | None -> srv.cfg.default_timeout_ms)
+    | _ -> None
+  in
   let verdict =
     Mutex.protect srv.lock (fun () ->
-        if srv.stopping then `Reject "shutting down"
+        if srv.stopping then `Reject ("shutting down", 25)
         else if srv.inflight >= srv.cfg.max_inflight then
           `Reject
-            (Printf.sprintf "server over capacity (%d requests in flight)" srv.inflight)
+            (Printf.sprintf "server over capacity (%d requests in flight)" srv.inflight, 25)
         else if conn.c_inflight >= srv.cfg.client_share then
           `Reject
-            (Printf.sprintf "client over fair share (%d requests in flight)" conn.c_inflight)
-        else begin
-          srv.inflight <- srv.inflight + 1;
-          conn.c_inflight <- conn.c_inflight + 1;
-          Queue.push { j_req = req; j_conn = conn } srv.queue;
-          Condition.signal srv.nonempty;
-          `Admitted
-        end)
+            ( Printf.sprintf "client over fair share (%d requests in flight)" conn.c_inflight,
+              25 )
+        else
+          let est_wait = estimated_wait_ms srv in
+          match deadline_ms with
+          | Some d when est_wait > float_of_int d ->
+            `Shed
+              ( Printf.sprintf
+                  "estimated queue wait %.0fms exceeds request deadline %dms" est_wait d,
+                int_of_float est_wait )
+          | _ ->
+            let job =
+              { j_req = req;
+                j_conn = conn;
+                j_epoch = srv.current;
+                j_brownout = Queue.length srv.queue >= srv.cfg.brownout_queue;
+                j_cancel = Atomic.make false;
+                j_done = false }
+            in
+            srv.inflight <- srv.inflight + 1;
+            conn.c_inflight <- conn.c_inflight + 1;
+            Queue.push job srv.queue;
+            Condition.signal srv.nonempty;
+            if job.j_brownout then `Admitted_brownout else `Admitted)
   in
-  match verdict with
-  | `Admitted -> ()
-  | `Reject reason ->
-    reg_count srv.reg "serve.rejected";
+  let reject reason retry_after_ms =
     let id = Protocol.request_id req in
     let resume, formula =
       match req with
@@ -387,20 +627,55 @@ let admit srv conn req =
       | Protocol.Explain { formula; _ } -> (None, formula)
       | _ -> (None, "")
     in
-    (match reject_resume ~resume ~formula with
-    | Ok resume -> send srv conn (Protocol.reject_response ~id ~reason ~retry_after_ms:25 ~resume)
-    | Error e -> send srv conn (Protocol.malformed_response ~id e))
+    match reject_resume ~resume ~formula with
+    | Ok resume -> send srv conn (Protocol.reject_response ~id ~reason ~retry_after_ms ~resume)
+    | Error e -> send srv conn (Protocol.malformed_response ~id e)
+  in
+  match verdict with
+  | `Admitted -> ()
+  | `Admitted_brownout -> reg_count srv.reg "serve.brownout"
+  | `Reject (reason, retry) ->
+    reg_count srv.reg "serve.rejected";
+    reject reason retry
+  | `Shed (reason, retry) ->
+    reg_count srv.reg "serve.rejected";
+    reg_count srv.reg "serve.shed_deadline";
+    reject reason (max 1 retry)
 
 (* ------------------------------- workers ---------------------------- *)
 
-let handle srv = function
+let handle srv job =
+  match job.j_req with
   | Protocol.Eval { id; domain; formula; fuel; timeout_ms; resume } ->
-    handle_eval srv ~id ~domain ~formula ~fuel ~timeout_ms ~resume
-  | Protocol.Explain { id; domain; formula } -> handle_explain srv ~id ~domain ~formula
-  | Protocol.Metrics _ | Protocol.Ping _ | Protocol.Snapshot _ | Protocol.Shutdown _ ->
+    handle_eval srv job ~id ~domain ~formula ~fuel ~timeout_ms ~resume
+  | Protocol.Explain { id; domain; formula } -> handle_explain srv job ~id ~domain ~formula
+  | Protocol.Metrics _ | Protocol.Ping _ | Protocol.Snapshot _ | Protocol.Shutdown _
+  | Protocol.Reload _ | Protocol.Health _ ->
     assert false (* control ops are answered inline by the reader thread *)
 
-let rec worker srv =
+(* Exactly-once completion: the worker that evaluated the job and the
+   watchdog that gave up on it race here; the first caller owns the
+   decrement and the response, the loser is a no-op. *)
+let complete_job srv job response =
+  let first =
+    Mutex.protect srv.lock (fun () ->
+        if job.j_done then false
+        else begin
+          job.j_done <- true;
+          srv.inflight <- srv.inflight - 1;
+          job.j_conn.c_inflight <- job.j_conn.c_inflight - 1;
+          true
+        end)
+  in
+  if first then send srv job.j_conn response;
+  first
+
+let job_deadline job =
+  match job.j_req with
+  | Protocol.Eval { timeout_ms = Some t; _ } -> Some t
+  | _ -> None
+
+let rec worker srv slot gen =
   Mutex.lock srv.lock;
   while Queue.is_empty srv.queue && not srv.stopping do
     Condition.wait srv.nonempty srv.lock
@@ -408,14 +683,90 @@ let rec worker srv =
   if Queue.is_empty srv.queue then Mutex.unlock srv.lock (* stopping, drained: exit *)
   else begin
     let job = Queue.pop srv.queue in
+    let started = now_ms () in
+    let deadline =
+      match job_deadline job with
+      | Some t -> started +. float_of_int t
+      | None -> (
+        match srv.cfg.default_timeout_ms with
+        | Some t -> started +. float_of_int t
+        | None -> 0.)
+    in
+    if slot.s_gen = gen then begin
+      slot.s_job <- Some job;
+      slot.s_deadline <- (match job.j_req with Protocol.Eval _ -> deadline | _ -> 0.)
+    end;
     Mutex.unlock srv.lock;
-    let response = handle srv job.j_req in
-    send srv job.j_conn response;
-    Mutex.protect srv.lock (fun () ->
-        srv.inflight <- srv.inflight - 1;
-        job.j_conn.c_inflight <- job.j_conn.c_inflight - 1);
-    worker srv
+    let response = handle srv job in
+    let elapsed = now_ms () -. started in
+    let _first : bool = complete_job srv job response in
+    let keep_seat =
+      Mutex.protect srv.lock (fun () ->
+          srv.ema_ms <-
+            (if srv.ema_ms = 0. then elapsed else (0.8 *. srv.ema_ms) +. (0.2 *. elapsed));
+          if slot.s_gen = gen then begin
+            slot.s_job <- None;
+            slot.s_deadline <- 0.;
+            true
+          end
+          else false (* the watchdog disowned us; a replacement holds the seat *))
+    in
+    if keep_seat then worker srv slot gen
   end
+
+(* ------------------------------ watchdog ---------------------------- *)
+
+(* Two-stage escalation, driven from the accept loop's 0.2s tick.  Past
+   the request deadline: set the job's cancel flag — the budget polls it
+   every 256 ticks, so a cooperating evaluation unwinds into an ordinary
+   Partial/Failed within microseconds.  Past deadline + grace: the
+   domain is wedged somewhere that never ticks (a pathological decide, a
+   stuck syscall) — answer the victim with a classified error ourselves,
+   disown the seat, and spawn a fresh domain so pool capacity does not
+   leak.  The zombie domain is never joined; if it ever wakes it finds
+   its job completed and its seat re-generationed, and exits. *)
+let scan_watchdog srv =
+  let nw = now_ms () in
+  let victims =
+    Mutex.protect srv.lock (fun () ->
+        Array.fold_left
+          (fun acc slot ->
+            match slot.s_job with
+            | Some job when slot.s_deadline > 0. ->
+              if nw > slot.s_deadline && not (Atomic.get job.j_cancel) then begin
+                Atomic.set job.j_cancel true;
+                reg_count_unlocked srv.reg "serve.watchdog_cancels" 1
+              end;
+              if nw > slot.s_deadline +. float_of_int srv.cfg.watchdog_grace_ms then begin
+                slot.s_gen <- slot.s_gen + 1;
+                slot.s_job <- None;
+                slot.s_deadline <- 0.;
+                (slot, slot.s_gen, job) :: acc
+              end
+              else acc
+            | _ -> acc)
+          [] srv.slots)
+  in
+  List.iter
+    (fun (slot, gen, job) ->
+      reg_count srv.reg "serve.watchdog_recycles";
+      let id = Protocol.request_id job.j_req in
+      let reason =
+        "crashed: watchdog: evaluation still running past its deadline; worker recycled"
+      in
+      let response =
+        Protocol.outcome_response ~id
+          { Outcome.verdict = Outcome.Failed { reason };
+            usage = { Budget.ticks = 0; elapsed_ms = 0. };
+            attempts = [] }
+      in
+      let _first : bool = complete_job srv job response in
+      srv.cfg.log
+        (Printf.sprintf "fq serve: watchdog recycled worker %d (request %S overran)"
+           slot.s_idx id);
+      let dom = Stdlib.Domain.spawn (fun () -> worker srv slot gen) in
+      Mutex.protect srv.lock (fun () -> slot.s_dom <- Some dom))
+    victims
 
 (* ------------------------------ connections ------------------------- *)
 
@@ -424,13 +775,41 @@ let initiate_shutdown srv =
       srv.stopping <- true;
       Condition.broadcast srv.nonempty)
 
+(* Bounded line reader: like input_line, but a line longer than
+   [max_bytes] is drained (not buffered) to its newline and reported as
+   oversized — one hostile client cannot balloon a reader thread. *)
+let read_line_bounded ic ~max_bytes =
+  let buf = Buffer.create 256 in
+  let rec go overflow =
+    match input_char ic with
+    | exception End_of_file ->
+      if overflow then `Too_long
+      else if Buffer.length buf = 0 then `Eof
+      else `Line (Buffer.contents buf)
+    | '\n' -> if overflow then `Too_long else `Line (Buffer.contents buf)
+    | c ->
+      if overflow || Buffer.length buf >= max_bytes then go true
+      else begin
+        Buffer.add_char buf c;
+        go false
+      end
+  in
+  go false
+
 let conn_loop srv conn =
   let ic = Unix.in_channel_of_descr conn.c_fd in
   reg_count srv.reg "serve.connections";
   let rec go () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | line ->
+    match read_line_bounded ic ~max_bytes:srv.cfg.max_line_bytes with
+    | exception Sys_error _ -> ()
+    | `Eof -> ()
+    | `Too_long ->
+      reg_count srv.reg "serve.malformed";
+      send srv conn
+        (Protocol.malformed_response ~id:""
+           (Printf.sprintf "protocol: line exceeds %d bytes" srv.cfg.max_line_bytes));
+      go ()
+    | `Line line ->
       let line = String.trim line in
       if line = "" then go ()
       else begin
@@ -442,11 +821,21 @@ let conn_loop srv conn =
         | Ok (Protocol.Metrics { id }) ->
           reg_count srv.reg "serve.requests";
           send srv conn (metrics_response srv ~id)
+        | Ok (Protocol.Health { id }) ->
+          reg_count srv.reg "serve.requests";
+          send srv conn (health_response srv ~id)
         | Ok (Protocol.Snapshot { id }) -> (
           reg_count srv.reg "serve.requests";
           match save_snapshot srv with
-          | Ok n -> send srv conn (Protocol.ok_response ~id [ ("entries", Json.Int n) ])
+          | Ok n ->
+            if srv.cfg.snapshot <> None then reset_journal srv;
+            send srv conn (Protocol.ok_response ~id [ ("entries", Json.Int n) ])
           | Error e -> send srv conn (Protocol.malformed_response ~id e))
+        | Ok (Protocol.Reload { id; path }) -> (
+          reg_count srv.reg "serve.requests";
+          match do_reload srv ~path with
+          | Ok epoch -> send srv conn (Protocol.ok_response ~id [ ("epoch", Json.Int epoch) ])
+          | Error e -> send srv conn (Protocol.malformed_response ~id ("reload: " ^ e)))
         | Ok (Protocol.Shutdown { id }) ->
           reg_count srv.reg "serve.requests";
           send srv conn (Protocol.ok_response ~id [ ("draining", Json.Bool true) ]);
@@ -489,20 +878,29 @@ let run_bound cfg =
   let srv =
     { cfg;
       cache = Decide_cache.create ();
-      breakers = Hashtbl.create 8;
       queue = Queue.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
       inflight = 0;
       stopping = false;
+      current = make_epoch cfg ~id:1 cfg.state;
+      state_path = cfg.state_file;
+      ema_ms = 0.;
+      slots =
+        Array.init (max 1 cfg.jobs) (fun i ->
+            { s_idx = i; s_dom = None; s_gen = 0; s_job = None; s_deadline = 0. });
+      jlock = Mutex.create ();
+      journal = None;
+      japps = Atomic.make 0;
+      needs_compact = Atomic.make false;
       reg = registry_create ();
-      usr1 = Atomic.make false }
+      usr1 = Atomic.make false;
+      hup = Atomic.make false }
   in
-  List.iter
-    (fun (name, _) -> Hashtbl.replace srv.breakers name (Supervisor.Breaker.create ()))
-    Protocol.domains;
   (try
      Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Atomic.set srv.usr1 true))
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set srv.hup true))
    with Invalid_argument _ -> ());
   let snapshot_boot =
     match cfg.snapshot with
@@ -513,18 +911,53 @@ let run_bound cfg =
     | _ -> Ok None
   in
   Result.bind snapshot_boot @@ fun loaded ->
+  (* Journal recovery runs after the snapshot load so recovered records
+     (which postdate the snapshot) win the MRU refresh; then the journal
+     is opened for appending and the decide cache starts feeding it. *)
+  let journal_boot =
+    match journal_path cfg with
+    | None -> Ok None
+    | Some jpath ->
+      let unparsable = ref 0 in
+      let replay payload =
+        match Decide_cache.entry_of_line payload with
+        | Ok (key, value) -> Decide_cache.restore srv.cache key value
+        | Error _ -> incr unparsable
+      in
+      Result.bind (Journal.recover jpath ~f:replay) @@ fun r ->
+      Result.map (fun j -> Some (j, r, !unparsable)) (Journal.open_append jpath)
+  in
+  Result.bind journal_boot @@ fun jopened ->
   Result.bind (bind_socket cfg.addr) @@ fun listen_fd ->
   (match loaded with
   | Some n -> cfg.log (Printf.sprintf "fq serve: warm start, %d cached verdicts loaded" n)
   | None -> ());
+  (match jopened with
+  | Some (j, { Journal.applied; skipped; truncated_bytes }, unparsable) ->
+    srv.journal <- Some j;
+    Decide_cache.set_on_insert srv.cache (Some (fun key value -> journal_record srv key value));
+    if applied + skipped + truncated_bytes + unparsable > 0 then
+      cfg.log
+        (Printf.sprintf
+           "fq serve: journal recovered %d records (%d skipped, %d torn bytes) from %s"
+           applied (skipped + unparsable) truncated_bytes (Journal.path j))
+  | None -> ());
   cfg.log
     (Format.asprintf "fq serve: listening on %a (%d workers, %d in-flight cap)" pp_addr
        cfg.addr cfg.jobs cfg.max_inflight);
-  let workers = Array.init (max 1 cfg.jobs) (fun _ -> Stdlib.Domain.spawn (fun () -> worker srv)) in
+  Array.iter
+    (fun slot -> slot.s_dom <- Some (Stdlib.Domain.spawn (fun () -> worker srv slot slot.s_gen)))
+    srv.slots;
   let conns = ref [] in
   let stopping () = Mutex.protect srv.lock (fun () -> srv.stopping) in
   while not (stopping ()) do
     if Atomic.exchange srv.usr1 false then save_snapshot_logged srv ~why:"SIGUSR1";
+    if Atomic.exchange srv.hup false then
+      (match do_reload srv ~path:None with
+      | Ok _ -> ()
+      | Error e -> cfg.log (Printf.sprintf "fq serve: SIGHUP reload failed: %s" e));
+    if Atomic.exchange srv.needs_compact false then compact srv;
+    scan_watchdog srv;
     match Unix.select [ listen_fd ] [] [] 0.2 with
     | [], _, _ -> ()
     | _ -> (
@@ -542,10 +975,39 @@ let run_bound cfg =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  (* graceful shutdown: stop accepting, drain admitted work, snapshot,
-     then unblock the reader threads and close every connection *)
-  Array.iter Stdlib.Domain.join workers;
+  (* graceful shutdown: stop accepting, drain admitted work (keeping the
+     watchdog alive so a wedged worker cannot hang the drain), join the
+     pool, snapshot, then unblock the reader threads and close every
+     connection *)
+  let rec drain () =
+    scan_watchdog srv;
+    let idle =
+      Mutex.protect srv.lock (fun () ->
+          Queue.is_empty srv.queue
+          && Array.for_all (fun s -> match s.s_job with None -> true | Some _ -> false) srv.slots)
+    in
+    if not idle then begin
+      Thread.delay 0.05;
+      drain ()
+    end
+  in
+  drain ();
+  Array.iter
+    (fun slot ->
+      match Mutex.protect srv.lock (fun () -> slot.s_dom) with
+      | Some d -> Stdlib.Domain.join d
+      | None -> ())
+    srv.slots;
   save_snapshot_logged srv ~why:"shutdown";
+  (Mutex.lock srv.jlock;
+   Fun.protect ~finally:(fun () -> Mutex.unlock srv.jlock) @@ fun () ->
+   match srv.journal with
+   | Some j ->
+     Journal.sync j;
+     Journal.close j;
+     srv.journal <- None
+   | None -> ());
+  Decide_cache.set_on_insert srv.cache None;
   List.iter
     (fun (conn, thread) ->
       (try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
@@ -571,6 +1033,6 @@ let run_bound cfg =
   Ok 0
 
 let run cfg =
-  match Protocol.find_domain cfg.default_domain with
+  match List.assoc_opt cfg.default_domain (all_domains cfg) with
   | None -> Error (Printf.sprintf "unknown default domain %S" cfg.default_domain)
   | Some _ -> run_bound cfg

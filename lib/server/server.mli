@@ -1,4 +1,4 @@
-(** The [fq serve] daemon: a persistent query service.
+(** The [fq serve] daemon: a persistent, crash-tolerant query service.
 
     Accepts connections on a Unix or TCP socket and speaks the
     newline-delimited JSON {!Protocol}.  Evaluation requests are
@@ -10,21 +10,47 @@
       a request over either cap is answered immediately with a structured
       reject carrying its resume evidence and a [retry_after_ms] hint,
       never queued unboundedly;
+    - {b deadline-aware shedding} — a request whose estimated queue wait
+      (depth x EMA latency / workers) already exceeds its own deadline is
+      rejected at admission with an honest retry hint, instead of being
+      admitted only to blow its budget waiting;
+    - {b brownout} — under sustained queue pressure ([brownout_queue]
+      admitted jobs waiting) new admissions run with their fuel divided
+      by [brownout_fuel_divisor]: degraded answers beat a collapse;
     - {b per-request budgets} — each eval runs under its own
       [Budget.make] governor, fuel capped by [max_fuel], so one hostile
       query cannot starve the pool;
+    - {b a worker watchdog} — a domain still evaluating past its
+      request's deadline is first cancelled cooperatively (the budget's
+      cancel hook), and past [watchdog_grace_ms] more the victim request
+      is answered with a classified error and the wedged domain's seat is
+      handed to a freshly spawned replacement, so pool capacity cannot
+      leak;
     - {b circuit breakers} — a per-domain {!Fq_core.Supervisor.Breaker}
-      around the decision procedure, exactly as in [fq batch];
-    - {b warm start} — one shared {!Fq_domain.Decide_cache} serves every
+      around the decision procedure, exactly as in [fq batch], rebuilt
+      per epoch;
+    - {b durability} — one shared {!Fq_domain.Decide_cache} serves every
       request; with [snapshot] set it is loaded at boot and written back
-      on graceful shutdown and on [SIGUSR1] (and on a [snapshot]
-      request), so a restarted server does not re-pay QE;
-    - {b shared statistics} — one mutex-safe {!Fq_db.Optimizer.Stats}
-      instance feeds the cost-based optimizer across all requests;
+      on graceful shutdown and [SIGUSR1], and every {e fresh} verdict is
+      also appended to a CRC-framed {!Journal} (at [journal], default
+      [snapshot ^ ".journal"]) the moment it lands — after a crash,
+      recovery replays the snapshot plus the journal's surviving records,
+      truncating torn tails and skipping corrupt records instead of
+      failing boot.  The accept loop compacts the journal into the
+      snapshot every [journal_compact_every] appends;
+    - {b hot reload} — a [reload] request or SIGHUP re-reads a state file
+      ({!Fq_db.Codec.load_state}) and swaps the served database behind an
+      epoch pointer: requests admitted before the swap finish on the old
+      epoch, new admissions see the new one, optimizer statistics and
+      breakers are rebuilt per epoch, and no connection drops;
+    - {b bounded input} — a request line longer than [max_line_bytes] is
+      drained and answered with a structured [malformed] reply; a hostile
+      client cannot balloon a reader thread;
     - {b observability} — every request runs under a
       {!Fq_core.Telemetry} recording whose counters and histograms are
       merged into a server-wide registry served by [metrics] requests,
-      alongside request/latency/rejection counters and the cache stats. *)
+      and a [health] op answers queue depth / breaker states / epoch
+      inline, even when the pool is saturated. *)
 
 type addr = Unix_path of string | Tcp of int  (** TCP binds 127.0.0.1 *)
 
@@ -39,8 +65,22 @@ type config = {
   max_fuel : int;  (** per-request fuel ceiling *)
   default_timeout_ms : int option;
   snapshot : string option;  (** decide-cache snapshot path *)
+  journal : string option;
+      (** decide-cache journal path; [None] = [snapshot ^ ".journal"]
+          when a snapshot is configured, else journaling is off *)
+  state_file : string option;  (** the file SIGHUP / pathless reload re-reads *)
+  max_line_bytes : int;  (** NDJSON reader line-length bound *)
+  journal_compact_every : int;  (** appends between journal compactions *)
+  brownout_queue : int;  (** queue depth that triggers brownout fuel *)
+  brownout_fuel_divisor : int;  (** fuel shrink factor under brownout *)
+  watchdog_grace_ms : int;
+      (** extra time past a request's deadline before the watchdog
+          force-answers it and recycles the worker domain *)
+  extra_domains : (string * Fq_domain.Domain.t) list;
+      (** served in addition to {!Protocol.domains} (tests register
+          pathological domains here) *)
   default_domain : string;  (** for requests that name no domain *)
-  state : Fq_db.State.t;  (** the database served by this process *)
+  state : Fq_db.State.t;  (** the database served at epoch 1 *)
   stats : Fq_db.Optimizer.Stats.t;  (** shared cost-model statistics *)
   log : string -> unit;  (** server log lines (stderr in the CLI) *)
 }
@@ -48,12 +88,17 @@ type config = {
 val default_config : state:Fq_db.State.t -> addr -> config
 (** [jobs = 4], [max_inflight = 256], [client_share = 64],
     [default_fuel = 10_000], [max_fuel = 1_000_000], no timeout, no
-    snapshot, default domain ["presburger"], [Stats.of_state state],
+    snapshot/journal/state file, [max_line_bytes = 1 MiB],
+    [journal_compact_every = 512], [brownout_queue = 32],
+    [brownout_fuel_divisor = 4], [watchdog_grace_ms = 1000], no extra
+    domains, default domain ["presburger"], [Stats.of_state state],
     logging to [stderr]. *)
 
 val run : config -> (int, string) result
 (** Boot and serve until a [shutdown] request: binds the socket, loads
-    the snapshot if one exists, prints a ["listening on ..."] log line,
-    and blocks.  Graceful shutdown drains admitted requests, answers
-    them, writes the snapshot, and returns [Ok 0].  [Error] covers boot
-    failures (unbindable socket, corrupt snapshot). *)
+    the snapshot if one exists, recovers and opens the journal, prints a
+    ["listening on ..."] log line, and blocks.  Graceful shutdown drains
+    admitted requests, answers them, writes the snapshot (resetting the
+    journal it subsumes), and returns [Ok 0].  [Error] covers boot
+    failures (unbindable socket, corrupt snapshot, a journal that is not
+    a journal — torn and corrupt {e records} are recovered, not fatal). *)

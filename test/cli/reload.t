@@ -1,0 +1,84 @@
+Crash-safe serving: hot state reload (fq ctl + SIGHUP) and journal
+recovery after an unclean death.
+
+Boot over a --state-file, with a snapshot; the decide-cache journal
+rides next to the snapshot automatically:
+
+  $ cat > state.db <<EOF
+  > F/2=adam,cain;adam,abel
+  > EOF
+  $ ../../bin/fq.exe serve --socket fq.sock --snapshot snap.fq \
+  >   --state-file state.db -d equality 2> server.log &
+  $ ../../bin/fq.exe ctl fq.sock ping
+  {"id":"ctl","ok":true}
+
+Epoch 1 serves the file as written:
+
+  $ ../../bin/fq.exe batch --connect fq.sock -d equality "exists y. F(x,y)"
+  [0] complete via ranf-algebra (1 tuples): {("adam")}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+A pathless reload re-reads --state-file and swaps the served database
+behind the epoch pointer — zero downtime, no dropped connections:
+
+  $ cat > state.db <<EOF
+  > F/2=adam,cain;cain,enoch
+  > EOF
+  $ ../../bin/fq.exe ctl fq.sock reload
+  {"id":"ctl","ok":true,"epoch":2}
+  $ ../../bin/fq.exe batch --connect fq.sock -d equality "exists y. F(x,y)"
+  [0] complete via ranf-algebra (2 tuples): {("adam"), ("cain")}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+SIGHUP does the same swap, picked up by the accept loop; health reports
+the live epoch (and queue/breaker state) without touching the pool:
+
+  $ cat > state.db <<EOF
+  > F/2=eve,seth
+  > EOF
+  $ kill -HUP $!
+  $ for i in $(seq 1 100); do
+  >   ../../bin/fq.exe ctl fq.sock health | grep -q '"epoch":3' && break
+  >   sleep 0.1
+  > done
+  $ ../../bin/fq.exe ctl fq.sock health | grep -o '"epoch":3'
+  "epoch":3
+  $ ../../bin/fq.exe batch --connect fq.sock -d equality "exists y. F(x,y)"
+  [0] complete via ranf-algebra (1 tuples): {("eve")}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+A fresh decidable verdict is journaled the moment it lands — one
+CRC-framed record per verdict:
+
+  $ ../../bin/fq.exe batch --connect fq.sock -d presburger "forall x. exists y. x < y"
+  [0] complete via enumerate (1 tuples): {()}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+  $ head -1 snap.fq.journal
+  fq-decide-journal 1
+  $ cut -f2- < snap.fq.journal | tail -n +2
+  ok	true	forall v0. exists v1. v0 < v1
+
+An unclean death (kill -9, no snapshot ever written) loses nothing the
+journal holds: reboot replays it and the verdict is already warm:
+
+  $ kill -9 $!
+  $ wait
+  $ ../../bin/fq.exe serve --socket fq.sock --snapshot snap.fq \
+  >   --state-file state.db -d equality 2> server2.log &
+  $ ../../bin/fq.exe ctl fq.sock ping
+  {"id":"ctl","ok":true}
+  $ grep recovered server2.log
+  fq serve: journal recovered 1 records (0 skipped, 0 torn bytes) from snap.fq.journal
+  $ ../../bin/fq.exe batch --connect fq.sock -d presburger "forall x. exists y. x < y"
+  [0] complete via enumerate (1 tuples): {()}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+  $ ../../bin/fq.exe ctl fq.sock shutdown
+  {"id":"ctl","ok":true,"draining":true}
+  $ wait
+
+With --timeout-ms, fq ctl against a dead or wedged address exits 4
+instead of hanging:
+
+  $ ../../bin/fq.exe ctl --timeout-ms 200 nobody-home.sock ping
+  error: unsupported: timed out connecting to unix:nobody-home.sock
+  [4]

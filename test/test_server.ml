@@ -1,7 +1,8 @@
 (* fq serve: wire-protocol codecs, Outcome JSON stability, the
-   snapshot warm-start property, and an in-process end-to-end run of
-   the daemon (boot, round-trip, deterministic reject, graceful
-   shutdown). *)
+   snapshot warm-start property, journal durability (torn-tail/corrupt
+   recovery, fault-armed appends), and an in-process end-to-end run of
+   the daemon (boot, round-trip, deterministic reject, hot reload,
+   overload shedding, watchdog recycle, graceful shutdown). *)
 
 module Json = Fq_core.Json
 module Budget = Fq_core.Budget
@@ -16,6 +17,13 @@ module Decide_cache = Fq_domain.Decide_cache
 module Protocol = Fq_server.Protocol
 module Server = Fq_server.Server
 module Client = Fq_server.Client
+module Journal = Fq_server.Journal
+module Fault = Fq_core.Fault
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
 
 let presburger : Fq_domain.Domain.t = (module Fq_domain.Presburger)
 
@@ -101,6 +109,9 @@ let sample_requests =
     Protocol.Metrics { id = "m" };
     Protocol.Ping { id = "p" };
     Protocol.Snapshot { id = "s" };
+    Protocol.Reload { id = "r"; path = Some "/var/db/state.db" };
+    Protocol.Reload { id = "r2"; path = None };
+    Protocol.Health { id = "h" };
     Protocol.Shutdown { id = "x" } ]
 
 let test_request_roundtrip () =
@@ -207,6 +218,321 @@ let prop_snapshot_agrees =
       if warm_verdict <> cold_verdict then
         QCheck.Test.fail_reportf "cold %s <> warm %s" (pp_verdict cold_verdict)
           (pp_verdict warm_verdict);
+      true)
+
+(* ----------------------- journal durability ------------------------ *)
+
+let journal_header = "fq-decide-journal 1\n"
+
+let fresh_journal () =
+  let p = Filename.temp_file "fq_journal" ".j" in
+  Sys.remove p;
+  p
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let append_all path payloads =
+  match Journal.open_append path with
+  | Error e -> Alcotest.failf "open_append: %s" e
+  | Ok j ->
+    List.iter
+      (fun p ->
+        match Journal.append j p with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "append %S: %s" p e)
+      payloads;
+    Journal.close j
+
+let recover_all path =
+  let acc = ref [] in
+  match Journal.recover path ~f:(fun p -> acc := p :: !acc) with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok r -> (r, List.rev !acc)
+
+let test_journal_crc () =
+  (* the published IEEE CRC-32 check value *)
+  Alcotest.(check int32) "check value" 0xcbf43926l (Journal.crc32 "123456789");
+  Alcotest.(check int32) "empty string" 0l (Journal.crc32 "")
+
+let test_journal_roundtrip () =
+  let p = fresh_journal () in
+  let payloads = [ "ok\ttrue\tA"; "err\tboom\tB"; "ok\tfalse\tC" ] in
+  append_all p payloads;
+  let r, got = recover_all p in
+  Alcotest.(check (list string)) "payloads in order" payloads got;
+  Alcotest.(check int) "applied" 3 r.Journal.applied;
+  Alcotest.(check int) "skipped" 0 r.Journal.skipped;
+  Alcotest.(check int) "torn bytes" 0 r.Journal.truncated_bytes;
+  (* reopening appends after the existing records, not over them *)
+  append_all p [ "ok\ttrue\tD" ];
+  let _, got = recover_all p in
+  Alcotest.(check (list string)) "extended" (payloads @ [ "ok\ttrue\tD" ]) got;
+  Sys.remove p
+
+let test_journal_torn_tail () =
+  let p = fresh_journal () in
+  append_all p [ "one"; "two" ];
+  let intact = read_file p in
+  write_file p (intact ^ "deadbeef\tthree (torn, no newli");
+  let r, got = recover_all p in
+  Alcotest.(check (list string)) "prefix survives" [ "one"; "two" ] got;
+  Alcotest.(check bool) "tail cut" true (r.Journal.truncated_bytes > 0);
+  Alcotest.(check string) "file physically truncated" intact (read_file p);
+  (* recovery is idempotent: a second pass finds a clean file *)
+  let r2, got2 = recover_all p in
+  Alcotest.(check (list string)) "second pass" [ "one"; "two" ] got2;
+  Alcotest.(check int) "nothing left to cut" 0 r2.Journal.truncated_bytes;
+  Sys.remove p
+
+let test_journal_corrupt_record () =
+  let p = fresh_journal () in
+  append_all p [ "one"; "two"; "three" ];
+  let s = read_file p in
+  (* flip one payload byte of the middle record: its CRC fails, and the
+     records before AND after it survive *)
+  let needle = "\ttwo\n" in
+  let rec find i = if String.sub s i (String.length needle) = needle then i else find (i + 1) in
+  let idx = find 0 in
+  let b = Bytes.of_string s in
+  Bytes.set b (idx + 1) 'T';
+  write_file p (Bytes.to_string b);
+  let r, got = recover_all p in
+  Alcotest.(check (list string)) "corrupt record skipped" [ "one"; "three" ] got;
+  Alcotest.(check int) "skipped" 1 r.Journal.skipped;
+  Sys.remove p
+
+let test_journal_reset () =
+  let p = fresh_journal () in
+  (match Journal.open_append p with
+  | Error e -> Alcotest.failf "open_append: %s" e
+  | Ok j ->
+    List.iter
+      (fun x ->
+        match Journal.append j x with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "append: %s" e)
+      [ "one"; "two" ];
+    (match Journal.reset j with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "reset: %s" e);
+    (match Journal.append j "three" with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "append after reset: %s" e);
+    Journal.close j);
+  let r, got = recover_all p in
+  Alcotest.(check (list string)) "only post-reset records" [ "three" ] got;
+  Alcotest.(check int) "applied" 1 r.Journal.applied;
+  Sys.remove p
+
+let test_journal_not_a_journal () =
+  let p = fresh_journal () in
+  write_file p "definitely not a journal\n";
+  (match Journal.recover p ~f:ignore with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a wrong header must not recover");
+  Sys.remove p;
+  (* a missing file recovers to zero records, silently *)
+  match Journal.recover p ~f:(fun _ -> Alcotest.fail "no records expected") with
+  | Ok { Journal.applied = 0; skipped = 0; truncated_bytes = 0 } -> ()
+  | Ok _ -> Alcotest.fail "a missing file must recover empty"
+  | Error e -> Alcotest.failf "missing file: %s" e
+
+(* Surgical fault-site drill: a faulted append loses exactly that record;
+   a faulted rotate leaves the pre-compaction journal intact. *)
+let test_journal_fault_containment () =
+  let p = fresh_journal () in
+  let plan =
+    Fault.plan ~seed:7
+      ~rules:
+        [ Fault.At { site = "journal.append"; hits = [ 2 ]; action = Crash "disk full" };
+          Fault.At { site = "journal.rotate"; hits = [ 1 ]; action = Crash "torn rename" } ]
+      ()
+  in
+  Fault.with_plan plan (fun () ->
+      match Journal.open_append p with
+      | Error e -> Alcotest.failf "open_append: %s" e
+      | Ok j ->
+        (match Journal.append j "one" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "append one: %s" e);
+        (match Journal.append j "two" with
+        | Error _ -> () (* the injected short write: record lost, file intact *)
+        | Ok () -> Alcotest.fail "hit 2 must fault");
+        (match Journal.append j "three" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "append three: %s" e);
+        (match Journal.reset j with
+        | Error _ -> () (* the injected torn rename: the old journal survives *)
+        | Ok () -> Alcotest.fail "rotate hit 1 must fault");
+        (match Journal.append j "four" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "append four: %s" e);
+        Journal.close j);
+  Alcotest.(check int) "both faults fired" 2 (Fault.injection_count plan);
+  let r, got = recover_all p in
+  Alcotest.(check (list string))
+    "faulted appends leave a valid prefix"
+    [ "one"; "three"; "four" ] got;
+  Alcotest.(check int) "no corrupt records" 0 r.Journal.skipped;
+  Alcotest.(check int) "no torn tail" 0 r.Journal.truncated_bytes;
+  Sys.remove p
+
+(* The PR-8 acceptance property: journal the verdicts of a cold cache,
+   mangle the file (truncate at a random byte, or flip a random byte),
+   and recovery must (a) for truncation, recover exactly the longest
+   valid record prefix, and (b) never replay an entry whose verdict
+   disagrees with a cold decide of its key. *)
+let prop_journal_recovery =
+  QCheck.Test.make ~name:"journal recovery agrees with cold decide" ~count:120
+    (QCheck.make
+       ~print:(fun (fs, (mode, (a, b))) ->
+         Printf.sprintf "mode=%d a=%d b=%d [%s]" mode a b
+           (String.concat "; " (List.map Formula.to_string fs)))
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 6) gen_sentence)
+           (pair (int_bound 2) (pair (int_bound 9999) (int_bound 254)))))
+    (fun (fs, (mode, (a, b))) ->
+      let cold = Decide_cache.create () in
+      List.iter (fun f -> ignore (Decide_cache.decide cold presburger f)) fs;
+      (* the journal payloads are the cache's own entry renderings *)
+      let snap = Filename.temp_file "fq_jr_snap" ".fq" in
+      (match Decide_cache.save cold snap with
+      | Ok _ -> ()
+      | Error e -> QCheck.Test.fail_reportf "save: %s" e);
+      let lines =
+        match String.split_on_char '\n' (read_file snap) with
+        | _header :: rest -> List.filter (fun l -> l <> "") rest
+        | [] -> []
+      in
+      Sys.remove snap;
+      if lines = [] then QCheck.Test.fail_report "cold cache produced no entries";
+      let jpath = fresh_journal () in
+      append_all jpath lines;
+      let content = read_file jpath in
+      let hlen = String.length journal_header in
+      let body_len = String.length content - hlen in
+      (* end offset of each record: 8 hex CRC + tab + payload + newline *)
+      let bounds =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (off, acc) l ->
+                  let off = off + 8 + 1 + String.length l + 1 in
+                  (off, off :: acc))
+                (hlen, []) lines))
+      in
+      let expected_exact =
+        match mode with
+        | 0 -> Some lines
+        | 1 ->
+          let cut = hlen + (a mod (body_len + 1)) in
+          Unix.truncate jpath cut;
+          Some
+            (List.combine lines bounds
+            |> List.filter (fun (_, e) -> e <= cut)
+            |> List.map fst)
+        | _ ->
+          let pos = hlen + (a mod body_len) in
+          let bytes = Bytes.of_string content in
+          let old = Char.code (Bytes.get bytes pos) in
+          Bytes.set bytes pos (Char.chr (if old = b then (b + 1) land 0xff else b));
+          write_file jpath (Bytes.to_string bytes);
+          None
+      in
+      let acc = ref [] in
+      let r =
+        match Journal.recover jpath ~f:(fun p -> acc := p :: !acc) with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "recover: %s" e
+      in
+      let got = List.rev !acc in
+      Sys.remove jpath;
+      (match expected_exact with
+      | Some exp ->
+        if got <> exp then
+          QCheck.Test.fail_reportf
+            "longest valid prefix: expected %d records, recovered %d"
+            (List.length exp) (List.length got)
+      | None ->
+        (* one flipped byte can cost at most two records (a merged or
+           split neighbour pair); everything else must survive *)
+        let m = List.length lines in
+        if List.length got < m - 2 then
+          QCheck.Test.fail_reportf "one corrupt byte lost %d of %d records"
+            (m - List.length got) m;
+        if r.Journal.applied + r.Journal.skipped + (if r.Journal.truncated_bytes > 0 then 1 else 0) < m - 1
+        then QCheck.Test.fail_report "records unaccounted for");
+      (* no surviving record may disagree with a cold decide of its key *)
+      let check_cache = Decide_cache.create () in
+      List.iter
+        (fun p ->
+          match Decide_cache.entry_of_line p with
+          | Error e -> QCheck.Test.fail_reportf "recovered a malformed entry %S: %s" p e
+          | Ok (key, value) ->
+            let fresh = Decide_cache.decide check_cache presburger key in
+            if fresh <> value then
+              QCheck.Test.fail_reportf "entry %S disagrees with cold decide: %s vs %s" p
+                (pp_verdict value) (pp_verdict fresh))
+        got;
+      true)
+
+(* Chaos containment on the file-I/O sites: under a randomly-armed plan,
+   the journal must recover exactly the acked appends — a faulted append
+   or rotate never leaves a torn or corrupt record behind. *)
+let prop_journal_chaos =
+  QCheck.Test.make ~name:"armed journal faults never corrupt the valid prefix"
+    ~count:80
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 1 24) (int_bound 99999)))
+    (fun (n, seed) ->
+      let jpath = fresh_journal () in
+      let plan =
+        Fault.chaos
+          ~sites:[ "journal.append"; "journal.rotate" ]
+          ~permille:350
+          ~actions:[ Fault.Crash "injected: disk" ]
+          ~seed ()
+      in
+      let expected = ref [] in
+      Fault.with_plan plan (fun () ->
+          match Journal.open_append jpath with
+          | Error e -> QCheck.Test.fail_reportf "open_append: %s" e
+          | Ok j ->
+            for i = 1 to n do
+              (if i = (n / 2) + 1 then
+                 match Journal.reset j with
+                 | Ok () -> expected := [] (* compaction emptied the file *)
+                 | Error _ -> () (* torn rename: old records still stand *));
+              let p = Printf.sprintf "record\t%d" i in
+              match Journal.append j p with
+              | Ok () -> expected := p :: !expected
+              | Error _ -> () (* acked nothing, so recovery owes nothing *)
+            done;
+            Journal.close j);
+      let acc = ref [] in
+      (match Journal.recover jpath ~f:(fun p -> acc := p :: !acc) with
+      | Error e -> QCheck.Test.fail_reportf "recover: %s" e
+      | Ok r ->
+        if r.Journal.skipped <> 0 || r.Journal.truncated_bytes <> 0 then
+          QCheck.Test.fail_reportf "faults corrupted the file: %d skipped, %d torn"
+            r.Journal.skipped r.Journal.truncated_bytes);
+      let got = List.rev !acc in
+      Sys.remove jpath;
+      if got <> List.rev !expected then
+        QCheck.Test.fail_reportf
+          "recovered %d records, expected exactly the %d acked appends"
+          (List.length got) (List.length !expected);
       true)
 
 (* ------------------------ end-to-end daemon ------------------------ *)
@@ -346,6 +672,127 @@ let test_serve_snapshot_warm () =
       | Error e -> Alcotest.failf "snapshot: %s" e);
   Sys.remove snap
 
+let eval_req ?domain ?timeout_ms id formula =
+  Protocol.Eval { id; domain; formula; fuel = None; timeout_ms; resume = None }
+
+let test_serve_reload () =
+  let v2 = Filename.temp_file "fq_state_v2" ".db" in
+  write_file v2 "# epoch-2 database\nE/2=7,8\nS/1=7\n";
+  with_server (base_config (fresh_addr ())) @@ fun c ->
+  (* Pipeline eval / reload / eval on one connection.  The reader admits
+     in line order, and each job pins the epoch current at admission: the
+     first eval must answer from epoch 1 even though the swap can win the
+     race against the worker. *)
+  List.iter
+    (fun r ->
+      match Client.send c r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send: %s" e)
+    [ eval_req "old" "exists y. E(x,y)";
+      Protocol.Reload { id = "r"; path = Some v2 };
+      eval_req "new" "exists y. E(x,y)" ];
+  let replies = ref [] in
+  for _ = 1 to 3 do
+    match Client.recv c with
+    | Ok (id, reply) -> replies := (id, reply) :: !replies
+    | Error e -> Alcotest.failf "recv: %s" e
+  done;
+  let find id =
+    match List.assoc_opt id !replies with
+    | Some r -> r
+    | None -> Alcotest.failf "no reply for %S" id
+  in
+  (match find "old" with
+  | Protocol.R_outcome { verdict = Complete { answer; _ }; _ } ->
+    Alcotest.(check int) "epoch-1 answer" 2 (Relation.cardinal answer)
+  | _ -> Alcotest.fail "old: expected a complete outcome from epoch 1");
+  (match find "r" with
+  | Protocol.R_ok j ->
+    (match Option.bind (Json.member "epoch" j) Json.to_int_opt with
+    | Some 2 -> ()
+    | _ -> Alcotest.fail "reload ack lacks epoch 2")
+  | _ -> Alcotest.fail "reload: expected an ok ack");
+  (match find "new" with
+  | Protocol.R_outcome { verdict = Complete { answer; _ }; _ } ->
+    Alcotest.(check int) "epoch-2 answer" 1 (Relation.cardinal answer)
+  | _ -> Alcotest.fail "new: expected a complete outcome from epoch 2");
+  (match Client.request c (Protocol.Health { id = "h" }) with
+  | Ok ("h", Protocol.R_ok j) ->
+    (match Option.bind (Json.member "epoch" j) Json.to_int_opt with
+    | Some 2 -> ()
+    | _ -> Alcotest.fail "health must report epoch 2");
+    (match Json.member "breakers" j with
+    | Some _ -> ()
+    | None -> Alcotest.fail "health lacks breaker states")
+  | Ok _ -> Alcotest.fail "health: expected ok"
+  | Error e -> Alcotest.failf "health: %s" e);
+  (* a bad path is a structured reply, and serving continues on epoch 2 *)
+  (match
+     Client.request c (Protocol.Reload { id = "nope"; path = Some "/nonexistent/x.db" })
+   with
+  | Ok ("nope", Protocol.R_malformed _) -> ()
+  | Ok _ -> Alcotest.fail "bad reload: expected malformed"
+  | Error e -> Alcotest.failf "bad reload: %s" e);
+  (match Client.request c (Protocol.Health { id = "h2" }) with
+  | Ok ("h2", Protocol.R_ok j) ->
+    (match Option.bind (Json.member "epoch" j) Json.to_int_opt with
+    | Some 2 -> ()
+    | _ -> Alcotest.fail "failed reload must not bump the epoch")
+  | Ok _ -> Alcotest.fail "health after bad reload"
+  | Error e -> Alcotest.failf "health after bad reload: %s" e);
+  Sys.remove v2
+
+let test_serve_oversized_line () =
+  with_server { (base_config (fresh_addr ())) with max_line_bytes = 128 } @@ fun c ->
+  (* an oversize request line is answered (not fatal) and drained *)
+  (match Client.request c (eval_req "big" (String.make 256 'a')) with
+  | Ok (_, Protocol.R_malformed reason) ->
+    Alcotest.(check bool) "names the bound" true (contains reason "exceeds")
+  | Ok _ -> Alcotest.fail "expected malformed for an oversize line"
+  | Error e -> Alcotest.failf "oversize: %s" e);
+  match Client.request c (Protocol.Ping { id = "p" }) with
+  | Ok ("p", Protocol.R_ok _) -> ()
+  | Ok _ -> Alcotest.fail "connection must survive an oversize line"
+  | Error e -> Alcotest.failf "ping after oversize: %s" e
+
+let test_serve_watchdog () =
+  let release = Atomic.make false in
+  let wedged =
+    Fq_domain.Domain.with_decide presburger (fun _ ->
+        while not (Atomic.get release) do
+          Unix.sleepf 0.005
+        done;
+        Ok true)
+  in
+  let cfg =
+    { (base_config (fresh_addr ())) with
+      jobs = 1;
+      watchdog_grace_ms = 100;
+      extra_domains = [ ("wedge", wedged) ] }
+  in
+  with_server cfg @@ fun c ->
+  Fun.protect ~finally:(fun () -> Atomic.set release true) @@ fun () ->
+  (* the wedge ignores its budget's cancel hook, so the watchdog must
+     escalate: force-answer the request and recycle the worker seat *)
+  (match
+     Client.request c
+       (eval_req ~domain:"wedge" ~timeout_ms:50 "w" "forall x. exists y. x < y")
+   with
+  | Ok ("w", Protocol.R_outcome { verdict = Failed { reason }; _ }) ->
+    Alcotest.(check bool) "classified as a watchdog recycle" true
+      (contains reason "watchdog")
+  | Ok ("w", Protocol.R_outcome o) ->
+    Alcotest.failf "expected a watchdog failure, got %s" (Outcome.status o)
+  | Ok _ -> Alcotest.fail "expected an outcome"
+  | Error e -> Alcotest.failf "watchdog eval: %s" e);
+  Atomic.set release true;
+  (* the replacement domain serves the very next request *)
+  match Client.request c (eval_req "after" "S(x)") with
+  | Ok ("after", Protocol.R_outcome { verdict = Complete { answer; _ }; _ }) ->
+    Alcotest.(check int) "replacement worker answers" 1 (Relation.cardinal answer)
+  | Ok _ -> Alcotest.fail "expected a complete answer after the recycle"
+  | Error e -> Alcotest.failf "post-recycle eval: %s" e
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "server"
@@ -355,7 +802,25 @@ let () =
           Alcotest.test_case "request json roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "reply classification" `Quick test_reply_classify ] );
       ("snapshot", [ qt prop_snapshot_agrees ]);
+      ( "journal",
+        [ Alcotest.test_case "crc32 check value" `Quick test_journal_crc;
+          Alcotest.test_case "append/recover roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail truncated in place" `Quick test_journal_torn_tail;
+          Alcotest.test_case "corrupt record skipped" `Quick test_journal_corrupt_record;
+          Alcotest.test_case "reset compacts atomically" `Quick test_journal_reset;
+          Alcotest.test_case "wrong header refused, missing file empty" `Quick
+            test_journal_not_a_journal;
+          Alcotest.test_case "armed faults leave a valid prefix" `Quick
+            test_journal_fault_containment;
+          qt prop_journal_recovery;
+          qt prop_journal_chaos ] );
       ( "daemon",
         [ Alcotest.test_case "boot, eval, metrics, shutdown" `Quick test_serve_roundtrip;
           Alcotest.test_case "admission reject carries resume" `Quick test_serve_reject;
-          Alcotest.test_case "snapshot warm start" `Quick test_serve_snapshot_warm ] ) ]
+          Alcotest.test_case "snapshot warm start" `Quick test_serve_snapshot_warm;
+          Alcotest.test_case "hot reload swaps epochs without drops" `Quick
+            test_serve_reload;
+          Alcotest.test_case "oversize line answered and drained" `Quick
+            test_serve_oversized_line;
+          Alcotest.test_case "watchdog recycles a wedged worker" `Quick
+            test_serve_watchdog ] ) ]

@@ -1118,7 +1118,7 @@ let serve_ablation () =
       Client.request client
         (Protocol.Eval
            { id = string_of_int i; domain = None; formula; fuel = None;
-             timeout_ms = None; resume = None })
+             timeout_ms = None; resume = None; trace = None })
     with
     | Ok (_, Protocol.R_outcome _) -> ()
     | Ok _ -> failwith "serve ablation: unexpected reply"
@@ -1273,7 +1273,7 @@ let journal_ablation () =
         Client.request client
           (Protocol.Eval
              { id; domain = Some "presburger"; formula = text; fuel = None;
-               timeout_ms = None; resume = None })
+               timeout_ms = None; resume = None; trace = None })
       with
       | Ok (_, Protocol.R_outcome _) -> ()
       | Ok _ -> failwith "journal ablation: unexpected reply"
@@ -1416,6 +1416,90 @@ let json_report_pr3 () =
   in
   Format.printf "%a@." print_json doc
 
+(* ------------------------------------------------------------------ *)
+(* PR 9: request tracing + always-on metrics pipeline                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-request cost of the observability plane on the serving path: an
+   in-process server answers the same sequential request stream with
+   head-sampled tracing off (trace_sample = 0, the always-on labeled
+   aggregation still running — it has no off switch by design) and with
+   1-in-8 sampling.  Arms alternate across passes and each arm keeps its
+   minimum, so scheduler noise cancels instead of accumulating. *)
+let observability_serve_pass ~trace_sample n =
+  let sock = Filename.temp_file "fq_bench_obs" ".sock" in
+  Sys.remove sock;
+  let addr = Server.Unix_path sock in
+  let cfg =
+    { (Server.default_config ~state:family_state addr) with
+      Server.jobs = 2;
+      trace_sample;
+      log = (fun _ -> ()) }
+  in
+  let server_result = ref (Error "server never returned") in
+  let th = Thread.create (fun () -> server_result := Server.run cfg) () in
+  let client =
+    match Client.connect ~retries:200 ~delay_ms:25 addr with
+    | Ok c -> c
+    | Error e -> failwith ("observability ablation: " ^ e)
+  in
+  let formula = "exists y. F(x, y)" in
+  let request i =
+    match
+      Client.request client
+        (Protocol.Eval
+           { id = string_of_int i; domain = None; formula; fuel = None;
+             timeout_ms = None; resume = None; trace = None })
+    with
+    | Ok (_, Protocol.R_outcome _) -> ()
+    | Ok _ -> failwith "observability ablation: unexpected reply"
+    | Error e -> failwith ("observability ablation: " ^ e)
+  in
+  (* warm the worker domains, the decide cache and the socket path *)
+  for i = 0 to 24 do
+    request i
+  done;
+  (* time in chunks and keep the best chunk: one descheduling event then
+     poisons a chunk, not the whole pass *)
+  let chunk = 50 in
+  let best = ref infinity in
+  for c = 0 to (n / chunk) - 1 do
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to chunk - 1 do
+      request (100 + (c * chunk) + i)
+    done;
+    let us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int chunk in
+    if us < !best then best := us
+  done;
+  let us = !best in
+  (match Client.request client (Protocol.Shutdown { id = "bye" }) with
+  | Ok _ -> ()
+  | Error e -> failwith ("observability ablation: shutdown: " ^ e));
+  Client.close client;
+  Thread.join th;
+  (match !server_result with
+  | Ok 0 -> ()
+  | Ok c -> failwith (Printf.sprintf "observability ablation: server exited %d" c)
+  | Error e -> failwith ("observability ablation: " ^ e));
+  us
+
+let tracing_ablation () =
+  let n = 500 and passes = 5 in
+  let plain = ref infinity and traced = ref infinity in
+  for _ = 1 to passes do
+    plain := Float.min !plain (observability_serve_pass ~trace_sample:0 n);
+    traced := Float.min !traced (observability_serve_pass ~trace_sample:8 n)
+  done;
+  let overhead_pct = 100. *. (!traced -. !plain) /. !plain in
+  ( `Assoc
+      [ ("serve_requests_per_pass", `Int n);
+        ("timing_passes", `Int passes);
+        ("trace_sample", `Int 8);
+        ("plain_request_us", `Float !plain);
+        ("traced_request_us", `Float !traced);
+        ("sampled_tracing_overhead_pct", `Float overhead_pct) ],
+    overhead_pct )
+
 let json_report_pr4 () =
   let detail, worst_noop = telemetry_ablation () in
   let doc =
@@ -1519,6 +1603,30 @@ let json_report_pr8 () =
               ("fill_overhead_le_5pct", `Bool (overhead_pct <= 5.0));
               ("records_recovered", `Int recovered);
               ("recovery_complete", `Bool (recovered > 0)) ] ) ]
+  in
+  Format.printf "%a@." print_json doc
+
+let json_report_pr9 () =
+  let tel_detail, worst_noop = telemetry_ablation () in
+  let trace_detail, trace_pct = tracing_ablation () in
+  let doc =
+    `Assoc
+      [ ("pr", `Int 9);
+        ( "description",
+          `String
+            "end-to-end request tracing and the always-on metrics pipeline: the PR 4 \
+             telemetry ablation re-run on top of the labeled Aggregate registry and \
+             histogram key-space LRU (the one-ref-read disabled-path discipline must \
+             survive them), and per-request cost of a live server with 1-in-8 \
+             head-sampled tracing vs sampling off (alternating passes, min per arm)" );
+        ("telemetry_overhead", tel_detail);
+        ("tracing_ablation", trace_detail);
+        ( "acceptance",
+          `Assoc
+            [ ("worst_noop_overhead_pct", `Float worst_noop);
+              ("noop_overhead_lt_2pct", `Bool (worst_noop < 2.0));
+              ("sampled_tracing_overhead_pct", `Float trace_pct);
+              ("sampled_tracing_overhead_le_5pct", `Bool (trace_pct <= 5.0)) ] ) ]
   in
   Format.printf "%a@." print_json doc
 
@@ -1638,6 +1746,7 @@ let () =
   | "json-pr6" -> json_report_pr6 ()
   | "json-pr7" -> json_report_pr7 ()
   | "json-pr8" -> json_report_pr8 ()
+  | "json-pr9" -> json_report_pr9 ()
   | "smoke-pr6" -> smoke_pr6 ()
   | _ ->
     let quick = mode = "quick" in

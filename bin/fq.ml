@@ -596,8 +596,97 @@ let halting_cmd =
 (* ------------------------------ explain ----------------------------- *)
 
 let explain_cmd =
-  let run common stats_out domain rels consts formula =
+  (* Offline replay of an fq serve --slow-log entry: the server already
+     recorded the trace id, the plan it chose and the estimated-vs-
+     observed cardinality per node at the moment the request ran, so the
+     entry re-renders without the server's state (which may since have
+     been hot-reloaded away). *)
+  let replay_from_log path entry_idx =
+    match open_in path with
+    | exception Sys_error msg -> Error (Printf.sprintf "slow log: %s" msg)
+    | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+        | line -> (
+          let line = String.trim line in
+          if line = "" then go acc
+          else
+            match Json.parse line with
+            | Ok j -> go (j :: acc)
+            | Error _ -> go acc (* a torn tail is not worth failing the replay *))
+      in
+      let entries = go [] in
+      let n = List.length entries in
+      if n = 0 then Error (Printf.sprintf "slow log %s: no entries" path)
+      else
+        let k = match entry_idx with None -> n - 1 | Some k -> k in
+        if k < 0 || k >= n then
+          Error (Printf.sprintf "slow log %s: entry %d out of range (0..%d)" path k (n - 1))
+        else begin
+          let e = List.nth entries k in
+          let str name = Option.bind (Json.member name e) Json.to_str_opt in
+          let num name = Option.bind (Json.member name e) Json.to_float_opt in
+          let int name = Option.bind (Json.member name e) Json.to_int_opt in
+          let flag name =
+            Option.value ~default:false (Option.bind (Json.member name e) Json.to_bool_opt)
+          in
+          let s name = Option.value ~default:"?" (str name) in
+          Format.printf "slow-query log: %s, entry %d of %d@." path k n;
+          Format.printf "trace:   %s   (request id %s, client %s)@." (s "trace") (s "id")
+            (s "client");
+          Format.printf "domain:  %s   (epoch %s)@." (s "domain")
+            (match int "epoch" with Some ep -> string_of_int ep | None -> "?");
+          Format.printf "formula: %s@." (s "formula");
+          Format.printf "verdict: %s via %s@." (s "status") (s "tier");
+          (match (num "latency_ms", int "ticks") with
+          | Some ms, Some t -> Format.printf "budget:  %d ticks, %.1f ms@." t ms
+          | _ -> ());
+          let flags =
+            List.filter snd [ ("brownout", flag "brownout"); ("cancelled", flag "cancelled") ]
+          in
+          if flags <> [] then
+            Format.printf "flags:   %s@." (String.concat ", " (List.map fst flags));
+          (match str "planned_tier" with
+          | Some t -> Format.printf "planned: %s@." t
+          | None -> ());
+          (match str "plan" with
+          | Some p -> Format.printf "plan:    %s@." p
+          | None -> ());
+          (match Option.bind (Json.member "nodes" e) Json.to_list_opt with
+          | Some (_ :: _ as nodes) ->
+            Format.printf "cost model (estimated vs observed output cardinality):@.";
+            List.iter
+              (fun nd ->
+                let nstr nm = Option.bind (Json.member nm nd) Json.to_str_opt in
+                let nnum nm = Option.bind (Json.member nm nd) Json.to_float_opt in
+                let est =
+                  match nnum "est" with Some v -> Printf.sprintf "%.1f" v | None -> "?"
+                in
+                let actual =
+                  match nnum "observed_mean" with
+                  | Some m -> Printf.sprintf "%.0f" m
+                  | None -> "-"
+                in
+                Format.printf "  %-8s  est %-9s actual %s@."
+                  (Option.value ~default:"?" (nstr "fp"))
+                  est actual)
+              nodes
+          | _ -> ());
+          (match (str "domain", str "formula") with
+          | Some d, Some f -> Format.printf "replay:  fq explain -d %s '%s'@." d f
+          | _ -> ());
+          Ok 0
+        end
+  in
+  let run common stats_out from_log entry domain rels consts formula =
     with_common common @@ fun () ->
+    match (from_log, formula) with
+    | Some path, _ -> report (replay_from_log path entry)
+    | None, None -> report (Error "explain: a FORMULA is required (or --from-log FILE)")
+    | None, Some formula ->
     report
       (Result.bind (parse_formula formula) (fun f ->
            Result.bind (parse_state rels consts) (fun state ->
@@ -753,7 +842,9 @@ let explain_cmd =
      recorded span tree, the budget attribution (which engine spent the fuel), and the \
      cost model's estimated vs observed cardinality per plan node. With $(b,--stats-out) \
      the observed cardinalities become a stats profile that $(b,--stats) feeds back into \
-     the cost-based optimizer on later runs."
+     the cost-based optimizer on later runs. With $(b,--from-log), replay an entry of an \
+     $(b,fq serve --slow-log) file offline instead: the trace, chosen plan and \
+     estimates-vs-observed the server recorded when the slow request actually ran."
   in
   let stats_out =
     let doc =
@@ -762,9 +853,25 @@ let explain_cmd =
     in
     Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
   in
+  let from_log =
+    Arg.(value & opt (some string) None
+         & info [ "from-log" ] ~docv:"FILE"
+             ~doc:"Replay an entry of an $(b,fq serve --slow-log) JSONL file instead of \
+                   evaluating a formula.")
+  in
+  let entry =
+    Arg.(value & opt (some int) None
+         & info [ "entry" ] ~docv:"N"
+             ~doc:"With $(b,--from-log): the 0-based entry to replay (default: the \
+                   newest).")
+  in
+  let formula_opt =
+    let doc = "The formula, in the library's concrete syntax (omit with --from-log)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+  in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ common_opts ~default_fuel:10_000 $ stats_out $ domain_arg
-          $ relation_arg $ constant_arg $ formula_arg)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ stats_out $ from_log $ entry
+          $ domain_arg $ relation_arg $ constant_arg $ formula_opt)
 
 (* ------------------------------- batch ------------------------------ *)
 
@@ -782,7 +889,12 @@ type batch_outcome =
   | B_partial
   | B_failed
 
-type batch_result = { rep : Outcome.t; crashed : bool; retried : int }
+type batch_result = {
+  rep : Outcome.t;
+  crashed : bool;
+  retried : int;
+  trace : string option;  (** the trace id echoed by the server (remote, traced runs) *)
+}
 
 let failed_outcome reason =
   { Outcome.verdict = Outcome.Failed { reason };
@@ -797,6 +909,9 @@ let batch_outcome_of r =
 
 let batch_line idx r =
   let suffix = if r.retried > 0 then Printf.sprintf " (retried %d)" r.retried else "" in
+  let suffix =
+    match r.trace with None -> suffix | Some t -> Printf.sprintf "%s [trace %s]" suffix t
+  in
   match r.rep.Outcome.verdict with
   | Outcome.Complete { answer; tier } ->
     Format.asprintf "[%d] complete via %s (%d tuples): %a%s" idx tier
@@ -886,8 +1001,9 @@ let batch_job ~state ~stats ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos i
   in
   let retried = run.Supervisor.retried in
   match run.Supervisor.outcome with
-  | Supervisor.Value rep -> { rep; crashed = false; retried }
-  | Supervisor.Crashed { reason; _ } -> { rep = failed_outcome reason; crashed = true; retried }
+  | Supervisor.Value rep -> { rep; crashed = false; retried; trace = None }
+  | Supervisor.Crashed { reason; _ } ->
+    { rep = failed_outcome reason; crashed = true; retried; trace = None }
 
 (* --connect ADDR: unix:PATH, tcp:PORT, a bare PORT, or a bare PATH *)
 let addr_conv =
@@ -912,7 +1028,7 @@ let addr_conv =
    fq serve, then collect the interleaved responses by id.  A rejected
    request (admission control) waits out the server's retry_after_ms hint
    and resends, carrying the reject's resume token. *)
-let batch_remote ~common ~addr job_list =
+let batch_remote ~common ~addr ~trace_prefix job_list =
   let jobs_arr = Array.of_list job_list in
   let n = Array.length jobs_arr in
   Result.bind (Client.connect ~retries:100 ~delay_ms:50 addr) @@ fun c ->
@@ -925,10 +1041,13 @@ let batch_remote ~common ~addr job_list =
            formula = text;
            fuel = Some common.fuel;
            timeout_ms = common.timeout_ms;
-           resume })
+           resume;
+           trace = Option.map (fun p -> Printf.sprintf "%s-%d" p idx) trace_prefix })
   in
   let results =
-    Array.map (fun _ -> { rep = failed_outcome "no reply"; crashed = false; retried = 0 })
+    Array.map
+      (fun _ ->
+        { rep = failed_outcome "no reply"; crashed = false; retried = 0; trace = None })
       jobs_arr
   in
   let rec send_all i =
@@ -937,12 +1056,19 @@ let batch_remote ~common ~addr job_list =
   let rec drain remaining =
     if remaining = 0 then Ok ()
     else
-      Result.bind (Client.recv c) @@ fun (id, reply) ->
+      Result.bind (Client.recv_json c) @@ fun raw ->
+      Result.bind (Protocol.classify_reply raw) @@ fun (id, reply) ->
+      (* the reply's trace id is surfaced only when this run asked for
+         tracing: untraced runs keep their exact historical output *)
+      let reply_trace =
+        if trace_prefix = None then None
+        else Option.bind (Json.member "trace" raw) Json.to_str_opt
+      in
       match int_of_string_opt id with
       | Some idx when idx >= 0 && idx < n -> (
         match reply with
         | Protocol.R_outcome rep ->
-          results.(idx) <- { (results.(idx)) with rep };
+          results.(idx) <- { (results.(idx)) with rep; trace = reply_trace };
           drain (remaining - 1)
         | Protocol.R_rejected { retry_after_ms; resume; _ } ->
           Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.);
@@ -970,7 +1096,7 @@ let batch_remote ~common ~addr job_list =
 
 let batch_cmd =
   let run common domain rels consts jobs retries chaos_seed chaos_permille file formulas
-      connect json =
+      connect trace_prefix json =
     with_common common @@ fun () ->
     report
       (Result.bind (parse_state rels consts) @@ fun state ->
@@ -1022,7 +1148,7 @@ let batch_cmd =
        else begin
          let ran =
            match connect with
-           | Some addr -> batch_remote ~common ~addr job_list
+           | Some addr -> batch_remote ~common ~addr ~trace_prefix job_list
            | None ->
              (* one mutex-safe stats instance per run, shared by every
                 worker domain (profile file included when --stats given) *)
@@ -1113,6 +1239,14 @@ let batch_cmd =
                    pool. Admission rejects wait out the server's retry hint and resend \
                    with the returned resume token.")
   in
+  let trace_prefix =
+    Arg.(value & opt (some string) None
+         & info [ "trace-prefix" ] ~docv:"PREFIX"
+             ~doc:"With $(b,--connect): stamp job $(i,i)'s request with the trace id \
+                   PREFIX-$(i,i). The server carries it through its telemetry, sampled \
+                   traces and slow-query log, and echoes it in the reply (shown per job \
+                   line).")
+  in
   let doc =
     "Evaluate many queries under supervision: a parallel worker pool with per-job budgets, \
      crash isolation, retry with backoff, per-domain circuit breakers, a shared decision \
@@ -1122,13 +1256,13 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
           $ constant_arg $ jobs $ retries $ chaos_seed $ chaos_permille $ file $ formulas
-          $ connect $ json_arg)
+          $ connect $ trace_prefix $ json_arg)
 
 (* ------------------------------- serve ------------------------------ *)
 
 let serve_cmd =
   let run common domain rels consts socket port serve_jobs max_inflight client_share
-      snapshot journal state_file =
+      snapshot journal state_file trace_sample slow_ms slow_log metrics_file =
     with_common common @@ fun () ->
     report
       (Result.bind
@@ -1154,6 +1288,10 @@ let serve_cmd =
            snapshot;
            journal;
            state_file;
+           trace_sample;
+           slow_ms;
+           slow_log;
+           metrics_file;
            default_fuel = common.fuel;
            max_fuel = max base.Server.max_fuel common.fuel;
            default_timeout_ms = common.timeout_ms;
@@ -1213,6 +1351,34 @@ let serve_cmd =
                    in-flight requests finish on the old database, new admissions see \
                    the new one.")
   in
+  let trace_sample =
+    Arg.(value & opt int 0
+         & info [ "trace-sample" ] ~docv:"N"
+             ~doc:"Head-based trace sampling: keep the full span tree of 1 in N completed \
+                   eval requests in a bounded in-memory ring, served by $(b,fq ctl ADDR \
+                   traces) and $(b,fq top). 0 (the default) disables sampling; request \
+                   trace ids still propagate and echo.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-query threshold: eval requests at or over MS milliseconds (and \
+                   any browned-out or watchdog-cancelled request) append a JSONL record \
+                   — trace, plan, estimated-vs-observed cardinalities, budget usage — \
+                   to the $(b,--slow-log) file.")
+  in
+  let slow_log =
+    Arg.(value & opt (some string) None
+         & info [ "slow-log" ] ~docv:"FILE"
+             ~doc:"Slow-query log path (JSONL, appended). Replay an entry offline with \
+                   $(b,fq explain --from-log FILE).")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-file" ] ~docv:"FILE"
+             ~doc:"Dump the Prometheus text exposition to FILE atomically (tmp + rename) \
+                   every couple of seconds and at shutdown, for file-based scrapers.")
+  in
   let doc =
     "Serve queries persistently: a daemon on a Unix or TCP socket speaking \
      newline-delimited JSON (the Outcome schema of $(b,fq eval --json)), with bounded \
@@ -1224,7 +1390,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
           $ constant_arg $ socket $ port $ serve_jobs $ max_inflight $ client_share
-          $ snapshot $ journal $ state_file)
+          $ snapshot $ journal $ state_file $ trace_sample $ slow_ms $ slow_log
+          $ metrics_file)
 
 (* -------------------------------- ctl ------------------------------- *)
 
@@ -1240,15 +1407,23 @@ let ctl_cmd =
          | "snapshot" -> Ok (Protocol.Snapshot { id = "ctl" })
          | "shutdown" -> Ok (Protocol.Shutdown { id = "ctl" })
          | "reload" -> Ok (Protocol.Reload { id = "ctl"; path = arg })
+         | "traces" -> (
+           match arg with
+           | None -> Ok (Protocol.Traces { id = "ctl"; limit = None })
+           | Some a -> (
+             match int_of_string_opt a with
+             | Some n -> Ok (Protocol.Traces { id = "ctl"; limit = Some n })
+             | None -> Error (Printf.sprintf "ctl: traces limit must be an integer, got %S" a)))
          | "explain" -> (
            match arg with
-           | Some f -> Ok (Protocol.Explain { id = "ctl"; domain = None; formula = f })
+           | Some f ->
+             Ok (Protocol.Explain { id = "ctl"; domain = None; formula = f; trace = None })
            | None -> Error "ctl: explain needs a FORMULA argument")
          | op ->
            Error
              (Printf.sprintf
                 "ctl: unknown op %S (ping, metrics, health, snapshot, shutdown, reload, \
-                 explain)"
+                 traces, explain)"
                 op))
        @@ fun req ->
        (* --timeout-ms bounds the whole interaction: the boot-retry loop
@@ -1260,7 +1435,14 @@ let ctl_cmd =
        Client.close c;
        Result.map
          (fun j ->
-           print_endline (Json.to_string j);
+           (* metrics prints the exposition text itself: deterministically
+              sorted (families by name, samples by label), scrape-ready *)
+           (match
+              if op = "metrics" then Option.bind (Json.member "exposition" j) Json.to_str_opt
+              else None
+            with
+           | Some text -> print_string text
+           | None -> print_endline (Json.to_string j));
            0)
          reply)
   in
@@ -1271,13 +1453,17 @@ let ctl_cmd =
   let op =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"OP"
-             ~doc:"One of ping, metrics, health, snapshot, shutdown, reload, explain.")
+             ~doc:"One of ping, metrics, health, snapshot, shutdown, reload, traces, \
+                   explain. $(b,metrics) prints the versioned Prometheus text exposition \
+                   (sorted, scrape-ready); $(b,traces) prints the sampled-trace ring as \
+                   JSON.")
   in
   let arg =
     Arg.(value & pos 2 (some string) None
          & info [] ~docv:"ARG"
              ~doc:"Formula for the explain op; server-side state file for the reload op \
-                   (omit to re-read the server's --state-file).")
+                   (omit to re-read the server's --state-file); newest-N limit for the \
+                   traces op.")
   in
   let doc =
     "Send one control request to a running $(b,fq serve) (retrying the connection while \
@@ -1286,6 +1472,289 @@ let ctl_cmd =
   in
   Cmd.v (Cmd.info "ctl" ~doc)
     Term.(const run $ common_opts ~default_fuel:10_000 $ addr $ op $ arg)
+
+(* -------------------------------- top ------------------------------- *)
+
+(* fq top: poll a running server's metrics + traces ops and render a
+   live terminal summary — request rates, latency/fuel quantiles, cache
+   hit rate, breaker states, and the slowest sampled requests. *)
+
+let top_cmd =
+  let sum_counter samples name =
+    List.fold_left (fun a (m, _, v) -> if m = name then a +. v else a) 0. samples
+  in
+  let first samples name =
+    List.find_map (fun (m, _, v) -> if m = name then Some v else None) samples
+  in
+  let labeled samples name =
+    List.filter_map (fun (m, ls, v) -> if m = name then Some (ls, v) else None) samples
+  in
+  (* Rebuild one merged histogram from every <name>_bucket series: each
+     series' cumulative counts become per-bucket increments, increments
+     sum across label sets (every series shares the Aggregate ladder),
+     and quantiles read off the merged (le, count) list. *)
+  let hist_increments samples name =
+    let bucket = name ^ "_bucket" in
+    let series = Hashtbl.create 8 in
+    List.iter
+      (fun (m, labels, v) ->
+        if m = bucket then
+          match List.assoc_opt "le" labels with
+          | None -> ()
+          | Some le ->
+            let key =
+              String.concat ";"
+                (List.sort compare
+                   (List.filter_map
+                      (fun (k, v) -> if k = "le" then None else Some (k ^ "=" ^ v))
+                      labels))
+            in
+            let lef = if le = "+Inf" then infinity else float_of_string le in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt series key) in
+            Hashtbl.replace series key ((lef, v) :: prev))
+      samples;
+    let incs = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun _ pts ->
+        let pts = List.sort compare pts in
+        let prev = ref 0. in
+        List.iter
+          (fun (le, cum) ->
+            let d = cum -. !prev in
+            prev := cum;
+            if d > 0. then
+              Hashtbl.replace incs le
+                (d +. Option.value ~default:0. (Hashtbl.find_opt incs le)))
+          pts)
+      series;
+    List.sort compare (Hashtbl.fold (fun le d acc -> (le, d) :: acc) incs [])
+  in
+  let quantile incs q =
+    let total = List.fold_left (fun a (_, d) -> a +. d) 0. incs in
+    if total <= 0. then None
+    else
+      let rank = q *. total in
+      let rec go acc = function
+        | [] -> None
+        | (le, d) :: tl ->
+          let acc = acc +. d in
+          if acc >= rank then Some le else go acc tl
+      in
+      go 0. incs
+  in
+  let pq incs q =
+    match quantile incs q with
+    | None -> "-"
+    | Some le when le = infinity -> "inf"
+    | Some le -> if le >= 100. then Printf.sprintf "%.0f" le else Printf.sprintf "%.3g" le
+  in
+  let jq incs q =
+    match quantile incs q with Some le when le < infinity -> Json.Float le | _ -> Json.Null
+  in
+  let scrape c =
+    Result.bind (Client.request c (Protocol.Metrics { id = "top" })) @@ fun (_, r) ->
+    Result.bind
+      (match r with
+      | Protocol.R_ok j -> (
+        match Option.bind (Json.member "exposition" j) Json.to_str_opt with
+        | Some text -> (
+          match Aggregate.parse_exposition text with
+          | samples -> Ok (j, samples)
+          | exception Failure msg -> Error ("top: bad exposition: " ^ msg))
+        | None -> Error "top: metrics reply carries no exposition")
+      | _ -> Error "top: unexpected metrics reply")
+    @@ fun (mj, samples) ->
+    Result.bind (Client.request c (Protocol.Traces { id = "top"; limit = None }))
+    @@ fun (_, tr) ->
+    match tr with
+    | Protocol.R_ok tj ->
+      let traces =
+        Option.value ~default:[] (Option.bind (Json.member "traces" tj) Json.to_list_opt)
+      in
+      let sample_every =
+        Option.value ~default:0 (Option.bind (Json.member "sample_every" tj) Json.to_int_opt)
+      in
+      Ok (mj, samples, traces, sample_every)
+    | _ -> Error "top: unexpected traces reply"
+  in
+  let run common addr once json interval_ms limit =
+    with_common common @@ fun () ->
+    report
+      (Result.bind
+         (Client.connect ~retries:100 ~delay_ms:50 ?timeout_ms:common.timeout_ms addr)
+       @@ fun c ->
+       Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+       let once = once || json in
+       let rec loop prev =
+         Result.bind (scrape c) @@ fun (mj, samples, traces, sample_every) ->
+         let now = Unix.gettimeofday () in
+         let epoch = Option.bind (Json.member "epoch" mj) Json.to_int_opt in
+         let g name = match first samples name with Some v -> int_of_float v | None -> 0 in
+         let requests = sum_counter samples "fq_requests_total" in
+         let outcomes =
+           let tally = Hashtbl.create 4 in
+           List.iter
+             (fun (ls, v) ->
+               match List.assoc_opt "status" ls with
+               | Some st ->
+                 Hashtbl.replace tally st
+                   (v +. Option.value ~default:0. (Hashtbl.find_opt tally st))
+               | None -> ())
+             (labeled samples "fq_eval_outcomes_total");
+           List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])
+         in
+         let lat = hist_increments samples "fq_request_latency_ms" in
+         let fuel = hist_increments samples "fq_request_fuel_ticks" in
+         let lat_count = sum_counter samples "fq_request_latency_ms_count" in
+         let lat_sum = sum_counter samples "fq_request_latency_ms_sum" in
+         let hits = sum_counter samples "fq_decide_cache_hits_total" in
+         let misses = sum_counter samples "fq_decide_cache_misses_total" in
+         let evictions = sum_counter samples "fq_decide_cache_evictions_total" in
+         let breakers =
+           List.sort compare
+             (List.filter_map
+                (fun (ls, v) ->
+                  Option.map (fun d -> (d, int_of_float v)) (List.assoc_opt "domain" ls))
+                (labeled samples "fq_breaker_state"))
+         in
+         let tnum name t =
+           Option.value ~default:0. (Option.bind (Json.member name t) Json.to_float_opt)
+         in
+         let slowest =
+           let sorted =
+             List.sort (fun a b -> compare (tnum "dur_ms" b) (tnum "dur_ms" a)) traces
+           in
+           List.filteri (fun i _ -> i < limit) sorted
+         in
+         if json then begin
+           let hist_json incs count sum_ =
+             Json.Obj
+               [ ("p50", jq incs 0.5); ("p95", jq incs 0.95); ("p99", jq incs 0.99);
+                 ( "mean",
+                   if count > 0. then Json.Float (sum_ /. count) else Json.Null );
+                 ("count", Json.Int (int_of_float count)) ]
+           in
+           print_endline
+             (Json.to_string
+                (Json.Obj
+                   [ ("epoch", match epoch with Some e -> Json.Int e | None -> Json.Null);
+                     ("inflight", Json.Int (g "fq_inflight"));
+                     ("queue_depth", Json.Int (g "fq_queue_depth"));
+                     ("requests_total", Json.Int (int_of_float requests));
+                     ( "outcomes",
+                       Json.Obj
+                         (List.map (fun (k, v) -> (k, Json.Int (int_of_float v))) outcomes)
+                     );
+                     ("latency_ms", hist_json lat lat_count lat_sum);
+                     ( "fuel_ticks",
+                       hist_json fuel
+                         (sum_counter samples "fq_request_fuel_ticks_count")
+                         (sum_counter samples "fq_request_fuel_ticks_sum") );
+                     ( "decide_cache",
+                       Json.Obj
+                         [ ("hits", Json.Int (int_of_float hits));
+                           ("misses", Json.Int (int_of_float misses));
+                           ( "hit_rate",
+                             if hits +. misses > 0. then
+                               Json.Float (hits /. (hits +. misses))
+                             else Json.Null );
+                           ("evictions", Json.Int (int_of_float evictions));
+                           ("entries", Json.Int (g "fq_decide_cache_entries")) ] );
+                     ( "breakers",
+                       Json.Obj (List.map (fun (d, v) -> (d, Json.Int v)) breakers) );
+                     ("sample_every", Json.Int sample_every);
+                     ("traces_retained", Json.Int (g "fq_traces_retained"));
+                     ("slowest", Json.List slowest) ]))
+         end
+         else begin
+           if not once then print_string "\027[2J\027[H";
+           Format.printf "fq top — %a   epoch %s   inflight %d   queue %d@." Server.pp_addr
+             addr
+             (match epoch with Some e -> string_of_int e | None -> "?")
+             (g "fq_inflight") (g "fq_queue_depth");
+           let rate =
+             match prev with
+             | Some (t0, r0) when now > t0 ->
+               Printf.sprintf "   %.1f req/s" ((requests -. r0) /. (now -. t0))
+             | _ -> ""
+           in
+           Format.printf "requests: %.0f total%s@." requests rate;
+           if outcomes <> [] then
+             Format.printf "outcomes: %s@."
+               (String.concat "  "
+                  (List.map (fun (k, v) -> Printf.sprintf "%s %.0f" k v) outcomes));
+           if lat_count > 0. then
+             Format.printf "latency ms: p50 %s  p95 %s  p99 %s  mean %.2f  (n=%.0f)@."
+               (pq lat 0.5) (pq lat 0.95) (pq lat 0.99) (lat_sum /. lat_count) lat_count;
+           if fuel <> [] then
+             Format.printf "fuel ticks: p50 %s  p95 %s  p99 %s@." (pq fuel 0.5)
+               (pq fuel 0.95) (pq fuel 0.99);
+           if hits +. misses > 0. then
+             Format.printf
+               "decide cache: %.0f%% hit (%.0f/%.0f), %.0f evictions, %d entries@."
+               (100. *. hits /. (hits +. misses))
+               hits (hits +. misses) evictions (g "fq_decide_cache_entries");
+           if breakers <> [] then
+             Format.printf "breakers: %s@."
+               (String.concat "  "
+                  (List.map
+                     (fun (d, v) ->
+                       Printf.sprintf "%s %s" d
+                         (match v with 0 -> "closed" | 1 -> "half-open" | _ -> "open"))
+                     breakers));
+           (match (sample_every, slowest) with
+           | 0, [] -> ()
+           | _, [] -> Format.printf "traces: sampling 1-in-%d, none completed yet@." sample_every
+           | _, slowest ->
+             Format.printf "slowest sampled requests (1-in-%d):@." sample_every;
+             List.iter
+               (fun t ->
+                 let ts name =
+                   Option.value ~default:"?"
+                     (Option.bind (Json.member name t) Json.to_str_opt)
+                 in
+                 Format.printf "  %-16s %-10s %-8s %-12s %8.2f ms %8.0f ticks@."
+                   (ts "trace") (ts "domain") (ts "status") (ts "tier") (tnum "dur_ms" t)
+                   (tnum "ticks" t))
+               slowest)
+         end;
+         if once then Ok 0
+         else begin
+           Unix.sleepf (float_of_int (max 100 interval_ms) /. 1000.);
+           loop (Some (now, requests))
+         end
+       in
+       loop None)
+  in
+  let addr =
+    Arg.(required & pos 0 (some addr_conv) None
+         & info [] ~docv:"ADDR" ~doc:"Server address (unix:PATH, tcp:PORT, PATH, or PORT).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Print one sample and exit instead of refreshing.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the sample as one JSON object (implies $(b,--once)).")
+  in
+  let interval_ms =
+    Arg.(value & opt int 2000
+         & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh interval (live mode).")
+  in
+  let limit =
+    Arg.(value & opt int 5
+         & info [ "limit" ] ~docv:"N" ~doc:"Slowest sampled requests shown.")
+  in
+  let doc =
+    "Watch a running $(b,fq serve): poll its $(b,metrics) and $(b,traces) ops and render \
+     request rates, eval outcomes, latency and fuel quantiles (from the always-on \
+     log-bucketed histograms), decide-cache hit rate, breaker states, and the slowest \
+     sampled requests. $(b,--once)/$(b,--json) take a single sample for scripts."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ addr $ once $ json $ interval_ms
+          $ limit)
 
 (* ------------------------------- main ------------------------------ *)
 
@@ -1296,4 +1765,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; explain_cmd; report_cmd;
-            batch_cmd; serve_cmd; ctl_cmd; tm_cmd; diag_cmd; halting_cmd ]))
+            batch_cmd; serve_cmd; ctl_cmd; top_cmd; tm_cmd; diag_cmd; halting_cmd ]))

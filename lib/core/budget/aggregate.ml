@@ -1,0 +1,315 @@
+(* Always-on aggregation primitives for the serving plane: fixed
+   log-bucketed (HDR-style) histograms, monotonic counters with label
+   dimensions, and a versioned Prometheus text exposition.
+
+   Telemetry (telemetry.ml) is request-scoped: a collector lives for one
+   evaluation and its histograms keep only count/sum/min/max.  The serve
+   daemon needs the opposite trade: metrics that accumulate for the
+   process lifetime, answer quantile queries, and render to a scrape
+   format — at a cost low enough to leave on permanently.  A fixed
+   bucket layout makes observation O(1) (a log2 and an array increment,
+   no allocation) and makes merged histograms associative: two hists
+   observed on different worker domains merge bucket-wise with no loss
+   beyond the bucket width that was already accepted at observe time. *)
+
+(* ---- bucket layout ------------------------------------------------ *)
+
+(* Bucket upper bounds follow a quarter-octave geometric ladder:
+   le(i) = 2 ^ ((i - zero_bucket) / 4), i.e. consecutive bounds differ
+   by 2^(1/4) ~ 19%.  With 128 buckets the ladder spans ~2.4e-5 .. 6.2e4
+   relative to the unit, which covers microsecond-to-minute latencies in
+   milliseconds and 1..60k-tick fuel budgets alike; the last bucket is a
+   +Inf catch-all so totals are always conserved. *)
+
+let bucket_count = 128
+let zero_bucket = 62 (* le(zero_bucket) = 1.0 *)
+let subdiv = 4.0 (* buckets per octave *)
+
+let bucket_le i =
+  if i >= bucket_count - 1 then infinity
+  else Float.pow 2.0 (float_of_int (i - zero_bucket) /. subdiv)
+
+let bucket_index v =
+  if not (Float.is_finite v) || v <= 0.0 then
+    if v > 0.0 then bucket_count - 1 else 0
+  else
+    (* smallest i with v <= le(i) *)
+    let raw = ceil (subdiv *. (Float.log2 v)) in
+    let i = int_of_float raw + zero_bucket in
+    if i < 0 then 0 else if i > bucket_count - 1 then bucket_count - 1 else i
+
+(* ---- histograms --------------------------------------------------- *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array;
+}
+
+let create () =
+  { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+    buckets = Array.make bucket_count 0 }
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let count h = h.h_count
+let sum h = h.h_sum
+
+let merge ~into src =
+  into.h_count <- into.h_count + src.h_count;
+  into.h_sum <- into.h_sum +. src.h_sum;
+  if src.h_min < into.h_min then into.h_min <- src.h_min;
+  if src.h_max > into.h_max then into.h_max <- src.h_max;
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) src.buckets
+
+(* Quantile estimate: the upper bound of the first bucket whose
+   cumulative count reaches q * count.  The estimate is exact up to one
+   bucket width (~19% relative), which is the resolution contract the
+   QCheck conservation property pins. *)
+let quantile h q =
+  if h.h_count = 0 then nan
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = q *. float_of_int h.h_count in
+    let acc = ref 0 and i = ref 0 and ans = ref infinity in
+    (try
+       while !i < bucket_count do
+         acc := !acc + h.buckets.(!i);
+         if float_of_int !acc >= rank && !acc > 0 then begin
+           ans := bucket_le !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    (* clamp to the observed range so p100 of a +Inf bucket stays honest *)
+    if !ans > h.h_max then h.h_max else if !ans < h.h_min then h.h_min else !ans
+  end
+
+(* ---- Prometheus text exposition ----------------------------------- *)
+
+(* The exposition is versioned by its first line; bumping the grammar
+   means bumping this constant and the cram pins with it. *)
+let exposition_version = 1
+
+type value = Counter of int | Gauge of float
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : [ `Counter | `Gauge | `Histogram ];
+  f_counters : ((string * string) list * value) list;
+  f_hists : ((string * string) list * hist) list;
+}
+
+let counter_family ~name ~help samples =
+  { f_name = name; f_help = help; f_kind = `Counter;
+    f_counters = List.map (fun (l, n) -> (l, Counter n)) samples;
+    f_hists = [] }
+
+let gauge_family ~name ~help samples =
+  { f_name = name; f_help = help; f_kind = `Gauge;
+    f_counters = List.map (fun (l, v) -> (l, Gauge v)) samples;
+    f_hists = [] }
+
+let histogram_family ~name ~help samples =
+  { f_name = name; f_help = help; f_kind = `Histogram;
+    f_counters = []; f_hists = samples }
+
+(* Label values escape backslash, double-quote and newline, per the
+   Prometheus text-format spec. *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Labels render sorted by label name so a sample's identity is a
+   canonical string: deterministic across Domain interleavings and
+   Hashtbl orders. *)
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      let labels =
+        List.sort (fun (a, _) (b, _) -> compare a b) labels
+      in
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%g" v
+
+let render_le i = if i >= bucket_count - 1 then "+Inf" else float_str (bucket_le i)
+
+let exposition families =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "# fq-metrics-exposition %d\n" exposition_version);
+  let families =
+    List.sort (fun a b -> compare a.f_name b.f_name) families
+  in
+  List.iter
+    (fun f ->
+      let kind =
+        match f.f_kind with
+        | `Counter -> "counter"
+        | `Gauge -> "gauge"
+        | `Histogram -> "histogram"
+      in
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" f.f_name f.f_help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" f.f_name kind);
+      let scalar_lines =
+        List.map
+          (fun (labels, v) ->
+            let v =
+              match v with Counter n -> float_of_int n | Gauge g -> g
+            in
+            Printf.sprintf "%s%s %s\n" f.f_name (render_labels labels)
+              (float_str v))
+          f.f_counters
+      in
+      List.iter (Buffer.add_string b) (List.sort compare scalar_lines);
+      let hist_blocks =
+        List.map
+          (fun (labels, h) ->
+            let hb = Buffer.create 256 in
+            let cum = ref 0 in
+            Array.iteri
+              (fun i n ->
+                cum := !cum + n;
+                (* render only buckets that advance the cumulative count,
+                   plus the mandatory +Inf terminal — the full 128-rung
+                   ladder would bloat every scrape 100x for no
+                   information *)
+                if n > 0 || i = bucket_count - 1 then
+                  Buffer.add_string hb
+                    (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                       (render_labels (labels @ [ ("le", render_le i) ]))
+                       !cum))
+              h.buckets;
+            Buffer.add_string hb
+              (Printf.sprintf "%s_sum%s %s\n" f.f_name (render_labels labels)
+                 (float_str h.h_sum));
+            Buffer.add_string hb
+              (Printf.sprintf "%s_count%s %d\n" f.f_name (render_labels labels)
+                 h.h_count);
+            Buffer.contents hb)
+          f.f_hists
+      in
+      List.iter (Buffer.add_string b) (List.sort compare hist_blocks))
+    families;
+  Buffer.contents b
+
+(* ---- exposition parsing ------------------------------------------- *)
+
+(* The inverse, used by [fq top] and the CI smoke job ("the exposition
+   parses").  Returns each sample line as (metric, labels, value);
+   comment lines are validated for shape and dropped.  Raises
+   [Failure] on grammar violations — including a missing or wrong
+   version header, so scraping a future incompatible server fails
+   loudly instead of mis-rendering. *)
+
+let parse_labels s =
+  (* s = contents between '{' and '}' *)
+  let n = String.length s in
+  let labels = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let eq =
+      match String.index_from_opt s !i '=' with
+      | Some e -> e
+      | None -> failwith "exposition: label without '='"
+    in
+    let name = String.sub s !i (eq - !i) in
+    if eq + 1 >= n || s.[eq + 1] <> '"' then
+      failwith "exposition: unquoted label value";
+    let b = Buffer.create 16 in
+    let j = ref (eq + 2) in
+    let closed = ref false in
+    while not !closed do
+      if !j >= n then failwith "exposition: unterminated label value";
+      (match s.[!j] with
+      | '\\' ->
+          if !j + 1 >= n then failwith "exposition: dangling escape";
+          (match s.[!j + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | '\\' -> Buffer.add_char b '\\'
+          | '"' -> Buffer.add_char b '"'
+          | c -> Buffer.add_char b c);
+          j := !j + 2
+      | '"' ->
+          closed := true;
+          incr j
+      | c ->
+          Buffer.add_char b c;
+          incr j);
+    done;
+    labels := (name, Buffer.contents b) :: !labels;
+    if !j < n && s.[!j] = ',' then incr j;
+    i := !j
+  done;
+  List.rev !labels
+
+let parse_value s =
+  match s with
+  | "+Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> failwith ("exposition: bad sample value " ^ s))
+
+let parse_exposition text =
+  let lines = String.split_on_char '\n' text in
+  (match lines with
+  | first :: _
+    when first = Printf.sprintf "# fq-metrics-exposition %d" exposition_version
+    ->
+      ()
+  | _ -> failwith "exposition: missing or unsupported version header");
+  List.filter_map
+    (fun line ->
+      if line = "" then None
+      else if String.length line > 0 && line.[0] = '#' then None
+      else
+        match String.rindex_opt line ' ' with
+        | None -> failwith ("exposition: malformed sample line: " ^ line)
+        | Some sp ->
+            let series = String.sub line 0 sp in
+            let value =
+              parse_value (String.sub line (sp + 1) (String.length line - sp - 1))
+            in
+            let metric, labels =
+              match String.index_opt series '{' with
+              | None -> (series, [])
+              | Some ob ->
+                  if series.[String.length series - 1] <> '}' then
+                    failwith ("exposition: unterminated labels: " ^ line);
+                  ( String.sub series 0 ob,
+                    parse_labels
+                      (String.sub series (ob + 1)
+                         (String.length series - ob - 2)) )
+            in
+            Some (metric, labels, value))
+    lines

@@ -18,6 +18,8 @@ type report = {
   counters : (string * int) list;
   histograms : (string * histogram) list;
   dropped_spans : int;
+  evicted_histograms : int;
+  trace_id : string option;
 }
 
 (* An open span under construction.  [f_t0] is absolute wall-clock ms;
@@ -32,11 +34,21 @@ type frame = {
   mutable f_kid_ms : float;
 }
 
+(* Histogram cells double as nodes of an intrusive doubly-linked recency
+   list (head = most recently observed), the same shape as the
+   decide-cache LRU: an adversarial query stream minting fresh
+   per-fingerprint names ([relalg.node_card.<fp>]) can no longer grow the
+   key space without bound — past [max_histos] the coldest cell is
+   evicted and tallied.  A collector is domain-local single-threaded
+   state, so unlike the decide cache no lock is needed. *)
 type hcell = {
+  h_key : string;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  mutable h_prev : hcell option;
+  mutable h_next : hcell option;
 }
 
 (* The no-op sink keeps [enabled] true while skipping all bookkeeping: the
@@ -47,13 +59,18 @@ type mode = Noop | Record
 type collector = {
   mode : mode;
   max_spans : int;
+  max_histos : int;
   t_start : float;
   mutable stack : frame list;
   mutable roots : span list; (* reversed *)
   mutable nspans : int;
   mutable dropped : int;
+  mutable trace : string option;
   counters : (string, int ref) Hashtbl.t;
   histos : (string, hcell) Hashtbl.t;
+  mutable h_head : hcell option; (* most recently observed *)
+  mutable h_tail : hcell option; (* eviction candidate *)
+  mutable h_evicted : int;
 }
 
 (* Exactly one collector is ambient at a time per domain; [record] and
@@ -132,6 +149,36 @@ let count ?(n = 1) name =
     | None -> Hashtbl.add c.counters name (ref n))
   | _ -> ()
 
+(* recency-list plumbing, mirroring Decide_cache *)
+
+let unlink c cell =
+  (match cell.h_prev with
+  | Some p -> p.h_next <- cell.h_next
+  | None -> c.h_head <- cell.h_next);
+  (match cell.h_next with
+  | Some n -> n.h_prev <- cell.h_prev
+  | None -> c.h_tail <- cell.h_prev);
+  cell.h_prev <- None;
+  cell.h_next <- None
+
+let push_front c cell =
+  cell.h_prev <- None;
+  cell.h_next <- c.h_head;
+  (match c.h_head with Some h -> h.h_prev <- Some cell | None -> c.h_tail <- Some cell);
+  c.h_head <- Some cell
+
+let touch c cell = if c.h_head != Some cell then (unlink c cell; push_front c cell)
+
+let evict_excess c =
+  while c.max_histos > 0 && Hashtbl.length c.histos > c.max_histos do
+    match c.h_tail with
+    | None -> Hashtbl.reset c.histos (* unreachable: list tracks the table *)
+    | Some cold ->
+      unlink c cold;
+      Hashtbl.remove c.histos cold.h_key;
+      c.h_evicted <- c.h_evicted + 1
+  done
+
 let observe name v =
   match active () with
   | Some ({ mode = Record; _ } as c) -> (
@@ -140,22 +187,43 @@ let observe name v =
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
       if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
-    | None -> Hashtbl.add c.histos name { h_count = 1; h_sum = v; h_min = v; h_max = v })
+      if v > h.h_max then h.h_max <- v;
+      touch c h
+    | None ->
+      let cell =
+        { h_key = name; h_count = 1; h_sum = v; h_min = v; h_max = v;
+          h_prev = None; h_next = None }
+      in
+      Hashtbl.add c.histos name cell;
+      push_front c cell;
+      evict_excess c)
   | _ -> ()
+
+let set_trace_id id =
+  match active () with
+  | Some ({ mode = Record; _ } as c) -> c.trace <- Some id
+  | _ -> ()
+
+let trace_id () =
+  match active () with Some c -> c.trace | None -> None
 
 (* ---------------------------- recording ---------------------------- *)
 
-let make_collector mode max_spans =
+let make_collector ?(max_histos = 1024) mode max_spans =
   { mode;
     max_spans;
+    max_histos;
     t_start = now_ms ();
     stack = [];
     roots = [];
     nspans = 0;
     dropped = 0;
+    trace = None;
     counters = Hashtbl.create 16;
-    histos = Hashtbl.create 16 }
+    histos = Hashtbl.create 16;
+    h_head = None;
+    h_tail = None;
+    h_evicted = 0 }
 
 let run_with c f =
   let saved = active () in
@@ -173,10 +241,12 @@ let snapshot c =
       sorted_assoc Hashtbl.fold
         (fun h -> { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max })
         c.histos;
-    dropped_spans = c.dropped }
+    dropped_spans = c.dropped;
+    evicted_histograms = c.h_evicted;
+    trace_id = c.trace }
 
-let record ?(max_spans = 20_000) f =
-  let c = make_collector Record max_spans in
+let record ?(max_spans = 20_000) ?max_histos f =
+  let c = make_collector ?max_histos Record max_spans in
   let v = run_with c f in
   (v, snapshot c)
 
@@ -274,7 +344,9 @@ let pp_metrics ppf (r : report) =
       (fun (k, h) ->
         Format.fprintf ppf "  %-40s n=%d sum=%g min=%g max=%g@\n" k h.count h.sum h.min h.max)
       r.histograms
-  end
+  end;
+  if r.evicted_histograms > 0 then
+    Format.fprintf ppf "  (%d cold histogram keys evicted over the cap)@\n" r.evicted_histograms
 
 (* minimal JSON encoding; attribute strings are escaped by hand so the
    sinks stay dependency-free *)
@@ -326,7 +398,9 @@ let pp_jsonl ppf (r : report) =
         (json_escape k) h.count h.sum h.min h.max)
     r.histograms;
   if r.dropped_spans > 0 then
-    Format.fprintf ppf "{\"type\": \"dropped_spans\", \"value\": %d}@\n" r.dropped_spans
+    Format.fprintf ppf "{\"type\": \"dropped_spans\", \"value\": %d}@\n" r.dropped_spans;
+  if r.evicted_histograms > 0 then
+    Format.fprintf ppf "{\"type\": \"evicted_histograms\", \"value\": %d}@\n" r.evicted_histograms
 
 let pp_chrome ppf (r : report) =
   (* the Chrome trace_event "JSON Array Format": ts/dur in microseconds *)

@@ -40,6 +40,9 @@ type report = {
   counters : (string * int) list;  (** sorted by name *)
   histograms : (string * histogram) list;  (** sorted by name *)
   dropped_spans : int;  (** spans not recorded because the cap was hit *)
+  evicted_histograms : int;
+      (** cold histogram keys evicted past the key-space cap *)
+  trace_id : string option;  (** set by {!set_trace_id}, else [None] *)
 }
 
 (** {1 Instrumentation points}
@@ -62,16 +65,32 @@ val count : ?n:int -> string -> unit
 (** Bump a named monotonic counter by [n] (default 1). *)
 
 val observe : string -> float -> unit
-(** Record one observation into a named histogram. *)
+(** Record one observation into a named histogram.  The histogram key
+    space is bounded: past the collector's cap (see {!record}) the least
+    recently observed key is evicted (its cell dropped, the eviction
+    tallied in [evicted_histograms]) so adversarial streams of fresh
+    names — e.g. per-fingerprint [relalg.node_card.<fp>] under a hostile
+    query mix — cannot grow a collector without limit. *)
+
+val set_trace_id : string -> unit
+(** Stamp the ambient recording collector with a request trace id; the
+    id surfaces as [trace_id] in the report.  No-op when no recording
+    collector is installed.  Last write wins. *)
+
+val trace_id : unit -> string option
+(** The ambient collector's trace id, if a collector is installed and
+    one was stamped. *)
 
 (** {1 Recording} *)
 
-val record : ?max_spans:int -> (unit -> 'a) -> 'a * report
+val record : ?max_spans:int -> ?max_histos:int -> (unit -> 'a) -> 'a * report
 (** Run a thunk with a recording collector installed (restoring the
     previous one after) and return its result with the recorded report.
     At most [max_spans] (default 20_000) spans are kept; further
     [with_span]s still run their thunks but are tallied in
-    [dropped_spans]. *)
+    [dropped_spans].  At most [max_histos] (default 1024; [<= 0] =
+    unbounded) histogram keys are kept, LRU-evicting past the cap into
+    [evicted_histograms]. *)
 
 val with_noop : (unit -> 'a) -> 'a
 (** Run a thunk with the no-op sink installed: every instrumentation point
@@ -86,6 +105,21 @@ val total_ticks : report -> int
 val attribution : report -> (string * int) list
 (** Self-tick totals aggregated by span name, descending (ties by name) —
     the "where did the budget go" table. *)
+
+(** Sibling spans of the same name collapsed into one node (the
+    [pp_pretty] aggregation), also used to keep sampled-trace payloads
+    compact in [fq serve]. *)
+type rollup = {
+  r_name : string;
+  r_count : int;
+  r_ticks : int;
+  r_self_ticks : int;
+  r_dur_ms : float;
+  r_attrs : (string * value) list;  (** only when the group is a singleton *)
+  r_children : rollup list;
+}
+
+val rollup : span list -> rollup list
 
 (** {1 Sinks}
 

@@ -61,6 +61,7 @@
 module Budget = Fq_core.Budget
 module Json = Fq_core.Json
 module Telemetry = Fq_core.Telemetry
+module Aggregate = Fq_core.Aggregate
 module Fault = Fq_core.Fault
 module Supervisor = Fq_core.Supervisor
 

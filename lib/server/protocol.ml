@@ -21,18 +21,20 @@ type request =
       fuel : int option;
       timeout_ms : int option;
       resume : Outcome.resume option;
+      trace : string option;
     }
-  | Explain of { id : string; domain : string option; formula : string }
+  | Explain of { id : string; domain : string option; formula : string; trace : string option }
   | Metrics of { id : string }
   | Ping of { id : string }
   | Snapshot of { id : string }
   | Shutdown of { id : string }
   | Reload of { id : string; path : string option }
   | Health of { id : string }
+  | Traces of { id : string; limit : int option }
 
 let request_id = function
   | Eval { id; _ } | Explain { id; _ } | Metrics { id } | Ping { id } | Snapshot { id }
-  | Shutdown { id } | Reload { id; _ } | Health { id } ->
+  | Shutdown { id } | Reload { id; _ } | Health { id } | Traces { id; _ } ->
     id
 
 (* ----------------------------- requests ----------------------------- *)
@@ -64,18 +66,21 @@ let parse_request line =
             formula;
             fuel = int "fuel";
             timeout_ms = int "timeout_ms";
-            resume })
+            resume;
+            trace = str "trace" })
       (match Json.member "resume" j with
       | None | Some Json.Null -> Ok None
       | Some r -> Result.map Option.some (Outcome.resume_of_json r))
   | Some "explain" ->
-    with_formula @@ fun formula -> Ok (Explain { id; domain = str "domain"; formula })
+    with_formula @@ fun formula ->
+    Ok (Explain { id; domain = str "domain"; formula; trace = str "trace" })
   | Some "metrics" -> Ok (Metrics { id })
   | Some "ping" -> Ok (Ping { id })
   | Some "snapshot" -> Ok (Snapshot { id })
   | Some "shutdown" -> Ok (Shutdown { id })
   | Some "reload" -> Ok (Reload { id; path = str "path" })
   | Some "health" -> Ok (Health { id })
+  | Some "traces" -> Ok (Traces { id; limit = int "limit" })
   | Some op -> Error (Printf.sprintf "protocol: unknown op %S" op)
   | None -> Error "protocol: missing op"
 
@@ -83,7 +88,7 @@ let request_to_json req =
   let base op id rest = Json.Obj (("op", Json.Str op) :: ("id", Json.Str id) :: rest) in
   let opt name v f rest = match v with None -> rest | Some v -> (name, f v) :: rest in
   match req with
-  | Eval { id; domain; formula; fuel; timeout_ms; resume } ->
+  | Eval { id; domain; formula; fuel; timeout_ms; resume; trace } ->
     base "eval" id
       (("formula", Json.Str formula)
       :: opt "domain" domain
@@ -92,25 +97,36 @@ let request_to_json req =
               (fun n -> Json.Int n)
               (opt "timeout_ms" timeout_ms
                  (fun n -> Json.Int n)
-                 (opt "resume" resume Outcome.resume_to_json []))))
-  | Explain { id; domain; formula } ->
+                 (opt "resume" resume Outcome.resume_to_json
+                    (opt "trace" trace (fun t -> Json.Str t) [])))))
+  | Explain { id; domain; formula; trace } ->
     base "explain" id
-      (("formula", Json.Str formula) :: opt "domain" domain (fun d -> Json.Str d) [])
+      (("formula", Json.Str formula)
+      :: opt "domain" domain
+           (fun d -> Json.Str d)
+           (opt "trace" trace (fun t -> Json.Str t) []))
   | Metrics { id } -> base "metrics" id []
   | Ping { id } -> base "ping" id []
   | Snapshot { id } -> base "snapshot" id []
   | Shutdown { id } -> base "shutdown" id []
   | Reload { id; path } -> base "reload" id (opt "path" path (fun p -> Json.Str p) [])
   | Health { id } -> base "health" id []
+  | Traces { id; limit } -> base "traces" id (opt "limit" limit (fun n -> Json.Int n) [])
 
 (* ----------------------------- responses ---------------------------- *)
 
 let with_id id fields = Json.Obj (("id", Json.Str id) :: fields)
 
-let outcome_response ~id outcome =
+(* [trace] prepends a "trace" field right after the id; Outcome.of_json
+   reads only the fields it knows, so traced replies still classify (and
+   print) byte-identically to local [fq eval --json] output. *)
+let outcome_response ~id ?trace outcome =
+  let tr fields =
+    match trace with None -> fields | Some t -> ("trace", Json.Str t) :: fields
+  in
   match Outcome.to_json outcome with
-  | Json.Obj fields -> with_id id fields
-  | j -> with_id id [ ("outcome", j) ] (* unreachable: to_json builds an object *)
+  | Json.Obj fields -> with_id id (tr fields)
+  | j -> with_id id (tr [ ("outcome", j) ]) (* unreachable: to_json builds an object *)
 
 let reject_response ~id ~reason ~retry_after_ms ~resume =
   with_id id

@@ -8,12 +8,19 @@
     {b Requests}
     {v
     {"op":"eval","id":ID,"formula":F,
-     "domain":D?,"fuel":N?,"timeout_ms":N?,"resume":RESUME?}
-    {"op":"explain","id":ID,"formula":F,"domain":D?}
+     "domain":D?,"fuel":N?,"timeout_ms":N?,"resume":RESUME?,"trace":T?}
+    {"op":"explain","id":ID,"formula":F,"domain":D?,"trace":T?}
     {"op":"metrics","id":ID}     {"op":"ping","id":ID}
     {"op":"snapshot","id":ID}    {"op":"shutdown","id":ID}
     {"op":"reload","id":ID,"path":PATH?}    {"op":"health","id":ID}
+    {"op":"traces","id":ID,"limit":N?}
     v}
+
+    {b Trace context.}  A request may carry a client-chosen ["trace"] id;
+    the server propagates it (or mints one) through admission, the worker
+    Domain's telemetry collector, the sampled-trace ring and the
+    slow-query log, and echoes it verbatim as a ["trace"] field in the
+    matching eval reply.
 
     {b Responses.}  An [eval] answer is the stable {!Fq_eval.Outcome}
     JSON object with an ["id"] field prepended — byte-identical to
@@ -45,8 +52,9 @@ type request =
       fuel : int option;  (** capped by the server's per-request ceiling *)
       timeout_ms : int option;
       resume : Outcome.resume option;  (** continue an interrupted scan *)
+      trace : string option;  (** client trace id; server mints if absent *)
     }
-  | Explain of { id : string; domain : string option; formula : string }
+  | Explain of { id : string; domain : string option; formula : string; trace : string option }
   | Metrics of { id : string }
   | Ping of { id : string }
   | Snapshot of { id : string }
@@ -62,6 +70,10 @@ type request =
       (** Liveness triage: answered inline (never queued) with epoch,
           queue depth, inflight, brownout flag, estimated queue wait,
           per-domain breaker states, and the journal record count. *)
+  | Traces of { id : string; limit : int option }
+      (** The newest completed sampled traces (up to [limit], default
+          all retained), answered inline from the server's bounded
+          ring: [{"ok":true,"traces":[...]}], newest first. *)
 
 val request_id : request -> string
 
@@ -73,7 +85,10 @@ val request_to_json : request -> Json.t
 
 (** {1 Response builders} *)
 
-val outcome_response : id:string -> Outcome.t -> Json.t
+val outcome_response : id:string -> ?trace:string -> Outcome.t -> Json.t
+(** With [?trace] the reply carries a ["trace"] field right after the
+    id; {!Outcome.of_json} ignores it, so traced replies still classify
+    byte-identically to local [fq eval --json] output. *)
 
 val reject_response :
   id:string -> reason:string -> retry_after_ms:int -> resume:Outcome.resume -> Json.t

@@ -62,6 +62,11 @@ type config = {
   brownout_queue : int;
   brownout_fuel_divisor : int;
   watchdog_grace_ms : int;
+  trace_sample : int;
+  trace_ring : int;
+  slow_ms : float option;
+  slow_log : string option;
+  metrics_file : string option;
   extra_domains : (string * Fq_domain.Domain.t) list;
   default_domain : string;
   state : State.t;
@@ -85,6 +90,11 @@ let default_config ~state addr =
     brownout_queue = 32;
     brownout_fuel_divisor = 4;
     watchdog_grace_ms = 1000;
+    trace_sample = 0;
+    trace_ring = 64;
+    slow_ms = None;
+    slow_log = None;
+    metrics_file = None;
     extra_domains = [];
     default_domain = "presburger";
     state;
@@ -101,21 +111,49 @@ let journal_path cfg =
 
 (* -------------------------- metrics registry ------------------------ *)
 
-(* Server-wide aggregate of the per-request telemetry reports plus the
-   service counters.  The per-request Telemetry.record collectors are
-   domain-local; this registry is the cross-domain rendezvous behind the
-   protocol's metrics op. *)
+(* Server-wide, always-on aggregation.  Two planes share one lock:
+
+   - the {e engine} plane: dotted-name counters and count/sum/min/max
+     summaries merged from each request's Telemetry report — the names
+     the engines emit ([decide_cache.hits], [relalg.node_card.<fp>], ...);
+   - the {e service} plane: label-dimensioned monotonic counters and
+     fixed log-bucketed {!Aggregate} histograms keyed by
+     (family, sorted labels) — per-client / per-domain / per-epoch /
+     per-tier request metrics, rendered to the versioned Prometheus text
+     exposition.
+
+   The per-request Telemetry.record collectors are domain-local; this
+   registry is the cross-domain rendezvous behind the metrics op.  Every
+   key space is bounded: engine names past [reg_key_cap] are dropped and
+   tallied, labeled families past the cap fold into an
+   [{overflow="true"}] sample, so adversarial label streams degrade to a
+   coarser aggregate instead of growing the scrape without limit. *)
+
+module Aggregate = Fq_core.Aggregate
 
 type hist = { mutable h_count : int; mutable h_sum : float; mutable h_min : float; mutable h_max : float }
+
+type lkey = string * (string * string) list (* family, labels sorted by name *)
 
 type registry = {
   r_lock : Mutex.t;
   r_counters : (string, int ref) Hashtbl.t;
   r_hists : (string, hist) Hashtbl.t;
+  r_lab_counters : (lkey, int ref) Hashtbl.t;
+  r_lab_hists : (lkey, Aggregate.hist) Hashtbl.t;
+  r_clients : (int, string) Hashtbl.t; (* connection id -> client label *)
 }
 
+let reg_key_cap = 4096
+let client_label_cap = 64
+
 let registry_create () =
-  { r_lock = Mutex.create (); r_counters = Hashtbl.create 32; r_hists = Hashtbl.create 16 }
+  { r_lock = Mutex.create ();
+    r_counters = Hashtbl.create 32;
+    r_hists = Hashtbl.create 16;
+    r_lab_counters = Hashtbl.create 32;
+    r_lab_hists = Hashtbl.create 16;
+    r_clients = Hashtbl.create 16 }
 
 let reg_locked reg f =
   Mutex.lock reg.r_lock;
@@ -133,10 +171,64 @@ let reg_observe_unlocked reg name v =
     h.h_sum <- h.h_sum +. v;
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v
-  | None -> Hashtbl.add reg.r_hists name { h_count = 1; h_sum = v; h_min = v; h_max = v }
+  | None ->
+    if Hashtbl.length reg.r_hists >= reg_key_cap then
+      reg_count_unlocked reg "serve.registry_dropped_keys" 1
+    else Hashtbl.add reg.r_hists name { h_count = 1; h_sum = v; h_min = v; h_max = v }
 
 let reg_count reg ?(n = 1) name = reg_locked reg (fun () -> reg_count_unlocked reg name n)
 let reg_observe reg name v = reg_locked reg (fun () -> reg_observe_unlocked reg name v)
+
+(* labeled service metrics; labels are canonicalized (sorted) so the key
+   is independent of call-site argument order *)
+
+let lkey name labels : lkey = (name, List.sort (fun (a, _) (b, _) -> compare a b) labels)
+
+let bounded_lkey tbl_len mem key =
+  if mem key then key
+  else if tbl_len () >= reg_key_cap then (fst key, [ ("overflow", "true") ])
+  else key
+
+let reg_lcount reg ?(n = 1) name labels =
+  reg_locked reg (fun () ->
+      let key =
+        bounded_lkey
+          (fun () -> Hashtbl.length reg.r_lab_counters)
+          (Hashtbl.mem reg.r_lab_counters) (lkey name labels)
+      in
+      match Hashtbl.find_opt reg.r_lab_counters key with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add reg.r_lab_counters key (ref n))
+
+let reg_lobserve reg name labels v =
+  reg_locked reg (fun () ->
+      let key =
+        bounded_lkey
+          (fun () -> Hashtbl.length reg.r_lab_hists)
+          (Hashtbl.mem reg.r_lab_hists) (lkey name labels)
+      in
+      match Hashtbl.find_opt reg.r_lab_hists key with
+      | Some h -> Aggregate.observe h v
+      | None ->
+        let h = Aggregate.create () in
+        Aggregate.observe h v;
+        Hashtbl.add reg.r_lab_hists key h)
+
+(* The per-client label dimension is the only one a peer controls (by
+   opening connections), so it gets its own cardinality cap: the first
+   [client_label_cap] connections keep distinct labels, the rest share
+   ["other"]. *)
+let client_label reg conn_id =
+  reg_locked reg (fun () ->
+      match Hashtbl.find_opt reg.r_clients conn_id with
+      | Some l -> l
+      | None ->
+        let l =
+          if Hashtbl.length reg.r_clients >= client_label_cap then "other"
+          else "c" ^ string_of_int conn_id
+        in
+        Hashtbl.add reg.r_clients conn_id l;
+        l)
 
 let reg_get reg name =
   reg_locked reg (fun () ->
@@ -154,40 +246,85 @@ let merge_report reg (t : Telemetry.report) =
             if h.Telemetry.min < agg.h_min then agg.h_min <- h.Telemetry.min;
             if h.Telemetry.max > agg.h_max then agg.h_max <- h.Telemetry.max
           | None ->
-            Hashtbl.add reg.r_hists name
-              { h_count = h.Telemetry.count;
-                h_sum = h.Telemetry.sum;
-                h_min = h.Telemetry.min;
-                h_max = h.Telemetry.max })
-        t.Telemetry.histograms)
+            if Hashtbl.length reg.r_hists >= reg_key_cap then
+              reg_count_unlocked reg "serve.registry_dropped_keys" 1
+            else
+              Hashtbl.add reg.r_hists name
+                { h_count = h.Telemetry.count;
+                  h_sum = h.Telemetry.sum;
+                  h_min = h.Telemetry.min;
+                  h_max = h.Telemetry.max })
+        t.Telemetry.histograms;
+      if t.Telemetry.evicted_histograms > 0 then
+        reg_count_unlocked reg "telemetry.evicted_histograms" t.Telemetry.evicted_histograms)
 
-let registry_json reg =
+(* The registry's slice of the exposition: engine counters and summaries
+   under generic name-labeled families (dotted engine names are not
+   valid Prometheus metric names, and the set is open — a label keeps
+   one stable family per kind), plus every labeled service family.
+   Sample ordering inside a family and family ordering are both handled
+   by [Aggregate.exposition]; this only gathers. *)
+let family_help = function
+  | "fq_requests_total" -> "Requests by protocol op."
+  | "fq_eval_outcomes_total" ->
+    "Eval replies by domain, epoch, status and answering tier."
+  | "fq_client_requests_total" -> "Eval requests by client connection."
+  | "fq_request_latency_ms" -> "Eval wall-clock latency, by domain and epoch."
+  | "fq_request_fuel_ticks" -> "Eval fuel spent, by domain and epoch."
+  | _ -> "Service metric."
+
+let registry_families reg =
   reg_locked reg (fun () ->
-      let counters =
-        Hashtbl.fold (fun name r acc -> (name, Json.Int !r) :: acc) reg.r_counters []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      let engine_counters =
+        Hashtbl.fold (fun name r acc -> ([ ("name", name) ], !r) :: acc) reg.r_counters []
       in
-      let hists =
+      let engine_obs_count, engine_obs_sum =
         Hashtbl.fold
-          (fun name h acc ->
-            ( name,
-              Json.Obj
-                [ ("count", Json.Int h.h_count);
-                  ("sum", Json.Float h.h_sum);
-                  ("min", Json.Float h.h_min);
-                  ("max", Json.Float h.h_max);
-                  ("mean",
-                   Json.Float (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count))
-                ] )
-            :: acc)
-          reg.r_hists []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          (fun name h (cs, ss) ->
+            (([ ("name", name) ], h.h_count) :: cs, ([ ("name", name) ], h.h_sum) :: ss))
+          reg.r_hists ([], [])
       in
-      (counters, hists))
+      let by_family fold project tbl =
+        let fams = Hashtbl.create 8 in
+        fold
+          (fun (name, labels) v () ->
+            let prev = Option.value (Hashtbl.find_opt fams name) ~default:[] in
+            Hashtbl.replace fams name ((labels, project v) :: prev))
+          tbl ();
+        fams
+      in
+      let counter_fams =
+        by_family (fun f t init -> Hashtbl.fold f t init) (fun r -> !r) reg.r_lab_counters
+      in
+      let hist_fams =
+        (* copy under the lock: the exposition renders after release *)
+        by_family
+          (fun f t init -> Hashtbl.fold f t init)
+          (fun (h : Aggregate.hist) ->
+            { h with Aggregate.buckets = Array.copy h.Aggregate.buckets })
+          reg.r_lab_hists
+      in
+      Aggregate.counter_family ~name:"fq_engine_events_total"
+        ~help:"Engine telemetry counters, by dotted engine name." engine_counters
+      :: Aggregate.counter_family ~name:"fq_engine_observations_total"
+           ~help:"Engine telemetry histogram observation counts, by dotted engine name."
+           engine_obs_count
+      :: Aggregate.gauge_family ~name:"fq_engine_observations_sum"
+           ~help:"Engine telemetry histogram observation sums, by dotted engine name."
+           engine_obs_sum
+      :: (Hashtbl.fold
+            (fun name samples acc ->
+              Aggregate.counter_family ~name ~help:(family_help name) samples :: acc)
+            counter_fams []
+         @ Hashtbl.fold
+             (fun name samples acc ->
+               Aggregate.histogram_family ~name ~help:(family_help name) samples :: acc)
+             hist_fams []))
 
 (* ------------------------------ plumbing ---------------------------- *)
 
 type conn = {
+  c_id : int;  (* accept-order sequence; the per-client metrics label *)
   c_fd : Unix.file_descr;
   c_oc : out_channel;
   c_olock : Mutex.t;
@@ -246,6 +383,11 @@ type t = {
   japps : int Atomic.t;  (* appends since the last compaction *)
   needs_compact : bool Atomic.t;
   reg : registry;
+  req_seq : int Atomic.t;  (* eval arrivals; drives trace minting + sampling *)
+  tlock : Mutex.t;  (* guards trace_ring *)
+  mutable trace_ring : Json.t list;  (* completed sampled traces, newest first *)
+  slog_lock : Mutex.t;  (* serializes slow-query log appends *)
+  mutable last_metrics_dump : float;  (* accept-loop thread only *)
   usr1 : bool Atomic.t;
   hup : bool Atomic.t;
 }
@@ -381,26 +523,213 @@ let resolve_domain srv = function
         (Printf.sprintf "unknown domain %S (try: %s)" name
            (String.concat ", " (List.map fst Protocol.domains))))
 
-let handle_eval srv job ~id ~domain ~formula ~fuel ~timeout_ms ~resume =
+(* ----------------------- trace ring + slow log ---------------------- *)
+
+let outcome_tier rep =
+  match rep.Outcome.verdict with
+  | Outcome.Complete { tier; _ } -> tier
+  | Outcome.Partial _ -> "enumerate" (* partial answers come from the scan tier *)
+  | Outcome.Failed _ -> "none"
+
+let rollup_json rus =
+  let rec go ru =
+    Json.Obj
+      ([ ("name", Json.Str ru.Telemetry.r_name);
+         ("count", Json.Int ru.Telemetry.r_count);
+         ("ticks", Json.Int ru.Telemetry.r_ticks);
+         ("self_ticks", Json.Int ru.Telemetry.r_self_ticks);
+         ("dur_ms", Json.Float ru.Telemetry.r_dur_ms) ]
+      @
+      match ru.Telemetry.r_children with
+      | [] -> []
+      | kids -> [ ("children", Json.List (List.map go kids)) ])
+  in
+  Json.List (List.map go rus)
+
+let push_trace srv entry =
+  Mutex.lock srv.tlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.tlock) @@ fun () ->
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+  in
+  srv.trace_ring <- entry :: take (max 0 (srv.cfg.trace_ring - 1)) srv.trace_ring
+
+(* A dry compile, shared by the explain op and the slow-query log: which
+   tier will answer, and with what plan — without spending any budget. *)
+let dry_plan ep ~domain f =
+  let schema = Schema.relations (State.schema ep.ep_state) in
+  let safety, safe =
+    match Fq_eval.Safe_range.check ~schema f with
+    | Fq_eval.Safe_range.Safe_range -> ("safe-range", true)
+    | Fq_eval.Safe_range.Not_safe_range why -> ("not safe-range: " ^ why, false)
+  in
+  let tier, plan =
+    if not safe then ("enumerate", None)
+    else
+      match Fq_eval.Ranf.compile ~stats:ep.ep_stats ~domain ~state:ep.ep_state f with
+      | Ok { Fq_eval.Algebra_translate.plan; _ } -> ("ranf-algebra", Some plan)
+      | Error _ -> (
+        match
+          Fq_eval.Algebra_translate.compile ~stats:ep.ep_stats ~domain ~state:ep.ep_state f
+        with
+        | Ok { Fq_eval.Algebra_translate.plan; _ } -> ("adom-algebra", Some plan)
+        | Error _ -> ("enumerate", None))
+  in
+  (safety, tier, plan)
+
+(* Estimated-vs-observed output cardinality per plan node: the
+   optimizer's estimate against what the telemetry recording actually
+   measured ([relalg.node_card.<fp>]) — the slow-query log's "why was
+   the plan wrong" evidence, replayable offline by fq explain. *)
+let plan_nodes_json ep plan (treport : Telemetry.report) =
+  let arity_of = Schema.arity (State.schema ep.ep_state) in
+  let nodes = ref [] in
+  let seen = Hashtbl.create 16 in
+  let rec walk node =
+    let fp = Relalg.fingerprint node in
+    if not (Hashtbl.mem seen fp) then begin
+      Hashtbl.add seen fp ();
+      let est =
+        match Optimizer.estimate ep.ep_stats ~arity_of node with
+        | e -> [ ("est", Json.Float e) ]
+        | exception _ -> []
+      in
+      let observed =
+        match List.assoc_opt (Relalg.node_metric fp) treport.Telemetry.histograms with
+        | Some h when h.Telemetry.count > 0 ->
+          [ ("observed_mean", Json.Float (h.Telemetry.sum /. float_of_int h.Telemetry.count));
+            ("observed_count", Json.Int h.Telemetry.count) ]
+        | _ -> []
+      in
+      nodes := Json.Obj ((("fp", Json.Str fp) :: est) @ observed) :: !nodes
+    end;
+    match node with
+    | Relalg.Rel _ | Relalg.Lit _ -> ()
+    | Relalg.Select (_, p) | Relalg.Project (_, p) -> walk p
+    | Relalg.Product (p, q) | Relalg.Join (_, p, q) | Relalg.Union (p, q)
+    | Relalg.Diff (p, q) ->
+      walk p;
+      walk q
+  in
+  walk plan;
+  Json.List (List.rev !nodes)
+
+(* One structured JSONL line per slow (or browned-out / cancelled)
+   request, appended under [slog_lock]; an I/O failure degrades to a
+   counter, never to a failed request. *)
+let slow_log_entry srv job ~trace ~id ~domain_name ~dom ~formula ~elapsed ~cancelled rep
+    (treport : Telemetry.report) =
+  match srv.cfg.slow_log with
+  | None -> ()
+  | Some path ->
+    reg_count srv.reg "serve.slow_queries";
+    let plan_fields =
+      match Parser.formula formula with
+      | Error _ -> []
+      | Ok f ->
+        let _, tier, plan = dry_plan job.j_epoch ~domain:dom f in
+        ("planned_tier", Json.Str tier)
+        ::
+        (match plan with
+        | None -> []
+        | Some p ->
+          [ ("plan", Json.Str (Format.asprintf "%a" Relalg.pp p));
+            ("nodes", plan_nodes_json job.j_epoch p treport) ])
+    in
+    let entry =
+      Json.Obj
+        ([ ("ts_ms", Json.Float (now_ms ()));
+           ("trace", Json.Str trace);
+           ("id", Json.Str id);
+           ("client", Json.Str (client_label srv.reg job.j_conn.c_id));
+           ("domain", Json.Str domain_name);
+           ("epoch", Json.Int job.j_epoch.ep_id);
+           ("formula", Json.Str formula);
+           ("status", Json.Str (Outcome.status rep));
+           ("tier", Json.Str (outcome_tier rep));
+           ("latency_ms", Json.Float elapsed);
+           ("ticks", Json.Int rep.Outcome.usage.Budget.ticks);
+           ("brownout", Json.Bool job.j_brownout);
+           ("cancelled", Json.Bool cancelled) ]
+        @ plan_fields)
+    in
+    Mutex.lock srv.slog_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock srv.slog_lock) @@ fun () ->
+    (try
+       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+       Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+       output_string oc (Json.to_string entry);
+       output_char oc '\n'
+     with Sys_error _ -> reg_count srv.reg "serve.slow_log_errors")
+
+let handle_eval srv job ~id ~domain ~formula ~fuel ~timeout_ms ~resume ~trace =
   match resolve_domain srv domain with
   | Error e -> Protocol.malformed_response ~id e
   | Ok (domain_name, dom) ->
+    (* trace context: client id verbatim, or a server-minted one; the
+       same arrival counter drives head-based 1-in-N sampling *)
+    let seq = Atomic.fetch_and_add srv.req_seq 1 in
+    let trace =
+      match trace with Some t -> t | None -> "srv-" ^ string_of_int (seq + 1)
+    in
+    let sampled = srv.cfg.trace_sample > 0 && seq mod srv.cfg.trace_sample = 0 in
     let started = now_ms () in
     let rep, treport =
       Telemetry.record (fun () ->
+          Telemetry.set_trace_id trace;
           eval_outcome srv job.j_epoch ~domain_name ~domain:dom ~fuel ~timeout_ms ~resume
             ~cancel:job.j_cancel ~brownout:job.j_brownout formula)
     in
+    let elapsed = now_ms () -. started in
+    let status = Outcome.status rep in
+    let tier = outcome_tier rep in
+    let epoch = string_of_int job.j_epoch.ep_id in
+    let client = client_label srv.reg job.j_conn.c_id in
+    let ticks = rep.Outcome.usage.Budget.ticks in
     merge_report srv.reg treport;
     reg_count srv.reg "serve.requests";
-    reg_count srv.reg ("serve.eval." ^ Outcome.status rep);
-    reg_observe srv.reg "serve.latency_ms" (now_ms () -. started);
-    reg_observe srv.reg "serve.ticks" (float_of_int rep.Outcome.usage.Budget.ticks);
-    Protocol.outcome_response ~id rep
+    reg_count srv.reg ("serve.eval." ^ status);
+    reg_observe srv.reg "serve.latency_ms" elapsed;
+    reg_observe srv.reg "serve.ticks" (float_of_int ticks);
+    (* always-on labeled aggregation (log-bucketed; ~an array increment) *)
+    reg_lcount srv.reg "fq_requests_total" [ ("op", "eval") ];
+    reg_lcount srv.reg "fq_eval_outcomes_total"
+      [ ("domain", domain_name); ("epoch", epoch); ("status", status); ("tier", tier) ];
+    reg_lcount srv.reg "fq_client_requests_total" [ ("client", client) ];
+    reg_lobserve srv.reg "fq_request_latency_ms"
+      [ ("domain", domain_name); ("epoch", epoch) ]
+      elapsed;
+    reg_lobserve srv.reg "fq_request_fuel_ticks"
+      [ ("domain", domain_name); ("epoch", epoch) ]
+      (float_of_int ticks);
+    let cancelled = Atomic.get job.j_cancel in
+    if sampled then begin
+      reg_count srv.reg "serve.traces_sampled";
+      push_trace srv
+        (Json.Obj
+           [ ("trace", Json.Str trace);
+             ("id", Json.Str id);
+             ("client", Json.Str client);
+             ("domain", Json.Str domain_name);
+             ("epoch", Json.Int job.j_epoch.ep_id);
+             ("tier", Json.Str tier);
+             ("status", Json.Str status);
+             ("brownout", Json.Bool job.j_brownout);
+             ("cancelled", Json.Bool cancelled);
+             ("dur_ms", Json.Float elapsed);
+             ("ticks", Json.Int ticks);
+             ("spans", rollup_json (Telemetry.rollup treport.Telemetry.roots)) ])
+    end;
+    let slow =
+      match srv.cfg.slow_ms with Some t -> elapsed >= t | None -> false
+    in
+    if slow || job.j_brownout || cancelled then
+      slow_log_entry srv job ~trace ~id ~domain_name ~dom ~formula ~elapsed ~cancelled rep
+        treport;
+    Protocol.outcome_response ~id ~trace rep
 
-(* A dry compile, as in fq explain: which tier will answer, and with
-   what plan — without spending the budget. *)
-let handle_explain srv job ~id ~domain ~formula =
+let handle_explain srv job ~id ~domain ~formula ~trace =
   let ep = job.j_epoch in
   match resolve_domain srv domain with
   | Error e -> Protocol.malformed_response ~id e
@@ -410,41 +739,69 @@ let handle_explain srv job ~id ~domain ~formula =
     | Ok f ->
       reg_count srv.reg "serve.requests";
       reg_count srv.reg "serve.explain";
-      let schema = Schema.relations (State.schema ep.ep_state) in
-      let safety, safe =
-        match Fq_eval.Safe_range.check ~schema f with
-        | Fq_eval.Safe_range.Safe_range -> ("safe-range", true)
-        | Fq_eval.Safe_range.Not_safe_range why -> ("not safe-range: " ^ why, false)
-      in
-      let plan_string p = Format.asprintf "%a" Relalg.pp p in
-      let tier, plan =
-        if not safe then ("enumerate", None)
-        else
-          match
-            Fq_eval.Ranf.compile ~stats:ep.ep_stats ~domain:dom ~state:ep.ep_state f
-          with
-          | Ok { Fq_eval.Algebra_translate.plan; _ } -> ("ranf-algebra", Some (plan_string plan))
-          | Error _ -> (
-            match
-              Fq_eval.Algebra_translate.compile ~stats:ep.ep_stats ~domain:dom
-                ~state:ep.ep_state f
-            with
-            | Ok { Fq_eval.Algebra_translate.plan; _ } ->
-              ("adom-algebra", Some (plan_string plan))
-            | Error _ -> ("enumerate", None))
-      in
+      reg_lcount srv.reg "fq_requests_total" [ ("op", "explain") ];
+      let safety, tier, plan = dry_plan ep ~domain:dom f in
       Protocol.ok_response ~id
-        ([ ("domain", Json.Str domain_name); ("safety", Json.Str safety);
-           ("tier", Json.Str tier) ]
-        @ match plan with None -> [] | Some p -> [ ("plan", Json.Str p) ]))
+        ((match trace with None -> [] | Some t -> [ ("trace", Json.Str t) ])
+        @ [ ("domain", Json.Str domain_name); ("safety", Json.Str safety);
+            ("tier", Json.Str tier) ]
+        @
+        match plan with
+        | None -> []
+        | Some p -> [ ("plan", Json.Str (Format.asprintf "%a" Relalg.pp p)) ]))
+
+(* The full versioned exposition: registry families plus point-in-time
+   gauges (inflight, queue depth, breaker states, journal lag, cache). *)
+let exposition_text srv =
+  let cache = Decide_cache.stats srv.cache in
+  let inflight, depth, epoch, breakers =
+    Mutex.protect srv.lock (fun () ->
+        ( srv.inflight,
+          Queue.length srv.queue,
+          srv.current.ep_id,
+          Hashtbl.fold
+            (fun name b acc -> (name, Supervisor.Breaker.state b) :: acc)
+            srv.current.ep_breakers [] ))
+  in
+  let breaker_gauge = function
+    | Supervisor.Breaker.Closed -> 0.
+    | Supervisor.Breaker.Half_open -> 1.
+    | Supervisor.Breaker.Open -> 2.
+  in
+  let retained = Mutex.protect srv.tlock (fun () -> List.length srv.trace_ring) in
+  let gauges =
+    [ Aggregate.gauge_family ~name:"fq_inflight"
+        ~help:"Admitted-but-unfinished requests." [ ([], float_of_int inflight) ];
+      Aggregate.gauge_family ~name:"fq_queue_depth"
+        ~help:"Jobs admitted and waiting for a worker." [ ([], float_of_int depth) ];
+      Aggregate.gauge_family ~name:"fq_epoch" ~help:"Live state epoch."
+        [ ([], float_of_int epoch) ];
+      Aggregate.gauge_family ~name:"fq_breaker_state"
+        ~help:"Per-domain circuit breaker (0 closed, 1 half-open, 2 open)."
+        (List.map (fun (name, st) -> ([ ("domain", name) ], breaker_gauge st)) breakers);
+      Aggregate.gauge_family ~name:"fq_journal_lag_records"
+        ~help:"Journal appends since the last compaction."
+        [ ([], float_of_int (Atomic.get srv.japps)) ];
+      Aggregate.gauge_family ~name:"fq_traces_retained"
+        ~help:"Completed sampled traces held in the ring."
+        [ ([], float_of_int retained) ];
+      Aggregate.counter_family ~name:"fq_decide_cache_hits_total"
+        ~help:"Decide-cache hits." [ ([], cache.Decide_cache.hits) ];
+      Aggregate.counter_family ~name:"fq_decide_cache_misses_total"
+        ~help:"Decide-cache misses." [ ([], cache.Decide_cache.misses) ];
+      Aggregate.counter_family ~name:"fq_decide_cache_evictions_total"
+        ~help:"Decide-cache LRU evictions." [ ([], cache.Decide_cache.evictions) ];
+      Aggregate.gauge_family ~name:"fq_decide_cache_entries"
+        ~help:"Decide-cache resident entries."
+        [ ([], float_of_int cache.Decide_cache.entries) ] ]
+  in
+  Aggregate.exposition (registry_families srv.reg @ gauges)
 
 let metrics_response srv ~id =
-  let counters, hists = registry_json srv.reg in
   let cache = Decide_cache.stats srv.cache in
   let inflight, epoch = Mutex.protect srv.lock (fun () -> (srv.inflight, srv.current.ep_id)) in
   Protocol.ok_response ~id
-    [ ("counters", Json.Obj counters);
-      ("histograms", Json.Obj hists);
+    [ ("version", Json.Int Aggregate.exposition_version);
       ( "decide_cache",
         Json.Obj
           [ ("hits", Json.Int cache.Decide_cache.hits);
@@ -452,7 +809,37 @@ let metrics_response srv ~id =
             ("entries", Json.Int cache.Decide_cache.entries);
             ("evictions", Json.Int cache.Decide_cache.evictions) ] );
       ("inflight", Json.Int inflight);
-      ("epoch", Json.Int epoch) ]
+      ("epoch", Json.Int epoch);
+      ("exposition", Json.Str (exposition_text srv)) ]
+
+let traces_response srv ~id ~limit =
+  let traces =
+    Mutex.protect srv.tlock (fun () ->
+        match limit with
+        | None -> srv.trace_ring
+        | Some n ->
+          let rec take n = function
+            | [] -> []
+            | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+          in
+          take (max 0 n) srv.trace_ring)
+  in
+  Protocol.ok_response ~id
+    [ ("sample_every", Json.Int srv.cfg.trace_sample); ("traces", Json.List traces) ]
+
+(* --metrics-file: the same exposition, dumped atomically (tmp + rename)
+   from the accept loop so a file scrape never sees a torn write. *)
+let dump_metrics_file srv =
+  match srv.cfg.metrics_file with
+  | None -> ()
+  | Some path ->
+    (try
+       let tmp = path ^ ".tmp" in
+       let oc = open_out tmp in
+       Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+           output_string oc (exposition_text srv));
+       Sys.rename tmp path
+     with Sys_error _ -> reg_count srv.reg "serve.metrics_file_errors")
 
 (* The one-line triage view: is the server keeping up, which breakers
    are open, which epoch is live, is persistence healthy. *)
@@ -646,11 +1033,12 @@ let admit srv conn req =
 
 let handle srv job =
   match job.j_req with
-  | Protocol.Eval { id; domain; formula; fuel; timeout_ms; resume } ->
-    handle_eval srv job ~id ~domain ~formula ~fuel ~timeout_ms ~resume
-  | Protocol.Explain { id; domain; formula } -> handle_explain srv job ~id ~domain ~formula
+  | Protocol.Eval { id; domain; formula; fuel; timeout_ms; resume; trace } ->
+    handle_eval srv job ~id ~domain ~formula ~fuel ~timeout_ms ~resume ~trace
+  | Protocol.Explain { id; domain; formula; trace } ->
+    handle_explain srv job ~id ~domain ~formula ~trace
   | Protocol.Metrics _ | Protocol.Ping _ | Protocol.Snapshot _ | Protocol.Shutdown _
-  | Protocol.Reload _ | Protocol.Health _ ->
+  | Protocol.Reload _ | Protocol.Health _ | Protocol.Traces _ ->
     assert false (* control ops are answered inline by the reader thread *)
 
 (* Exactly-once completion: the worker that evaluated the job and the
@@ -754,8 +1142,11 @@ let scan_watchdog srv =
       let reason =
         "crashed: watchdog: evaluation still running past its deadline; worker recycled"
       in
+      let trace =
+        match job.j_req with Protocol.Eval { trace; _ } -> trace | _ -> None
+      in
       let response =
-        Protocol.outcome_response ~id
+        Protocol.outcome_response ~id ?trace
           { Outcome.verdict = Outcome.Failed { reason };
             usage = { Budget.ticks = 0; elapsed_ms = 0. };
             attempts = [] }
@@ -817,12 +1208,20 @@ let conn_loop srv conn =
         | Error e ->
           reg_count srv.reg "serve.malformed";
           send srv conn (Protocol.malformed_response ~id:"" e)
-        | Ok (Protocol.Ping { id }) -> send srv conn (Protocol.ok_response ~id [])
+        | Ok (Protocol.Ping { id }) ->
+          reg_lcount srv.reg "fq_requests_total" [ ("op", "ping") ];
+          send srv conn (Protocol.ok_response ~id [])
         | Ok (Protocol.Metrics { id }) ->
           reg_count srv.reg "serve.requests";
+          reg_lcount srv.reg "fq_requests_total" [ ("op", "metrics") ];
           send srv conn (metrics_response srv ~id)
+        | Ok (Protocol.Traces { id; limit }) ->
+          reg_count srv.reg "serve.requests";
+          reg_lcount srv.reg "fq_requests_total" [ ("op", "traces") ];
+          send srv conn (traces_response srv ~id ~limit)
         | Ok (Protocol.Health { id }) ->
           reg_count srv.reg "serve.requests";
+          reg_lcount srv.reg "fq_requests_total" [ ("op", "health") ];
           send srv conn (health_response srv ~id)
         | Ok (Protocol.Snapshot { id }) -> (
           reg_count srv.reg "serve.requests";
@@ -894,6 +1293,11 @@ let run_bound cfg =
       japps = Atomic.make 0;
       needs_compact = Atomic.make false;
       reg = registry_create ();
+      req_seq = Atomic.make 0;
+      tlock = Mutex.create ();
+      trace_ring = [];
+      slog_lock = Mutex.create ();
+      last_metrics_dump = 0.;
       usr1 = Atomic.make false;
       hup = Atomic.make false }
   in
@@ -949,6 +1353,7 @@ let run_bound cfg =
     (fun slot -> slot.s_dom <- Some (Stdlib.Domain.spawn (fun () -> worker srv slot slot.s_gen)))
     srv.slots;
   let conns = ref [] in
+  let next_conn = ref 0 in
   let stopping () = Mutex.protect srv.lock (fun () -> srv.stopping) in
   while not (stopping ()) do
     if Atomic.exchange srv.usr1 false then save_snapshot_logged srv ~why:"SIGUSR1";
@@ -958,13 +1363,22 @@ let run_bound cfg =
       | Error e -> cfg.log (Printf.sprintf "fq serve: SIGHUP reload failed: %s" e));
     if Atomic.exchange srv.needs_compact false then compact srv;
     scan_watchdog srv;
+    (* periodic atomic metrics dump: at most one write per 2s tick window *)
+    (if cfg.metrics_file <> None then
+       let nw = now_ms () in
+       if nw -. srv.last_metrics_dump >= 2000. then begin
+         srv.last_metrics_dump <- nw;
+         dump_metrics_file srv
+       end);
     match Unix.select [ listen_fd ] [] [] 0.2 with
     | [], _, _ -> ()
     | _ -> (
       match Unix.accept listen_fd with
       | fd, _ ->
+        incr next_conn;
         let conn =
-          { c_fd = fd;
+          { c_id = !next_conn;
+            c_fd = fd;
             c_oc = Unix.out_channel_of_descr fd;
             c_olock = Mutex.create ();
             c_inflight = 0;
@@ -999,6 +1413,7 @@ let run_bound cfg =
       | None -> ())
     srv.slots;
   save_snapshot_logged srv ~why:"shutdown";
+  dump_metrics_file srv;
   (Mutex.lock srv.jlock;
    Fun.protect ~finally:(fun () -> Mutex.unlock srv.jlock) @@ fun () ->
    match srv.journal with

@@ -47,10 +47,17 @@
       drained and answered with a structured [malformed] reply; a hostile
       client cannot balloon a reader thread;
     - {b observability} — every request runs under a
-      {!Fq_core.Telemetry} recording whose counters and histograms are
-      merged into a server-wide registry served by [metrics] requests,
-      and a [health] op answers queue depth / breaker states / epoch
-      inline, even when the pool is saturated. *)
+      {!Fq_core.Telemetry} recording stamped with its trace id (client-
+      supplied or server-minted) and merged into a server-wide registry
+      of always-on label-dimensioned counters and log-bucketed
+      {!Fq_core.Aggregate} histograms, served as a versioned Prometheus
+      text exposition by [metrics] requests and dumped atomically to
+      [metrics_file]; 1-in-[trace_sample] completed evals keep their
+      span tree in a bounded ring served by [traces]; requests over
+      [slow_ms] (or browned-out / watchdog-cancelled) append their
+      trace, plan and estimates-vs-observed to the [slow_log] JSONL; a
+      [health] op answers queue depth / breaker states / epoch inline,
+      even when the pool is saturated. *)
 
 type addr = Unix_path of string | Tcp of int  (** TCP binds 127.0.0.1 *)
 
@@ -76,6 +83,16 @@ type config = {
   watchdog_grace_ms : int;
       (** extra time past a request's deadline before the watchdog
           force-answers it and recycles the worker domain *)
+  trace_sample : int;
+      (** head-based trace sampling: record 1 in [trace_sample] eval
+          requests into the trace ring ([0] = off) *)
+  trace_ring : int;  (** completed sampled traces retained for [traces] *)
+  slow_ms : float option;
+      (** latency threshold for the slow-query log; brownout and
+          watchdog-cancelled requests are logged regardless *)
+  slow_log : string option;  (** slow-query JSONL path; [None] = off *)
+  metrics_file : string option;
+      (** periodic atomic dump of the Prometheus exposition *)
   extra_domains : (string * Fq_domain.Domain.t) list;
       (** served in addition to {!Protocol.domains} (tests register
           pathological domains here) *)
@@ -90,9 +107,10 @@ val default_config : state:Fq_db.State.t -> addr -> config
     [default_fuel = 10_000], [max_fuel = 1_000_000], no timeout, no
     snapshot/journal/state file, [max_line_bytes = 1 MiB],
     [journal_compact_every = 512], [brownout_queue = 32],
-    [brownout_fuel_divisor = 4], [watchdog_grace_ms = 1000], no extra
-    domains, default domain ["presburger"], [Stats.of_state state],
-    logging to [stderr]. *)
+    [brownout_fuel_divisor = 4], [watchdog_grace_ms = 1000], tracing off
+    ([trace_sample = 0], [trace_ring = 64]), no slow-query log, no
+    metrics file, no extra domains, default domain ["presburger"],
+    [Stats.of_state state], logging to [stderr]. *)
 
 val run : config -> (int, string) result
 (** Boot and serve until a [shutdown] request: binds the socket, loads

@@ -48,10 +48,17 @@ state (the schema is defined once, in Outcome):
   $ diff eval.scrub batch.scrub && cat eval.scrub
   {"status":"complete","tier":"ranf-algebra","answer":{"arity":1,"rows":[["adam"],["cain"]]},"usage":{"ticks":7,"elapsed_ms":MS},"attempts":[]}
 
-Live metrics, explain, and an on-demand snapshot:
+Live metrics (the versioned Prometheus exposition — deterministically
+sorted, so scrapes diff cleanly), explain, and an on-demand snapshot:
 
-  $ ../../bin/fq.exe ctl fq.sock metrics | grep -o '"serve.eval.complete":[0-9]*'
-  "serve.eval.complete":4
+  $ ../../bin/fq.exe ctl fq.sock metrics | head -1
+  # fq-metrics-exposition 1
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep '^fq_engine_events_total{name="serve.eval.complete"}'
+  fq_engine_events_total{name="serve.eval.complete"} 4
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep '^fq_eval_outcomes_total'
+  fq_eval_outcomes_total{domain="equality",epoch="1",status="complete",tier="ranf-algebra"} 3
+  fq_eval_outcomes_total{domain="equality",epoch="1",status="partial",tier="enumerate"} 1
+  fq_eval_outcomes_total{domain="presburger",epoch="1",status="complete",tier="enumerate"} 1
   $ ../../bin/fq.exe ctl fq.sock explain "exists y. F(x,y)"
   {"id":"ctl","ok":true,"domain":"equality","safety":"safe-range","tier":"ranf-algebra","plan":"project[0](F)"}
   $ ../../bin/fq.exe ctl fq.sock snapshot
@@ -66,7 +73,7 @@ summary:
   $ cat server.log
   fq serve: listening on unix:fq.sock (4 workers, 256 in-flight cap)
   fq serve: snapshot written (1 entries, shutdown) to snap.fq
-  fq serve: shutdown complete — 13 requests served (4 complete, 1 partial, 0 unsupported, 0 error), 0 rejected
+  fq serve: shutdown complete — 15 requests served (4 complete, 1 partial, 0 unsupported, 0 error), 0 rejected
   $ cat snap.fq
   fq-decide-cache 1
   ok	true	forall v0. exists v1. v0 < v1

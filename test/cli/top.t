@@ -1,0 +1,88 @@
+The observability plane end to end: a server with head-based trace
+sampling (1-in-1 so every request is kept), a slow-query log whose
+threshold of 0 ms logs every eval, and a metrics file.
+
+  $ ../../bin/fq.exe serve --socket fq.sock -d equality \
+  >   -r "F/2=adam,cain;adam,abel" --trace-sample 1 --slow-ms 0 \
+  >   --slow-log slow.jsonl --metrics-file metrics.prom 2> server.log &
+  $ ../../bin/fq.exe ctl fq.sock ping
+  {"id":"ctl","ok":true}
+
+A client-chosen trace id (--trace-prefix stamps job i with PREFIX-i)
+rides the request and is echoed verbatim in the matching reply:
+
+  $ ../../bin/fq.exe batch --connect fq.sock -d equality \
+  >   --trace-prefix job "exists y. F(x,y)"
+  [0] complete via ranf-algebra (1 tuples): {("adam")} [trace job-0]
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+The same id names the request's sampled span tree in the trace ring:
+
+  $ ../../bin/fq.exe ctl fq.sock traces | grep -o '"trace":"job-0"'
+  "trace":"job-0"
+  $ ../../bin/fq.exe ctl fq.sock traces | grep -o '"sample_every":1'
+  "sample_every":1
+
+...and the slow-query log entry for the (0 ms threshold) request:
+
+  $ grep -o '"trace":"job-0"' slow.jsonl
+  "trace":"job-0"
+
+The entry replays offline — trace, chosen plan, and the cost model's
+estimates against the cardinalities the server actually observed —
+without needing the server's state:
+
+  $ ../../bin/fq.exe explain --from-log slow.jsonl \
+  >   | sed -E 's/[0-9]+ ticks, [0-9.]+ ms/T ticks, MS ms/'
+  slow-query log: slow.jsonl, entry 0 of 1
+  trace:   job-0   (request id 0, client c2)
+  domain:  equality   (epoch 1)
+  formula: exists y. F(x,y)
+  verdict: complete via ranf-algebra
+  budget:  T ticks, MS ms
+  planned: ranf-algebra
+  plan:    project[0](F)
+  cost model (estimated vs observed output cardinality):
+    8032a54a  est 2.0       actual 1
+    93b882fc  est 2.0       actual 2
+  replay:  fq explain -d equality 'exists y. F(x,y)'
+
+The metrics op serves the versioned Prometheus text exposition; the
+grammar is pinned here (HELP/TYPE headers, sorted labeled samples,
+log-bucketed histogram with only advancing buckets plus +Inf):
+
+  $ ../../bin/fq.exe ctl fq.sock metrics | head -1
+  # fq-metrics-exposition 1
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep -A 2 '# HELP fq_eval_outcomes_total'
+  # HELP fq_eval_outcomes_total Eval replies by domain, epoch, status and answering tier.
+  # TYPE fq_eval_outcomes_total counter
+  fq_eval_outcomes_total{domain="equality",epoch="1",status="complete",tier="ranf-algebra"} 1
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep '^fq_requests_total'
+  fq_requests_total{op="eval"} 1
+  fq_requests_total{op="metrics"} 4
+  fq_requests_total{op="ping"} 1
+  fq_requests_total{op="traces"} 2
+  $ ../../bin/fq.exe ctl fq.sock metrics \
+  >   | grep '^fq_request_fuel_ticks_count{domain="equality",epoch="1"}'
+  fq_request_fuel_ticks_count{domain="equality",epoch="1"} 1
+
+fq top --once --json takes one machine-readable sample of the same
+numbers (quantiles and rates come from the log-bucketed histograms):
+
+  $ ../../bin/fq.exe top fq.sock --once --json > top.json
+  $ grep -o '"outcomes":{[^}]*}' top.json
+  "outcomes":{"complete":1}
+  $ grep -o '"sample_every":[0-9]*' top.json
+  "sample_every":1
+  $ grep -o '"trace":"job-0"' top.json
+  "trace":"job-0"
+
+Graceful shutdown also dumps the metrics file atomically:
+
+  $ ../../bin/fq.exe ctl fq.sock shutdown
+  {"id":"ctl","ok":true,"draining":true}
+  $ wait
+  $ head -1 metrics.prom
+  # fq-metrics-exposition 1
+  $ grep -c '^fq_eval_outcomes_total' metrics.prom
+  1

@@ -101,11 +101,13 @@ let sample_requests =
   [ Protocol.Eval
       { id = "q1"; domain = Some "presburger"; formula = "exists y. E(x,y)";
         fuel = Some 500; timeout_ms = Some 100;
-        resume = Some { seen = 3; found = rel [ [ "a"; "b" ] ] } };
+        resume = Some { seen = 3; found = rel [ [ "a"; "b" ] ] };
+        trace = Some "t-q1" };
     Protocol.Eval
       { id = "q2"; domain = None; formula = "S(x)"; fuel = None;
-        timeout_ms = None; resume = None };
-    Protocol.Explain { id = "e"; domain = None; formula = "S(x)" };
+        timeout_ms = None; resume = None; trace = None };
+    Protocol.Explain { id = "e"; domain = None; formula = "S(x)"; trace = None };
+    Protocol.Traces { id = "t"; limit = Some 3 };
     Protocol.Metrics { id = "m" };
     Protocol.Ping { id = "p" };
     Protocol.Snapshot { id = "s" };
@@ -591,7 +593,7 @@ let test_serve_roundtrip () =
      Client.request c
        (Protocol.Eval
           { id = "q"; domain = None; formula = "exists y. E(x,y)"; fuel = None;
-            timeout_ms = None; resume = None })
+            timeout_ms = None; resume = None; trace = None })
    with
   | Ok ("q", Protocol.R_outcome { verdict = Complete { answer; tier }; _ }) ->
     Alcotest.(check string) "tier" "ranf-algebra" tier;
@@ -604,7 +606,7 @@ let test_serve_roundtrip () =
      Client.request c
        (Protocol.Eval
           { id = "bad"; domain = None; formula = "exists y. E(x,"; fuel = None;
-            timeout_ms = None; resume = None })
+            timeout_ms = None; resume = None; trace = None })
    with
   | Ok ("bad", Protocol.R_outcome o) ->
     Alcotest.(check string) "parse failure is a structured error" "error"
@@ -612,14 +614,22 @@ let test_serve_roundtrip () =
   | Ok _ -> Alcotest.fail "bad eval: expected outcome"
   | Error e -> Alcotest.failf "bad eval: %s" e);
   match Client.request c (Protocol.Metrics { id = "m" }) with
-  | Ok ("m", Protocol.R_ok j) ->
-    (match Json.member "counters" j with
-    | Some counters ->
-      (match Option.bind (Json.member "serve.requests" counters) Json.to_int_opt with
-      | Some n when n >= 2 -> ()
-      | Some n -> Alcotest.failf "metrics: serve.requests = %d" n
-      | None -> Alcotest.fail "metrics: no serve.requests counter")
-    | None -> Alcotest.fail "metrics: no counters object")
+  | Ok ("m", Protocol.R_ok j) -> (
+    match Option.bind (Json.member "exposition" j) Json.to_str_opt with
+    | Some text -> (
+      let samples = Fq_core.Aggregate.parse_exposition text in
+      match
+        List.find_map
+          (fun (m, labels, v) ->
+            if m = "fq_engine_events_total" && labels = [ ("name", "serve.requests") ]
+            then Some v
+            else None)
+          samples
+      with
+      | Some n when n >= 2. -> ()
+      | Some n -> Alcotest.failf "metrics: serve.requests = %g" n
+      | None -> Alcotest.fail "metrics: no serve.requests sample in the exposition")
+    | None -> Alcotest.fail "metrics: no exposition")
   | Ok _ -> Alcotest.fail "metrics: expected ok payload"
   | Error e -> Alcotest.failf "metrics: %s" e
 
@@ -632,7 +642,7 @@ let test_serve_reject () =
     Client.request c
       (Protocol.Eval
          { id = "q"; domain = None; formula = "exists y. E(x,y)"; fuel = None;
-           timeout_ms = None; resume = None })
+           timeout_ms = None; resume = None; trace = None })
   with
   | Ok ("q", Protocol.R_rejected { retry_after_ms; resume = Some r; _ }) ->
     Alcotest.(check bool) "retry hint" true (retry_after_ms > 0);
@@ -655,7 +665,7 @@ let test_serve_snapshot_warm () =
           (Protocol.Eval
              { id = "q"; domain = Some "presburger";
                formula = "forall x. exists y. x < y"; fuel = None;
-               timeout_ms = None; resume = None })
+               timeout_ms = None; resume = None; trace = None })
       with
       | Ok ("q", Protocol.R_outcome { verdict = Complete _; _ }) -> ()
       | Ok _ -> Alcotest.fail "warmup eval failed"
@@ -673,7 +683,55 @@ let test_serve_snapshot_warm () =
   Sys.remove snap
 
 let eval_req ?domain ?timeout_ms id formula =
-  Protocol.Eval { id; domain; formula; fuel = None; timeout_ms; resume = None }
+  Protocol.Eval { id; domain; formula; fuel = None; timeout_ms; resume = None; trace = None }
+
+let test_serve_trace_roundtrip () =
+  let cfg = { (base_config (fresh_addr ())) with trace_sample = 1 } in
+  with_server cfg @@ fun c ->
+  (* a client-chosen trace id is echoed verbatim in the matching reply *)
+  (match Client.send c
+           (Protocol.Eval
+              { id = "t1"; domain = None; formula = "S(x)"; fuel = None;
+                timeout_ms = None; resume = None; trace = Some "my-trace-7" })
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  (match Client.recv_json c with
+  | Ok j ->
+    Alcotest.(check (option string)) "client trace echoed" (Some "my-trace-7")
+      (Option.bind (Json.member "trace" j) Json.to_str_opt);
+    (* the trace field does not perturb outcome classification *)
+    (match Protocol.classify_reply j with
+    | Ok ("t1", Protocol.R_outcome { verdict = Complete _; _ }) -> ()
+    | _ -> Alcotest.fail "traced reply no longer classifies as a complete outcome")
+  | Error e -> Alcotest.failf "recv: %s" e);
+  (* an untraced request gets a server-minted id *)
+  (match Client.send c (eval_req "t2" "S(x)") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  (match Client.recv_json c with
+  | Ok j -> (
+    match Option.bind (Json.member "trace" j) Json.to_str_opt with
+    | Some t when String.length t > 4 && String.sub t 0 4 = "srv-" -> ()
+    | Some t -> Alcotest.failf "minted trace %S lacks the srv- prefix" t
+    | None -> Alcotest.fail "untraced request got no minted trace id")
+  | Error e -> Alcotest.failf "recv: %s" e);
+  (* with trace_sample = 1 both requests landed in the trace ring *)
+  match Client.request c (Protocol.Traces { id = "tr"; limit = None }) with
+  | Ok ("tr", Protocol.R_ok j) -> (
+    match Option.bind (Json.member "traces" j) Json.to_list_opt with
+    | Some traces ->
+      let ids =
+        List.filter_map (fun t -> Option.bind (Json.member "trace" t) Json.to_str_opt)
+          traces
+      in
+      Alcotest.(check bool) "client trace id names its sampled span tree" true
+        (List.mem "my-trace-7" ids);
+      Alcotest.(check bool) "sampled traces carry spans" true
+        (List.for_all (fun t -> Json.member "spans" t <> None) traces)
+    | None -> Alcotest.fail "traces reply lacks the traces list")
+  | Ok _ -> Alcotest.fail "traces: expected ok payload"
+  | Error e -> Alcotest.failf "traces: %s" e
 
 let test_serve_reload () =
   let v2 = Filename.temp_file "fq_state_v2" ".db" in
@@ -816,6 +874,8 @@ let () =
           qt prop_journal_chaos ] );
       ( "daemon",
         [ Alcotest.test_case "boot, eval, metrics, shutdown" `Quick test_serve_roundtrip;
+          Alcotest.test_case "trace ids echo, mint, and reach the ring" `Quick
+            test_serve_trace_roundtrip;
           Alcotest.test_case "admission reject carries resume" `Quick test_serve_reject;
           Alcotest.test_case "snapshot warm start" `Quick test_serve_snapshot_warm;
           Alcotest.test_case "hot reload swaps epochs without drops" `Quick

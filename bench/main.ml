@@ -1630,6 +1630,166 @@ let json_report_pr9 () =
   in
   Format.printf "%a@." print_json doc
 
+(* ------------------------------------------------------------------ *)
+(* PR 10: multi-process fleet vs a single in-process serve             *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-request cost of a supervised fleet worker vs a single [fq serve]
+   daemon on the same sequential request stream.  Both arms fork their
+   server: that is how both are actually deployed (an in-process serve
+   thread shares the client's address space and measures ~2us/request
+   faster than any real daemon), and it is the only shape the fleet arm
+   tolerates — OCaml 5 refuses Unix.fork once any domain exists in this
+   process, which booting Server.run in-process would do.  Each server
+   boots once and stays up for the whole ablation; the two clients then
+   alternate short timing passes (identical warm-up + chunked loop,
+   best 50-request chunk per pass, min across passes) so a load spike
+   lands on both arms instead of biasing whichever arm owned that
+   stretch of wall clock. *)
+let fleet_request_stream client n =
+  let request i =
+    match
+      Client.request client
+        (Protocol.Eval
+           { id = string_of_int i; domain = None; formula = "exists y. F(x, y)";
+             fuel = None; timeout_ms = None; resume = None; trace = None })
+    with
+    | Ok (_, Protocol.R_outcome _) -> ()
+    | Ok _ -> failwith "fleet ablation: unexpected reply"
+    | Error e -> failwith ("fleet ablation: " ^ e)
+  in
+  for i = 0 to 24 do
+    request i
+  done;
+  let chunk = 50 in
+  let best = ref infinity in
+  for c = 0 to (n / chunk) - 1 do
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to chunk - 1 do
+      request (100 + (c * chunk) + i)
+    done;
+    let us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int chunk in
+    if us < !best then best := us
+  done;
+  !best
+
+let with_fleet_worker_client k =
+  let sock = Filename.temp_file "fq_bench_fleet" ".sock" in
+  Sys.remove sock;
+  let addr = Server.Unix_path sock in
+  let base = Fleet.default_config ~state:family_state addr in
+  let cfg =
+    { base with
+      Fleet.workers = 2;
+      (* the probes stay on (the supervision plane is part of what is
+         being measured) but are made load-proof: under `dune build`
+         every BENCH rule runs at once, and a starved worker that
+         merely answers slowly must not be health-killed mid-pass *)
+      probe_timeout_ms = 5_000;
+      probe_failures = 1_000;
+      serve = { base.Fleet.serve with Server.jobs = 2; log = (fun _ -> ()) } }
+  in
+  let result = ref (Error "fleet never returned") in
+  let th = Thread.create (fun () -> result := Fleet.run cfg) () in
+  (* discover a worker through the control socket, then talk to it
+     directly — the per-request path a spread batch client takes *)
+  let worker =
+    match Client.discover ~retries:200 ~delay_ms:25 addr with
+    | Ok (true, w :: _) -> w
+    | Ok _ -> failwith "fleet ablation: no workers discovered"
+    | Error e -> failwith ("fleet ablation: discover: " ^ e)
+  in
+  let client =
+    match Client.connect ~retries:200 ~delay_ms:25 worker with
+    | Ok c -> c
+    | Error e -> failwith ("fleet ablation: worker connect: " ^ e)
+  in
+  let r = k client in
+  Client.close client;
+  (match Client.connect ~retries:50 ~delay_ms:25 addr with
+  | Ok c ->
+    (match Client.request c (Protocol.Shutdown { id = "bye" }) with
+    | Ok _ -> ()
+    | Error e -> failwith ("fleet ablation: shutdown: " ^ e));
+    Client.close c
+  | Error e -> failwith ("fleet ablation: shutdown connect: " ^ e));
+  Thread.join th;
+  (match !result with
+  | Ok 0 -> ()
+  | Ok c -> failwith (Printf.sprintf "fleet ablation: fleet exited %d" c)
+  | Error e -> failwith ("fleet ablation: " ^ e));
+  r
+
+let with_lone_serve_client k =
+  let sock = Filename.temp_file "fq_bench_lone" ".sock" in
+  Sys.remove sock;
+  let addr = Server.Unix_path sock in
+  let cfg =
+    { (Server.default_config ~state:family_state addr) with
+      Server.jobs = 2;
+      log = (fun _ -> ()) }
+  in
+  flush stdout;
+  flush stderr;
+  let pid = Unix.fork () in
+  if pid = 0 then Unix._exit (match Server.run cfg with Ok c -> c | Error _ -> 3);
+  let client =
+    match Client.connect ~retries:200 ~delay_ms:25 addr with
+    | Ok c -> c
+    | Error e -> failwith ("fleet ablation: serve connect: " ^ e)
+  in
+  let r = k client in
+  (match Client.request client (Protocol.Shutdown { id = "bye" }) with
+  | Ok _ -> ()
+  | Error e -> failwith ("fleet ablation: serve shutdown: " ^ e));
+  Client.close client;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> failwith "fleet ablation: serve exited abnormally");
+  r
+
+let fleet_ablation () =
+  let n = 500 and passes = 9 in
+  (* the fleet boots first: its supervisor forks, and fork must precede
+     any domain in this process (neither server runs in-process, so no
+     domain ever appears here) *)
+  with_fleet_worker_client @@ fun fleet_client ->
+  with_lone_serve_client @@ fun serve_client ->
+  let fleet = ref infinity and serve = ref infinity in
+  for _ = 1 to passes do
+    fleet := Float.min !fleet (fleet_request_stream fleet_client n);
+    serve := Float.min !serve (fleet_request_stream serve_client n)
+  done;
+  let overhead_pct = 100. *. (!fleet -. !serve) /. !serve in
+  ( `Assoc
+      [ ("requests_per_pass", `Int n);
+        ("timing_passes", `Int passes);
+        ("fleet_workers", `Int 2);
+        ("fleet_request_us", `Float !fleet);
+        ("single_serve_request_us", `Float !serve);
+        ("fleet_overhead_pct", `Float overhead_pct) ],
+    overhead_pct )
+
+let json_report_pr10 () =
+  let detail, overhead_pct = fleet_ablation () in
+  let doc =
+    `Assoc
+      [ ("pr", `Int 10);
+        ( "description",
+          `String
+            "fq fleet: per-request cost of a forked, supervised fleet worker \
+             (discovered via fleet-status, own listener and journal, read-only shared \
+             snapshot) vs a single forked fq serve process on the same sequential \
+             request stream; the supervision plane (probes, reaping, control socket) \
+             runs throughout the fleet arm, and the arms alternate passes" );
+        ("fleet_ablation", detail);
+        ( "acceptance",
+          `Assoc
+            [ ("fleet_overhead_pct", `Float overhead_pct);
+              ("fleet_overhead_le_5pct", `Bool (overhead_pct <= 5.0)) ] ) ]
+  in
+  Format.printf "%a@." print_json doc
+
 (* Downsized CI gate: fails (exit 1) if the columnar engine regresses
    below the row engine on the chain join, or the engines disagree. *)
 let smoke_pr6 () =
@@ -1747,6 +1907,7 @@ let () =
   | "json-pr7" -> json_report_pr7 ()
   | "json-pr8" -> json_report_pr8 ()
   | "json-pr9" -> json_report_pr9 ()
+  | "json-pr10" -> json_report_pr10 ()
   | "smoke-pr6" -> smoke_pr6 ()
   | _ ->
     let quick = mode = "quick" in

@@ -8,6 +8,7 @@
      fq batch    — supervised parallel evaluation of many queries
                    (local domain pool, or --connect to a running server)
      fq serve    — persistent query service on a Unix/TCP socket
+     fq fleet    — supervised multi-process fleet of fq serve workers
      fq tm       — run a Turing machine / list the zoo / show traces
      fq diag     — the Theorem 3.1 diagonalization demo
      fq halting  — the Theorem 3.3 reduction on an instance *)
@@ -1008,90 +1009,67 @@ let batch_job ~state ~stats ~cache ~breakers ~fuel ~timeout_ms ~retries ~chaos i
 (* --connect ADDR: unix:PATH, tcp:PORT, a bare PORT, or a bare PATH *)
 let addr_conv =
   let parse s =
-    let prefixed p =
-      String.length s > String.length p && String.sub s 0 (String.length p) = p
-    in
-    let after p = String.sub s (String.length p) (String.length s - String.length p) in
-    if prefixed "unix:" then Ok (Server.Unix_path (after "unix:"))
-    else if prefixed "tcp:" then
-      match int_of_string_opt (after "tcp:") with
-      | Some port -> Ok (Server.Tcp port)
-      | None -> Error (`Msg (Printf.sprintf "bad port in %S" s))
-    else
-      match int_of_string_opt s with
-      | Some port -> Ok (Server.Tcp port)
-      | None -> Ok (Server.Unix_path s)
+    match Server.addr_of_string s with
+    | Ok addr -> Ok addr
+    | Error e -> Error (`Msg e)
   in
   Arg.conv (parse, Server.pp_addr)
 
-(* Remote batch: pipeline every job onto one connection to a running
-   fq serve, then collect the interleaved responses by id.  A rejected
-   request (admission control) waits out the server's retry_after_ms hint
-   and resends, carrying the reject's resume token. *)
+(* Remote batch, on the multi-endpoint pool: discover the topology
+   behind ADDR (a lone fq serve answers with itself; an fq fleet with
+   its live workers), spread the pipelined jobs across one connection
+   per worker, and let the pool wait out admission rejects and fail
+   dead-connection jobs over — resume tokens carried — so a worker
+   crash mid-batch costs retries, not answers. *)
 let batch_remote ~common ~addr ~trace_prefix job_list =
-  let jobs_arr = Array.of_list job_list in
-  let n = Array.length jobs_arr in
-  Result.bind (Client.connect ~retries:100 ~delay_ms:50 addr) @@ fun c ->
-  let send_job idx resume =
-    let name, _, text = jobs_arr.(idx) in
-    Client.send c
-      (Protocol.Eval
-         { id = string_of_int idx;
-           domain = Some name;
-           formula = text;
-           fuel = Some common.fuel;
-           timeout_ms = common.timeout_ms;
-           resume;
-           trace = Option.map (fun p -> Printf.sprintf "%s-%d" p idx) trace_prefix })
+  let jobs =
+    List.mapi
+      (fun idx (name, _, text) ->
+        { Client.domain = Some name;
+          formula = text;
+          fuel = Some common.fuel;
+          timeout_ms = common.timeout_ms;
+          trace = Option.map (fun p -> Printf.sprintf "%s-%d" p idx) trace_prefix })
+      job_list
   in
+  Result.bind (Client.run_jobs ~addr jobs) @@ fun pooled ->
   let results =
     Array.map
-      (fun _ ->
-        { rep = failed_outcome "no reply"; crashed = false; retried = 0; trace = None })
-      jobs_arr
+      (fun (r : Client.job_result) ->
+        (* the reply's trace id is surfaced only when this run asked for
+           tracing: untraced runs keep their exact historical output *)
+        let trace =
+          if trace_prefix = None then None
+          else
+            Option.bind r.Client.raw (fun raw ->
+                Option.bind (Json.member "trace" raw) Json.to_str_opt)
+        in
+        let rep =
+          match r.Client.reply with
+          | Protocol.R_outcome rep -> rep
+          | Protocol.R_malformed reason -> failed_outcome reason
+          | Protocol.R_rejected _ | Protocol.R_ok _ -> failed_outcome "no reply"
+        in
+        { rep; crashed = false; retried = r.Client.rejected_retries; trace })
+      pooled
   in
-  let rec send_all i =
-    if i >= n then Ok () else Result.bind (send_job i None) (fun () -> send_all (i + 1))
-  in
-  let rec drain remaining =
-    if remaining = 0 then Ok ()
-    else
-      Result.bind (Client.recv_json c) @@ fun raw ->
-      Result.bind (Protocol.classify_reply raw) @@ fun (id, reply) ->
-      (* the reply's trace id is surfaced only when this run asked for
-         tracing: untraced runs keep their exact historical output *)
-      let reply_trace =
-        if trace_prefix = None then None
-        else Option.bind (Json.member "trace" raw) Json.to_str_opt
-      in
-      match int_of_string_opt id with
-      | Some idx when idx >= 0 && idx < n -> (
-        match reply with
-        | Protocol.R_outcome rep ->
-          results.(idx) <- { (results.(idx)) with rep; trace = reply_trace };
-          drain (remaining - 1)
-        | Protocol.R_rejected { retry_after_ms; resume; _ } ->
-          Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.);
-          results.(idx) <- { (results.(idx)) with retried = results.(idx).retried + 1 };
-          Result.bind (send_job idx resume) (fun () -> drain remaining)
-        | Protocol.R_malformed reason ->
-          results.(idx) <- { (results.(idx)) with rep = failed_outcome reason };
-          drain (remaining - 1)
-        | Protocol.R_ok _ -> drain remaining)
-      | _ -> drain remaining
-  in
-  Result.bind (send_all 0) @@ fun () ->
-  Result.bind (drain n) @@ fun () ->
-  (* the shared cache lives server-side; ask it for the eviction count *)
+  (* the shared cache lives server-side; ask it for the eviction count
+     (a fleet parent has no decide_cache member — evictions read 0) *)
   let evictions =
-    match Client.request c (Protocol.Metrics { id = "batch-metrics" }) with
-    | Ok (_, Protocol.R_ok j) ->
-      Option.value ~default:0
-        (Option.bind (Json.member "decide_cache" j) (fun dc ->
-             Option.bind (Json.member "evictions" dc) Json.to_int_opt))
-    | _ -> 0
+    match Client.connect ~retries:5 ~delay_ms:50 addr with
+    | Error _ -> 0
+    | Ok c ->
+      let v =
+        match Client.request c (Protocol.Metrics { id = "batch-metrics" }) with
+        | Ok (_, Protocol.R_ok j) ->
+          Option.value ~default:0
+            (Option.bind (Json.member "decide_cache" j) (fun dc ->
+                 Option.bind (Json.member "evictions" dc) Json.to_int_opt))
+        | _ -> 0
+      in
+      Client.close c;
+      v
   in
-  Client.close c;
   Ok (results, 0, evictions)
 
 let batch_cmd =
@@ -1393,6 +1371,151 @@ let serve_cmd =
           $ snapshot $ journal $ state_file $ trace_sample $ slow_ms $ slow_log
           $ metrics_file)
 
+(* ------------------------------- fleet ------------------------------ *)
+
+let fleet_cmd =
+  let run common domain rels consts socket port workers serve_jobs max_inflight
+      client_share snapshot journal state_file restart_limit flap_window_ms
+      base_backoff_ms max_backoff_ms probe_interval_ms probe_failures =
+    with_common common @@ fun () ->
+    report
+      (Result.bind
+         (match state_file with
+         | Some path -> Codec.load_state path
+         | None -> parse_state rels consts)
+       @@ fun state ->
+       Result.bind
+         (match (socket, port) with
+         | Some path, None -> Ok (Server.Unix_path path)
+         | None, Some port -> Ok (Server.Tcp port)
+         | Some _, Some _ -> Error "fleet: give either --socket or --port, not both"
+         | None, None -> Error "fleet: an address is required (--socket PATH or --port PORT)")
+       @@ fun addr ->
+       Result.bind (load_stats state common.stats_file) @@ fun stats ->
+       let (module D : Domain.S) = domain in
+       let base = Fleet.default_config ~state addr in
+       let serve =
+         { base.Fleet.serve with
+           Server.jobs = serve_jobs;
+           max_inflight;
+           client_share;
+           snapshot;
+           journal;
+           state_file;
+           default_fuel = common.fuel;
+           max_fuel = max base.Fleet.serve.Server.max_fuel common.fuel;
+           default_timeout_ms = common.timeout_ms;
+           default_domain = D.name;
+           stats = (match stats with Some s -> s | None -> base.Fleet.serve.Server.stats) }
+       in
+       Fleet.run
+         { base with
+           Fleet.workers;
+           restart_limit;
+           flap_window_ms;
+           base_backoff_ms;
+           max_backoff_ms;
+           probe_interval_ms;
+           probe_failures;
+           serve })
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Control socket at PATH; worker $(i,i) serves on PATH.$(i,i).")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Control socket on TCP 127.0.0.1:PORT; worker $(i,i) serves on \
+                   PORT+1+$(i,i).")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker processes to fork and supervise (each an independent crash \
+                   domain running the full $(b,fq serve) engine).")
+  in
+  let serve_jobs =
+    Arg.(value & opt int 4
+         & info [ "j"; "jobs" ] ~doc:"Worker domains per worker process.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 256
+         & info [ "max-inflight" ] ~doc:"Per-worker admission cap (as in fq serve).")
+  in
+  let client_share =
+    Arg.(value & opt int 64
+         & info [ "client-share" ] ~doc:"Per-connection in-flight cap (as in fq serve).")
+  in
+  let snapshot =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:"Shared decide-cache snapshot, owned by the parent: workers load it \
+                   warm (read-only) and journal their fresh verdicts; the parent folds \
+                   worker journals back in and republishes.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Per-worker journal base path: worker $(i,w) appends to FILE.$(i,w). \
+                   Defaults to SNAPSHOT.journal.$(i,w) when $(b,--snapshot) is set.")
+  in
+  let state_file =
+    Arg.(value & opt (some string) None
+         & info [ "state-file" ] ~docv:"FILE"
+             ~doc:"Load the served database from FILE and roll the fleet onto a new \
+                   version on SIGHUP or $(b,fq ctl ADDR reload) — one worker at a time, \
+                   never serving zero workers.")
+  in
+  let restart_limit =
+    Arg.(value & opt int 5
+         & info [ "restart-limit" ] ~docv:"K"
+             ~doc:"Flap breaker: K crashes inside $(b,--flap-window-ms) park the worker \
+                   (no further respawns; traffic redistributed) until the fleet is \
+                   restarted.")
+  in
+  let flap_window_ms =
+    Arg.(value & opt int 30_000
+         & info [ "flap-window-ms" ] ~docv:"MS" ~doc:"Flap-detection window.")
+  in
+  let base_backoff_ms =
+    Arg.(value & opt int 100
+         & info [ "backoff-ms" ] ~docv:"MS"
+             ~doc:"First respawn delay after a crash; doubles per crash up to \
+                   $(b,--max-backoff-ms), and resets after a healthy stretch.")
+  in
+  let max_backoff_ms =
+    Arg.(value & opt int 5_000
+         & info [ "max-backoff-ms" ] ~docv:"MS" ~doc:"Respawn-backoff ceiling.")
+  in
+  let probe_interval_ms =
+    Arg.(value & opt int 1_000
+         & info [ "probe-interval-ms" ] ~docv:"MS"
+             ~doc:"Wire health-probe period; a worker whose pid is alive but whose \
+                   listener is wedged fails probes and is restarted.")
+  in
+  let probe_failures =
+    Arg.(value & opt int 3
+         & info [ "probe-failures" ] ~docv:"N"
+             ~doc:"Consecutive probe misses before the worker is killed and restarted.")
+  in
+  let doc =
+    "Serve queries from a supervised multi-process fleet: a parent forks N independent \
+     $(b,fq serve) workers (own listener, own journal, shared read-only snapshot), \
+     restarts crashed workers with exponential backoff and a flap-detection circuit \
+     breaker, probes liveness over the wire, rolls state reloads one worker at a time \
+     (zero downtime), and drains gracefully on SIGTERM — folding every worker's journal \
+     into the shared snapshot before exit. Clients ($(b,fq batch --connect), $(b,fq \
+     ctl)) discover workers via the $(b,fleet-status) op and fail over between them."
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(const run $ common_opts ~default_fuel:10_000 $ domain_arg $ relation_arg
+          $ constant_arg $ socket $ port $ workers $ serve_jobs $ max_inflight
+          $ client_share $ snapshot $ journal $ state_file $ restart_limit
+          $ flap_window_ms $ base_backoff_ms $ max_backoff_ms $ probe_interval_ms
+          $ probe_failures)
+
 (* -------------------------------- ctl ------------------------------- *)
 
 let ctl_cmd =
@@ -1407,6 +1530,7 @@ let ctl_cmd =
          | "snapshot" -> Ok (Protocol.Snapshot { id = "ctl" })
          | "shutdown" -> Ok (Protocol.Shutdown { id = "ctl" })
          | "reload" -> Ok (Protocol.Reload { id = "ctl"; path = arg })
+         | "fleet-status" -> Ok (Protocol.Fleet_status { id = "ctl" })
          | "traces" -> (
            match arg with
            | None -> Ok (Protocol.Traces { id = "ctl"; limit = None })
@@ -1423,7 +1547,7 @@ let ctl_cmd =
            Error
              (Printf.sprintf
                 "ctl: unknown op %S (ping, metrics, health, snapshot, shutdown, reload, \
-                 traces, explain)"
+                 fleet-status, traces, explain)"
                 op))
        @@ fun req ->
        (* --timeout-ms bounds the whole interaction: the boot-retry loop
@@ -1453,10 +1577,12 @@ let ctl_cmd =
   let op =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"OP"
-             ~doc:"One of ping, metrics, health, snapshot, shutdown, reload, traces, \
-                   explain. $(b,metrics) prints the versioned Prometheus text exposition \
-                   (sorted, scrape-ready); $(b,traces) prints the sampled-trace ring as \
-                   JSON.")
+             ~doc:"One of ping, metrics, health, snapshot, shutdown, reload, \
+                   fleet-status, traces, explain. $(b,metrics) prints the versioned \
+                   Prometheus text exposition (sorted, scrape-ready); $(b,fleet-status) \
+                   prints the serving topology (a lone $(b,fq serve) answers with \
+                   itself, an $(b,fq fleet) with its live workers); $(b,traces) prints \
+                   the sampled-trace ring as JSON.")
   in
   let arg =
     Arg.(value & pos 2 (some string) None
@@ -1765,4 +1891,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ decide_cmd; safety_cmd; relsafe_cmd; eval_cmd; explain_cmd; report_cmd;
-            batch_cmd; serve_cmd; ctl_cmd; top_cmd; tm_cmd; diag_cmd; halting_cmd ]))
+            batch_cmd; serve_cmd; fleet_cmd; ctl_cmd; top_cmd; tm_cmd; diag_cmd;
+            halting_cmd ]))

@@ -32,7 +32,16 @@
       (models a short write / ENOSPC; the record is simply lost, the
       journal prefix stays valid),
     - ["journal.rotate"] — before the compaction temp+rename (models a
-      torn rename; the pre-compaction journal survives intact).
+      torn rename; the pre-compaction journal survives intact),
+    - ["decide_cache.snapshot.save"] — before a snapshot write opens its
+      temp file (models a full disk / permission flip; the existing
+      snapshot must survive byte-identical — rename is the only publish).
+
+    Process-supervision sites on the fleet path (PR 10):
+    - ["fleet.spawn"] — before the parent forks a worker process (models
+      fork/exec failure; the worker takes a crash-restart backoff path),
+    - ["fleet.probe"] — before each over-the-wire health probe (models a
+      probe timeout; enough consecutive failures convict the worker).
 
     When no plan is installed (the production configuration) a site costs
     one domain-local read and a branch — the same class of overhead as a

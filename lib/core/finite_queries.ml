@@ -44,9 +44,10 @@
     - {!Outcome} — the Complete/Partial/Unsupported query-outcome
       taxonomy with its stable JSON codec and exit-code mapping, shared
       by [fq eval], [fq batch] and [fq serve];
-    - {!Protocol}, {!Server}, {!Client}, {!Journal} — the [fq serve]
-      NDJSON wire protocol, the persistent daemon, a blocking client,
-      and the crash-safe decide-cache journal.
+    - {!Protocol}, {!Server}, {!Client}, {!Journal}, {!Fleet} — the
+      [fq serve] NDJSON wire protocol, the persistent daemon, a
+      blocking client with fleet failover, the crash-safe decide-cache
+      journal, and the [fq fleet] multi-process supervisor.
 
     {2 Safety}
     - {!Safe_range}, {!Finitization} (Theorem 2.2), {!Ext_active}
@@ -128,6 +129,7 @@ module Protocol = Fq_server.Protocol
 module Server = Fq_server.Server
 module Client = Fq_server.Client
 module Journal = Fq_server.Journal
+module Fleet = Fq_server.Fleet
 
 (* safety *)
 module Finitization = Fq_safety.Finitization

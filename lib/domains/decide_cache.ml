@@ -283,6 +283,12 @@ let save c path =
         walk [] c.head)
   in
   let tmp = path ^ ".tmp" in
+  match Fq_core.Fault.hit "decide_cache.snapshot.save" with
+  | exception e ->
+    (* injected before the tmp file opens: a failed save must leave any
+       existing snapshot byte-identical (the rename is the only publish) *)
+    Error (Printf.sprintf "snapshot: injected fault: %s" (Printexc.to_string e))
+  | () -> (
   match open_out tmp with
   | exception Sys_error msg -> Error (Printf.sprintf "snapshot: %s" msg)
   | oc -> (
@@ -297,7 +303,7 @@ let save c path =
     | () -> Ok (List.length entries)
     | exception Sys_error msg ->
       (try Sys.remove tmp with Sys_error _ -> ());
-      Error (Printf.sprintf "snapshot: %s" msg))
+      Error (Printf.sprintf "snapshot: %s" msg)))
 
 (* Insert one restored entry at the front of the recency list.  The
    loader feeds entries LRU-first, so after the last insertion the

@@ -62,7 +62,10 @@ val set_on_insert : t -> (Fq_logic.Formula.t -> (bool, string) result -> unit) o
 
 val save : t -> string -> (int, string) result
 (** [save c path] writes the snapshot atomically (temp file + rename) and
-    returns the number of entries written. *)
+    returns the number of entries written.  A failed save — including one
+    injected at the ["decide_cache.snapshot.save"] fault site — leaves
+    any existing snapshot at [path] byte-identical: the rename is the
+    only publish. *)
 
 val load : t -> string -> (int, string) result
 (** [load c path] parses a snapshot and merges it into [c], restoring the

@@ -31,3 +31,64 @@ val request : t -> Protocol.request -> (string * Protocol.reply, string) result
 (** [send] then [recv], atomically w.r.t. other {!request} callers. *)
 
 val close : t -> unit
+
+(** {1 Multi-endpoint mode}
+
+    Against an [fq fleet], a client is only as available as its ability
+    to walk away from a dead worker.  {!discover} asks any address for
+    the topology; {!run_jobs} spreads pipelined eval jobs across the
+    live workers and fails jobs over — carrying their resume tokens —
+    when a connection dies, so [kill -9] of a worker mid-batch costs
+    retries, not answers. *)
+
+val transient_error : string -> bool
+(** Is this error a connection-level fault (ECONNRESET / EPIPE /
+    connect-refused / peer EOF) that failing over to another worker can
+    cure — as opposed to a protocol or evaluation error the server
+    actually answered with? *)
+
+val discover :
+  ?retries:int ->
+  ?delay_ms:int ->
+  ?timeout_ms:int ->
+  Server.addr ->
+  (bool * Server.addr list, string) result
+(** [discover addr] sends [fleet-status] and returns
+    [(is_fleet, live worker addresses)].  A lone [fq serve] answers
+    [(false, [itself])]; a peer that predates the op degrades to
+    [(false, [addr])].  Connect parameters as in {!connect}. *)
+
+type eval_job = {
+  domain : string option;
+  formula : string;
+  fuel : int option;
+  timeout_ms : int option;
+  trace : string option;
+}
+
+type job_result = {
+  reply : Protocol.reply;
+      (** the final reply; a job that exhausted its failovers gets a
+          classified [Failed] outcome with a ["transient: ..."] reason,
+          never a bare connection error *)
+  raw : Protocol.Json.t option;  (** the reply line, for extra fields (trace, worker) *)
+  worker : string option;  (** answering worker's id, when the peer stamps one *)
+  failovers : int;  (** times the job moved to another connection *)
+  rejected_retries : int;  (** admission rejects waited out and resent *)
+}
+
+val run_jobs :
+  ?max_failovers:int ->
+  ?rounds:int ->
+  ?timeout_ms:int ->
+  addr:Server.addr ->
+  eval_job list ->
+  (job_result array, string) result
+(** Discover the topology behind [addr], then pipeline the jobs across
+    one connection per live worker (one thread each, chunked off a
+    shared queue).  Structured rejects are waited out and resent with
+    the server's resume token on the same connection; a dead connection
+    re-queues its unanswered jobs (resume tokens carried) for other
+    endpoints, with the topology re-discovered between rounds so
+    supervisor-respawned workers rejoin.  Results come back indexed by
+    job order.  [Error] only when no worker was ever reachable. *)

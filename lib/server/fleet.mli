@@ -1,0 +1,79 @@
+(** Multi-process serving: a supervisor parent over N [fq serve] workers.
+
+    One crash domain per worker.  The parent forks [workers] independent
+    {!Server.run} processes, each with its own listener (for a unix
+    socket [ADDR], workers bind [ADDR.0], [ADDR.1], ...; for tcp port
+    [P] they bind [P+1], [P+2], ...) and its own append-only journal.
+    The parent keeps the base address as a control socket and owns the
+    shared snapshot — workers load it warm and never write it
+    ({!Server.config.snapshot_read_only}), the parent periodically folds
+    worker journals into its own cache and republishes.
+
+    Supervision policy (the process-level mirror of
+    {!Fq_core.Supervisor}):
+    - {b liveness}: [waitpid WNOHANG] each tick, plus a [health] probe
+      over the wire every [probe_interval_ms] — [probe_failures]
+      consecutive misses get the worker killed and restarted;
+    - {b restart}: exponential backoff from [base_backoff_ms] by
+      [backoff_factor] up to [max_backoff_ms], reset after a healthy
+      stretch;
+    - {b flap breaker}: [restart_limit] crashes inside [flap_window_ms]
+      park the worker — no further respawns, discovery stops listing it
+      — until an operator restarts the fleet;
+    - {b rolling reload} (SIGHUP or a [reload] control request): the
+      state file is validated once up front, then live workers reload
+      one at a time, so the fleet never serves zero workers and a
+      poison state stops after the first;
+    - {b graceful drain} (SIGTERM or [shutdown]): every worker drains
+      its admitted requests, every journal is folded into the snapshot,
+      then the parent exits 0.
+
+    The control socket answers [ping], [health], [metrics] (fleet-level
+    exposition: [fq_fleet_worker_up{worker}], [fq_fleet_restarts_total
+    {worker}], [fq_journal_compactions_total],
+    [fq_snapshot_last_save_timestamp_seconds], ...), [fleet-status]
+    (the live topology clients discover workers from — see
+    {!Client.discover}), [reload], [snapshot], and [shutdown].
+    Evaluation requests are refused with a pointer at the workers:
+    queries go to workers, fleet management goes to the parent.
+
+    {b Fault sites} (see {!Fq_core.Fault}): ["fleet.spawn"] fires
+    before each fork (a faulted spawn rides the same backoff schedule
+    as a crash); ["fleet.probe"] fires before each wire probe (models a
+    probe path outage — enough consecutive hits restart a healthy
+    worker, which the fleet must absorb). *)
+
+type config = {
+  workers : int;  (** fleet size; at least 1 *)
+  restart_limit : int;  (** crashes within [flap_window_ms] that park a worker *)
+  flap_window_ms : int;
+  base_backoff_ms : int;  (** first respawn delay after a crash *)
+  backoff_factor : float;
+  max_backoff_ms : int;
+  probe_interval_ms : int;  (** wire health-probe period *)
+  probe_timeout_ms : int;  (** per-probe connect/read budget *)
+  probe_failures : int;  (** consecutive misses before the worker is killed *)
+  drain_grace_ms : int;  (** graceful-shutdown budget before SIGTERM/SIGKILL escalation *)
+  serve : Server.config;
+      (** template for workers: [addr] is the base address, [journal]
+          (or [snapshot ^ ".journal"]) the per-worker journal base path;
+          the fleet derives per-worker values and forces
+          [snapshot_read_only] *)
+}
+
+val default_config : state:Fq_db.State.t -> Server.addr -> config
+(** Two workers; park after 5 crashes in 30s; backoff 100ms doubling to
+    5s; probe every 1s with a 1s budget, kill after 3 misses; 10s drain
+    grace.  [serve] is {!Server.default_config}. *)
+
+val worker_addr : Server.addr -> int -> Server.addr
+(** The address worker [i] listens on: [ADDR.i] for unix sockets,
+    [port + 1 + i] for tcp. *)
+
+val run : config -> (int, string) result
+(** Boot the fleet and supervise until [shutdown]/SIGTERM: load the
+    snapshot, fold any journals a previous fleet left behind, fork the
+    workers, bind the control socket, then loop (reap / respawn / probe
+    / serve control connections).  Returns the process exit code —
+    [Ok 0] after a graceful drain — or [Error] if the snapshot, control
+    socket, or configuration is unusable. *)

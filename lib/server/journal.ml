@@ -66,7 +66,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let recover path ~f =
+let recover ?(truncate = true) path ~f =
   if not (Sys.file_exists path) then Ok { applied = 0; skipped = 0; truncated_bytes = 0 }
   else
     match read_file path with
@@ -88,14 +88,15 @@ let recover path ~f =
         | [] ->
             (* Nothing but a torn tail: the header itself never made it
                to disk whole.  Treat as empty — open_append rewrites it. *)
-            if torn > 0 then (try Unix.truncate path 0 with Unix.Unix_error _ -> ());
+            if torn > 0 && truncate then
+              (try Unix.truncate path 0 with Unix.Unix_error _ -> ());
             Ok { applied = 0; skipped = 0; truncated_bytes = torn }
         | hd :: records ->
             if not (String.equal hd header) then
               Error
                 (Printf.sprintf "journal: %s: bad header %S (want %S)" path hd header)
             else begin
-              if torn > 0 then
+              if torn > 0 && truncate then
                 (try Unix.truncate path valid_len with Unix.Unix_error _ -> ());
               let applied = ref 0 and skipped = ref 0 in
               List.iter

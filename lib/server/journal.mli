@@ -45,11 +45,15 @@ type recovery = {
   truncated_bytes : int;  (** torn-tail bytes cut from the file *)
 }
 
-val recover : string -> f:(string -> unit) -> (recovery, string) result
+val recover : ?truncate:bool -> string -> f:(string -> unit) -> (recovery, string) result
 (** [recover path ~f] replays every valid record's payload through [f]
     in append order, truncates a torn tail in place, and reports what it
     found.  A missing or empty file recovers to zero records; [Error]
-    only on a wrong header (not a journal) or an unreadable file. *)
+    only on a wrong header (not a journal) or an unreadable file.
+    [~truncate:false] makes the pass read-only (a torn tail is reported
+    but left in place) — the fleet parent's mode for folding a {e live}
+    worker's journal, where the worker still owns the append position
+    and truncating under it would destroy a record mid-write. *)
 
 val open_append : string -> (t, string) result
 (** Open [path] for appending, creating it (with the version header) if

@@ -31,10 +31,12 @@ type request =
   | Reload of { id : string; path : string option }
   | Health of { id : string }
   | Traces of { id : string; limit : int option }
+  | Fleet_status of { id : string }
 
 let request_id = function
   | Eval { id; _ } | Explain { id; _ } | Metrics { id } | Ping { id } | Snapshot { id }
-  | Shutdown { id } | Reload { id; _ } | Health { id } | Traces { id; _ } ->
+  | Shutdown { id } | Reload { id; _ } | Health { id } | Traces { id; _ }
+  | Fleet_status { id } ->
     id
 
 (* ----------------------------- requests ----------------------------- *)
@@ -81,6 +83,7 @@ let parse_request line =
   | Some "reload" -> Ok (Reload { id; path = str "path" })
   | Some "health" -> Ok (Health { id })
   | Some "traces" -> Ok (Traces { id; limit = int "limit" })
+  | Some "fleet-status" -> Ok (Fleet_status { id })
   | Some op -> Error (Printf.sprintf "protocol: unknown op %S" op)
   | None -> Error "protocol: missing op"
 
@@ -112,6 +115,7 @@ let request_to_json req =
   | Reload { id; path } -> base "reload" id (opt "path" path (fun p -> Json.Str p) [])
   | Health { id } -> base "health" id []
   | Traces { id; limit } -> base "traces" id (opt "limit" limit (fun n -> Json.Int n) [])
+  | Fleet_status { id } -> base "fleet-status" id []
 
 (* ----------------------------- responses ---------------------------- *)
 
@@ -139,6 +143,56 @@ let malformed_response ~id reason =
   with_id id [ ("status", Json.Str "malformed"); ("reason", Json.Str reason) ]
 
 let ok_response ~id fields = with_id id (("ok", Json.Bool true) :: fields)
+
+(* -------------------------- fleet status ---------------------------- *)
+
+type worker_info = {
+  worker : string;
+  worker_addr : string;
+  up : bool;
+  pid : int option;
+  restarts : int;
+}
+
+let fleet_status_response ~id ~fleet workers =
+  let member w =
+    Json.Obj
+      (("worker", Json.Str w.worker)
+      :: ("addr", Json.Str w.worker_addr)
+      :: ("up", Json.Bool w.up)
+      :: (match w.pid with None -> [] | Some p -> [ ("pid", Json.Int p) ])
+      @ [ ("restarts", Json.Int w.restarts) ])
+  in
+  ok_response ~id
+    [ ("fleet", Json.Bool fleet); ("workers", Json.List (List.map member workers)) ]
+
+let fleet_status_of_json j =
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> (
+    let fleet =
+      match Json.member "fleet" j with Some (Json.Bool b) -> b | _ -> false
+    in
+    match Json.member "workers" j with
+    | Some (Json.List ws) ->
+      let parse_worker w =
+        let str name = Option.bind (Json.member name w) Json.to_str_opt in
+        let int name = Option.bind (Json.member name w) Json.to_int_opt in
+        match (str "worker", str "addr") with
+        | Some worker, Some worker_addr ->
+          Some
+            { worker;
+              worker_addr;
+              up = (match Json.member "up" w with Some (Json.Bool b) -> b | _ -> false);
+              pid = int "pid";
+              restarts = (match int "restarts" with Some n -> n | None -> 0) }
+        | _ -> None
+      in
+      let workers = List.filter_map parse_worker ws in
+      if List.length workers = List.length ws then Ok (fleet, workers)
+      else Error "protocol: malformed fleet-status worker entry"
+    | _ -> Error "protocol: fleet-status reply missing workers"
+  )
+  | _ -> Error "protocol: fleet-status reply not ok"
 
 type reply =
   | R_outcome of Outcome.t

@@ -74,6 +74,15 @@ type request =
       (** The newest completed sampled traces (up to [limit], default
           all retained), answered inline from the server's bounded
           ring: [{"ok":true,"traces":[...]}], newest first. *)
+  | Fleet_status of { id : string }
+      (** Topology discovery: answered inline with
+          [{"ok":true,"fleet":B,"workers":[{"worker":W,"addr":A,"up":B,
+          "pid":N?,"restarts":N}]}].  A single [fq serve] process answers
+          with [fleet:false] and itself as the only worker, so clients
+          speak one discovery protocol against both shapes; the [fq
+          fleet] parent answers with [fleet:true] and the live worker
+          set, which multi-endpoint clients use to spread and fail over
+          pipelined jobs. *)
 
 val request_id : request -> string
 
@@ -97,6 +106,21 @@ val malformed_response : id:string -> string -> Json.t
 
 val ok_response : id:string -> (string * Json.t) list -> Json.t
 (** [{"id":ID,"ok":true, ...fields}] — ping/snapshot/shutdown acks. *)
+
+(** {1 Fleet topology} *)
+
+type worker_info = {
+  worker : string;  (** stable worker name, e.g. ["w0"] *)
+  worker_addr : string;  (** printable address ("unix:PATH" / "tcp:PORT") *)
+  up : bool;  (** currently accepting connections (not crashed/parked) *)
+  pid : int option;  (** present when the responder supervises processes *)
+  restarts : int;  (** crash-restart count since fleet boot *)
+}
+
+val fleet_status_response : id:string -> fleet:bool -> worker_info list -> Json.t
+
+val fleet_status_of_json : Json.t -> (bool * worker_info list, string) result
+(** Client-side decoder for a [fleet-status] reply: [(is_fleet, workers)]. *)
 
 (** {1 Response classification (client side)} *)
 

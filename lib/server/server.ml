@@ -46,6 +46,32 @@ let pp_addr fmt = function
   | Unix_path p -> Format.fprintf fmt "unix:%s" p
   | Tcp port -> Format.fprintf fmt "tcp:127.0.0.1:%d" port
 
+let addr_to_string = Format.asprintf "%a" pp_addr
+
+(* unix:PATH, tcp:PORT (optionally tcp:127.0.0.1:PORT, the pp form), a
+   bare PORT, or a bare PATH — one parser shared by the CLI and the
+   fleet-status discovery path, so printed addresses round-trip. *)
+let addr_of_string s =
+  let prefixed p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefixed "unix:" then Ok (Unix_path (after "unix:"))
+  else if prefixed "tcp:" then
+    let rest = after "tcp:" in
+    let port_str =
+      match String.rindex_opt rest ':' with
+      | Some i -> String.sub rest (i + 1) (String.length rest - i - 1)
+      | None -> rest
+    in
+    match int_of_string_opt port_str with
+    | Some port -> Ok (Tcp port)
+    | None -> Error (Printf.sprintf "bad port in %S" s)
+  else
+    match int_of_string_opt s with
+    | Some port -> Ok (Tcp port)
+    | None -> Ok (Unix_path s)
+
 type config = {
   addr : addr;
   jobs : int;
@@ -55,8 +81,10 @@ type config = {
   max_fuel : int;
   default_timeout_ms : int option;
   snapshot : string option;
+  snapshot_read_only : bool;
   journal : string option;
   state_file : string option;
+  worker_id : string option;
   max_line_bytes : int;
   journal_compact_every : int;
   brownout_queue : int;
@@ -83,8 +111,10 @@ let default_config ~state addr =
     max_fuel = 1_000_000;
     default_timeout_ms = None;
     snapshot = None;
+    snapshot_read_only = false;
     journal = None;
     state_file = None;
+    worker_id = None;
     max_line_bytes = 1 lsl 20;
     journal_compact_every = 512;
     brownout_queue = 32;
@@ -388,8 +418,10 @@ type t = {
   mutable trace_ring : Json.t list;  (* completed sampled traces, newest first *)
   slog_lock : Mutex.t;  (* serializes slow-query log appends *)
   mutable last_metrics_dump : float;  (* accept-loop thread only *)
+  last_save : float Atomic.t;  (* unix time of the last successful snapshot save *)
   usr1 : bool Atomic.t;
   hup : bool Atomic.t;
+  term : bool Atomic.t;
 }
 
 let now_ms () = Unix.gettimeofday () *. 1000.
@@ -404,7 +436,22 @@ let make_epoch cfg ~id state =
   { ep_id = id; ep_state = state; ep_stats = Optimizer.Stats.of_state state;
     ep_breakers = breakers }
 
+(* Under a fleet, every reply names the worker that produced it (right
+   after the id), so a client spreading jobs across endpoints can
+   attribute answers — and failures — to a process.  Outcome.of_json
+   ignores the field, so eval replies still classify byte-identically. *)
+let stamp_worker cfg json =
+  match cfg.worker_id with
+  | None -> json
+  | Some w -> (
+    match json with
+    | Json.Obj (("id", idv) :: rest) ->
+      Json.Obj (("id", idv) :: ("worker", Json.Str w) :: rest)
+    | Json.Obj fields -> Json.Obj (("worker", Json.Str w) :: fields)
+    | j -> j)
+
 let send srv conn json =
+  let json = stamp_worker srv.cfg json in
   Mutex.lock conn.c_olock;
   Fun.protect ~finally:(fun () -> Mutex.unlock conn.c_olock) @@ fun () ->
   if not conn.c_closed then
@@ -431,8 +478,11 @@ let journal_record srv key value =
     match Journal.append j (Decide_cache.entry_to_line key value) with
     | Ok () ->
       let n = Atomic.fetch_and_add srv.japps 1 + 1 in
-      if n >= srv.cfg.journal_compact_every && srv.cfg.snapshot <> None then
-        Atomic.set srv.needs_compact true
+      if
+        n >= srv.cfg.journal_compact_every
+        && srv.cfg.snapshot <> None
+        && not srv.cfg.snapshot_read_only
+      then Atomic.set srv.needs_compact true
     | Error _ -> reg_count srv.reg "serve.journal_errors")
 
 let reset_journal srv =
@@ -782,6 +832,12 @@ let exposition_text srv =
       Aggregate.gauge_family ~name:"fq_journal_lag_records"
         ~help:"Journal appends since the last compaction."
         [ ([], float_of_int (Atomic.get srv.japps)) ];
+      Aggregate.counter_family ~name:"fq_journal_compactions_total"
+        ~help:"Journal-into-snapshot compactions."
+        [ ([], reg_get srv.reg "serve.compactions") ];
+      Aggregate.gauge_family ~name:"fq_snapshot_last_save_timestamp_seconds"
+        ~help:"Unix time of the last successful snapshot save (0 until the first)."
+        [ ([], Atomic.get srv.last_save) ];
       Aggregate.gauge_family ~name:"fq_traces_retained"
         ~help:"Completed sampled traces held in the ring."
         [ ([], float_of_int retained) ];
@@ -876,17 +932,27 @@ let health_response srv ~id =
 
 (* ------------------------------ snapshots --------------------------- *)
 
+(* A fleet worker opens the shared snapshot read-only: it loads verdicts
+   at boot but never writes the file — the parent owns the snapshot and
+   folds per-worker journals into it, so two processes never race on the
+   same temp+rename. *)
+let snapshot_writable cfg = cfg.snapshot <> None && not cfg.snapshot_read_only
+
 let save_snapshot srv =
-  match srv.cfg.snapshot with
-  | None -> Ok 0
-  | Some path -> Decide_cache.save srv.cache path
+  if not (snapshot_writable srv.cfg) then Ok 0
+  else
+    match Decide_cache.save srv.cache (Option.get srv.cfg.snapshot) with
+    | Ok n ->
+      Atomic.set srv.last_save (Unix.gettimeofday ());
+      Ok n
+    | Error _ as e -> e
 
 (* A successful snapshot subsumes the journal: reset it so recovery
    never replays records the snapshot already holds (replaying them
    would be idempotent, just wasted boot time). *)
 let save_snapshot_logged srv ~why =
   match save_snapshot srv with
-  | Ok 0 when srv.cfg.snapshot = None -> ()
+  | Ok 0 when not (snapshot_writable srv.cfg) -> ()
   | Ok n ->
     reset_journal srv;
     srv.cfg.log
@@ -896,7 +962,7 @@ let save_snapshot_logged srv ~why =
 
 let compact srv =
   match save_snapshot srv with
-  | Ok _ when srv.cfg.snapshot <> None ->
+  | Ok _ when snapshot_writable srv.cfg ->
     reset_journal srv;
     reg_count srv.reg "serve.compactions"
   | Ok _ -> ()
@@ -1038,7 +1104,7 @@ let handle srv job =
   | Protocol.Explain { id; domain; formula; trace } ->
     handle_explain srv job ~id ~domain ~formula ~trace
   | Protocol.Metrics _ | Protocol.Ping _ | Protocol.Snapshot _ | Protocol.Shutdown _
-  | Protocol.Reload _ | Protocol.Health _ | Protocol.Traces _ ->
+  | Protocol.Reload _ | Protocol.Health _ | Protocol.Traces _ | Protocol.Fleet_status _ ->
     assert false (* control ops are answered inline by the reader thread *)
 
 (* Exactly-once completion: the worker that evaluated the job and the
@@ -1223,11 +1289,23 @@ let conn_loop srv conn =
           reg_count srv.reg "serve.requests";
           reg_lcount srv.reg "fq_requests_total" [ ("op", "health") ];
           send srv conn (health_response srv ~id)
+        | Ok (Protocol.Fleet_status { id }) ->
+          (* a lone server is a one-worker, non-fleet topology: clients
+             run the same discovery against both shapes *)
+          reg_count srv.reg "serve.requests";
+          reg_lcount srv.reg "fq_requests_total" [ ("op", "fleet-status") ];
+          send srv conn
+            (Protocol.fleet_status_response ~id ~fleet:false
+               [ { Protocol.worker = Option.value srv.cfg.worker_id ~default:"w0";
+                   worker_addr = addr_to_string srv.cfg.addr;
+                   up = true;
+                   pid = Some (Unix.getpid ());
+                   restarts = 0 } ])
         | Ok (Protocol.Snapshot { id }) -> (
           reg_count srv.reg "serve.requests";
           match save_snapshot srv with
           | Ok n ->
-            if srv.cfg.snapshot <> None then reset_journal srv;
+            if snapshot_writable srv.cfg then reset_journal srv;
             send srv conn (Protocol.ok_response ~id [ ("entries", Json.Int n) ])
           | Error e -> send srv conn (Protocol.malformed_response ~id e))
         | Ok (Protocol.Reload { id; path }) -> (
@@ -1298,13 +1376,17 @@ let run_bound cfg =
       trace_ring = [];
       slog_lock = Mutex.create ();
       last_metrics_dump = 0.;
+      last_save = Atomic.make 0.;
       usr1 = Atomic.make false;
-      hup = Atomic.make false }
+      hup = Atomic.make false;
+      term = Atomic.make false }
   in
   (try
      Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Atomic.set srv.usr1 true))
    with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set srv.hup true))
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set srv.term true))
    with Invalid_argument _ -> ());
   let snapshot_boot =
     match cfg.snapshot with
@@ -1356,6 +1438,14 @@ let run_bound cfg =
   let next_conn = ref 0 in
   let stopping () = Mutex.protect srv.lock (fun () -> srv.stopping) in
   while not (stopping ()) do
+    (* SIGTERM is the graceful drain: stop admitting, answer everything
+       already accepted, fold the journal into the snapshot, exit 0 —
+       the same path a ctl shutdown takes.  kill -9 is the crash path
+       the journal covers. *)
+    if Atomic.exchange srv.term false then begin
+      cfg.log "fq serve: SIGTERM received, draining";
+      initiate_shutdown srv
+    end;
     if Atomic.exchange srv.usr1 false then save_snapshot_logged srv ~why:"SIGUSR1";
     if Atomic.exchange srv.hup false then
       (match do_reload srv ~path:None with

@@ -63,6 +63,14 @@ type addr = Unix_path of string | Tcp of int  (** TCP binds 127.0.0.1 *)
 
 val pp_addr : Format.formatter -> addr -> unit
 
+val addr_to_string : addr -> string
+(** ["unix:PATH"] / ["tcp:127.0.0.1:PORT"] — the form [fleet-status]
+    replies carry; {!addr_of_string} inverts it. *)
+
+val addr_of_string : string -> (addr, string) result
+(** Accepts [unix:PATH], [tcp:PORT], [tcp:HOST:PORT] (host ignored; the
+    server binds loopback), a bare PORT, or a bare PATH. *)
+
 type config = {
   addr : addr;
   jobs : int;  (** worker domains evaluating admitted requests *)
@@ -72,10 +80,19 @@ type config = {
   max_fuel : int;  (** per-request fuel ceiling *)
   default_timeout_ms : int option;
   snapshot : string option;  (** decide-cache snapshot path *)
+  snapshot_read_only : bool;
+      (** load the snapshot at boot but never write it — the fleet-worker
+          mode, where the parent owns the snapshot file and folds each
+          worker's journal into it; also disables journal compaction
+          (the parent's job) *)
   journal : string option;
       (** decide-cache journal path; [None] = [snapshot ^ ".journal"]
           when a snapshot is configured, else journaling is off *)
   state_file : string option;  (** the file SIGHUP / pathless reload re-reads *)
+  worker_id : string option;
+      (** fleet worker name stamped as a ["worker"] field into every
+          reply (and the [fleet-status] answer); [None] for a lone
+          server *)
   max_line_bytes : int;  (** NDJSON reader line-length bound *)
   journal_compact_every : int;  (** appends between journal compactions *)
   brownout_queue : int;  (** queue depth that triggers brownout fuel *)
@@ -110,10 +127,13 @@ val default_config : state:Fq_db.State.t -> addr -> config
     [brownout_fuel_divisor = 4], [watchdog_grace_ms = 1000], tracing off
     ([trace_sample = 0], [trace_ring = 64]), no slow-query log, no
     metrics file, no extra domains, default domain ["presburger"],
-    [Stats.of_state state], logging to [stderr]. *)
+    [Stats.of_state state], writable snapshot, no worker id, logging to
+    [stderr]. *)
 
 val run : config -> (int, string) result
-(** Boot and serve until a [shutdown] request: binds the socket, loads
+(** Boot and serve until a [shutdown] request or SIGTERM (both take the
+    same graceful drain: stop admitting, answer every admitted request,
+    snapshot, exit): binds the socket, loads
     the snapshot if one exists, recovers and opens the journal, prints a
     ["listening on ..."] log line, and blocks.  Graceful shutdown drains
     admitted requests, answers them, writes the snapshot (resetting the

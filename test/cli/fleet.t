@@ -1,0 +1,97 @@
+fq fleet: a supervised multi-process fleet of fq serve workers.  The
+parent keeps the base address as a control socket; worker i listens on
+ADDR.i with its own journal, all sharing one parent-owned snapshot:
+
+  $ ../../bin/fq.exe fleet --socket fq.sock --workers 2 --snapshot snap.fq \
+  >   -d equality -r "F/2=adam,cain;adam,abel;cain,enoch" 2> fleet.log &
+  $ FLEET=$!
+
+fq ctl retries while the fleet boots; ping is the readiness barrier:
+
+  $ ../../bin/fq.exe ctl fq.sock ping
+  {"id":"ctl","ok":true}
+
+fleet-status reports the live topology (clients discover workers from
+this — pids vary, so scrub them):
+
+  $ ../../bin/fq.exe ctl fq.sock fleet-status | sed -E 's/"pid":[0-9]+/"pid":PID/g'
+  {"id":"ctl","ok":true,"fleet":true,"workers":[{"worker":"w0","addr":"unix:fq.sock.0","up":true,"pid":PID,"restarts":0},{"worker":"w1","addr":"unix:fq.sock.1","up":true,"pid":PID,"restarts":0}]}
+
+fq batch --connect discovers the workers behind the control address and
+spreads its jobs across them — output identical to a single server:
+
+  $ ../../bin/fq.exe batch --connect fq.sock -d equality \
+  >   "exists y. F(x,y)" 'F("adam", x)'
+  [0] complete via ranf-algebra (2 tuples): {("adam"), ("cain")}
+  [1] complete via ranf-algebra (2 tuples): {("abel"), ("cain")}
+  batch: 2 jobs, 2 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+kill -9 one worker: the supervisor reaps it and respawns it after the
+backoff, and clients keep being served by the survivor meanwhile:
+
+  $ W0=$(../../bin/fq.exe ctl fq.sock fleet-status \
+  >   | sed -E 's/.*"worker":"w0","addr":"[^"]*","up":true,"pid":([0-9]+).*/\1/')
+  $ kill -9 $W0
+  $ sleep 2
+  $ ../../bin/fq.exe batch --connect fq.sock -d presburger \
+  >   "forall x. exists y. x < y"
+  [0] complete via enumerate (1 tuples): {()}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+  $ ../../bin/fq.exe ctl fq.sock fleet-status | sed -E 's/"pid":[0-9]+/"pid":PID/g'
+  {"id":"ctl","ok":true,"fleet":true,"workers":[{"worker":"w0","addr":"unix:fq.sock.0","up":true,"pid":PID,"restarts":1},{"worker":"w1","addr":"unix:fq.sock.1","up":true,"pid":PID,"restarts":0}]}
+
+A rolling reload swaps the fleet onto a new database one worker at a
+time — the fleet never serves zero workers.  A broken file rolls nobody:
+
+  $ cat > state2.db <<'EOF'
+  > F/2=eve,seth
+  > EOF
+  $ cat > broken.db <<'EOF'
+  > not a database
+  > EOF
+  $ ../../bin/fq.exe ctl fq.sock reload broken.db
+  {"id":"ctl","status":"malformed","reason":"reload: state file broken.db: bad constant spec \"not a database\" (want NAME=VALUE)"}
+  $ ../../bin/fq.exe ctl fq.sock reload state2.db
+  {"id":"ctl","ok":true,"workers_reloaded":2}
+  $ ../../bin/fq.exe batch --connect fq.sock -d equality "exists y. F(x,y)"
+  [0] complete via ranf-algebra (1 tuples): {("eve")}
+  batch: 1 jobs, 1 complete, 0 partial, 0 failed, 0 retries, 0 breaker trips, 0 evictions
+
+Fleet-level metrics: per-worker liveness and restart counters, plus the
+parent's compaction and snapshot families:
+
+  $ ../../bin/fq.exe ctl fq.sock metrics | head -1
+  # fq-metrics-exposition 1
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep '^fq_fleet_worker_up'
+  fq_fleet_worker_up{worker="w0"} 1
+  fq_fleet_worker_up{worker="w1"} 1
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep '^fq_fleet_restarts_total'
+  fq_fleet_restarts_total{worker="w0"} 1
+  fq_fleet_restarts_total{worker="w1"} 0
+  $ ../../bin/fq.exe ctl fq.sock metrics | grep '^fq_journal_compactions_total'
+  fq_journal_compactions_total 0
+
+SIGTERM drains gracefully: every worker answers what it admitted, every
+journal is folded into the shared snapshot, and the exit is clean:
+
+  $ kill -TERM $FLEET
+  $ wait $FLEET
+  $ grep -c 'SIGTERM received, draining' fleet.log
+  1
+  $ grep 'killed by' fleet.log
+  fq fleet: w0: killed by SIGKILL
+  $ grep 'restarting' fleet.log
+  fq fleet: w0: restarting in 100ms (restart 1)
+  $ grep -c 'reloaded (epoch 2)' fleet.log
+  2
+  $ tail -1 fleet.log
+  fq fleet: shutdown complete — 2 workers, 1 restarts, 1 reloads, 1 journal records folded
+
+The journals were folded and removed; the snapshot carries the verdict
+the worker learned, so the next fleet warm-boots with it:
+
+  $ ls snap.fq*
+  snap.fq
+  $ cat snap.fq
+  fq-decide-cache 1
+  ok	true	forall v0. exists v1. v0 < v1

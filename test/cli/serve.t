@@ -73,7 +73,7 @@ summary:
   $ cat server.log
   fq serve: listening on unix:fq.sock (4 workers, 256 in-flight cap)
   fq serve: snapshot written (1 entries, shutdown) to snap.fq
-  fq serve: shutdown complete — 15 requests served (4 complete, 1 partial, 0 unsupported, 0 error), 0 rejected
+  fq serve: shutdown complete — 19 requests served (4 complete, 1 partial, 0 unsupported, 0 error), 0 rejected
   $ cat snap.fq
   fq-decide-cache 1
   ok	true	forall v0. exists v1. v0 < v1

@@ -35,7 +35,7 @@ without needing the server's state:
   $ ../../bin/fq.exe explain --from-log slow.jsonl \
   >   | sed -E 's/[0-9]+ ticks, [0-9.]+ ms/T ticks, MS ms/'
   slow-query log: slow.jsonl, entry 0 of 1
-  trace:   job-0   (request id 0, client c2)
+  trace:   job-0   (request id 0, client c3)
   domain:  equality   (epoch 1)
   formula: exists y. F(x,y)
   verdict: complete via ranf-algebra
@@ -59,6 +59,7 @@ log-bucketed histogram with only advancing buckets plus +Inf):
   fq_eval_outcomes_total{domain="equality",epoch="1",status="complete",tier="ranf-algebra"} 1
   $ ../../bin/fq.exe ctl fq.sock metrics | grep '^fq_requests_total'
   fq_requests_total{op="eval"} 1
+  fq_requests_total{op="fleet-status"} 1
   fq_requests_total{op="metrics"} 4
   fq_requests_total{op="ping"} 1
   fq_requests_total{op="traces"} 2

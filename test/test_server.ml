@@ -851,6 +851,401 @@ let test_serve_watchdog () =
   | Ok _ -> Alcotest.fail "expected a complete answer after the recycle"
   | Error e -> Alcotest.failf "post-recycle eval: %s" e
 
+(* ------------------- snapshot save fault containment ----------------- *)
+
+let test_snapshot_save_fault_containment () =
+  (* a failed snapshot save must never corrupt the snapshot already on
+     disk: the decide_cache.snapshot.save site fires before the temp
+     file opens, so the bytes at [path] stay identical *)
+  let cache = Decide_cache.create () in
+  let formula =
+    match Fq_logic.Parser.formula "forall x. exists y. x < y" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  (match Decide_cache.decide cache presburger formula with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "decide: expected true"
+  | Error e -> Alcotest.failf "decide: %s" e);
+  let path = Filename.temp_file "fq_snap_fault" ".fq" in
+  (match Decide_cache.save cache path with
+  | Ok n when n >= 1 -> ()
+  | Ok n -> Alcotest.failf "first save wrote %d entries" n
+  | Error e -> Alcotest.failf "first save: %s" e);
+  let before = read_file path in
+  let plan =
+    Fault.plan ~seed:11
+      ~rules:
+        [ Fault.At
+            { site = "decide_cache.snapshot.save"; hits = [ 1 ]; action = Crash "disk full" } ]
+      ()
+  in
+  Fault.with_plan plan (fun () ->
+      match Decide_cache.save cache path with
+      | Error e ->
+        Alcotest.(check bool) "failure names the injected fault" true
+          (contains e "injected")
+      | Ok n -> Alcotest.failf "armed save succeeded (%d entries)" n);
+  Alcotest.(check int) "the fault fired" 1 (Fault.injection_count plan);
+  Alcotest.(check string) "existing snapshot byte-identical after failed save" before
+    (read_file path);
+  Alcotest.(check bool) "no temp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+  (* and the cache itself is still saveable once the fault clears *)
+  (match Decide_cache.save cache path with
+  | Ok n when n >= 1 -> ()
+  | Ok n -> Alcotest.failf "post-fault save wrote %d" n
+  | Error e -> Alcotest.failf "post-fault save: %s" e);
+  Sys.remove path
+
+(* ------------------- client failover: half-closed sockets ------------ *)
+
+(* A stub worker that accepts one connection, reads the request, and
+   slams the socket shut — the classic kill -9 mid-request — then
+   answers properly on every later connection.  run_jobs must classify
+   the cut as transient and redeliver the job, resume token and all. *)
+let test_run_jobs_halfclosed_retry () =
+  let addr = fresh_addr () in
+  let path = match addr with Server.Unix_path p -> p | Server.Tcp _ -> assert false in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 8;
+  let conns = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let serve_stub () =
+    while not (Atomic.get stop) do
+      match Unix.select [ listener ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        let fd, _ = Unix.accept listener in
+        let n = Atomic.fetch_and_add conns 1 in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let rec answer () =
+          match input_line ic with
+          | exception (End_of_file | Sys_error _) -> ()
+          | line -> (
+            match Protocol.parse_request (String.trim line) with
+            | Ok (Protocol.Fleet_status { id }) ->
+              output_string oc
+                (Json.to_string
+                   (Protocol.fleet_status_response ~id ~fleet:false
+                      [ { Protocol.worker = "stub"; worker_addr = Server.addr_to_string addr;
+                          up = true; pid = None; restarts = 0 } ]));
+              output_char oc '\n';
+              flush oc;
+              answer ()
+            | Ok (Protocol.Eval { id; resume; _ }) ->
+              if n = 1 then
+                (* half-close: the request was read and then the peer died *)
+                ()
+              else begin
+                (* a real answer; echo whether the retry carried evidence *)
+                let ans =
+                  if resume = None then Relation.make ~arity:0 [ [] ]
+                  else Relation.empty ~arity:0
+                in
+                let outcome =
+                  { Outcome.verdict = Outcome.Complete { answer = ans; tier = "stub" };
+                    usage = { Budget.ticks = 1; elapsed_ms = 0.1 };
+                    attempts = [] }
+                in
+                output_string oc (Json.to_string (Protocol.outcome_response ~id outcome));
+                output_char oc '\n';
+                flush oc;
+                answer ()
+              end
+            | Ok _ | Error _ -> answer ())
+        in
+        answer ();
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        (try close_in ic with Sys_error _ -> ()))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Unix.close listener
+  in
+  let th = Thread.create serve_stub () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let job =
+        { Client.domain = None; formula = "S(x)"; fuel = None; timeout_ms = None;
+          trace = None }
+      in
+      match Client.run_jobs ~addr [ job ] with
+      | Error e -> Alcotest.failf "run_jobs: %s" e
+      | Ok results ->
+        Alcotest.(check int) "one result" 1 (Array.length results);
+        let r = results.(0) in
+        (match r.Client.reply with
+        | Protocol.R_outcome { verdict = Outcome.Complete _; _ } -> ()
+        | Protocol.R_outcome o ->
+          Alcotest.failf "job not answered after the cut: %s" (Outcome.status o)
+        | _ -> Alcotest.fail "expected an outcome");
+        Alcotest.(check bool) "the cut connection registered as a failover" true
+          (r.Client.failovers >= 1);
+        Alcotest.(check bool) "stub saw the retry on a fresh connection" true
+          (Atomic.get conns >= 2))
+
+(* ------------------------ SIGTERM drain ordering --------------------- *)
+
+let test_sigterm_drain_answers_inflight () =
+  (* SIGTERM while a long eval is in flight: the admitted request must
+     be answered (drain, not drop), the journal folded into the
+     snapshot, and the exit graceful *)
+  let gate = Atomic.make false in
+  let slow =
+    Fq_domain.Domain.with_decide presburger (fun _ ->
+        while not (Atomic.get gate) do
+          Unix.sleepf 0.005
+        done;
+        Ok true)
+  in
+  let snap = Filename.temp_file "fq_drain_snap" ".fq" in
+  Sys.remove snap;
+  let cfg =
+    { (base_config (fresh_addr ())) with
+      jobs = 1;
+      snapshot = Some snap;
+      extra_domains = [ ("slowdom", slow) ] }
+  in
+  let result = ref (Error "server never returned") in
+  let th = Thread.create (fun () -> result := Server.run cfg) () in
+  let c =
+    match Client.connect ~retries:200 ~delay_ms:25 cfg.Server.addr with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect: %s" e
+  in
+  (match Client.send c (eval_req ~domain:"slowdom" "slow" "forall x. exists y. x < y") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e);
+  (* let the request get admitted, then pull the plug *)
+  Unix.sleepf 0.15;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Unix.sleepf 0.05;
+  Atomic.set gate true;
+  (match Client.recv c with
+  | Ok ("slow", Protocol.R_outcome { verdict = Outcome.Complete _; _ }) -> ()
+  | Ok ("slow", Protocol.R_outcome o) ->
+    Alcotest.failf "in-flight request mis-answered during drain: %s" (Outcome.status o)
+  | Ok _ -> Alcotest.fail "expected the in-flight outcome"
+  | Error e -> Alcotest.failf "drain dropped the in-flight request: %s" e);
+  Client.close c;
+  Thread.join th;
+  (match !result with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "drain exit %d" n
+  | Error e -> Alcotest.failf "server: %s" e);
+  Alcotest.(check bool) "snapshot written by the drain" true (Sys.file_exists snap);
+  Sys.remove snap
+
+(* ------------------------------ fleet -------------------------------- *)
+
+module Fleet = Fq_server.Fleet
+
+(* The in-process fleet harness: Fleet.run on a thread (it forks worker
+   processes underneath), shut down over the wire, exit code checked.
+   Unix-socket fleets derive worker addresses as ADDR.i next to the
+   control socket. *)
+let fleet_config ?(workers = 2) ?snapshot addr =
+  let base = Fleet.default_config ~state:served_state addr in
+  { base with
+    Fleet.workers;
+    base_backoff_ms = 50;
+    max_backoff_ms = 400;
+    probe_interval_ms = 200;
+    probe_timeout_ms = 500;
+    serve = { base.Fleet.serve with Server.jobs = 2; snapshot; log = ignore } }
+
+let with_fleet cfg k =
+  let result = ref (Error "fleet never returned") in
+  let th = Thread.create (fun () -> result := Fleet.run cfg) () in
+  let addr = cfg.Fleet.serve.Server.addr in
+  let ctl req =
+    match Client.connect ~retries:200 ~delay_ms:25 addr with
+    | Error e -> Error e
+    | Ok c ->
+      let r = Client.request c req in
+      Client.close c;
+      r
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match ctl (Protocol.Shutdown { id = "bye" }) with
+      | Ok (_, Protocol.R_ok _) -> ()
+      | Ok _ -> Alcotest.fail "fleet shutdown: expected ok ack"
+      | Error e -> Alcotest.failf "fleet shutdown: %s" e);
+      Thread.join th;
+      match !result with
+      | Ok 0 -> ()
+      | Ok n -> Alcotest.failf "fleet exited %d" n
+      | Error e -> Alcotest.failf "fleet: %s" e)
+    (fun () -> k ctl)
+
+let fleet_status_workers ctl =
+  match ctl (Protocol.Fleet_status { id = "fs" }) with
+  | Ok (_, Protocol.R_ok j) -> (
+    match Protocol.fleet_status_of_json j with
+    | Ok (true, ws) -> ws
+    | Ok (false, _) -> Alcotest.fail "fleet-status did not identify as a fleet"
+    | Error e -> Alcotest.failf "fleet-status parse: %s" e)
+  | Ok _ -> Alcotest.fail "fleet-status: expected ok"
+  | Error e -> Alcotest.failf "fleet-status: %s" e
+
+let eval_jobs n =
+  List.init n (fun i ->
+      { Client.domain = Some "presburger";
+        formula = Printf.sprintf "exists x. x + x = %d" (2 * i);
+        fuel = None; timeout_ms = None; trace = None })
+
+let all_answered results =
+  Array.iteri
+    (fun i (r : Client.job_result) ->
+      match r.Client.reply with
+      | Protocol.R_outcome { verdict = Outcome.Complete _; _ } -> ()
+      | Protocol.R_outcome { verdict = Outcome.Failed { reason }; _ } ->
+        Alcotest.failf "job %d lost: %s" i reason
+      | Protocol.R_outcome o -> Alcotest.failf "job %d: %s" i (Outcome.status o)
+      | _ -> Alcotest.failf "job %d: no outcome" i)
+    results
+
+let test_fleet_boot_and_serve () =
+  let addr = fresh_addr () in
+  with_fleet (fleet_config addr) @@ fun ctl ->
+  let ws = fleet_status_workers ctl in
+  Alcotest.(check int) "both workers listed" 2 (List.length ws);
+  Alcotest.(check bool) "both workers up" true (List.for_all (fun w -> w.Protocol.up) ws);
+  (* jobs are spread across the fleet and every one is answered, each
+     reply stamped with the answering worker's id *)
+  match Client.run_jobs ~addr (eval_jobs 8) with
+  | Error e -> Alcotest.failf "run_jobs: %s" e
+  | Ok results ->
+    Alcotest.(check int) "all replies" 8 (Array.length results);
+    all_answered results;
+    Alcotest.(check bool) "replies carry worker stamps" true
+      (Array.for_all (fun (r : Client.job_result) -> r.Client.worker <> None) results)
+
+let test_fleet_kill9_no_lost_requests seed =
+  (* the acceptance drill: kill -9 one worker while >= 50 pipelined
+     requests are in flight — zero lost client requests, the worker
+     respawned within backoff bounds *)
+  let addr = fresh_addr () in
+  with_fleet (fleet_config addr) @@ fun ctl ->
+  let ws = fleet_status_workers ctl in
+  let victim = List.nth ws (seed mod List.length ws) in
+  let pid =
+    match victim.Protocol.pid with
+    | Some p -> p
+    | None -> Alcotest.fail "live worker reports no pid"
+  in
+  let results = ref (Error "run_jobs never returned") in
+  let runner = Thread.create (fun () -> results := Client.run_jobs ~addr (eval_jobs 60)) () in
+  (* let the pool connect and start draining, then murder the victim *)
+  Unix.sleepf 0.1;
+  Unix.kill pid Sys.sigkill;
+  Thread.join runner;
+  (match !results with
+  | Error e -> Alcotest.failf "run_jobs under kill -9: %s" e
+  | Ok results ->
+    Alcotest.(check int) "every request answered" 60 (Array.length results);
+    all_answered results);
+  (* the supervisor respawns the victim within backoff bounds *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec wait_respawn () =
+    let ws = fleet_status_workers ctl in
+    let v = List.find (fun w -> w.Protocol.worker = victim.Protocol.worker) ws in
+    if List.for_all (fun w -> w.Protocol.up) ws && v.Protocol.restarts >= 1 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "victim not respawned within 5s (up %b, restarts %d)" v.Protocol.up
+        v.Protocol.restarts
+    else begin
+      Unix.sleepf 0.05;
+      wait_respawn ()
+    end
+  in
+  wait_respawn ()
+
+let test_fleet_rolling_reload () =
+  let v2 = Filename.temp_file "fq_fleet_state_v2" ".db" in
+  write_file v2 "E/2=7,8\nS/1=7\n";
+  let addr = fresh_addr () in
+  with_fleet (fleet_config addr) @@ fun ctl ->
+  (* a broken state file must roll zero workers *)
+  let bad = Filename.temp_file "fq_fleet_state_bad" ".db" in
+  write_file bad "not a database\n";
+  (match ctl (Protocol.Reload { id = "bad"; path = Some bad }) with
+  | Ok (_, Protocol.R_malformed _) -> ()
+  | Ok _ -> Alcotest.fail "bad reload: expected malformed"
+  | Error e -> Alcotest.failf "bad reload: %s" e);
+  Sys.remove bad;
+  (* a good one rolls every live worker, one at a time, and the fleet
+     keeps answering throughout *)
+  let results = ref (Error "run_jobs never returned") in
+  let runner = Thread.create (fun () -> results := Client.run_jobs ~addr (eval_jobs 20)) () in
+  (match ctl (Protocol.Reload { id = "r"; path = Some v2 }) with
+  | Ok (_, Protocol.R_ok j) ->
+    (match Option.bind (Json.member "workers_reloaded" j) Json.to_int_opt with
+    | Some 2 -> ()
+    | Some n -> Alcotest.failf "reloaded %d workers, want 2" n
+    | None -> Alcotest.fail "reload ack lacks workers_reloaded")
+  | Ok _ -> Alcotest.fail "reload: expected ok"
+  | Error e -> Alcotest.failf "reload: %s" e);
+  Thread.join runner;
+  (match !results with
+  | Error e -> Alcotest.failf "run_jobs during reload: %s" e
+  | Ok results -> all_answered results);
+  (* new admissions see the reloaded database on every worker *)
+  let ws = fleet_status_workers ctl in
+  List.iter
+    (fun w ->
+      match Server.addr_of_string w.Protocol.worker_addr with
+      | Error e -> Alcotest.failf "worker addr: %s" e
+      | Ok waddr -> (
+        match Client.connect ~retries:20 waddr with
+        | Error e -> Alcotest.failf "%s: %s" w.Protocol.worker e
+        | Ok c ->
+          (match Client.request c (eval_req "q" "exists y. E(x,y)") with
+          | Ok (_, Protocol.R_outcome { verdict = Outcome.Complete { answer; _ }; _ }) ->
+            Alcotest.(check int)
+              (w.Protocol.worker ^ " answers from the new epoch")
+              1 (Relation.cardinal answer)
+          | Ok _ -> Alcotest.failf "%s: expected a complete outcome" w.Protocol.worker
+          | Error e -> Alcotest.failf "%s eval: %s" w.Protocol.worker e);
+          Client.close c))
+    ws;
+  Sys.remove v2
+
+(* Fleet chaos properties: ride the QCHECK_SEED matrix — the seed picks
+   the victim worker and the fault sites armed in the supervisor. *)
+let prop_fleet_kill9 =
+  QCheck.Test.make ~name:"fleet: kill -9 loses zero client requests" ~count:2
+    QCheck.(make Gen.(int_bound 1000))
+    (fun seed ->
+      test_fleet_kill9_no_lost_requests seed;
+      true)
+
+let prop_fleet_spawn_faults =
+  QCheck.Test.make ~name:"fleet: armed spawn/probe faults never lose requests" ~count:2
+    QCheck.(make Gen.(int_bound 99999))
+    (fun seed ->
+      let plan =
+        Fault.chaos ~seed ~sites:[ "fleet.spawn"; "fleet.probe" ] ~permille:120
+          ~actions:[ Fault.Crash "injected: supervisor" ]
+          ()
+      in
+      Fault.with_plan plan (fun () ->
+          let addr = fresh_addr () in
+          with_fleet (fleet_config addr) @@ fun _ctl ->
+          match Client.run_jobs ~addr (eval_jobs 12) with
+          | Error e -> QCheck.Test.fail_reportf "run_jobs under chaos: %s" e
+          | Ok results ->
+            if Array.length results <> 12 then
+              QCheck.Test.fail_reportf "%d of 12 replies" (Array.length results);
+            all_answered results);
+      true)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "server"
@@ -872,6 +1267,17 @@ let () =
             test_journal_fault_containment;
           qt prop_journal_recovery;
           qt prop_journal_chaos ] );
+      (* the fleet group must run before any in-process daemon boots:
+         OCaml 5 refuses Unix.fork once another domain has ever been
+         spawned, and Server.run creates its worker-domain pool in this
+         process — the fleet parent itself only forks and threads *)
+      ( "fleet",
+        [ Alcotest.test_case "boot, discover, spread, shutdown" `Quick
+            test_fleet_boot_and_serve;
+          Alcotest.test_case "rolling reload serves throughout" `Quick
+            test_fleet_rolling_reload;
+          qt prop_fleet_kill9;
+          qt prop_fleet_spawn_faults ] );
       ( "daemon",
         [ Alcotest.test_case "boot, eval, metrics, shutdown" `Quick test_serve_roundtrip;
           Alcotest.test_case "trace ids echo, mint, and reach the ring" `Quick
@@ -882,5 +1288,11 @@ let () =
             test_serve_reload;
           Alcotest.test_case "oversize line answered and drained" `Quick
             test_serve_oversized_line;
+          Alcotest.test_case "failed snapshot save leaves the old snapshot intact" `Quick
+            test_snapshot_save_fault_containment;
+          Alcotest.test_case "half-closed socket classified transient and retried" `Quick
+            test_run_jobs_halfclosed_retry;
+          Alcotest.test_case "SIGTERM drains the in-flight request" `Quick
+            test_sigterm_drain_answers_inflight;
           Alcotest.test_case "watchdog recycles a wedged worker" `Quick
             test_serve_watchdog ] ) ]
